@@ -1,0 +1,142 @@
+// Command sanity assembles and runs SVM programs under the TDR
+// engine: record an execution (play), reproduce it with time
+// determinism (replay-tdr), or reproduce only its functional behavior
+// (replay-functional, the conventional-replay baseline).
+//
+//	sanity -program prog.sasm -logout run.log
+//	sanity -program prog.sasm -mode replay-tdr -login run.log
+//	sanity -program prog.sasm -disasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sanity/internal/asm"
+	"sanity/internal/core"
+	"sanity/internal/hw"
+	"sanity/internal/replaylog"
+)
+
+func main() {
+	var (
+		programPath = flag.String("program", "", "path to an SVM assembly file (.sasm)")
+		mode        = flag.String("mode", "play", "play | replay-tdr | replay-functional")
+		logIn       = flag.String("login", "", "replay: path of the recorded log")
+		logOut      = flag.String("logout", "", "play: write the event log here")
+		seed        = flag.Uint64("seed", 1, "hardware noise seed")
+		profileName = flag.String("profile", "sanity", "noise profile: sanity|dirty|clean|kernel-quiet")
+		machineName = flag.String("machine", "optiplex9020", "machine type: optiplex9020|slower-t-prime")
+		disasm      = flag.Bool("disasm", false, "print the disassembly and exit")
+		showEvents  = flag.Bool("events", false, "print the timed event trace")
+	)
+	flag.Parse()
+	if *programPath == "" {
+		fmt.Fprintln(os.Stderr, "sanity: -program is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*programPath)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(*programPath, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		fmt.Print(asm.Disassemble(prog))
+		return
+	}
+
+	cfg := core.Config{Seed: *seed, MaxSteps: 4_000_000_000}
+	switch *machineName {
+	case "optiplex9020":
+		cfg.Machine = hw.Optiplex9020()
+	case "slower-t-prime":
+		cfg.Machine = hw.SlowerT()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machineName))
+	}
+	switch *profileName {
+	case "sanity":
+		cfg.Profile = hw.ProfileSanity()
+	case "dirty":
+		cfg.Profile = hw.ProfileDirty()
+	case "clean":
+		cfg.Profile = hw.ProfileClean()
+	case "kernel-quiet":
+		cfg.Profile = hw.ProfileKernelQuiet()
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profileName))
+	}
+
+	var exec *core.Execution
+	switch *mode {
+	case "play":
+		var log *replaylog.Log
+		exec, log, err = core.Play(prog, nil, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *logOut != "" {
+			f, err := os.Create(*logOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := log.Encode(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			st := log.Stats()
+			fmt.Printf("log: %d bytes (%d packets, %d value records) -> %s\n",
+				st.TotalBytes, st.Packets, st.ValueRecords, *logOut)
+		}
+	case "replay-tdr", "replay-functional":
+		if *logIn == "" {
+			fatal(fmt.Errorf("%s needs -login", *mode))
+		}
+		f, err := os.Open(*logIn)
+		if err != nil {
+			fatal(err)
+		}
+		log, err := replaylog.Decode(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if *mode == "replay-tdr" {
+			exec, err = core.ReplayTDR(prog, log, cfg)
+		} else {
+			exec, err = core.ReplayFunctional(prog, log, cfg)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	if len(exec.Stdout) > 0 {
+		fmt.Printf("stdout: %s\n", exec.Stdout)
+	}
+	fmt.Printf("mode=%s machine=%s profile=%s seed=%d\n", *mode, cfg.Machine.Name, cfg.Profile.Name, *seed)
+	fmt.Printf("instructions=%d virtual-time=%.3f ms exit=%d outputs=%d\n",
+		exec.Instructions, float64(exec.TotalPs)/1e9, exec.ExitCode, len(exec.Outputs))
+	r := exec.HWReport
+	fmt.Printf("hw: l1d-miss=%d l2-miss=%d l3-miss=%d tlb-miss=%d interrupts=%d preemptions=%d\n",
+		r.L1DMisses, r.L2Misses, r.L3Misses, r.TLBMisses, r.Interrupts, r.Preemptions)
+	if *showEvents {
+		for i, e := range exec.Events {
+			fmt.Printf("event %4d  %-12s instr=%-12d t=%.6f ms\n", i, e.Kind, e.Instr, float64(e.TimePs)/1e9)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sanity: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Cloudcheck is the paper's Figure 1(a) scenario: Bob pays Alice for
+// a machine of type T and wants to verify — from packet timings alone
+// — that his software really runs on a T and not on a cheaper T'.
+//
+// Bob's software emits a heartbeat after each unit of memory-heavy
+// work. Bob records the execution's log, replays it on a local
+// machine of type T, and compares the heartbeat timings: if Alice
+// provisioned the promised hardware, they line up; if she secretly
+// used the slower T', the observed heartbeats lag far behind the
+// replay's.
+//
+//	go run ./examples/cloudcheck
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sanity"
+)
+
+// src runs rounds of array-walk work and sends a heartbeat after each
+// round. The walk's cache behavior is what makes timing depend on the
+// machine type.
+const src = `
+.program cloudcheck
+.func main 0 6
+    iconst 65536
+    newarr int
+    store 0
+    iconst 0
+    store 1              ; round
+rounds:
+    load 1
+    iconst 6
+    if_icmpge done
+    iconst 0
+    store 2
+work:
+    load 2
+    iconst 65536
+    if_icmpge beat
+    load 0
+    load 2
+    load 2
+    load 1
+    imul
+    astore
+    iinc 2 7
+    goto work
+beat:
+    iconst 4
+    newarr byte
+    store 3
+    load 3
+    iconst 0
+    load 1
+    astore
+    load 3
+    ncall io.send 1
+    pop
+    iinc 1 1
+    goto rounds
+done:
+    ret
+.end`
+
+func main() {
+	prog, err := sanity.Assemble("cloudcheck", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(machine sanity.MachineSpec, seed uint64) (*sanity.Execution, *sanity.Log) {
+		cfg := sanity.DefaultConfig(seed)
+		cfg.Machine = machine
+		exec, lg, err := sanity.Play(prog, nil, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return exec, lg
+	}
+	replayOnT := func(lg *sanity.Log, seed uint64) *sanity.Execution {
+		cfg := sanity.DefaultConfig(seed)
+		cfg.Machine = sanity.Optiplex9020() // Bob's local reference machine of type T
+		exec, err := sanity.ReplayTDR(prog, lg, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return exec
+	}
+
+	fmt.Println("=== case 1: Alice provisions the promised type T ===")
+	honest, honestLog := run(sanity.Optiplex9020(), 11)
+	honestReplay := replayOnT(honestLog, 12)
+	cmp, _ := sanity.Compare(honest, honestReplay)
+	fmt.Printf("  observed total: %8.3f ms, replay on T: %8.3f ms, deviation %.3f%%\n",
+		float64(honest.TotalPs)/1e9, float64(honestReplay.TotalPs)/1e9, cmp.TotalRelDev*100)
+	verdict(cmp.TotalRelDev)
+
+	fmt.Println("=== case 2: Alice secretly runs Bob on the cheaper T' ===")
+	cheat, cheatLog := run(sanity.SlowerT(), 21)
+	cheatReplay := replayOnT(cheatLog, 22)
+	cmp2, _ := sanity.Compare(cheat, cheatReplay)
+	fmt.Printf("  observed total: %8.3f ms, replay on T: %8.3f ms, deviation %.1f%%\n",
+		float64(cheat.TotalPs)/1e9, float64(cheatReplay.TotalPs)/1e9, cmp2.TotalRelDev*100)
+	verdict(cmp2.TotalRelDev)
+}
+
+func verdict(dev float64) {
+	if dev > 0.05 {
+		fmt.Printf("  => timing inconsistent with machine type T (deviation %.1f%%): Bob is NOT getting what he pays for\n\n", dev*100)
+	} else {
+		fmt.Printf("  => timing consistent with machine type T: the promised hardware\n\n")
+	}
+}

@@ -1,0 +1,551 @@
+// Package asm implements the SVM assembler and disassembler. All
+// workloads in this repository — the SciMark kernels, the NFS server,
+// the Figure-2 array-zeroing microbenchmark — are written in this
+// assembly language rather than hand-built instruction slices, which
+// keeps them reviewable and testable.
+//
+// Syntax (line oriented; ';' starts a comment):
+//
+//	.program name
+//	.class Point x y
+//	.global counter
+//	.func main 0 3            ; name, nparams, nlocals, optional "retv"
+//	loop:                     ; labels end with ':'
+//	    iconst 5
+//	    store 0
+//	    load 0
+//	    ifle done
+//	    iinc 0 -1
+//	    goto loop
+//	done:
+//	    ret
+//	.catch loop done handler  ; optional, plus a class name for typed catch
+//	.end
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sanity/internal/svm"
+)
+
+// Error is an assembly error with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Assemble parses source text into a verified SVM program.
+func Assemble(name, src string) (*svm.Program, error) {
+	a := &assembler{prog: svm.NewProgram(name)}
+	if err := a.firstPass(src); err != nil {
+		return nil, err
+	}
+	if err := a.secondPass(src); err != nil {
+		return nil, err
+	}
+	if err := svm.Verify(a.prog); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+// MustAssemble is Assemble for known-good embedded sources; it panics
+// on error so workload bugs surface at package-load time in tests.
+func MustAssemble(name, src string) *svm.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type pendingFunc struct {
+	fn     *svm.Function
+	labels map[string]int
+	// fixups are instructions whose A operand is a label.
+	fixups []fixup
+	// catches are .catch directives to resolve after labels are known.
+	catches []catchDirective
+	line    int
+}
+
+type fixup struct {
+	pc    int
+	label string
+	line  int
+}
+
+type catchDirective struct {
+	start, end, target string
+	class              string
+	line               int
+}
+
+type assembler struct {
+	prog *svm.Program
+}
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// firstPass registers classes, globals, and function signatures so
+// that forward references (call before definition) resolve.
+func (a *assembler) firstPass(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		fields, err := tokenize(raw)
+		if err != nil {
+			return errf(line, "%v", err)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case ".program":
+			if len(fields) != 2 {
+				return errf(line, ".program takes one name")
+			}
+			a.prog.Name = fields[1]
+		case ".class":
+			if len(fields) < 2 {
+				return errf(line, ".class needs a name")
+			}
+			if _, err := a.prog.AddClass(&svm.Class{Name: fields[1], Fields: fields[2:]}); err != nil {
+				return errf(line, "%v", err)
+			}
+		case ".global":
+			if len(fields) != 2 {
+				return errf(line, ".global takes one name")
+			}
+			if _, err := a.prog.AddGlobal(fields[1]); err != nil {
+				return errf(line, "%v", err)
+			}
+		case ".func":
+			fn, err := parseFuncHeader(fields, line)
+			if err != nil {
+				return err
+			}
+			if _, err := a.prog.AddFunction(fn); err != nil {
+				return errf(line, "%v", err)
+			}
+		}
+	}
+	return nil
+}
+
+func parseFuncHeader(fields []string, line int) (*svm.Function, error) {
+	if len(fields) < 4 {
+		return nil, errf(line, ".func needs name, nparams, nlocals")
+	}
+	np, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return nil, errf(line, "bad nparams %q", fields[2])
+	}
+	nl, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return nil, errf(line, "bad nlocals %q", fields[3])
+	}
+	fn := &svm.Function{Name: fields[1], NumParams: np, NumLocals: nl}
+	if len(fields) == 5 {
+		if fields[4] != "retv" {
+			return nil, errf(line, "unknown func flag %q", fields[4])
+		}
+		fn.ReturnsValue = true
+	} else if len(fields) > 5 {
+		return nil, errf(line, "too many .func fields")
+	}
+	return fn, nil
+}
+
+// secondPass emits code.
+func (a *assembler) secondPass(src string) error {
+	var cur *pendingFunc
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		fields, err := tokenize(raw)
+		if err != nil {
+			return errf(line, "%v", err)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case ".program", ".class", ".global":
+			if cur != nil {
+				return errf(line, "%s inside .func", fields[0])
+			}
+			continue
+		case ".func":
+			if cur != nil {
+				return errf(line, "nested .func (missing .end?)")
+			}
+			idx, _ := a.prog.FuncIndex(fields[1])
+			cur = &pendingFunc{
+				fn:     a.prog.Funcs[idx],
+				labels: make(map[string]int),
+				line:   line,
+			}
+			continue
+		case ".end":
+			if cur == nil {
+				return errf(line, ".end without .func")
+			}
+			if err := a.finishFunc(cur); err != nil {
+				return err
+			}
+			cur = nil
+			continue
+		case ".catch":
+			if cur == nil {
+				return errf(line, ".catch outside .func")
+			}
+			if len(fields) != 4 && len(fields) != 5 {
+				return errf(line, ".catch needs start end target [class]")
+			}
+			cd := catchDirective{start: fields[1], end: fields[2], target: fields[3], line: line}
+			if len(fields) == 5 {
+				cd.class = fields[4]
+			}
+			cur.catches = append(cur.catches, cd)
+			continue
+		}
+		if cur == nil {
+			return errf(line, "instruction %q outside .func", fields[0])
+		}
+		// Labels (possibly several on one line before an instruction).
+		for len(fields) > 0 && strings.HasSuffix(fields[0], ":") {
+			lbl := strings.TrimSuffix(fields[0], ":")
+			if lbl == "" {
+				return errf(line, "empty label")
+			}
+			if _, dup := cur.labels[lbl]; dup {
+				return errf(line, "duplicate label %q", lbl)
+			}
+			cur.labels[lbl] = len(cur.fn.Code)
+			fields = fields[1:]
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		if err := a.emit(cur, fields, line); err != nil {
+			return err
+		}
+	}
+	if cur != nil {
+		return errf(cur.line, "unterminated .func %s", cur.fn.Name)
+	}
+	return nil
+}
+
+func (a *assembler) finishFunc(pf *pendingFunc) error {
+	for _, fx := range pf.fixups {
+		pc, ok := pf.labels[fx.label]
+		if !ok {
+			return errf(fx.line, "undefined label %q", fx.label)
+		}
+		pf.fn.Code[fx.pc].A = int32(pc)
+	}
+	for _, cd := range pf.catches {
+		start, ok := pf.labels[cd.start]
+		if !ok {
+			return errf(cd.line, "undefined label %q", cd.start)
+		}
+		end, ok := pf.labels[cd.end]
+		if !ok {
+			return errf(cd.line, "undefined label %q", cd.end)
+		}
+		target, ok := pf.labels[cd.target]
+		if !ok {
+			return errf(cd.line, "undefined label %q", cd.target)
+		}
+		cls := -1
+		if cd.class != "" {
+			ci, ok := a.prog.ClassIndex(cd.class)
+			if !ok {
+				return errf(cd.line, "undefined class %q", cd.class)
+			}
+			cls = ci
+		}
+		pf.fn.Handlers = append(pf.fn.Handlers, svm.Handler{Start: start, End: end, Target: target, Class: cls})
+	}
+	return nil
+}
+
+// emit assembles one instruction line.
+func (a *assembler) emit(pf *pendingFunc, fields []string, line int) error {
+	mn := fields[0]
+	args := fields[1:]
+	op, ok := svm.OpcodeByName(mn)
+	if !ok {
+		return errf(line, "unknown mnemonic %q", mn)
+	}
+	in := svm.Instr{Op: op}
+	emit := func() { pf.fn.Code = append(pf.fn.Code, in) }
+	need := func(n int) error {
+		if len(args) != n {
+			return errf(line, "%s takes %d operand(s), got %d", mn, n, len(args))
+		}
+		return nil
+	}
+
+	switch op {
+	case svm.OpNop, svm.OpNullC, svm.OpPop, svm.OpDup, svm.OpSwap,
+		svm.OpIAdd, svm.OpISub, svm.OpIMul, svm.OpIDiv, svm.OpIRem, svm.OpINeg,
+		svm.OpIShl, svm.OpIShr, svm.OpIUshr, svm.OpIAnd, svm.OpIOr, svm.OpIXor,
+		svm.OpFAdd, svm.OpFSub, svm.OpFMul, svm.OpFDiv, svm.OpFNeg,
+		svm.OpI2F, svm.OpF2I, svm.OpICmp, svm.OpFCmp,
+		svm.OpALoad, svm.OpAStore, svm.OpALen,
+		svm.OpRet, svm.OpRetV, svm.OpThrow, svm.OpYield,
+		svm.OpMonEnter, svm.OpMonExit:
+		if err := need(0); err != nil {
+			return err
+		}
+		emit()
+
+	case svm.OpHalt:
+		if len(args) > 1 {
+			return errf(line, "halt takes at most one exit code")
+		}
+		if len(args) == 1 {
+			v, err := strconv.ParseInt(args[0], 0, 32)
+			if err != nil {
+				return errf(line, "bad exit code %q", args[0])
+			}
+			in.A = int32(v)
+		}
+		emit()
+
+	case svm.OpIConst:
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(args[0], 0, 64)
+		if err != nil {
+			return errf(line, "bad integer %q", args[0])
+		}
+		if v >= -(1<<31) && v < (1<<31) {
+			in.A = int32(v)
+			emit()
+		} else {
+			in.Op = svm.OpLConst
+			in.A = int32(a.prog.InternInt(v))
+			emit()
+		}
+
+	case svm.OpLConst:
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(args[0], 0, 64)
+		if err != nil {
+			return errf(line, "bad integer %q", args[0])
+		}
+		in.A = int32(a.prog.InternInt(v))
+		emit()
+
+	case svm.OpFConst:
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return errf(line, "bad float %q", args[0])
+		}
+		in.A = int32(a.prog.InternFloat(v))
+		emit()
+
+	case svm.OpSConst:
+		if err := need(1); err != nil {
+			return err
+		}
+		in.A = int32(a.prog.InternString(args[0]))
+		emit()
+
+	case svm.OpLoad, svm.OpStore:
+		if err := need(1); err != nil {
+			return err
+		}
+		slot, err := strconv.Atoi(args[0])
+		if err != nil {
+			return errf(line, "bad slot %q", args[0])
+		}
+		in.A = int32(slot)
+		emit()
+
+	case svm.OpIInc:
+		if err := need(2); err != nil {
+			return err
+		}
+		slot, err := strconv.Atoi(args[0])
+		if err != nil {
+			return errf(line, "bad slot %q", args[0])
+		}
+		delta, err := strconv.ParseInt(args[1], 0, 32)
+		if err != nil {
+			return errf(line, "bad delta %q", args[1])
+		}
+		in.A = int32(slot)
+		in.B = int32(delta)
+		emit()
+
+	case svm.OpGoto, svm.OpIfEq, svm.OpIfNe, svm.OpIfLt, svm.OpIfGe, svm.OpIfGt, svm.OpIfLe,
+		svm.OpIfICmpEq, svm.OpIfICmpNe, svm.OpIfICmpLt, svm.OpIfICmpGe, svm.OpIfICmpGt, svm.OpIfICmpLe,
+		svm.OpIfNull, svm.OpIfNonNull:
+		if err := need(1); err != nil {
+			return err
+		}
+		pf.fixups = append(pf.fixups, fixup{pc: len(pf.fn.Code), label: args[0], line: line})
+		emit()
+
+	case svm.OpNewArr:
+		if err := need(1); err != nil {
+			return err
+		}
+		kind, ok := map[string]int32{"int": svm.ElemInt, "float": svm.ElemFloat, "byte": svm.ElemByte, "ref": svm.ElemRef}[args[0]]
+		if !ok {
+			return errf(line, "bad array kind %q (want int|float|byte|ref)", args[0])
+		}
+		in.A = kind
+		emit()
+
+	case svm.OpNew:
+		if err := need(1); err != nil {
+			return err
+		}
+		ci, ok := a.prog.ClassIndex(args[0])
+		if !ok {
+			return errf(line, "undefined class %q", args[0])
+		}
+		in.A = int32(ci)
+		emit()
+
+	case svm.OpGetF, svm.OpPutF:
+		if err := need(2); err != nil {
+			return err
+		}
+		ci, ok := a.prog.ClassIndex(args[0])
+		if !ok {
+			return errf(line, "undefined class %q", args[0])
+		}
+		off := a.prog.Classes[ci].FieldOffset(args[1])
+		if off < 0 {
+			return errf(line, "class %s has no field %q", args[0], args[1])
+		}
+		in.A = int32(off)
+		emit()
+
+	case svm.OpGGet, svm.OpGPut:
+		if err := need(1); err != nil {
+			return err
+		}
+		gi, ok := a.prog.GlobalIndex(args[0])
+		if !ok {
+			return errf(line, "undefined global %q", args[0])
+		}
+		in.A = int32(gi)
+		emit()
+
+	case svm.OpCall:
+		if err := need(1); err != nil {
+			return err
+		}
+		fi, ok := a.prog.FuncIndex(args[0])
+		if !ok {
+			return errf(line, "undefined function %q", args[0])
+		}
+		in.A = int32(fi)
+		emit()
+
+	case svm.OpSpawn:
+		if err := need(1); err != nil {
+			return err
+		}
+		fi, ok := a.prog.FuncIndex(args[0])
+		if !ok {
+			return errf(line, "undefined function %q", args[0])
+		}
+		in.A = int32(fi)
+		in.B = int32(a.prog.Funcs[fi].NumParams)
+		emit()
+
+	case svm.OpNCall:
+		if err := need(2); err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 0 {
+			return errf(line, "bad native arity %q", args[1])
+		}
+		in.A = int32(a.prog.InternNative(args[0]))
+		in.B = int32(n)
+		emit()
+
+	default:
+		return errf(line, "mnemonic %q not supported by assembler", mn)
+	}
+	return nil
+}
+
+// tokenize splits a source line into fields, honoring double-quoted
+// strings (with \n, \t, \", \\ escapes) and ';' comments.
+func tokenize(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == ';':
+			return out, nil
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(line) {
+					return nil, fmt.Errorf("unterminated string")
+				}
+				if line[j] == '\\' {
+					if j+1 >= len(line) {
+						return nil, fmt.Errorf("dangling escape")
+					}
+					switch line[j+1] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '"':
+						sb.WriteByte('"')
+					case '\\':
+						sb.WriteByte('\\')
+					default:
+						return nil, fmt.Errorf("bad escape \\%c", line[j+1])
+					}
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				sb.WriteByte(line[j])
+				j++
+			}
+			out = append(out, sb.String())
+			i = j + 1
+		default:
+			j := i
+			for j < len(line) && line[j] != ' ' && line[j] != '\t' && line[j] != ';' && line[j] != '\r' {
+				j++
+			}
+			out = append(out, line[i:j])
+			i = j
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"sanity/internal/svm"
+)
+
+func TestAssembleMinimal(t *testing.T) {
+	p, err := Assemble("t", ".func main 0 1\nret\n.end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Funcs) != 1 || p.Funcs[0].Name != "main" {
+		t.Fatalf("unexpected program %+v", p)
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	p, err := Assemble("t", `
+.func main 0 1
+start:
+    iconst 0
+    ifeq start
+    ret
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := p.Funcs[0].Code
+	if code[1].Op != svm.OpIfEq || code[1].A != 0 {
+		t.Fatalf("branch not resolved: %+v", code[1])
+	}
+}
+
+func TestAssembleForwardReference(t *testing.T) {
+	_, err := Assemble("t", `
+.func main 0 1
+    call helper
+    ret
+.end
+.func helper 0 1
+    ret
+.end`)
+	if err != nil {
+		t.Fatalf("forward call failed: %v", err)
+	}
+}
+
+func TestAssembleBigConstantSpills(t *testing.T) {
+	p, err := Assemble("t", ".func main 0 1\niconst 1099511627776\npop\nret\n.end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Funcs[0].Code[0].Op != svm.OpLConst {
+		t.Fatalf("big constant did not spill to lconst: %v", p.Funcs[0].Code[0].Op)
+	}
+	if p.IntPool[p.Funcs[0].Code[0].A] != 1<<40 {
+		t.Fatal("pool value wrong")
+	}
+}
+
+func TestAssembleStringEscape(t *testing.T) {
+	p, err := Assemble("t", `.func main 0 1`+"\n"+`sconst "a\nb\"c"`+"\n"+`pop`+"\n"+`ret`+"\n"+`.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.StrPool[0] != "a\nb\"c" {
+		t.Fatalf("escape handling wrong: %q", p.StrPool[0])
+	}
+}
+
+func TestAssembleClassFields(t *testing.T) {
+	p, err := Assemble("t", `
+.class Pair first second
+.func main 0 1
+    new Pair
+    iconst 1
+    putf Pair second
+    ret
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// putf Pair second must resolve to offset 1.
+	var putf svm.Instr
+	for _, in := range p.Funcs[0].Code {
+		if in.Op == svm.OpPutF {
+			putf = in
+		}
+	}
+	if putf.A != 1 {
+		t.Fatalf("field offset = %d, want 1", putf.A)
+	}
+}
+
+func TestAssembleCatchDirective(t *testing.T) {
+	p, err := Assemble("t", `
+.class E code
+.func main 0 1
+s:
+    iconst 1
+    pop
+e:
+    ret
+h:
+    pop
+    ret
+.catch s e h E
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Funcs[0].Handlers
+	if len(h) != 1 || h[0].Class != 0 || h[0].Start != 0 {
+		t.Fatalf("handler wrong: %+v", h)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknownMnemonic", ".func main 0 1\nbogus\nret\n.end", "unknown mnemonic"},
+		{"undefinedLabel", ".func main 0 1\ngoto nowhere\nret\n.end", "undefined label"},
+		{"undefinedFunc", ".func main 0 1\ncall nope\nret\n.end", "undefined function"},
+		{"undefinedGlobal", ".func main 0 1\ngget nope\npop\nret\n.end", "undefined global"},
+		{"undefinedClass", ".func main 0 1\nnew Nope\npop\nret\n.end", "undefined class"},
+		{"undefinedField", ".class C x\n.func main 0 1\nnew C\ngetf C y\npop\nret\n.end", "no field"},
+		{"dupLabel", ".func main 0 1\na:\nnop\na:\nret\n.end", "duplicate label"},
+		{"dupFunc", ".func main 0 1\nret\n.end\n.func main 0 1\nret\n.end", "duplicate function"},
+		{"outsideFunc", "iconst 1", "outside .func"},
+		{"unterminated", ".func main 0 1\nret", "unterminated"},
+		{"badArity", ".func main 0 1\niconst 1 2\nret\n.end", "takes 1 operand"},
+		{"unterminatedString", ".func main 0 1\nsconst \"abc\nret\n.end", "unterminated string"},
+		{"badArrayKind", ".func main 0 1\niconst 1\nnewarr blob\npop\nret\n.end", "bad array kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble("bad", tc.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	_, err := Assemble("t", `
+; full-line comment
+.func main 0 1  ; trailing comment
+    iconst 1    ; another
+    pop
+    ret
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassembleRoundTripSimple(t *testing.T) {
+	src := `
+.global g
+.func main 0 2
+    iconst 0
+    store 0
+L2:
+    load 0
+    iconst 10
+    if_icmpge L9
+    iinc 0 1
+    goto L2
+    ret
+L9:
+    ret
+.end`
+	p1, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(p1)
+	p2, err := Assemble("t", text)
+	if err != nil {
+		t.Fatalf("reassembly of disassembly failed: %v\n%s", err, text)
+	}
+	if len(p1.Funcs[0].Code) != len(p2.Funcs[0].Code) {
+		t.Fatalf("code length changed: %d vs %d", len(p1.Funcs[0].Code), len(p2.Funcs[0].Code))
+	}
+	for i := range p1.Funcs[0].Code {
+		if p1.Funcs[0].Code[i] != p2.Funcs[0].Code[i] {
+			t.Fatalf("instr %d differs: %+v vs %+v", i, p1.Funcs[0].Code[i], p2.Funcs[0].Code[i])
+		}
+	}
+}
+
+func TestSpawnArityFilled(t *testing.T) {
+	p, err := Assemble("t", `
+.func main 0 1
+    iconst 1
+    iconst 2
+    spawn w
+    pop
+    ret
+.end
+.func w 2 2
+    ret
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sp svm.Instr
+	for _, in := range p.Funcs[0].Code {
+		if in.Op == svm.OpSpawn {
+			sp = in
+		}
+	}
+	if sp.B != 2 {
+		t.Fatalf("spawn arity = %d, want 2", sp.B)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks, err := tokenize(`  foo "bar baz" 12 ; comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[1] != "bar baz" {
+		t.Fatalf("tokens = %q", toks)
+	}
+}

@@ -1,0 +1,108 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"sanity/internal/svm"
+)
+
+// Disassemble renders a program back into readable assembly. The
+// output is for diagnostics and golden tests; it round-trips through
+// Assemble for programs that do not depend on label names.
+func Disassemble(p *svm.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".program %s\n", p.Name)
+	for _, c := range p.Classes {
+		fmt.Fprintf(&sb, ".class %s %s\n", c.Name, strings.Join(c.Fields, " "))
+	}
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, ".global %s\n", g)
+	}
+	for _, f := range p.Funcs {
+		flag := ""
+		if f.ReturnsValue {
+			flag = " retv"
+		}
+		fmt.Fprintf(&sb, ".func %s %d %d%s\n", f.Name, f.NumParams, f.NumLocals, flag)
+		labels := branchTargets(f)
+		for pc, in := range f.Code {
+			if _, ok := labels[pc]; ok {
+				fmt.Fprintf(&sb, "L%d:\n", pc)
+			}
+			sb.WriteString("    ")
+			sb.WriteString(formatInstr(p, f, in))
+			sb.WriteByte('\n')
+		}
+		for _, h := range f.Handlers {
+			cls := ""
+			if h.Class >= 0 {
+				cls = " " + p.Classes[h.Class].Name
+			}
+			fmt.Fprintf(&sb, ".catch L%d L%d L%d%s ; range [%d,%d) -> %d\n",
+				h.Start, h.End, h.Target, cls, h.Start, h.End, h.Target)
+		}
+		sb.WriteString(".end\n")
+	}
+	return sb.String()
+}
+
+// branchTargets collects every PC that is the target of a branch or
+// handler, so the disassembly can label it.
+func branchTargets(f *svm.Function) map[int]bool {
+	t := make(map[int]bool)
+	for _, in := range f.Code {
+		switch in.Op {
+		case svm.OpGoto, svm.OpIfEq, svm.OpIfNe, svm.OpIfLt, svm.OpIfGe, svm.OpIfGt, svm.OpIfLe,
+			svm.OpIfICmpEq, svm.OpIfICmpNe, svm.OpIfICmpLt, svm.OpIfICmpGe, svm.OpIfICmpGt, svm.OpIfICmpLe,
+			svm.OpIfNull, svm.OpIfNonNull:
+			t[int(in.A)] = true
+		}
+	}
+	for _, h := range f.Handlers {
+		t[h.Start] = true
+		t[h.End] = true
+		t[h.Target] = true
+	}
+	return t
+}
+
+func formatInstr(p *svm.Program, f *svm.Function, in svm.Instr) string {
+	op := in.Op
+	switch op {
+	case svm.OpIConst:
+		return fmt.Sprintf("iconst %d", in.A)
+	case svm.OpLConst:
+		return fmt.Sprintf("lconst %d", p.IntPool[in.A])
+	case svm.OpFConst:
+		return fmt.Sprintf("fconst %g", p.FloatPool[in.A])
+	case svm.OpSConst:
+		return fmt.Sprintf("sconst %q", p.StrPool[in.A])
+	case svm.OpHalt:
+		return fmt.Sprintf("halt %d", in.A)
+	case svm.OpLoad, svm.OpStore:
+		return fmt.Sprintf("%s %d", op, in.A)
+	case svm.OpIInc:
+		return fmt.Sprintf("iinc %d %d", in.A, in.B)
+	case svm.OpGoto, svm.OpIfEq, svm.OpIfNe, svm.OpIfLt, svm.OpIfGe, svm.OpIfGt, svm.OpIfLe,
+		svm.OpIfICmpEq, svm.OpIfICmpNe, svm.OpIfICmpLt, svm.OpIfICmpGe, svm.OpIfICmpGt, svm.OpIfICmpLe,
+		svm.OpIfNull, svm.OpIfNonNull:
+		return fmt.Sprintf("%s L%d", op, in.A)
+	case svm.OpNewArr:
+		return fmt.Sprintf("newarr %s", [...]string{"int", "float", "byte", "ref"}[in.A])
+	case svm.OpNew:
+		return fmt.Sprintf("new %s", p.Classes[in.A].Name)
+	case svm.OpGetF, svm.OpPutF:
+		return fmt.Sprintf("%s <class> #%d", op, in.A)
+	case svm.OpGGet, svm.OpGPut:
+		return fmt.Sprintf("%s %s", op, p.Globals[in.A])
+	case svm.OpCall:
+		return fmt.Sprintf("call %s", p.Funcs[in.A].Name)
+	case svm.OpSpawn:
+		return fmt.Sprintf("spawn %s", p.Funcs[in.A].Name)
+	case svm.OpNCall:
+		return fmt.Sprintf("ncall %s %d", p.Natives[in.A], in.B)
+	default:
+		return op.String()
+	}
+}

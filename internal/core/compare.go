@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// IPDPair is one inter-packet delay observed during play and its
+// counterpart during replay, in picoseconds.
+type IPDPair struct {
+	PlayPs   int64
+	ReplayPs int64
+}
+
+// RelDev returns the relative deviation |replay-play|/play.
+func (p IPDPair) RelDev() float64 {
+	if p.PlayPs == 0 {
+		if p.ReplayPs == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := p.ReplayPs - p.PlayPs
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) / float64(p.PlayPs)
+}
+
+// TimingComparison is the auditor's verdict material: how the
+// replayed timing relates to the observed one.
+type TimingComparison struct {
+	// OutputsMatch reports functional equivalence: same packet count
+	// and identical payloads in order. Any mismatch means the replay
+	// diverged (wrong binary, wrong log) and timing is meaningless.
+	OutputsMatch bool
+	MismatchAt   int // index of first payload mismatch, -1 if none
+
+	// IPDs pairs every play inter-packet delay with its replay twin.
+	IPDs []IPDPair
+
+	// MaxRelIPDDev is the largest relative IPD deviation — the
+	// quantity thresholded by the TDR detector and plotted in Fig. 7.
+	MaxRelIPDDev float64
+	// MeanRelIPDDev averages the per-IPD deviations.
+	MeanRelIPDDev float64
+	// TotalRelDev is the relative difference of total execution time
+	// (the §6.4 "97% of replays within 1%" metric).
+	TotalRelDev float64
+}
+
+// Compare aligns a play execution with a replay of its log and
+// summarizes the timing deviations.
+func Compare(play, replay *Execution) (*TimingComparison, error) {
+	if play == nil || replay == nil {
+		return nil, fmt.Errorf("core: Compare needs two executions")
+	}
+	c := &TimingComparison{OutputsMatch: true, MismatchAt: -1}
+	if len(play.Outputs) != len(replay.Outputs) {
+		c.OutputsMatch = false
+		c.MismatchAt = min(len(play.Outputs), len(replay.Outputs))
+	} else {
+		for i := range play.Outputs {
+			if !bytes.Equal(play.Outputs[i].Payload, replay.Outputs[i].Payload) {
+				c.OutputsMatch = false
+				c.MismatchAt = i
+				break
+			}
+		}
+	}
+	pIPD := play.OutputIPDs()
+	rIPD := replay.OutputIPDs()
+	n := min(len(pIPD), len(rIPD))
+	var sum float64
+	for i := 0; i < n; i++ {
+		pair := IPDPair{PlayPs: pIPD[i], ReplayPs: rIPD[i]}
+		c.IPDs = append(c.IPDs, pair)
+		d := pair.RelDev()
+		sum += d
+		if d > c.MaxRelIPDDev {
+			c.MaxRelIPDDev = d
+		}
+	}
+	if n > 0 {
+		c.MeanRelIPDDev = sum / float64(n)
+	}
+	if play.TotalPs > 0 {
+		d := replay.TotalPs - play.TotalPs
+		if d < 0 {
+			d = -d
+		}
+		c.TotalRelDev = float64(d) / float64(play.TotalPs)
+	}
+	return c, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

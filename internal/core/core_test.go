@@ -1,0 +1,540 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sanity/internal/asm"
+	"sanity/internal/hw"
+)
+
+// echoSrc is a server that echoes every packet back after summing its
+// bytes (so the payload is actually touched, like a real handler).
+const echoSrc = `
+.program echo
+.func main 0 4
+loop:
+    ncall io.recvblock 0
+    store 0
+    load 0
+    ifnull done
+    iconst 0
+    store 1
+    iconst 0
+    store 2
+sum:
+    load 2
+    load 0
+    alen
+    if_icmpge send
+    load 1
+    load 0
+    load 2
+    aload
+    iadd
+    store 1
+    iinc 2 1
+    goto sum
+send:
+    load 0
+    ncall io.send 1
+    pop
+    goto loop
+done:
+    ret
+.end`
+
+// timeSrc reads nanoTime twice and prints the difference, exercising
+// the logged-value path.
+const timeSrc = `
+.program timereader
+.func main 0 3
+    ncall sys.nanotime 0
+    store 0
+    iconst 0
+    store 2
+spin:
+    load 2
+    iconst 5000
+    if_icmpge after
+    iinc 2 1
+    goto spin
+after:
+    ncall sys.nanotime 0
+    load 0
+    isub
+    ncall sys.print 1
+    pop
+    ret
+.end`
+
+func testConfig(seed uint64) Config {
+	return Config{
+		Machine:  hw.Optiplex9020(),
+		Profile:  hw.ProfileSanity(),
+		Seed:     seed,
+		MaxSteps: 200_000_000,
+	}
+}
+
+func msInputs(times ...int64) []InputEvent {
+	var in []InputEvent
+	for i, t := range times {
+		in = append(in, InputEvent{ArrivalPs: t * 1_000_000_000, Payload: []byte{byte(i + 1), 0xAB, byte(i)}})
+	}
+	return in
+}
+
+func TestPlayEchoProducesOutputs(t *testing.T) {
+	prog := asm.MustAssemble("echo", echoSrc)
+	inputs := msInputs(1, 3, 7)
+	exec, log, err := Play(prog, inputs, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Outputs) != 3 {
+		t.Fatalf("outputs = %d, want 3", len(exec.Outputs))
+	}
+	for i, out := range exec.Outputs {
+		if !bytes.Equal(out.Payload, inputs[i].Payload) {
+			t.Fatalf("output %d = %v, want echo of %v", i, out.Payload, inputs[i].Payload)
+		}
+	}
+	if got := len(log.Packets()); got != 3 {
+		t.Fatalf("log has %d packets, want 3", got)
+	}
+	// Outputs must be timestamped after their inputs arrived.
+	for i, out := range exec.Outputs {
+		if out.TimePs < inputs[i].ArrivalPs {
+			t.Fatalf("output %d at %d before input arrival %d", i, out.TimePs, inputs[i].ArrivalPs)
+		}
+	}
+}
+
+func TestPlayRespectsArrivalSpacing(t *testing.T) {
+	prog := asm.MustAssemble("echo", echoSrc)
+	exec, _, err := Play(prog, msInputs(1, 5, 6), testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipds := exec.OutputIPDs()
+	if len(ipds) != 2 {
+		t.Fatalf("ipds = %d", len(ipds))
+	}
+	// The first gap should be ~4ms, the second ~1ms: processing time
+	// is microseconds, so arrival spacing dominates.
+	if !within(ipds[0], 4_000_000_000, 0.2) {
+		t.Fatalf("ipd[0] = %d ps, want ~4ms", ipds[0])
+	}
+	if !within(ipds[1], 1_000_000_000, 0.2) {
+		t.Fatalf("ipd[1] = %d ps, want ~1ms", ipds[1])
+	}
+}
+
+func TestReplayTDRReproducesOutputsAndInstrCounts(t *testing.T) {
+	prog := asm.MustAssemble("echo", echoSrc)
+	inputs := msInputs(1, 3, 7, 9, 14)
+	play, log, err := Play(prog, inputs, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay on a different machine of the same type: different seed.
+	replay, err := ReplayTDR(prog, log, testConfig(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay.Outputs) != len(play.Outputs) {
+		t.Fatalf("replay outputs %d, play %d", len(replay.Outputs), len(play.Outputs))
+	}
+	for i := range play.Outputs {
+		if !bytes.Equal(play.Outputs[i].Payload, replay.Outputs[i].Payload) {
+			t.Fatalf("output %d payload differs", i)
+		}
+		if play.Outputs[i].Instr != replay.Outputs[i].Instr {
+			t.Fatalf("output %d instruction count differs: %d vs %d",
+				i, play.Outputs[i].Instr, replay.Outputs[i].Instr)
+		}
+	}
+	if play.Instructions != replay.Instructions {
+		t.Fatalf("total instructions differ: %d vs %d", play.Instructions, replay.Instructions)
+	}
+}
+
+func TestReplayTDRTimingAccuracy(t *testing.T) {
+	prog := asm.MustAssemble("echo", echoSrc)
+	inputs := msInputs(1, 3, 7, 9, 14, 15, 21, 28)
+	play, log, err := Play(prog, inputs, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReplayTDR(prog, log, testConfig(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(play, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OutputsMatch {
+		t.Fatalf("outputs diverged at %d", cmp.MismatchAt)
+	}
+	// The paper's headline: replay within 1.85% (we demand 2%).
+	if cmp.MaxRelIPDDev > 0.02 {
+		t.Fatalf("max IPD deviation %.4f above 2%%", cmp.MaxRelIPDDev)
+	}
+	if cmp.TotalRelDev > 0.02 {
+		t.Fatalf("total-time deviation %.4f above 2%%", cmp.TotalRelDev)
+	}
+}
+
+func TestReplayFunctionalDivergesInTiming(t *testing.T) {
+	prog := asm.MustAssemble("echo", echoSrc)
+	// Long idle gaps: functional replay skips them, so its total time
+	// collapses.
+	inputs := msInputs(10, 30, 70)
+	play, log, err := Play(prog, inputs, testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := ReplayFunctional(prog, log, testConfig(778))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Functionally correct...
+	cmp, err := Compare(play, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OutputsMatch {
+		t.Fatal("functional replay changed the outputs")
+	}
+	// ...but temporally broken: total time far below play's (idle
+	// phases skipped).
+	if float64(fr.TotalPs) > 0.5*float64(play.TotalPs) {
+		t.Fatalf("functional replay did not skip waits: %d vs %d ps", fr.TotalPs, play.TotalPs)
+	}
+	if cmp.MaxRelIPDDev < 0.10 {
+		t.Fatalf("functional replay IPDs suspiciously accurate (%.4f); Figure 3 expects divergence", cmp.MaxRelIPDDev)
+	}
+}
+
+func TestNanoTimeLoggedAndReplayed(t *testing.T) {
+	prog := asm.MustAssemble("timereader", timeSrc)
+	play, log, err := Play(prog, nil, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Values()) != 2 {
+		t.Fatalf("log has %d value records, want 2", len(log.Values()))
+	}
+	replay, err := ReplayTDR(prog, log, testConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The printed delta is computed from logged values, so the replay
+	// prints the exact same bytes.
+	if !bytes.Equal(play.Stdout, replay.Stdout) {
+		t.Fatalf("stdout differs: %q vs %q", play.Stdout, replay.Stdout)
+	}
+}
+
+func TestRandLoggedAndReplayed(t *testing.T) {
+	src := `
+.func main 0 1
+    ncall sys.rand 0
+    ncall sys.print 1
+    pop
+    ret
+.end`
+	prog := asm.MustAssemble("rand", src)
+	play, log, err := Play(prog, nil, testConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReplayTDR(prog, log, testConfig(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(play.Stdout, replay.Stdout) {
+		t.Fatalf("random value not replayed: %q vs %q", play.Stdout, replay.Stdout)
+	}
+	// A different play seed must (overwhelmingly) give a different
+	// random value.
+	play2, _, err := Play(prog, nil, testConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(play.Stdout, play2.Stdout) {
+		t.Fatal("different seeds produced identical random values")
+	}
+}
+
+func TestCovertHookDelaysDetectedByComparison(t *testing.T) {
+	prog := asm.MustAssemble("echo", echoSrc)
+	inputs := msInputs(1, 3, 5, 7, 9, 11)
+	cfg := testConfig(8)
+	// Compromised machine: delay every second packet by 1M cycles
+	// (~0.3 ms).
+	cfg.Hook = func(ctx DelayCtx) int64 {
+		if ctx.PacketIndex%2 == 1 {
+			return 1_000_000
+		}
+		return 0
+	}
+	play, log, err := Play(prog, inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The auditor replays with the known-good configuration (no hook).
+	replay, err := ReplayTDR(prog, log, testConfig(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(play, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OutputsMatch {
+		t.Fatal("outputs should still match (the channel only shifts timing)")
+	}
+	// ~0.3ms on ~2ms IPDs is ~15%, far above the TDR noise floor.
+	if cmp.MaxRelIPDDev < 0.05 {
+		t.Fatalf("covert delay invisible in comparison: max dev %.4f", cmp.MaxRelIPDDev)
+	}
+}
+
+func TestCleanPlayVsReplayStaysUnderDetectionFloor(t *testing.T) {
+	prog := asm.MustAssemble("echo", echoSrc)
+	inputs := msInputs(1, 3, 5, 7, 9, 11)
+	play, log, err := Play(prog, inputs, testConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReplayTDR(prog, log, testConfig(90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(play, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.MaxRelIPDDev > 0.02 {
+		t.Fatalf("clean trace deviation %.4f above noise floor", cmp.MaxRelIPDDev)
+	}
+}
+
+func TestFsReadPaddedDeterministic(t *testing.T) {
+	src := `
+.func main 0 2
+    sconst "data.bin"
+    ncall fs.read 1
+    store 0
+    load 0
+    ifnull missing
+    load 0
+    alen
+    ncall sys.print 1
+    pop
+    ret
+missing:
+    sconst "missing"
+    ncall sys.print 1
+    pop
+    ret
+.end`
+	prog := asm.MustAssemble("fsread", src)
+	cfg := testConfig(10)
+	cfg.Files = map[string][]byte{"data.bin": bytes.Repeat([]byte{7}, 12345)}
+	play, log, err := Play(prog, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(play.Stdout) != "12345" {
+		t.Fatalf("stdout %q", play.Stdout)
+	}
+	cfgR := cfg
+	cfgR.Seed = 11
+	replay, err := ReplayTDR(prog, log, cfgR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// I/O padding makes the read cost identical, so totals must agree
+	// tightly even across seeds.
+	cmp, _ := Compare(play, replay)
+	if cmp.TotalRelDev > 0.02 {
+		t.Fatalf("padded-I/O total deviation %.4f", cmp.TotalRelDev)
+	}
+}
+
+func TestFsReadMissingFileReturnsNull(t *testing.T) {
+	src := `
+.func main 0 1
+    sconst "nope"
+    ncall fs.read 1
+    ifnull ok
+    sconst "found"
+    ncall sys.print 1
+    pop
+    ret
+ok:
+    sconst "null"
+    ncall sys.print 1
+    pop
+    ret
+.end`
+	prog := asm.MustAssemble("fsmiss", src)
+	exec, _, err := Play(prog, nil, testConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(exec.Stdout) != "null" {
+		t.Fatalf("stdout %q, want null", exec.Stdout)
+	}
+}
+
+func TestRecvBlockRejectsMultithreaded(t *testing.T) {
+	src := `
+.func main 0 1
+    spawn spinner
+    pop
+    ncall io.recvblock 0
+    pop
+    ret
+.end
+.func spinner 0 1
+loop:
+    yield
+    goto loop
+.end`
+	prog := asm.MustAssemble("mt", src)
+	_, _, err := Play(prog, msInputs(1), testConfig(13))
+	if err == nil || !strings.Contains(err.Error(), "single runnable thread") {
+		t.Fatalf("expected single-thread error, got %v", err)
+	}
+}
+
+func TestNonBlockingRecvPolling(t *testing.T) {
+	// A server that does bounded work between polls, using io.recv.
+	src := `
+.func main 0 3
+    iconst 0
+    store 1          ; packets handled
+loop:
+    ncall io.recv 0
+    store 0
+    load 0
+    ifnull idle
+    load 0
+    ncall io.send 1
+    pop
+    iinc 1 1
+    load 1
+    iconst 2
+    if_icmpge done
+idle:
+    iconst 0
+    store 2
+work:
+    load 2
+    iconst 500
+    if_icmpge loop
+    iinc 2 1
+    goto work
+done:
+    ret
+.end`
+	prog := asm.MustAssemble("poller", src)
+	exec, log, err := Play(prog, msInputs(1, 2), testConfig(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Outputs) != 2 {
+		t.Fatalf("outputs = %d, want 2", len(exec.Outputs))
+	}
+	replay, err := ReplayTDR(prog, log, testConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Instructions != exec.Instructions {
+		t.Fatalf("instr counts differ: %d vs %d", replay.Instructions, exec.Instructions)
+	}
+}
+
+func TestReplayWrongProgramRejected(t *testing.T) {
+	prog := asm.MustAssemble("echo", echoSrc)
+	_, log, err := Play(prog, msInputs(1), testConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := asm.MustAssemble("timereader", timeSrc)
+	if _, err := ReplayTDR(other, log, testConfig(17)); err == nil {
+		t.Fatal("replaying the wrong program must fail")
+	}
+}
+
+func TestEventsAlignedBetweenPlayAndReplay(t *testing.T) {
+	prog := asm.MustAssemble("echo", echoSrc)
+	play, log, err := Play(prog, msInputs(1, 4), testConfig(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReplayTDR(prog, log, testConfig(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(play.Events) != len(replay.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(play.Events), len(replay.Events))
+	}
+	for i := range play.Events {
+		if play.Events[i].Kind != replay.Events[i].Kind {
+			t.Fatalf("event %d kind differs: %s vs %s", i, play.Events[i].Kind, replay.Events[i].Kind)
+		}
+		if play.Events[i].Instr != replay.Events[i].Instr {
+			t.Fatalf("event %d instr differs: %d vs %d", i, play.Events[i].Instr, replay.Events[i].Instr)
+		}
+	}
+}
+
+func TestCompareDetectsPayloadMismatch(t *testing.T) {
+	a := &Execution{Outputs: []OutputEvent{{Payload: []byte{1}, TimePs: 10}, {Payload: []byte{2}, TimePs: 20}}, TotalPs: 30}
+	b := &Execution{Outputs: []OutputEvent{{Payload: []byte{1}, TimePs: 10}, {Payload: []byte{9}, TimePs: 20}}, TotalPs: 30}
+	cmp, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.OutputsMatch || cmp.MismatchAt != 1 {
+		t.Fatalf("mismatch not found: %+v", cmp)
+	}
+}
+
+func TestCompareIPDMath(t *testing.T) {
+	a := &Execution{Outputs: []OutputEvent{{TimePs: 0}, {TimePs: 100}, {TimePs: 300}}, TotalPs: 300}
+	b := &Execution{Outputs: []OutputEvent{{TimePs: 0}, {TimePs: 110}, {TimePs: 310}}, TotalPs: 310}
+	cmp, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.IPDs) != 2 {
+		t.Fatalf("ipds = %d", len(cmp.IPDs))
+	}
+	if !close64(cmp.MaxRelIPDDev, 0.10) {
+		t.Fatalf("max dev %.4f, want 0.10", cmp.MaxRelIPDDev)
+	}
+}
+
+func within(got, want int64, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) <= tol*float64(want)
+}
+
+func close64(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,285 @@
+package covert
+
+import (
+	"testing"
+
+	"sanity/internal/core"
+	"sanity/internal/hw"
+	"sanity/internal/netsim"
+	"sanity/internal/stats"
+)
+
+// synthIPDs generates legitimate-looking bursty IPDs for training.
+func synthIPDs(n int, seed uint64) []int64 {
+	m := netsim.DefaultThinkTime()
+	sched := m.Schedule(n+1, hw.NewRNG(seed))
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = sched[i+1] - sched[i]
+	}
+	return out
+}
+
+// applyHook simulates a send stream: natural gaps from the schedule,
+// plus the hook's delay, producing the IPDs a receiver would see
+// (without network jitter).
+func applyHook(hook core.DelayHook, natural []int64) []int64 {
+	const psPerCycle = 294
+	last := int64(0)
+	now := int64(0)
+	var ipds []int64
+	for i, gap := range natural {
+		now += gap
+		d := hook(core.DelayCtx{
+			PacketIndex: int64(i),
+			TimePs:      now,
+			LastSendPs:  last,
+			PsPerCycle:  psPerCycle,
+		})
+		now += d * psPerCycle
+		if i > 0 {
+			ipds = append(ipds, now-last)
+		}
+		last = now
+	}
+	return ipds
+}
+
+func TestRandomBitsDeterministic(t *testing.T) {
+	a, b := RandomBits(100, 5), RandomBits(100, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("bits differ across same-seed calls")
+		}
+		if a[i] > 1 {
+			t.Fatalf("bit value %d", a[i])
+		}
+	}
+	c := RandomBits(100, 6)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 80 {
+		t.Fatal("different seeds produced near-identical bits")
+	}
+}
+
+func TestBitsFromBytes(t *testing.T) {
+	bits := BitsFromBytes([]byte{0b10110001})
+	want := Bits{1, 0, 1, 1, 0, 0, 0, 1}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bit %d = %d, want %d", i, bits[i], want[i])
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy(Bits{1, 0, 1, 0}, Bits{1, 0, 0, 0}); a != 0.75 {
+		t.Fatalf("accuracy %v", a)
+	}
+	if a := Accuracy(Bits{}, Bits{}); a != 0 {
+		t.Fatalf("empty accuracy %v", a)
+	}
+}
+
+func TestIPCTCEncodesDecodably(t *testing.T) {
+	c := NewIPCTC()
+	secret := RandomBits(64, 1)
+	// Natural gaps well below the channel's targets, so the encoding
+	// dominates.
+	natural := make([]int64, 66)
+	for i := range natural {
+		natural[i] = 2 * Ms
+	}
+	ipds := applyHook(c.Hook(secret), natural)
+	got := c.Decode(ipds, 64)
+	if acc := Accuracy(secret, got); acc < 0.95 {
+		t.Fatalf("IPCTC decode accuracy %.2f, want >= 0.95", acc)
+	}
+}
+
+func TestIPCTCShiftsFirstOrderStats(t *testing.T) {
+	legit := synthIPDs(400, 2)
+	c := NewIPCTC()
+	ipds := applyHook(c.Hook(RandomBits(400, 3)), append([]int64{Ms}, legit...))
+	lm := stats.Mean(stats.Int64sToFloats(legit))
+	cm := stats.Mean(stats.Int64sToFloats(ipds))
+	// IPCTC's long/short targets are far above legit's ~8ms mean; the
+	// shape change is what makes it trivially detectable.
+	if cm < lm*1.5 {
+		t.Fatalf("IPCTC mean %.0f not far from legit %.0f", cm, lm)
+	}
+}
+
+func TestTRCTCPreservesFirstOrderStats(t *testing.T) {
+	legit := synthIPDs(2000, 4)
+	c, err := NewTRCTC(legit, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Natural gaps small so targets are reachable.
+	natural := make([]int64, 1201)
+	for i := range natural {
+		natural[i] = Ms / 2
+	}
+	ipds := applyHook(c.Hook(RandomBits(1200, 5)), natural)
+	lm := stats.Mean(stats.Int64sToFloats(legit))
+	cm := stats.Mean(stats.Int64sToFloats(ipds))
+	rel := (cm - lm) / lm
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.25 {
+		t.Fatalf("TRCTC mean off by %.0f%%; should roughly preserve first-order stats", rel*100)
+	}
+}
+
+func TestTRCTCDecode(t *testing.T) {
+	legit := synthIPDs(2000, 6)
+	c, err := NewTRCTC(legit, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := RandomBits(200, 9)
+	natural := make([]int64, 202)
+	for i := range natural {
+		natural[i] = Ms / 4
+	}
+	ipds := applyHook(c.Hook(secret), natural)
+	got := c.Decode(ipds, 200)
+	if acc := Accuracy(secret, got); acc < 0.85 {
+		t.Fatalf("TRCTC decode accuracy %.2f", acc)
+	}
+}
+
+func TestTRCTCNeedsTraining(t *testing.T) {
+	if _, err := NewTRCTC([]int64{1, 2}, 1); err == nil {
+		t.Fatal("tiny training set accepted")
+	}
+}
+
+func TestMBCTCMatchesModelMean(t *testing.T) {
+	legit := synthIPDs(3000, 10)
+	c, err := NewMBCTC(legit, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	natural := make([]int64, 2001)
+	for i := range natural {
+		natural[i] = Ms / 4
+	}
+	ipds := applyHook(c.Hook(RandomBits(2000, 12)), natural)
+	lm := stats.Mean(stats.Int64sToFloats(legit))
+	cm := stats.Mean(stats.Int64sToFloats(ipds))
+	rel := (cm - lm) / lm
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.30 {
+		t.Fatalf("MBCTC mean off by %.0f%%", rel*100)
+	}
+}
+
+func TestMBCTCDecode(t *testing.T) {
+	legit := synthIPDs(3000, 13)
+	c, err := NewMBCTC(legit, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := RandomBits(300, 15)
+	natural := make([]int64, 302)
+	for i := range natural {
+		natural[i] = Ms / 10
+	}
+	ipds := applyHook(c.Hook(secret), natural)
+	got := c.Decode(ipds, 300)
+	if acc := Accuracy(secret, got); acc < 0.8 {
+		t.Fatalf("MBCTC decode accuracy %.2f", acc)
+	}
+}
+
+func TestNeedleSparseFootprint(t *testing.T) {
+	c := NewNeedle()
+	secret := Bits{1, 1, 1, 1}
+	natural := make([]int64, 402)
+	for i := range natural {
+		natural[i] = 5 * Ms
+	}
+	hook := c.Hook(secret)
+	delayed := 0
+	for i := 0; i < 401; i++ {
+		d := hook(core.DelayCtx{PacketIndex: int64(i), TimePs: int64(i) * 5 * Ms, LastSendPs: int64(i-1) * 5 * Ms, PsPerCycle: 294})
+		if d > 0 {
+			delayed++
+		}
+	}
+	// Only every 100th packet may carry a delay.
+	if delayed != 4 {
+		t.Fatalf("needle delayed %d packets, want 4", delayed)
+	}
+}
+
+func TestNeedleDecodes(t *testing.T) {
+	c := NewNeedle()
+	secret := Bits{1, 0, 1, 1}
+	natural := make([]int64, 452)
+	for i := range natural {
+		natural[i] = 5 * Ms
+	}
+	ipds := applyHook(c.Hook(secret), natural)
+	got := c.Decode(ipds, 4)
+	if acc := Accuracy(secret, got); acc < 0.99 {
+		t.Fatalf("needle decode accuracy %.2f (sent %v got %v)", acc, secret, got)
+	}
+}
+
+func TestNeedleBarelyMovesStats(t *testing.T) {
+	legit := synthIPDs(1000, 16)
+	c := NewNeedle()
+	withChan := applyHook(c.Hook(RandomBits(16, 17)), append([]int64{Ms}, legit...))
+	lm := stats.Mean(stats.Int64sToFloats(legit))
+	cm := stats.Mean(stats.Int64sToFloats(withChan))
+	rel := (cm - lm) / lm
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.05 {
+		t.Fatalf("needle shifted mean by %.1f%%; should be nearly invisible", rel*100)
+	}
+}
+
+func TestAllChannels(t *testing.T) {
+	chans, err := All(synthIPDs(500, 18), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chans) != 4 {
+		t.Fatalf("channels = %d", len(chans))
+	}
+	names := map[string]bool{}
+	for _, c := range chans {
+		names[c.Name()] = true
+	}
+	for _, want := range []string{"ipctc", "trctc", "mbctc", "needle"} {
+		if !names[want] {
+			t.Fatalf("missing channel %s", want)
+		}
+	}
+}
+
+func TestFirstPacketNeverDelayed(t *testing.T) {
+	chans, err := All(synthIPDs(500, 20), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chans {
+		hook := c.Hook(RandomBits(32, 22))
+		if d := hook(core.DelayCtx{PacketIndex: 0, TimePs: 1000, PsPerCycle: 294}); d != 0 {
+			t.Fatalf("%s delays the first packet", c.Name())
+		}
+	}
+}

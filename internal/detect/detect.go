@@ -1,0 +1,283 @@
+// Package detect implements the five covert-timing-channel detectors
+// compared in the paper's evaluation (§5.2, §6.6–6.8): the shape
+// test, the Kolmogorov-Smirnov test, the regularity test, the
+// corrected-conditional-entropy test, and the Sanity/TDR detector.
+//
+// All detectors expose the same interface: given a trace, produce a
+// suspicion score where higher means "more likely covert". Sweeping a
+// threshold over the scores of covert and legitimate trace sets
+// yields each detector's ROC curve (Figure 8).
+package detect
+
+import (
+	"fmt"
+
+	"sanity/internal/core"
+	"sanity/internal/replaylog"
+	"sanity/internal/stats"
+	"sanity/internal/svm"
+)
+
+// Trace is one observation available to a detector: the server-side
+// inter-packet delays, and — for the TDR detector only — the
+// machine's log and the observed execution.
+type Trace struct {
+	IPDs []int64
+	Log  *replaylog.Log
+	Play *core.Execution
+}
+
+// Detector scores traces for covert-channel likelihood.
+type Detector interface {
+	Name() string
+	Score(tr *Trace) (float64, error)
+}
+
+// Shape is the shape test of Cabuk et al.: it compares only
+// first-order statistics (mean and standard deviation of IPDs)
+// against their distribution over legitimate training traces.
+type Shape struct {
+	meanMu, meanSd float64
+	sdMu, sdSd     float64
+}
+
+// NewShape trains the test on per-trace statistics of legitimate
+// traffic.
+func NewShape(training [][]int64) (*Shape, error) {
+	if len(training) < 2 {
+		return nil, fmt.Errorf("detect: shape test needs >= 2 training traces")
+	}
+	var means, sds []float64
+	for _, tr := range training {
+		xs := stats.Int64sToFloats(tr)
+		means = append(means, stats.Mean(xs))
+		sds = append(sds, stats.StdDev(xs))
+	}
+	s := &Shape{
+		meanMu: stats.Mean(means), meanSd: stats.StdDev(means),
+		sdMu: stats.Mean(sds), sdSd: stats.StdDev(sds),
+	}
+	// Degenerate training (identical traces) still needs a usable
+	// denominator.
+	if s.meanSd <= 0 {
+		s.meanSd = s.meanMu/100 + 1
+	}
+	if s.sdSd <= 0 {
+		s.sdSd = s.sdMu/100 + 1
+	}
+	return s, nil
+}
+
+// Name implements Detector.
+func (s *Shape) Name() string { return "shape" }
+
+// Score implements Detector: the sum of z-scores of the trace's mean
+// and standard deviation.
+func (s *Shape) Score(tr *Trace) (float64, error) {
+	xs := stats.Int64sToFloats(tr.IPDs)
+	zm := abs(stats.Mean(xs)-s.meanMu) / s.meanSd
+	zs := abs(stats.StdDev(xs)-s.sdMu) / s.sdSd
+	return zm + zs, nil
+}
+
+// KS is the Kolmogorov-Smirnov test (Peng et al.): the distance
+// between the trace's empirical IPD distribution and the pooled
+// legitimate distribution.
+type KS struct {
+	pooled []float64
+}
+
+// NewKS pools the training traces into one reference sample.
+func NewKS(training [][]int64) (*KS, error) {
+	var pooled []float64
+	for _, tr := range training {
+		pooled = append(pooled, stats.Int64sToFloats(tr)...)
+	}
+	if len(pooled) == 0 {
+		return nil, fmt.Errorf("detect: KS test needs training data")
+	}
+	return &KS{pooled: pooled}, nil
+}
+
+// Name implements Detector.
+func (k *KS) Name() string { return "ks" }
+
+// Score implements Detector.
+func (k *KS) Score(tr *Trace) (float64, error) {
+	return stats.KSStatistic(stats.Int64sToFloats(tr.IPDs), k.pooled), nil
+}
+
+// Regularity is the regularity test of Cabuk et al.: group the trace
+// into windows of W packets, compute each window's standard
+// deviation, and measure the spread of pairwise relative differences.
+// Legitimate traffic's variance wanders over time (large spread);
+// a constant encoding scheme keeps it flat (small spread). The score
+// is the negated spread so that higher means more covert.
+type Regularity struct {
+	Window int
+}
+
+// NewRegularity returns the test with the standard window size.
+func NewRegularity(window int) *Regularity {
+	if window <= 1 {
+		window = 100
+	}
+	return &Regularity{Window: window}
+}
+
+// Name implements Detector.
+func (r *Regularity) Name() string { return "regularity" }
+
+// Score implements Detector.
+func (r *Regularity) Score(tr *Trace) (float64, error) {
+	xs := stats.Int64sToFloats(tr.IPDs)
+	var sigmas []float64
+	for start := 0; start+r.Window <= len(xs); start += r.Window {
+		sigmas = append(sigmas, stats.StdDev(xs[start:start+r.Window]))
+	}
+	if len(sigmas) < 2 {
+		return 0, fmt.Errorf("detect: regularity test needs >= 2 windows of %d packets, have %d IPDs", r.Window, len(xs))
+	}
+	var diffs []float64
+	for i := 0; i < len(sigmas); i++ {
+		for j := i + 1; j < len(sigmas); j++ {
+			if sigmas[j] > 0 {
+				diffs = append(diffs, abs(sigmas[i]-sigmas[j])/sigmas[j])
+			}
+		}
+	}
+	return -stats.StdDev(diffs), nil
+}
+
+// CCE is the corrected-conditional-entropy test (Gianvecchio & Wang):
+// IPDs are binned into Q equiprobable bins (cut points learned from
+// legitimate traffic) and the corrected conditional entropy of the
+// symbol sequence is the statistic. Legitimate bursty traffic sits at
+// a characteristic entropy level; covert channels deviate from it —
+// constant encodings (IPCTC, TRCTC's finite replay sets) push the
+// entropy down, while memoryless model-based traffic loses the burst
+// correlation and pushes it up. The score is therefore the absolute
+// z-distance of the trace's CCE from the training distribution.
+type CCE struct {
+	cuts []float64
+	Q    int
+	MaxM int
+
+	mu, sd float64 // CCE distribution over legitimate traces
+}
+
+// NewCCE trains the binning and the legitimate-CCE baseline on
+// training traces.
+func NewCCE(training [][]int64, q, maxM int) (*CCE, error) {
+	if q <= 1 {
+		q = 5
+	}
+	if maxM <= 1 {
+		maxM = 10
+	}
+	var pooled []float64
+	for _, tr := range training {
+		pooled = append(pooled, stats.Int64sToFloats(tr)...)
+	}
+	if len(pooled) < q {
+		return nil, fmt.Errorf("detect: CCE test needs at least %d training IPDs", q)
+	}
+	c := &CCE{cuts: stats.EquiprobableBins(pooled, q), Q: q, MaxM: maxM}
+	var baseline []float64
+	for _, tr := range training {
+		baseline = append(baseline, c.cce(tr))
+	}
+	c.mu = stats.Mean(baseline)
+	c.sd = stats.StdDev(baseline)
+	if c.sd <= 0 {
+		c.sd = c.mu/100 + 1e-6
+	}
+	return c, nil
+}
+
+// cce computes the raw statistic for one IPD sequence.
+func (c *CCE) cce(ipds []int64) float64 {
+	symbols := make([]int, len(ipds))
+	for i, d := range ipds {
+		symbols[i] = stats.BinIndex(c.cuts, float64(d))
+	}
+	return stats.CCE(symbols, c.Q, c.MaxM)
+}
+
+// Name implements Detector.
+func (c *CCE) Name() string { return "cce" }
+
+// Score implements Detector.
+func (c *CCE) Score(tr *Trace) (float64, error) {
+	return abs(c.cce(tr.IPDs)-c.mu) / c.sd, nil
+}
+
+// TDR is the Sanity-based detector (§5.3): replay the machine's log
+// on a known-good binary with time-deterministic replay and compare
+// the observed packet timing against the reconstruction. The score is
+// the maximum relative IPD deviation — in effect, "how much timing
+// the adversary added that the software cannot explain".
+type TDR struct {
+	// Prog is the known-good binary of the audited software.
+	Prog *svm.Program
+	// Cfg is the auditor's replay configuration (machine of the same
+	// type T; no covert hook).
+	Cfg core.Config
+}
+
+// NewTDR builds the detector. The configuration's Hook is forcibly
+// cleared: the auditor replays the *unmodified* software.
+func NewTDR(prog *svm.Program, cfg core.Config) *TDR {
+	cfg.Hook = nil
+	return &TDR{Prog: prog, Cfg: cfg}
+}
+
+// Name implements Detector.
+func (d *TDR) Name() string { return "sanity-tdr" }
+
+// Score implements Detector: it runs the replay. Traces without a log
+// cannot be audited and return an error.
+func (d *TDR) Score(tr *Trace) (float64, error) {
+	if tr.Log == nil || tr.Play == nil {
+		return 0, fmt.Errorf("detect: TDR detector needs the machine's log and observed execution")
+	}
+	replay, err := core.ReplayTDR(d.Prog, tr.Log, d.Cfg)
+	if err != nil {
+		return 0, fmt.Errorf("detect: replay failed: %w", err)
+	}
+	cmp, err := core.Compare(tr.Play, replay)
+	if err != nil {
+		return 0, err
+	}
+	if !cmp.OutputsMatch {
+		// Functional divergence is the strongest possible signal: the
+		// machine was not running the claimed software at all.
+		return 1e9, nil
+	}
+	return cmp.MaxRelIPDDev, nil
+}
+
+// Statistical builds the four statistical detectors trained on the
+// given legitimate traces, in the paper's order.
+func Statistical(training [][]int64) ([]Detector, error) {
+	shape, err := NewShape(training)
+	if err != nil {
+		return nil, err
+	}
+	ks, err := NewKS(training)
+	if err != nil {
+		return nil, err
+	}
+	cce, err := NewCCE(training, 5, 10)
+	if err != nil {
+		return nil, err
+	}
+	return []Detector{shape, ks, NewRegularity(100), cce}, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

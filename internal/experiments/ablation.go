@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sanity/internal/core"
+	"sanity/internal/hw"
+	"sanity/internal/netsim"
+	"sanity/internal/nfs"
+)
+
+// AblationRow quantifies one Table-1 mitigation: the replay accuracy
+// with the mitigation turned off, versus the full Sanity design.
+type AblationRow struct {
+	Name         string
+	MaxRelIPDDev float64
+	TotalRelDev  float64
+}
+
+// ablationProfiles builds one profile per disabled mitigation.
+func ablationProfiles() []struct {
+	name    string
+	profile hw.NoiseProfile
+} {
+	full := hw.ProfileSanity()
+
+	noFlush := full
+	noFlush.Name = "no-cache-flush"
+	noFlush.FlushAtStart = false
+
+	randFrames := full
+	randFrames.Name = "no-frame-pinning"
+	randFrames.RandomFrames = true
+
+	noPad := full
+	noPad.Name = "no-io-padding"
+	noPad.IOPadding = false
+
+	irqs := full
+	irqs.Name = "no-interrupt-confinement"
+	irqs.InterruptsEnabled = true
+	irqs.InterruptRate = 1.2
+	irqs.InterruptCycles = 15_000
+	irqs.InterruptEvicts = 80
+
+	freq := full
+	freq.Name = "no-freq-scaling-disable"
+	freq.FreqScalingEnabled = true
+	freq.FreqScalingSpread = 0.05
+
+	sched := full
+	sched.Name = "no-deterministic-sched"
+	sched.SchedulerJitter = 4000
+
+	return []struct {
+		name    string
+		profile hw.NoiseProfile
+	}{
+		{"full-sanity", full},
+		{"no-cache-flush", noFlush},
+		{"no-frame-pinning", randFrames},
+		{"no-io-padding", noPad},
+		{"no-interrupt-confinement", irqs},
+		{"no-freq-scaling-disable", freq},
+		{"no-deterministic-sched", sched},
+	}
+}
+
+// Ablation measures replay accuracy on the NFS workload with each
+// Table-1 mitigation individually disabled (both during play and
+// replay, as if Sanity had shipped without it).
+func Ablation(packets int, seed uint64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, a := range ablationProfiles() {
+		cfgPlay := baseConfig(seed)
+		cfgPlay.Profile = a.profile
+		w := nfs.ClientWorkload(packets, netsim.DefaultThinkTime(), seed+4)
+		inputs := w.ToServerInputs(netsim.PaperPath(seed^0x1234), 0)
+		play, log, err := core.Play(nfs.ServerProgram(), inputs, cfgPlay)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", a.name, err)
+		}
+		cfgReplay := cfgPlay
+		cfgReplay.Seed = seed + 9001
+		replay, err := core.ReplayTDR(nfs.ServerProgram(), log, cfgReplay)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s replay: %w", a.name, err)
+		}
+		cmp, err := core.Compare(play, replay)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Name:         a.name,
+			MaxRelIPDDev: cmp.MaxRelIPDDev,
+			TotalRelDev:  cmp.TotalRelDev,
+		})
+	}
+	return rows, nil
+}
+
+// FormatAblation renders the per-mitigation accuracy table.
+func FormatAblation(rows []AblationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: replay accuracy with one mitigation disabled (Table 1 design choices)\n")
+	sb.WriteString("  configuration              max IPD dev   total dev\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-26s %9.4f%%   %8.4f%%\n", r.Name, r.MaxRelIPDDev*100, r.TotalRelDev*100)
+	}
+	return sb.String()
+}

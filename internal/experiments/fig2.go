@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sanity/internal/asm"
+	"sanity/internal/hw"
+	"sanity/internal/svm"
+)
+
+// Figure2Result holds one scenario's run-time spread for the
+// array-zeroing microbenchmark: the per-run variance relative to the
+// fastest run, which is what the paper's Figure 2 plots as a CDF.
+type Figure2Result struct {
+	Scenario  string
+	Variances []float64 // sorted, (t_i / t_min) - 1 per run
+}
+
+// zeroArraySource builds the §2.4 microbenchmark: zero out an array.
+func zeroArraySource(words int) string {
+	return fmt.Sprintf(`
+.program zeroarray
+.func main 0 2
+    iconst %[1]d
+    newarr int
+    store 0
+    iconst 0
+    store 1
+loop:
+    load 1
+    iconst %[1]d
+    if_icmpge done
+    load 0
+    load 1
+    iconst 0
+    astore
+    iinc 1 1
+    goto loop
+done:
+    ret
+.end
+`, words)
+}
+
+// Figure2 reproduces the timing-variance CDF of zeroing a 4 MB array
+// in four environments: (1) user level with GUI and network, (2) user
+// level in single-user mode, (3) kernel mode, (4) kernel mode with
+// IRQs off, caches flushed, and the execution pinned. Variance must
+// shrink monotonically as the environment gets more controlled.
+func Figure2(sizes Sizes, baseSeed uint64) ([]Figure2Result, error) {
+	prog, err := asm.Assemble("zeroarray", zeroArraySource(sizes.Fig2ArrayWords))
+	if err != nil {
+		return nil, err
+	}
+	scenarios := []hw.NoiseProfile{
+		hw.ProfileUserNoisy(),
+		hw.ProfileUserQuiet(),
+		hw.ProfileKernel(),
+		hw.ProfileKernelQuiet(),
+	}
+	var out []Figure2Result
+	for si, profile := range scenarios {
+		times := make([]int64, 0, sizes.Fig2Runs)
+		for r := 0; r < sizes.Fig2Runs; r++ {
+			seed := baseSeed + uint64(si*1000+r)
+			plat, err := hw.NewPlatform(hw.Optiplex9020(), profile, seed)
+			if err != nil {
+				return nil, err
+			}
+			plat.Initialize()
+			start := plat.Cycles()
+			vm, err := svm.New(prog, nil, svm.Config{Platform: plat, MaxSteps: 1_000_000_000})
+			if err != nil {
+				return nil, err
+			}
+			if err := vm.Run(); err != nil {
+				return nil, err
+			}
+			times = append(times, plat.Cycles()-start)
+		}
+		minT := times[0]
+		for _, t := range times {
+			if t < minT {
+				minT = t
+			}
+		}
+		vars := make([]float64, len(times))
+		for i, t := range times {
+			vars[i] = float64(t-minT) / float64(minT)
+		}
+		sort.Float64s(vars)
+		out = append(out, Figure2Result{Scenario: profile.Name, Variances: vars})
+	}
+	return out, nil
+}
+
+// FormatFigure2 renders the CDF series the way the paper's plot
+// labels them.
+func FormatFigure2(results []Figure2Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2: timing variance zeroing an array (CDF, % of fastest execution)\n")
+	for _, r := range results {
+		max := 0.0
+		if n := len(r.Variances); n > 0 {
+			max = r.Variances[n-1]
+		}
+		fmt.Fprintf(&sb, "  %-12s max=%6.2f%%  cdf:", r.Scenario, max*100)
+		for _, q := range []float64{0.25, 0.5, 0.75, 1.0} {
+			idx := int(q*float64(len(r.Variances))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			fmt.Fprintf(&sb, " p%.0f=%.2f%%", q*100, r.Variances[idx]*100)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sanity/internal/core"
+	"sanity/internal/nfs"
+)
+
+// Figure3Point is one replay-visible event: its virtual time during
+// play (Tp) and during replay (Tr), in milliseconds. With ideal TDR
+// the points lie on the diagonal; with functional replay they wander
+// off it (§2.5).
+type Figure3Point struct {
+	Kind string
+	TpMs float64
+	TrMs float64
+}
+
+// Figure3Result carries the event scatter for both replay flavors.
+type Figure3Result struct {
+	Functional []Figure3Point
+	TDR        []Figure3Point
+	// MaxFunctionalDev and MaxTDRDev are max |Tr-Tp|/Tp across events.
+	MaxFunctionalDev float64
+	MaxTDRDev        float64
+}
+
+// Figure3 records an NFS trace, replays it both conventionally
+// (XenTT-style functional replay) and with TDR, and pairs every
+// event's play time with its replay time.
+func Figure3(sizes Sizes, seed uint64) (*Figure3Result, error) {
+	play, log, err := nfsTrace(sizes.Fig3Packets, seed, seed+1, nil)
+	if err != nil {
+		return nil, err
+	}
+	functional, err := core.ReplayFunctional(nfs.ServerProgram(), log, baseConfig(seed+2))
+	if err != nil {
+		return nil, err
+	}
+	tdr, err := core.ReplayTDR(nfs.ServerProgram(), log, baseConfig(seed+3))
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure3Result{}
+	pair := func(replay *core.Execution) ([]Figure3Point, float64) {
+		n := len(play.Events)
+		if len(replay.Events) < n {
+			n = len(replay.Events)
+		}
+		pts := make([]Figure3Point, 0, n)
+		var maxDev float64
+		for i := 0; i < n; i++ {
+			tp := float64(play.Events[i].TimePs) / 1e9
+			tr := float64(replay.Events[i].TimePs) / 1e9
+			pts = append(pts, Figure3Point{Kind: play.Events[i].Kind, TpMs: tp, TrMs: tr})
+			if tp > 0 {
+				dev := (tr - tp) / tp
+				if dev < 0 {
+					dev = -dev
+				}
+				if dev > maxDev {
+					maxDev = dev
+				}
+			}
+		}
+		return pts, maxDev
+	}
+	res.Functional, res.MaxFunctionalDev = pair(functional)
+	res.TDR, res.MaxTDRDev = pair(tdr)
+	return res, nil
+}
+
+// FormatFigure3 renders a sampled scatter plus the deviation summary.
+func FormatFigure3(r *Figure3Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: elapsed time during play vs replay (ms)\n")
+	sb.WriteString("  conventional (functional) replay, XenTT-style:\n")
+	step := len(r.Functional)/10 + 1
+	for i := 0; i < len(r.Functional); i += step {
+		p := r.Functional[i]
+		fmt.Fprintf(&sb, "    Tp=%9.3f  Tr=%9.3f  (%s)\n", p.TpMs, p.TrMs, p.Kind)
+	}
+	fmt.Fprintf(&sb, "  functional replay max deviation: %.1f%% (far off the diagonal)\n", r.MaxFunctionalDev*100)
+	fmt.Fprintf(&sb, "  TDR replay max deviation:        %.4f%% (on the diagonal)\n", r.MaxTDRDev*100)
+	return sb.String()
+}

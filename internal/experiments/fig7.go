@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sanity/internal/core"
+	"sanity/internal/nfs"
+)
+
+// Figure7Result aggregates the play-vs-replay IPD comparison over
+// many NFS traces: the scatter of Figure 7 plus the §6.4 accuracy
+// numbers.
+type Figure7Result struct {
+	Traces int
+	// Pairs is the pooled scatter (play IPD, replay IPD) in ms.
+	Pairs []core.IPDPair
+	// MaxRelDev is the worst IPD deviation seen anywhere (the paper
+	// reports 1.85%).
+	MaxRelDev float64
+	// TotalWithin1Pct is the fraction of traces whose total replay
+	// time is within 1% of play (the paper reports 97%).
+	TotalWithin1Pct float64
+	// MedianIPDMs feeds the §6.9 comparison.
+	MedianIPDMs float64
+}
+
+// Figure7 records Fig7Traces NFS traces and replays each with TDR on
+// a differently-seeded machine of the same type.
+func Figure7(sizes Sizes, baseSeed uint64) (*Figure7Result, error) {
+	res := &Figure7Result{Traces: sizes.Fig7Traces}
+	within := 0
+	var allPlayIPDs []float64
+	for i := 0; i < sizes.Fig7Traces; i++ {
+		wseed := baseSeed + uint64(i)*13
+		play, log, err := nfsTrace(sizes.Fig7Packets, wseed, wseed+7, nil)
+		if err != nil {
+			return nil, err
+		}
+		replay, err := core.ReplayTDR(nfs.ServerProgram(), log, baseConfig(wseed+5000))
+		if err != nil {
+			return nil, err
+		}
+		cmp, err := core.Compare(play, replay)
+		if err != nil {
+			return nil, err
+		}
+		if !cmp.OutputsMatch {
+			return nil, fmt.Errorf("experiments: fig7 trace %d diverged functionally", i)
+		}
+		res.Pairs = append(res.Pairs, cmp.IPDs...)
+		if cmp.MaxRelIPDDev > res.MaxRelDev {
+			res.MaxRelDev = cmp.MaxRelIPDDev
+		}
+		if cmp.TotalRelDev <= 0.01 {
+			within++
+		}
+		for _, d := range play.OutputIPDs() {
+			allPlayIPDs = append(allPlayIPDs, float64(d)/1e9)
+		}
+	}
+	res.TotalWithin1Pct = float64(within) / float64(sizes.Fig7Traces)
+	res.MedianIPDMs = median(allPlayIPDs)
+	return res, nil
+}
+
+// FormatFigure7 renders a sampled scatter and the summary statistics.
+func FormatFigure7(r *Figure7Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7: inter-packet delays during play vs replay\n")
+	step := len(r.Pairs)/12 + 1
+	for i := 0; i < len(r.Pairs); i += step {
+		p := r.Pairs[i]
+		fmt.Fprintf(&sb, "  play=%8.3f ms   replay=%8.3f ms   dev=%6.3f%%\n",
+			float64(p.PlayPs)/1e9, float64(p.ReplayPs)/1e9, p.RelDev()*100)
+	}
+	fmt.Fprintf(&sb, "  traces: %d, pooled IPDs: %d\n", r.Traces, len(r.Pairs))
+	fmt.Fprintf(&sb, "  max IPD deviation: %.3f%% (paper: 1.85%%)\n", r.MaxRelDev*100)
+	fmt.Fprintf(&sb, "  traces with total time within 1%%: %.0f%% (paper: 97%%)\n", r.TotalWithin1Pct*100)
+	fmt.Fprintf(&sb, "  median play IPD: %.2f ms (paper: 7.4 ms)\n", r.MedianIPDMs)
+	return sb.String()
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LogSizeResult reproduces §6.5: how fast the log grows and what it
+// is made of.
+type LogSizeResult struct {
+	Packets        int
+	ValueRecords   int
+	TotalBytes     int64
+	VirtualMinutes float64
+	BytesPerMinute float64
+	PacketFraction float64 // share of log bytes that are packet records
+}
+
+// LogSize records one NFS trace and measures its log.
+func LogSize(sizes Sizes, seed uint64) (*LogSizeResult, error) {
+	play, log, err := nfsTrace(sizes.LogPackets, seed, seed+3, nil)
+	if err != nil {
+		return nil, err
+	}
+	st := log.Stats()
+	minutes := float64(play.TotalPs) / 1e12 / 60
+	res := &LogSizeResult{
+		Packets:        st.Packets,
+		ValueRecords:   st.ValueRecords,
+		TotalBytes:     st.TotalBytes,
+		VirtualMinutes: minutes,
+		PacketFraction: float64(st.PacketBytes) / float64(st.TotalBytes),
+	}
+	if minutes > 0 {
+		res.BytesPerMinute = float64(st.TotalBytes) / minutes
+	}
+	return res, nil
+}
+
+// FormatLogSize renders the §6.5 numbers.
+func FormatLogSize(r *LogSizeResult) string {
+	var sb strings.Builder
+	sb.WriteString("Log size (paper section 6.5)\n")
+	fmt.Fprintf(&sb, "  trace length:      %.2f virtual minutes (%d packets)\n", r.VirtualMinutes, r.Packets)
+	fmt.Fprintf(&sb, "  log size:          %d bytes\n", r.TotalBytes)
+	fmt.Fprintf(&sb, "  growth rate:       %.1f kB/minute (paper: ~20 kB/minute)\n", r.BytesPerMinute/1024)
+	fmt.Fprintf(&sb, "  packet records:    %.0f%% of log bytes (paper: 84%%)\n", r.PacketFraction*100)
+	fmt.Fprintf(&sb, "  other records:     %d (nanoTime etc.)\n", r.ValueRecords)
+	return sb.String()
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sanity/internal/hw"
+	"sanity/internal/scimark"
+)
+
+// Table2Row is one SciMark kernel's wall-clock comparison across the
+// three engines, normalized to the interpreted baseline as in the
+// paper's Table 2.
+type Table2Row struct {
+	Kernel string
+	// Median wall-clock seconds per engine.
+	SanitySec float64 // Sanity VM with the full timing model
+	IntSec    float64 // plain interpreter (Oracle-INT analog)
+	JitSec    float64 // native Go twin (Oracle-JIT analog)
+	// Normalized to Oracle-INT = 1, as in the paper.
+	SanityNorm float64
+	JitNorm    float64
+}
+
+// Table2 measures host wall-clock time — this is the one experiment
+// where real time is the right metric, because it compares engine
+// throughput, not reproduced virtual timing. Each measurement is the
+// median of Table2Reps repetitions.
+func Table2(sizes Sizes, seed uint64) ([]Table2Row, error) {
+	median := func(f func() error) (float64, error) {
+		times := make([]float64, 0, sizes.Table2Reps)
+		for i := 0; i < sizes.Table2Reps; i++ {
+			t0 := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			times = append(times, time.Since(t0).Seconds())
+		}
+		sort.Float64s(times)
+		return times[len(times)/2], nil
+	}
+	var rows []Table2Row
+	for _, k := range scimark.Kernels() {
+		k := k
+		var sanityChk, intChk, jitChk float64
+		sanitySec, err := median(func() error {
+			plat, err := hw.NewPlatform(hw.Optiplex9020(), hw.ProfileSanity(), seed)
+			if err != nil {
+				return err
+			}
+			res, err := scimark.RunVM(k, plat)
+			sanityChk = res.Checksum
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		intSec, err := median(func() error {
+			res, err := scimark.RunVM(k, nil)
+			intChk = res.Checksum
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		jitSec, err := median(func() error {
+			jitChk = k.Native()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if sanityChk != intChk || intChk != jitChk {
+			return nil, fmt.Errorf("experiments: %s checksums diverge: %v / %v / %v", k.Name, sanityChk, intChk, jitChk)
+		}
+		rows = append(rows, Table2Row{
+			Kernel:     k.Name,
+			SanitySec:  sanitySec,
+			IntSec:     intSec,
+			JitSec:     jitSec,
+			SanityNorm: sanitySec / intSec,
+			JitNorm:    jitSec / intSec,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders the table in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: SciMark2 performance, normalized to Oracle-INT (interpreted) = 1\n")
+	sb.WriteString("  Benchmark   Sanity   Oracle-INT   Oracle-JIT\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-10s %7.4f   %10.4f   %10.4f   (wall: %.3fs / %.3fs / %.5fs)\n",
+			r.Kernel, r.SanityNorm, 1.0, r.JitNorm, r.SanitySec, r.IntSec, r.JitSec)
+	}
+	return sb.String()
+}

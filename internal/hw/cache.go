@@ -1,0 +1,206 @@
+package hw
+
+// Cache is one level of a physically-indexed, set-associative cache
+// with deterministic LRU replacement. The paper relies on LRU
+// determinism (§3.6): if the instruction stream and the physical
+// frames are identical during play and replay, the cache state evolves
+// identically, which is why Sanity flushes caches at initialization
+// and pins frames.
+type Cache struct {
+	spec     CacheSpec
+	sets     int64
+	lineBits uint
+	setMask  int64
+	tags     []uint64 // sets*ways entries; tag 0 means empty via valid bit
+	valid    []bool
+	dirty    []bool
+	stamp    []uint64 // per-slot LRU timestamps
+	clock    uint64   // monotone access counter, drives LRU
+
+	Hits   int64
+	Misses int64
+}
+
+// NewCache builds an empty cache with the given geometry.
+func NewCache(spec CacheSpec) *Cache {
+	sets := spec.Sets()
+	n := sets * int64(spec.Ways)
+	c := &Cache{
+		spec:    spec,
+		sets:    sets,
+		setMask: sets - 1,
+		tags:    make([]uint64, n),
+		valid:   make([]bool, n),
+		dirty:   make([]bool, n),
+		stamp:   make([]uint64, n),
+	}
+	for b := spec.LineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// Spec returns the geometry this cache was built with.
+func (c *Cache) Spec() CacheSpec { return c.spec }
+
+// Lookup probes the cache for the line containing paddr. On a hit it
+// refreshes LRU state and returns true. On a miss it returns false
+// without inserting; callers insert explicitly with Fill so that a
+// multi-level hierarchy can control the fill path.
+func (c *Cache) Lookup(paddr int64, write bool) bool {
+	set := (paddr >> c.lineBits) & c.setMask
+	tag := uint64(paddr >> c.lineBits)
+	base := set * int64(c.spec.Ways)
+	for w := int64(0); w < int64(c.spec.Ways); w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.clock++
+			c.stamp[i] = c.clock
+			if write {
+				c.dirty[i] = true
+			}
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Fill inserts the line containing paddr, evicting the LRU way if the
+// set is full. It reports whether a dirty line was evicted (the
+// hierarchy charges a write-back for it).
+func (c *Cache) Fill(paddr int64, write bool) (evictedDirty bool) {
+	set := (paddr >> c.lineBits) & c.setMask
+	tag := uint64(paddr >> c.lineBits)
+	base := set * int64(c.spec.Ways)
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for w := int64(0); w < int64(c.spec.Ways); w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			oldest = 0
+			break
+		}
+		if c.stamp[i] < oldest {
+			oldest = c.stamp[i]
+			victim = i
+		}
+	}
+	evictedDirty = c.valid[victim] && c.dirty[victim]
+	c.clock++
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.dirty[victim] = write
+	c.stamp[victim] = c.clock
+	return evictedDirty
+}
+
+// Flush invalidates every line, as Sanity does with wbinvd during
+// initialization and quiescence (§3.6, §4.2). Statistics survive a
+// flush; only the content state is cleared.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.stamp[i] = 0
+	}
+}
+
+// EvictRandom invalidates n pseudo-randomly chosen lines. Interrupt
+// handlers displace part of the working set from the cache (§2.4);
+// the interrupt noise source uses this to model that displacement.
+func (c *Cache) EvictRandom(rng *RNG, n int) {
+	total := int64(len(c.valid))
+	for k := 0; k < n; k++ {
+		i := rng.Int63n(total)
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+}
+
+// Occupancy returns the number of valid lines, used by tests and by
+// the quiescence check.
+func (c *Cache) Occupancy() int64 {
+	var n int64
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// TLB is a set-associative translation lookaside buffer over virtual
+// page numbers, with the same deterministic LRU policy as the caches.
+type TLB struct {
+	spec    TLBSpec
+	sets    int64
+	setMask int64
+	tags    []uint64
+	valid   []bool
+	stamp   []uint64
+	clock   uint64
+
+	Hits   int64
+	Misses int64
+}
+
+// NewTLB builds an empty TLB.
+func NewTLB(spec TLBSpec) *TLB {
+	sets := int64(spec.Entries / spec.Ways)
+	n := sets * int64(spec.Ways)
+	return &TLB{
+		spec:    spec,
+		sets:    sets,
+		setMask: sets - 1,
+		tags:    make([]uint64, n),
+		valid:   make([]bool, n),
+		stamp:   make([]uint64, n),
+	}
+}
+
+// Lookup probes for the given virtual page number, inserting it on a
+// miss, and reports whether it hit.
+func (t *TLB) Lookup(vpn int64) bool {
+	set := vpn & t.setMask
+	base := set * int64(t.spec.Ways)
+	tag := uint64(vpn)
+	for w := int64(0); w < int64(t.spec.Ways); w++ {
+		i := base + w
+		if t.valid[i] && t.tags[i] == tag {
+			t.clock++
+			t.stamp[i] = t.clock
+			t.Hits++
+			return true
+		}
+	}
+	t.Misses++
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for w := int64(0); w < int64(t.spec.Ways); w++ {
+		i := base + w
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if t.stamp[i] < oldest {
+			oldest = t.stamp[i]
+			victim = i
+		}
+	}
+	t.clock++
+	t.tags[victim] = tag
+	t.valid[victim] = true
+	t.stamp[victim] = t.clock
+	return false
+}
+
+// Flush invalidates all entries (CR4.PCIDE toggle in the prototype).
+func (t *TLB) Flush() {
+	for i := range t.valid {
+		t.valid[i] = false
+		t.stamp[i] = 0
+	}
+}

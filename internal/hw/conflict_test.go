@@ -1,0 +1,151 @@
+package hw
+
+import "testing"
+
+// TestPhysicalIndexingConflicts demonstrates why frame pinning matters
+// (§3.6): the same virtual access pattern costs differently under two
+// different virtual→physical mappings, because physically-indexed
+// caches see different conflict sets.
+func TestPhysicalIndexingConflicts(t *testing.T) {
+	cost := func(seed uint64) int64 {
+		p := MustNewPlatform(Optiplex9020(), func() NoiseProfile {
+			prof := ProfileSanity()
+			prof.RandomFrames = true // unpinned: mapping varies by seed
+			prof.SCHeartbeatRate = 0 // isolate the cache effect
+			prof.BusResidual = 0
+			return prof
+		}(), seed)
+		p.Initialize()
+		start := p.Cycles()
+		// Touch many pages repeatedly; conflicts depend on frames.
+		for rep := 0; rep < 4; rep++ {
+			for page := int64(0); page < 512; page++ {
+				p.Access(page*4096, 8, false)
+			}
+		}
+		return p.Cycles() - start
+	}
+	a, b := cost(1), cost(2)
+	if a == b {
+		t.Fatal("random frame mappings produced identical costs; physical indexing is not modeled")
+	}
+}
+
+// TestPinnedFramesReproducibleCosts is the converse: pinned frames
+// give identical costs across seeds (with other noise off).
+func TestPinnedFramesReproducibleCosts(t *testing.T) {
+	cost := func(seed uint64) int64 {
+		prof := ProfileSanity()
+		prof.SCHeartbeatRate = 0
+		prof.BusResidual = 0
+		p := MustNewPlatform(Optiplex9020(), prof, seed)
+		p.Initialize()
+		start := p.Cycles()
+		for rep := 0; rep < 4; rep++ {
+			for page := int64(0); page < 512; page++ {
+				p.Access(page*4096, 8, false)
+			}
+		}
+		return p.Cycles() - start
+	}
+	if cost(1) != cost(2) {
+		t.Fatal("pinned frames still cost differently across seeds")
+	}
+}
+
+// TestCacheSetConflictGeometry verifies that addresses separated by
+// (sets * line) conflict in the same set and evict each other once
+// associativity is exceeded, while distinct-set addresses coexist.
+func TestCacheSetConflictGeometry(t *testing.T) {
+	spec := CacheSpec{SizeBytes: 8 << 10, LineBytes: 64, Ways: 2, HitCycles: 1}
+	c := NewCache(spec)
+	stride := spec.Sets() * spec.LineBytes
+	// Fill one set beyond associativity.
+	for i := int64(0); i < 3; i++ {
+		c.Fill(i*stride, false)
+	}
+	hits := 0
+	for i := int64(0); i < 3; i++ {
+		if c.Lookup(i*stride, false) {
+			hits++
+		}
+	}
+	if hits > 2 {
+		t.Fatalf("3 conflicting lines resident in a 2-way set (%d hits)", hits)
+	}
+	// Different sets coexist freely.
+	c2 := NewCache(spec)
+	for i := int64(0); i < 3; i++ {
+		c2.Fill(i*spec.LineBytes, false)
+	}
+	for i := int64(0); i < 3; i++ {
+		if !c2.Lookup(i*spec.LineBytes, false) {
+			t.Fatal("distinct sets evicted each other")
+		}
+	}
+}
+
+// TestLineStraddlingAccessChargesTwice verifies the unaligned-access
+// path: an 8-byte access crossing a line boundary probes two lines.
+func TestLineStraddlingAccessChargesTwice(t *testing.T) {
+	prof := ProfileSanity()
+	prof.SCHeartbeatRate = 0
+	prof.BusResidual = 0
+	p := MustNewPlatform(Optiplex9020(), prof, 1)
+	p.Initialize()
+	before := p.DataAccesses
+	p.Access(64-4, 8, false) // straddles the first line boundary
+	if p.DataAccesses-before != 2 {
+		t.Fatalf("straddling access charged %d probes, want 2", p.DataAccesses-before)
+	}
+	before = p.DataAccesses
+	p.Access(128, 8, false) // aligned
+	if p.DataAccesses-before != 1 {
+		t.Fatalf("aligned access charged %d probes, want 1", p.DataAccesses-before)
+	}
+}
+
+// TestHeartbeatFiresAtConfiguredRate checks the SC housekeeping noise
+// source fires roughly at its configured rate.
+func TestHeartbeatFiresAtConfiguredRate(t *testing.T) {
+	prof := ProfileSanity()
+	p := MustNewPlatform(Optiplex9020(), prof, 3)
+	// Advance ~10 ms of virtual time.
+	ms := int64(p.Spec.ClockGHz * 1e6)
+	p.AddCycles(10 * ms)
+	r := p.noise.Heartbeats
+	want := prof.SCHeartbeatRate * 10
+	if float64(r) < want/3 || float64(r) > want*3 {
+		t.Fatalf("heartbeats = %d over 10ms, want ~%.0f", r, want)
+	}
+}
+
+// TestDirtyStartVariesAcrossSeeds: without the initialization flush,
+// the machine's initial cache state depends on the seed, so two runs
+// of the same access stream cost differently.
+func TestDirtyStartVariesAcrossSeeds(t *testing.T) {
+	cost := func(seed uint64) int64 {
+		prof := ProfileSanity()
+		prof.FlushAtStart = false
+		prof.SCHeartbeatRate = 0
+		prof.BusResidual = 0
+		p := MustNewPlatform(Optiplex9020(), prof, seed)
+		p.Initialize()
+		start := p.Cycles()
+		for i := int64(0); i < 4000; i++ {
+			p.Access(i*64%(1<<19), 8, false)
+		}
+		return p.Cycles() - start
+	}
+	varied := false
+	base := cost(1)
+	for s := uint64(2); s < 6; s++ {
+		if cost(s) != base {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("dirty start produced identical costs across seeds")
+	}
+}

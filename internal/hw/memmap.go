@@ -1,0 +1,65 @@
+package hw
+
+// PageMapper translates the TC's virtual pages to physical frames.
+//
+// The paper's point (§3.6): even with an identical virtual layout,
+// different physical frames behind the pages change conflict patterns
+// in physically-indexed caches, so Sanity "deterministically chooses
+// the frames that will be mapped to the TC's address space". We model
+// both behaviors: a pinned mapper assigns frames by a fixed rule, and
+// an unpinned mapper assigns frames pseudo-randomly per run (the
+// paging noise source), so two runs of the same program see different
+// physical conflict patterns.
+type PageMapper struct {
+	pageSize int64
+	pageBits uint
+	frames   int64
+	pinned   bool
+	rng      *RNG
+	table    map[int64]int64 // virtual page number -> frame
+	nextSeq  int64           // next frame for pinned assignment
+}
+
+// NewPageMapper builds a mapper. When pinned is true the mapping is
+// the same in every run (sequential first-touch order, which is
+// deterministic because the instruction stream is); otherwise frames
+// are drawn from rng, so each run gets a different layout.
+func NewPageMapper(spec MachineSpec, pinned bool, rng *RNG) *PageMapper {
+	m := &PageMapper{
+		pageSize: spec.PageSize,
+		frames:   spec.Frames,
+		pinned:   pinned,
+		rng:      rng,
+		table:    make(map[int64]int64),
+	}
+	for b := spec.PageSize; b > 1; b >>= 1 {
+		m.pageBits++
+	}
+	return m
+}
+
+// Translate maps a virtual address to a physical address, installing
+// a frame on first touch.
+func (m *PageMapper) Translate(vaddr int64) int64 {
+	vpn := vaddr >> m.pageBits
+	frame, ok := m.table[vpn]
+	if !ok {
+		if m.pinned {
+			frame = m.nextSeq % m.frames
+			m.nextSeq++
+		} else {
+			frame = m.rng.Int63n(m.frames)
+		}
+		m.table[vpn] = frame
+	}
+	return frame<<m.pageBits | (vaddr & (m.pageSize - 1))
+}
+
+// VPN returns the virtual page number of vaddr.
+func (m *PageMapper) VPN(vaddr int64) int64 { return vaddr >> m.pageBits }
+
+// Mapped returns the number of pages currently mapped.
+func (m *PageMapper) Mapped() int { return len(m.table) }
+
+// Pinned reports whether the mapper uses the deterministic rule.
+func (m *PageMapper) Pinned() bool { return m.pinned }

@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"testing"
+
+	"sanity/internal/core"
+	"sanity/internal/hw"
+	"sanity/internal/stats"
+)
+
+func TestPaperJitterPercentiles(t *testing.T) {
+	jm := PaperJitter()
+	rng := hw.NewRNG(1)
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = float64(jm.Sample(rng)) / float64(Ms)
+	}
+	p50 := stats.Percentile(samples, 0.50)
+	p90 := stats.Percentile(samples, 0.90)
+	p99 := stats.Percentile(samples, 0.99)
+	// Paper: 0.18 / 0.80 / 3.91 ms.
+	if p50 < 0.14 || p50 > 0.23 {
+		t.Fatalf("p50 jitter %.3f ms, want ~0.18", p50)
+	}
+	if p90 < 0.65 || p90 > 0.95 {
+		t.Fatalf("p90 jitter %.3f ms, want ~0.80", p90)
+	}
+	if p99 < 3.0 || p99 > 4.8 {
+		t.Fatalf("p99 jitter %.3f ms, want ~3.91", p99)
+	}
+}
+
+func TestJitterNonNegative(t *testing.T) {
+	jm := PaperJitter()
+	rng := hw.NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		if jm.Sample(rng) < 0 {
+			t.Fatal("negative jitter")
+		}
+	}
+}
+
+func TestJitterPercentileEval(t *testing.T) {
+	jm := PaperJitter()
+	if got := jm.Percentile(0.5); got != int64(0.18*float64(Ms)) {
+		t.Fatalf("model p50 = %d ps", got)
+	}
+	if jm.Percentile(0.99) != int64(3.91*float64(Ms)) {
+		t.Fatal("model p99 wrong")
+	}
+}
+
+func TestBroadbandJitterHigher(t *testing.T) {
+	if BroadbandJitter().Percentile(0.5) <= PaperJitter().Percentile(0.5) {
+		t.Fatal("broadband median jitter should exceed university link")
+	}
+}
+
+func TestPathDelayExceedsPropagation(t *testing.T) {
+	p := PaperPath(3)
+	for i := 0; i < 100; i++ {
+		if d := p.Delay(); d < p.OneWayPs {
+			t.Fatalf("delay %d below propagation %d", d, p.OneWayPs)
+		}
+	}
+}
+
+func TestThinkTimeScheduleMonotone(t *testing.T) {
+	m := DefaultThinkTime()
+	sched := m.Schedule(500, hw.NewRNG(4))
+	for i := 1; i < len(sched); i++ {
+		if sched[i] <= sched[i-1] {
+			t.Fatalf("schedule not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestThinkTimeMedianNearTarget(t *testing.T) {
+	m := DefaultThinkTime()
+	sched := m.Schedule(3000, hw.NewRNG(5))
+	gaps := make([]float64, len(sched)-1)
+	for i := 1; i < len(sched); i++ {
+		gaps[i-1] = float64(sched[i]-sched[i-1]) / float64(Ms)
+	}
+	med := stats.Median(gaps)
+	// Target is the paper's ~7.4 ms median IPD; the processing time on
+	// the server adds little, so the think-time median should be in
+	// that neighborhood.
+	if med < 4.5 || med > 11 {
+		t.Fatalf("median think gap %.2f ms, want ~6-8", med)
+	}
+}
+
+func TestThinkTimeBursty(t *testing.T) {
+	m := DefaultThinkTime()
+	sched := m.Schedule(3000, hw.NewRNG(6))
+	gaps := make([]float64, len(sched)-1)
+	for i := 1; i < len(sched); i++ {
+		gaps[i-1] = float64(sched[i] - sched[i-1])
+	}
+	// Bursty traffic: the coefficient of variation must be
+	// substantial (legitimate traffic has high variability, §5.1).
+	cv := stats.StdDev(gaps) / stats.Mean(gaps)
+	if cv < 0.5 {
+		t.Fatalf("traffic not bursty: cv = %.3f", cv)
+	}
+}
+
+func TestToServerInputsMonotone(t *testing.T) {
+	w := &Workload{
+		Requests:   [][]byte{{1}, {2}, {3}, {4}},
+		Departures: []int64{0, Ms, 2 * Ms, 3 * Ms},
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inputs := w.ToServerInputs(PaperPath(7), 100*Ms)
+	for i := 1; i < len(inputs); i++ {
+		if inputs[i].ArrivalPs < inputs[i-1].ArrivalPs {
+			t.Fatalf("arrivals reordered at %d", i)
+		}
+	}
+	if inputs[0].ArrivalPs < 100*Ms+5*Ms {
+		t.Fatalf("arrival %d before start+propagation", inputs[0].ArrivalPs)
+	}
+}
+
+func TestValidateCatchesBadWorkload(t *testing.T) {
+	w := &Workload{Requests: [][]byte{{1}}, Departures: []int64{0, 1}}
+	if err := w.Validate(); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	w2 := &Workload{Requests: [][]byte{{1}, {2}}, Departures: []int64{5, 1}}
+	if err := w2.Validate(); err == nil {
+		t.Fatal("non-monotone departures accepted")
+	}
+}
+
+func TestDeliverToClientMonotone(t *testing.T) {
+	outs := []core.OutputEvent{{TimePs: 0}, {TimePs: Ms}, {TimePs: 2 * Ms}}
+	at := DeliverToClient(outs, PaperPath(8))
+	for i := 1; i < len(at); i++ {
+		if at[i] < at[i-1] {
+			t.Fatal("client arrivals reordered")
+		}
+	}
+}

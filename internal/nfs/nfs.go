@@ -1,0 +1,265 @@
+// Package nfs provides the paper's evaluation workload: an NFS-like
+// file server that runs inside the Sanity VM (the paper used nfsj, an
+// NFS server written in Java, §6.4). The protocol is a minimal
+// read-only subset — a client asks for a file, the server checksums
+// it and returns a header plus the first data block — but it
+// exercises the same code path as the paper's server: poll the S-T
+// buffer, touch file data in memory, write the T-S buffer.
+//
+// The workload matches §6.6: 30 files with sizes between 1 kB and
+// 30 kB, read one after the other by a remote client.
+package nfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+
+	"sanity/internal/asm"
+	"sanity/internal/hw"
+	"sanity/internal/netsim"
+	"sanity/internal/svm"
+)
+
+// NumFiles is the number of files in the store (paper §6.6).
+const NumFiles = 30
+
+// DataBlock is the number of file bytes echoed in each response.
+const DataBlock = 512
+
+// RequestSize is the fixed request length. The first four bytes are
+// the protocol (op, fileID, 2-byte seq); the rest is the RPC framing
+// a real NFS request carries (xid, credentials, verifier), which
+// matters for the §6.5 log-size experiment because incoming packets
+// are logged in their entirety.
+const RequestSize = 120
+
+// header bytes in a response: 2-byte seq echo + 8-byte checksum.
+const respHeader = 10
+
+// OpRead is the only protocol operation.
+const OpRead = 1
+
+// FileName returns the store key of file i.
+func FileName(i int) string { return fmt.Sprintf("f%02d", i) }
+
+// FileStore builds the deterministic file store: file i holds (i+1) kB
+// of seeded pseudo-random bytes. The store is part of the machine's
+// initial state and therefore identical during play and replay.
+func FileStore() map[string][]byte {
+	rng := hw.NewRNG(0x5EED_F11E)
+	files := make(map[string][]byte, NumFiles)
+	for i := 0; i < NumFiles; i++ {
+		b := make([]byte, (i+1)*1024)
+		for j := range b {
+			b[j] = byte(rng.Uint64())
+		}
+		files[FileName(i)] = b
+	}
+	return files
+}
+
+// Request encodes a read request for fileID with a sequence number.
+// Bytes beyond the protocol header are deterministic RPC-style
+// filler (credential/verifier fields).
+func Request(fileID int, seq uint16) []byte {
+	req := make([]byte, RequestSize)
+	req[0] = OpRead
+	req[1] = byte(fileID)
+	req[2] = byte(seq >> 8)
+	req[3] = byte(seq)
+	for i := 4; i < RequestSize; i++ {
+		req[i] = byte((i*7 + int(seq)) & 0xFF)
+	}
+	return req
+}
+
+// ParseResponse splits a response into its sequence number, checksum,
+// and data block.
+func ParseResponse(resp []byte) (seq uint16, checksum uint64, data []byte, err error) {
+	if len(resp) < respHeader {
+		return 0, 0, nil, fmt.Errorf("nfs: short response (%d bytes)", len(resp))
+	}
+	seq = uint16(resp[0])<<8 | uint16(resp[1])
+	checksum = binary.LittleEndian.Uint64(resp[2:10])
+	return seq, checksum, resp[respHeader:], nil
+}
+
+// Checksum computes the server's file checksum (byte sum over a
+// 64-byte stride) for verification in tests.
+func Checksum(file []byte) uint64 {
+	var sum uint64
+	for i := 0; i < len(file); i += 64 {
+		sum += uint64(file[i])
+	}
+	return sum
+}
+
+// ValidateResponse checks that resp correctly answers req against the
+// given store.
+func ValidateResponse(req, resp []byte, files map[string][]byte) error {
+	if len(req) != RequestSize {
+		return fmt.Errorf("nfs: bad request size %d", len(req))
+	}
+	fileID := int(req[1]) % NumFiles
+	file := files[FileName(fileID)]
+	seq, sum, data, err := ParseResponse(resp)
+	if err != nil {
+		return err
+	}
+	wantSeq := uint16(req[2])<<8 | uint16(req[3])
+	if seq != wantSeq {
+		return fmt.Errorf("nfs: seq %d, want %d", seq, wantSeq)
+	}
+	if sum != Checksum(file) {
+		return fmt.Errorf("nfs: checksum %#x, want %#x", sum, Checksum(file))
+	}
+	n := len(file)
+	if n > DataBlock {
+		n = DataBlock
+	}
+	if len(data) != n {
+		return fmt.Errorf("nfs: data block %d bytes, want %d", len(data), n)
+	}
+	for i := range data {
+		if data[i] != file[i] {
+			return fmt.Errorf("nfs: data mismatch at %d", i)
+		}
+	}
+	return nil
+}
+
+// ServerSource generates the SVM assembly of the server. The file
+// loading section is unrolled per file (the assembly language has no
+// string formatting), which is why the source is generated rather
+// than written by hand.
+func ServerSource() string {
+	var sb strings.Builder
+	sb.WriteString(".program nfsd\n.global names\n")
+	sb.WriteString(".func main 0 1\n")
+	fmt.Fprintf(&sb, "    iconst %d\n    newarr ref\n    gput names\n", NumFiles)
+	for i := 0; i < NumFiles; i++ {
+		fmt.Fprintf(&sb, "    gget names\n    iconst %d\n    sconst \"%s\"\n    astore\n", i, FileName(i))
+	}
+	sb.WriteString("    call serve\n    ret\n.end\n")
+
+	// serve locals: 0=req 1=sum 2=i 3=fileid 4=file 5=resp 6=n
+	// Each request reads its file from stable storage (the padded-I/O
+	// path of §3.7), checksums it, and answers with the first block.
+	sb.WriteString(".func serve 0 7\nloop:\n")
+	sb.WriteString(`    ncall io.recvblock 0
+    store 0
+    load 0
+    ifnull done
+    ncall sys.nanotime 0
+    pop                      ; request timestamp (logged nondeterminism)
+    load 0
+    iconst 1
+    aload
+    store 3
+    gget names
+    load 3
+`)
+	fmt.Fprintf(&sb, "    iconst %d\n    irem\n    aload\n    ncall fs.read 1\n    store 4\n", NumFiles)
+	// Checksum loop, stride 64 — touches the whole file through the
+	// cache hierarchy the way a real read path would.
+	sb.WriteString(`    iconst 0
+    store 1
+    iconst 0
+    store 2
+ck:
+    load 2
+    load 4
+    alen
+    if_icmpge szcalc
+    load 1
+    load 4
+    load 2
+    aload
+    iadd
+    store 1
+    iinc 2 64
+    goto ck
+szcalc:
+    load 4
+    alen
+    store 6
+    load 6
+`)
+	fmt.Fprintf(&sb, "    iconst %d\n    if_icmple szok\n    iconst %d\n    store 6\nszok:\n", DataBlock, DataBlock)
+	fmt.Fprintf(&sb, "    load 6\n    iconst %d\n    iadd\n    newarr byte\n    store 5\n", respHeader)
+	// Sequence echo: resp[0] = req[2], resp[1] = req[3].
+	sb.WriteString(`    load 5
+    iconst 0
+    load 0
+    iconst 2
+    aload
+    astore
+    load 5
+    iconst 1
+    load 0
+    iconst 3
+    aload
+    astore
+`)
+	// Checksum little-endian into resp[2..9].
+	for k := 0; k < 8; k++ {
+		fmt.Fprintf(&sb, "    load 5\n    iconst %d\n    load 1\n    iconst %d\n    iushr\n    iconst 255\n    iand\n    astore\n", 2+k, 8*k)
+	}
+	// Copy the data block.
+	fmt.Fprintf(&sb, `    iconst 0
+    store 2
+copy:
+    load 2
+    load 6
+    if_icmpge send
+    load 5
+    load 2
+    iconst %d
+    iadd
+    load 4
+    load 2
+    aload
+    astore
+    iinc 2 1
+    goto copy
+send:
+    load 5
+    ncall io.send 1
+    pop
+    goto loop
+done:
+    ret
+.end
+`, respHeader)
+	return sb.String()
+}
+
+var (
+	progOnce sync.Once
+	progMemo *svm.Program
+)
+
+// ServerProgram assembles (and memoizes) the server. Programs are
+// immutable, so sharing one instance across executions is safe.
+func ServerProgram() *svm.Program {
+	progOnce.Do(func() {
+		progMemo = asm.MustAssemble("nfsd", ServerSource())
+	})
+	return progMemo
+}
+
+// ClientWorkload builds a client session of n requests cycling
+// through the 30 files, with think times from the given model.
+func ClientWorkload(n int, think netsim.ThinkTimeModel, seed uint64) *netsim.Workload {
+	rng := hw.NewRNG(seed)
+	w := &netsim.Workload{
+		Requests:   make([][]byte, n),
+		Departures: think.Schedule(n, rng),
+	}
+	for i := 0; i < n; i++ {
+		w.Requests[i] = Request(i%NumFiles, uint16(i))
+	}
+	return w
+}

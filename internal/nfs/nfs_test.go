@@ -1,0 +1,150 @@
+package nfs
+
+import (
+	"testing"
+
+	"sanity/internal/core"
+	"sanity/internal/hw"
+	"sanity/internal/netsim"
+)
+
+func TestFileStoreShape(t *testing.T) {
+	files := FileStore()
+	if len(files) != NumFiles {
+		t.Fatalf("store has %d files", len(files))
+	}
+	for i := 0; i < NumFiles; i++ {
+		f := files[FileName(i)]
+		if len(f) != (i+1)*1024 {
+			t.Fatalf("file %d has %d bytes, want %d", i, len(f), (i+1)*1024)
+		}
+	}
+}
+
+func TestFileStoreDeterministic(t *testing.T) {
+	a, b := FileStore(), FileStore()
+	for name := range a {
+		if string(a[name]) != string(b[name]) {
+			t.Fatalf("file %s differs across builds", name)
+		}
+	}
+}
+
+func TestRequestEncoding(t *testing.T) {
+	r := Request(7, 0x1234)
+	if len(r) != RequestSize || r[0] != OpRead || r[1] != 7 || r[2] != 0x12 || r[3] != 0x34 {
+		t.Fatalf("request = %v", r[:8])
+	}
+	// The RPC filler must be deterministic per sequence number.
+	r2 := Request(7, 0x1234)
+	for i := range r {
+		if r[i] != r2[i] {
+			t.Fatalf("request filler nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestServerProgramAssembles(t *testing.T) {
+	p := ServerProgram()
+	if p == nil || p.Name != "nfsd" {
+		t.Fatal("server program missing")
+	}
+	if _, ok := p.FuncIndex("serve"); !ok {
+		t.Fatal("no serve function")
+	}
+}
+
+func serverConfig(seed uint64) core.Config {
+	return core.Config{
+		Machine:  hw.Optiplex9020(),
+		Profile:  hw.ProfileSanity(),
+		Seed:     seed,
+		Files:    FileStore(),
+		MaxSteps: 500_000_000,
+	}
+}
+
+func TestServerAnswersRequests(t *testing.T) {
+	w := ClientWorkload(6, netsim.DefaultThinkTime(), 42)
+	path := netsim.PaperPath(7)
+	inputs := w.ToServerInputs(path, 0)
+	exec, log, err := core.Play(ServerProgram(), inputs, serverConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Outputs) != 6 {
+		t.Fatalf("outputs = %d, want 6", len(exec.Outputs))
+	}
+	files := FileStore()
+	for i, out := range exec.Outputs {
+		if err := ValidateResponse(w.Requests[i], out.Payload, files); err != nil {
+			t.Fatalf("response %d invalid: %v", i, err)
+		}
+	}
+	if got := len(log.Packets()); got != 6 {
+		t.Fatalf("log has %d packets", got)
+	}
+}
+
+func TestServerReplaysExactly(t *testing.T) {
+	w := ClientWorkload(8, netsim.DefaultThinkTime(), 43)
+	inputs := w.ToServerInputs(netsim.PaperPath(8), 0)
+	play, log, err := core.Play(ServerProgram(), inputs, serverConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := core.ReplayTDR(ServerProgram(), log, serverConfig(202))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := core.Compare(play, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OutputsMatch {
+		t.Fatalf("outputs diverged at %d", cmp.MismatchAt)
+	}
+	if cmp.MaxRelIPDDev > 0.02 {
+		t.Fatalf("NFS replay IPD deviation %.4f above 2%%", cmp.MaxRelIPDDev)
+	}
+	if play.Instructions != replay.Instructions {
+		t.Fatalf("instruction counts differ: %d vs %d", play.Instructions, replay.Instructions)
+	}
+}
+
+func TestChecksumMatchesServer(t *testing.T) {
+	w := ClientWorkload(1, netsim.DefaultThinkTime(), 44)
+	inputs := w.ToServerInputs(netsim.PaperPath(9), 0)
+	exec, _, err := core.Play(ServerProgram(), inputs, serverConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sum, _, err := ParseResponse(exec.Outputs[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Checksum(FileStore()[FileName(0)])
+	if sum != want {
+		t.Fatalf("server checksum %#x, Go checksum %#x", sum, want)
+	}
+}
+
+func TestParseResponseShortInput(t *testing.T) {
+	if _, _, _, err := ParseResponse([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short response accepted")
+	}
+}
+
+func TestClientWorkloadShape(t *testing.T) {
+	w := ClientWorkload(65, netsim.DefaultThinkTime(), 45)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Requests) != 65 {
+		t.Fatalf("requests = %d", len(w.Requests))
+	}
+	// Requests cycle through the files.
+	if w.Requests[0][1] != 0 || w.Requests[31][1] != 1 {
+		t.Fatalf("file cycling wrong: %v %v", w.Requests[0], w.Requests[31])
+	}
+}

@@ -1,0 +1,268 @@
+// Package replaylog implements the log of nondeterministic events
+// that the supporting core writes to stable storage during play and
+// injects during replay (paper §3.2, §6.5). Incoming network packets
+// are recorded in their entirety (they must be re-injected), while
+// outputs are not recorded at all — the replayed execution produces
+// an exact copy. Small records capture other nondeterministic values,
+// such as the wall-clock readings returned by System.nanoTime.
+package replaylog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Kind tags one log record.
+type Kind byte
+
+// Record kinds.
+const (
+	// KindPacket is an incoming network packet: the full payload plus
+	// the instruction count at which the TC consumed it.
+	KindPacket Kind = 'P'
+	// KindTimeRead is a logged nanoTime result.
+	KindTimeRead Kind = 'T'
+	// KindRandom is a logged random value (§3.2: "avoid or log random
+	// decisions").
+	KindRandom Kind = 'R'
+)
+
+// Record is one nondeterministic event.
+type Record struct {
+	Kind    Kind
+	Instr   int64  // global instruction count at the event
+	Value   int64  // for KindTimeRead / KindRandom
+	PlayPs  int64  // virtual time during play (instrumentation, not replayed)
+	Payload []byte // for KindPacket
+}
+
+// Log is an append-only sequence of records plus identifying
+// metadata. The metadata binds a log to the software and machine type
+// it was recorded on, which the auditor must match during replay.
+type Log struct {
+	Program string
+	Machine string
+	Profile string
+	Records []Record
+}
+
+// New creates an empty log with the given identity.
+func New(program, machine, profile string) *Log {
+	return &Log{Program: program, Machine: machine, Profile: profile}
+}
+
+// AppendPacket records an incoming packet delivered at instr.
+func (l *Log) AppendPacket(instr, playPs int64, payload []byte) {
+	l.Records = append(l.Records, Record{
+		Kind: KindPacket, Instr: instr, PlayPs: playPs,
+		Payload: append([]byte(nil), payload...),
+	})
+}
+
+// AppendValue records a small nondeterministic value (time or random).
+func (l *Log) AppendValue(kind Kind, instr, playPs, value int64) {
+	l.Records = append(l.Records, Record{Kind: kind, Instr: instr, PlayPs: playPs, Value: value})
+}
+
+// recordOverhead is the on-disk framing cost per record: kind (1) +
+// instr (8) + playPs (8) + value-or-length (8).
+const recordOverhead = 25
+
+// SizeBytes returns the encoded size of the log, the quantity §6.5
+// reports as the log growth rate.
+func (l *Log) SizeBytes() int64 {
+	// magic + three 4-byte string length prefixes + 8-byte record count.
+	n := int64(len(magic)) + 12 + 8 + int64(len(l.Program)+len(l.Machine)+len(l.Profile))
+	for _, r := range l.Records {
+		n += recordOverhead
+		if r.Kind == KindPacket {
+			n += int64(len(r.Payload))
+		}
+	}
+	return n
+}
+
+// Stats summarizes the log composition for the §6.5 experiment.
+type Stats struct {
+	Packets      int
+	PacketBytes  int64 // payload plus framing for packet records
+	ValueRecords int
+	TotalBytes   int64
+}
+
+// Stats returns the log's composition.
+func (l *Log) Stats() Stats {
+	var s Stats
+	for _, r := range l.Records {
+		if r.Kind == KindPacket {
+			s.Packets++
+			s.PacketBytes += int64(len(r.Payload)) + recordOverhead
+		} else {
+			s.ValueRecords++
+		}
+	}
+	s.TotalBytes = l.SizeBytes()
+	return s
+}
+
+var magic = []byte("SANLOG1\n")
+
+// Encode writes the log in its binary on-disk format.
+func (l *Log) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	writeStr := func(s string) error {
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(s)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	for _, s := range []string{l.Program, l.Machine, l.Profile} {
+		if err := writeStr(s); err != nil {
+			return err
+		}
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(l.Records)))
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	for _, r := range l.Records {
+		if err := bw.WriteByte(byte(r.Kind)); err != nil {
+			return err
+		}
+		for _, v := range []int64{r.Instr, r.PlayPs} {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+		if r.Kind == KindPacket {
+			binary.LittleEndian.PutUint64(buf[:], uint64(len(r.Payload)))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+			if _, err := bw.Write(r.Payload); err != nil {
+				return err
+			}
+		} else {
+			binary.LittleEndian.PutUint64(buf[:], uint64(r.Value))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a log in the binary format produced by Encode.
+func Decode(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("replaylog: reading magic: %w", err)
+	}
+	if string(got) != string(magic) {
+		return nil, fmt.Errorf("replaylog: bad magic %q", got)
+	}
+	readStr := func() (string, error) {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return "", err
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > 1<<20 {
+			return "", fmt.Errorf("replaylog: implausible string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	l := &Log{}
+	var err error
+	if l.Program, err = readStr(); err != nil {
+		return nil, fmt.Errorf("replaylog: program name: %w", err)
+	}
+	if l.Machine, err = readStr(); err != nil {
+		return nil, fmt.Errorf("replaylog: machine name: %w", err)
+	}
+	if l.Profile, err = readStr(); err != nil {
+		return nil, fmt.Errorf("replaylog: profile name: %w", err)
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint64(buf[:])
+	if count > 1<<30 {
+		return nil, fmt.Errorf("replaylog: implausible record count %d", count)
+	}
+	l.Records = make([]Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("replaylog: record %d: %w", i, err)
+		}
+		var rec Record
+		rec.Kind = Kind(kind)
+		switch rec.Kind {
+		case KindPacket, KindTimeRead, KindRandom:
+		default:
+			return nil, fmt.Errorf("replaylog: record %d has unknown kind %q", i, kind)
+		}
+		for _, dst := range []*int64{&rec.Instr, &rec.PlayPs} {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, err
+			}
+			*dst = int64(binary.LittleEndian.Uint64(buf[:]))
+		}
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, err
+		}
+		if rec.Kind == KindPacket {
+			n := binary.LittleEndian.Uint64(buf[:])
+			if n > 1<<24 {
+				return nil, fmt.Errorf("replaylog: record %d payload too large (%d)", i, n)
+			}
+			rec.Payload = make([]byte, n)
+			if _, err := io.ReadFull(br, rec.Payload); err != nil {
+				return nil, err
+			}
+		} else {
+			rec.Value = int64(binary.LittleEndian.Uint64(buf[:]))
+		}
+		l.Records = append(l.Records, rec)
+	}
+	return l, nil
+}
+
+// Packets returns only the packet records, in order.
+func (l *Log) Packets() []Record {
+	var out []Record
+	for _, r := range l.Records {
+		if r.Kind == KindPacket {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Values returns only the value records (time reads and randoms).
+func (l *Log) Values() []Record {
+	var out []Record
+	for _, r := range l.Records {
+		if r.Kind != KindPacket {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package scimark
+
+import "math"
+
+// The functions in this file are the Go twins of the assembly
+// kernels: the same algorithms with the same constants and the same
+// operation order, so their results match the VM's bit for bit. They
+// serve two purposes: they cross-check the assembly (any divergence
+// is a bug in one of the two), and they stand in for the Oracle-JIT
+// configuration in Table 2 (natively compiled execution of the same
+// kernel).
+
+// nativeSOR mirrors sorSource.
+func nativeSOR() float64 {
+	size := SORSize
+	g := make([]float64, size*size)
+	for i := range g {
+		g[i] = float64((int64(i)*2654435761)&1023) / 1024.0
+	}
+	for p := 0; p < SORIters; p++ {
+		for i := 1; i < size-1; i++ {
+			for j := 1; j < size-1; j++ {
+				idx := i*size + j
+				g[idx] = (g[idx-size]+g[idx+size]+g[idx-1]+g[idx+1])*0.3125 + g[idx]*-0.25
+			}
+		}
+	}
+	var sum float64
+	for _, v := range g {
+		sum += v
+	}
+	return sum
+}
+
+// nativeMC mirrors mcSource, including the exact LCG stream.
+func nativeMC() float64 {
+	seed := int64(lcgSeed)
+	next := func() float64 {
+		seed = (seed*lcgA + lcgC) & lcgMask
+		return float64(seed>>16) / 4294967296.0
+	}
+	under := 0
+	for i := 0; i < MCPoints; i++ {
+		x := next()
+		y := next()
+		if x*x+y*y <= 1.0 {
+			under++
+		}
+	}
+	return float64(under) * 4.0 / float64(MCPoints)
+}
+
+// nativeSMM mirrors smmSource.
+func nativeSMM() float64 {
+	nnz := SMMRows * SMMNzRow
+	val := make([]float64, nnz)
+	col := make([]int64, nnz)
+	x := make([]float64, SMMRows)
+	y := make([]float64, SMMRows)
+	for i := 0; i < nnz; i++ {
+		val[i] = float64(int64(i)%7+1) * 0.5
+		col[i] = (int64(i)*1031 + int64(i/SMMNzRow)) % SMMRows
+	}
+	for i := 0; i < SMMRows; i++ {
+		x[i] = float64(int64(i)&15+1) * 0.25
+	}
+	for t := 0; t < SMMIters; t++ {
+		for r := 0; r < SMMRows; r++ {
+			var acc float64
+			for k := 0; k < SMMNzRow; k++ {
+				idx := r*SMMNzRow + k
+				acc += val[idx] * x[col[idx]]
+			}
+			y[r] = acc
+		}
+	}
+	var sum float64
+	for _, v := range y {
+		sum += v
+	}
+	return sum
+}
+
+// nativeLU mirrors luSource.
+func nativeLU() float64 {
+	n := LUSize
+	a := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64((int64(i)*2654435761)&255) / 256.0
+	}
+	for i := 0; i < n; i++ {
+		a[i*n+i] += float64(n)
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] /= a[k*n+k]
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= a[i*n+k] * a[k*n+j]
+			}
+		}
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += a[i*n+i]
+	}
+	return sum
+}
+
+// twoPiLiteral matches the fconst in fftSource exactly: both are
+// parsed from the same decimal literal.
+const twoPiLiteral = -6.283185307179586
+
+// fftTransform mirrors the transform function of fftSource.
+func fftTransform(d []float64, n int, dir int64) {
+	// Bit-reversal permutation.
+	j := 0
+	for i := 0; i < n-1; i++ {
+		if i < j {
+			d[2*i], d[2*j] = d[2*j], d[2*i]
+			d[2*i+1], d[2*j+1] = d[2*j+1], d[2*i+1]
+		}
+		m := n / 2
+		for m >= 1 && j >= m {
+			j -= m
+			m >>= 1
+		}
+		j += m
+	}
+	for le := 2; le <= n; le <<= 1 {
+		half := le >> 1
+		for k := 0; k < half; k++ {
+			angle := float64(k) * twoPiLiteral
+			angle = angle / float64(le)
+			angle = angle * float64(-dir)
+			wr := math.Cos(angle)
+			wi := math.Sin(angle)
+			for i := k; i < n; i += le {
+				jj := i + half
+				tr := wr*d[2*jj] - wi*d[2*jj+1]
+				ti := wr*d[2*jj+1] + wi*d[2*jj]
+				d[2*jj] = d[2*i] - tr
+				d[2*jj+1] = d[2*i+1] - ti
+				d[2*i] += tr
+				d[2*i+1] += ti
+			}
+		}
+	}
+}
+
+// nativeFFT mirrors fftSource: forward transform, spectrum sum,
+// inverse transform with 1/N scaling, round-trip sum.
+func nativeFFT() float64 {
+	n := FFTSize
+	d := make([]float64, 2*n)
+	for i := range d {
+		d[i] = float64((int64(i)*2654435761)&511) / 512.0
+	}
+	fftTransform(d, n, -1)
+	var s1 float64
+	for _, v := range d {
+		s1 += v
+	}
+	fftTransform(d, n, 1)
+	scale := 1.0 / float64(n)
+	for i := range d {
+		d[i] *= scale
+	}
+	var s2 float64
+	for _, v := range d {
+		s2 += v
+	}
+	return s1 + s2
+}

@@ -1,0 +1,139 @@
+// Package scimark reproduces the computational workload of the
+// paper's speed and stability experiments (§6.2, §6.3): the five
+// kernels of NIST's SciMark 2.0 benchmark — fast Fourier transform
+// (FFT), Jacobi successive over-relaxation (SOR), Monte Carlo
+// integration (MC), sparse matrix multiply (SMM), and LU
+// factorization (LU).
+//
+// Each kernel exists twice: as SVM assembly (interpreted by the
+// Sanity VM, with or without the hardware timing model) and as a Go
+// function with identical operation order (the natively-compiled
+// "Oracle-JIT" stand-in). The two produce bit-identical checksums,
+// which the tests verify — a strong cross-check on both the kernels
+// and the VM's arithmetic.
+package scimark
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sanity/internal/asm"
+	"sanity/internal/hw"
+	"sanity/internal/svm"
+)
+
+// Kernel is one SciMark benchmark kernel.
+type Kernel struct {
+	// Name is the paper's kernel label (SOR, SMM, MC, FFT, LU).
+	Name string
+	// Source is the SVM assembly.
+	Source string
+	// Native is the Go twin returning the same checksum.
+	Native func() float64
+}
+
+var (
+	kernelsOnce sync.Once
+	kernelsMemo []Kernel
+	progCache   map[string]*svm.Program
+)
+
+// Kernels returns the five kernels in the paper's Table 2 order.
+func Kernels() []Kernel {
+	kernelsOnce.Do(func() {
+		kernelsMemo = []Kernel{
+			{Name: "SOR", Source: sorSource(), Native: nativeSOR},
+			{Name: "SMM", Source: smmSource(), Native: nativeSMM},
+			{Name: "MC", Source: mcSource(), Native: nativeMC},
+			{Name: "FFT", Source: fftSource(), Native: nativeFFT},
+			{Name: "LU", Source: luSource(), Native: nativeLU},
+		}
+		progCache = make(map[string]*svm.Program, len(kernelsMemo))
+		for _, k := range kernelsMemo {
+			progCache[k.Name] = asm.MustAssemble(k.Name, k.Source)
+		}
+	})
+	return kernelsMemo
+}
+
+// KernelByName finds a kernel.
+func KernelByName(name string) (Kernel, error) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("scimark: unknown kernel %q", name)
+}
+
+// Program returns the assembled program of a kernel.
+func Program(k Kernel) *svm.Program {
+	Kernels()
+	return progCache[k.Name]
+}
+
+// MathNatives provides the trigonometric primitives the FFT kernel
+// links against. Each call charges a fixed cycle cost, like a tuned
+// libm routine.
+func MathNatives() map[string]svm.NativeFunc {
+	one := func(f func(float64) float64) svm.NativeFunc {
+		return func(ctx *svm.NativeCtx) error {
+			if len(ctx.Args) != 1 || ctx.Args[0].K != svm.KFloat {
+				return fmt.Errorf("math native needs one float argument")
+			}
+			if ctx.VM.Platform != nil {
+				ctx.VM.Platform.AddCycles(80)
+			}
+			ctx.Result = svm.FloatV(f(ctx.Args[0].F))
+			return nil
+		}
+	}
+	return map[string]svm.NativeFunc{
+		"math.sin":  one(math.Sin),
+		"math.cos":  one(math.Cos),
+		"math.sqrt": one(math.Sqrt),
+	}
+}
+
+// Result is the outcome of one kernel run.
+type Result struct {
+	Checksum     float64
+	Instructions int64
+	Cycles       int64 // 0 in plain mode
+}
+
+// RunVM executes a kernel on the Sanity VM. A nil platform runs in
+// plain functional mode (the Oracle-INT analog: interpretation with
+// no TDR bookkeeping); a non-nil platform runs the full timed
+// configuration.
+func RunVM(k Kernel, plat *hw.Platform) (Result, error) {
+	prog := Program(k)
+	vm, err := svm.New(prog, MathNatives(), svm.Config{
+		Platform: plat,
+		MaxSteps: 2_000_000_000,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var c0 int64
+	if plat != nil {
+		plat.Initialize()
+		c0 = plat.Cycles()
+	}
+	if err := vm.Run(); err != nil {
+		return Result{}, err
+	}
+	gi, ok := prog.GlobalIndex("out")
+	if !ok {
+		return Result{}, fmt.Errorf("scimark: kernel %s has no out global", k.Name)
+	}
+	res := Result{
+		Checksum:     vm.Globals[gi].F,
+		Instructions: vm.InstrCount,
+	}
+	if plat != nil {
+		res.Cycles = plat.Cycles() - c0
+	}
+	return res, nil
+}

@@ -1,0 +1,200 @@
+package scimark
+
+import (
+	"math"
+	"testing"
+
+	"sanity/internal/hw"
+)
+
+func TestKernelsAssemble(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 5 {
+		t.Fatalf("kernels = %d, want 5", len(ks))
+	}
+	for _, k := range ks {
+		if Program(k) == nil {
+			t.Fatalf("kernel %s has no program", k.Name)
+		}
+	}
+}
+
+// TestVMMatchesNative is the central cross-check: the interpreted
+// assembly and the natively compiled Go twin must produce the same
+// checksum bit for bit, because they execute the same floating-point
+// operations in the same order.
+func TestVMMatchesNative(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			res, err := RunVM(k, nil)
+			if err != nil {
+				t.Fatalf("vm run: %v", err)
+			}
+			native := k.Native()
+			if res.Checksum != native {
+				t.Fatalf("VM checksum %v != native %v (diff %g)", res.Checksum, native, res.Checksum-native)
+			}
+			if res.Instructions == 0 {
+				t.Fatal("no instructions executed")
+			}
+		})
+	}
+}
+
+func TestMCEstimatesPi(t *testing.T) {
+	got := nativeMC()
+	if math.Abs(got-math.Pi) > 0.1 {
+		t.Fatalf("MC pi estimate %v too far from pi", got)
+	}
+}
+
+func TestFFTRoundTripIsIdentity(t *testing.T) {
+	// Independent validation of the FFT algorithm (not just the
+	// VM-vs-native equality): transform then inverse-transform must
+	// return the input.
+	n := 64
+	orig := make([]float64, 2*n)
+	for i := range orig {
+		orig[i] = float64((int64(i)*92821)&255) / 256.0
+	}
+	d := append([]float64(nil), orig...)
+	fftTransform(d, n, -1)
+	fftTransform(d, n, 1)
+	for i := range d {
+		d[i] /= float64(n)
+	}
+	for i := range d {
+		if math.Abs(d[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip diverges at %d: %v vs %v", i, d[i], orig[i])
+		}
+	}
+}
+
+func TestFFTImpulseIsFlat(t *testing.T) {
+	// The spectrum of a unit impulse is all-ones: a classic analytic
+	// check that the butterflies and twiddles are right.
+	n := 32
+	d := make([]float64, 2*n)
+	d[0] = 1
+	fftTransform(d, n, -1)
+	for i := 0; i < n; i++ {
+		if math.Abs(d[2*i]-1) > 1e-9 || math.Abs(d[2*i+1]) > 1e-9 {
+			t.Fatalf("impulse spectrum wrong at bin %d: (%v, %v)", i, d[2*i], d[2*i+1])
+		}
+	}
+}
+
+func TestFFTSinusoidPeaks(t *testing.T) {
+	// A pure cosine at bin k concentrates energy at bins k and n-k.
+	n := 64
+	k := 5
+	d := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		d[2*i] = math.Cos(2 * math.Pi * float64(k) * float64(i) / float64(n))
+	}
+	fftTransform(d, n, -1)
+	for b := 0; b < n; b++ {
+		mag := math.Hypot(d[2*b], d[2*b+1])
+		if b == k || b == n-k {
+			if math.Abs(mag-float64(n)/2) > 1e-6 {
+				t.Fatalf("bin %d magnitude %v, want %v", b, mag, float64(n)/2)
+			}
+		} else if mag > 1e-6 {
+			t.Fatalf("leakage at bin %d: %v", b, mag)
+		}
+	}
+}
+
+func TestLUFactorizationCorrect(t *testing.T) {
+	// Verify L*U reconstructs the original matrix (no pivoting, the
+	// test matrix is diagonally dominant).
+	n := LUSize
+	orig := make([]float64, n*n)
+	for i := range orig {
+		orig[i] = float64((int64(i)*2654435761)&255) / 256.0
+	}
+	for i := 0; i < n; i++ {
+		orig[i*n+i] += float64(n)
+	}
+	a := append([]float64(nil), orig...)
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] /= a[k*n+k]
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= a[i*n+k] * a[k*n+j]
+			}
+		}
+	}
+	// Reconstruct and compare a few entries.
+	for i := 0; i < n; i += 7 {
+		for j := 0; j < n; j += 5 {
+			var sum float64
+			for k := 0; k <= i && k <= j; k++ {
+				l := a[i*n+k]
+				if k == i {
+					l = 1
+				}
+				sum += l * a[k*n+j]
+			}
+			if math.Abs(sum-orig[i*n+j]) > 1e-8 {
+				t.Fatalf("LU reconstruction off at (%d,%d): %v vs %v", i, j, sum, orig[i*n+j])
+			}
+		}
+	}
+}
+
+func TestTimedRunChargesCycles(t *testing.T) {
+	k, err := KernelByName("SOR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := hw.MustNewPlatform(hw.Optiplex9020(), hw.ProfileSanity(), 1)
+	res, err := RunVM(k, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < res.Instructions {
+		t.Fatalf("cycles %d below instructions %d", res.Cycles, res.Instructions)
+	}
+	// Timed and plain modes must compute the same checksum.
+	plain, err := RunVM(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Checksum != res.Checksum {
+		t.Fatal("timed mode changed the result")
+	}
+}
+
+func TestTimedRunsStableUnderSanityProfile(t *testing.T) {
+	// Figure 6's key claim, in miniature: under the Sanity profile,
+	// per-seed cycle counts vary by well under 2%.
+	k, err := KernelByName("MC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi int64 = math.MaxInt64, 0
+	for seed := uint64(0); seed < 5; seed++ {
+		plat := hw.MustNewPlatform(hw.Optiplex9020(), hw.ProfileSanity(), seed)
+		res, err := RunVM(k, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles < lo {
+			lo = res.Cycles
+		}
+		if res.Cycles > hi {
+			hi = res.Cycles
+		}
+	}
+	if rel := float64(hi-lo) / float64(lo); rel > 0.02 {
+		t.Fatalf("sanity-profile variance %.4f above 2%%", rel)
+	}
+}
+
+func TestKernelByNameUnknown(t *testing.T) {
+	if _, err := KernelByName("NOPE"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}

@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sanity/internal/hw"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean %v", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("variance %v", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("stddev %v", s)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty inputs should be zero")
+	}
+	if KSStatistic(nil, []float64{1}) != 0 {
+		t.Fatal("KS of empty sample should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 1); p != 10 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Median(xs); p != 5.5 {
+		t.Fatalf("median = %v", p)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := hw.NewRNG(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSIdenticalSamplesZero(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(xs, xs); d > 1e-12 {
+		t.Fatalf("KS of identical samples = %v", d)
+	}
+}
+
+func TestKSDisjointSamplesOne(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSStatistic(a, b); d < 0.999 {
+		t.Fatalf("KS of disjoint samples = %v, want ~1", d)
+	}
+}
+
+func TestKSShiftSensitivity(t *testing.T) {
+	r := hw.NewRNG(1)
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	c := make([]float64, 500)
+	for i := range a {
+		a[i] = r.Norm(0, 1)
+		b[i] = r.Norm(0, 1)
+		c[i] = r.Norm(2, 1)
+	}
+	same := KSStatistic(a, b)
+	diff := KSStatistic(a, c)
+	if diff < same*3 {
+		t.Fatalf("KS cannot tell shifted distribution: same=%v shifted=%v", same, diff)
+	}
+}
+
+func TestEquiprobableBins(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	cuts := EquiprobableBins(xs, 5)
+	if len(cuts) != 4 {
+		t.Fatalf("cuts = %v", cuts)
+	}
+	counts := make([]int, 5)
+	for _, x := range xs {
+		counts[BinIndex(cuts, x)]++
+	}
+	for i, c := range counts {
+		if c < 150 || c > 250 {
+			t.Fatalf("bin %d has %d items (want ~200): %v", i, c, counts)
+		}
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	// Uniform over 4 symbols: H = 2 bits. Constant: H = 0.
+	uniform := []int{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3}
+	if h := Entropy(uniform, 4); math.Abs(h-2) > 1e-9 {
+		t.Fatalf("uniform entropy %v, want 2", h)
+	}
+	constant := []int{1, 1, 1, 1, 1}
+	if h := Entropy(constant, 4); h != 0 {
+		t.Fatalf("constant entropy %v, want 0", h)
+	}
+}
+
+func TestCCERegularVsRandom(t *testing.T) {
+	// A strictly periodic sequence has near-zero conditional entropy;
+	// a random one stays high. This is the heart of the CCE test.
+	regular := make([]int, 2000)
+	for i := range regular {
+		regular[i] = i % 4
+	}
+	r := hw.NewRNG(7)
+	random := make([]int, 2000)
+	for i := range random {
+		random[i] = int(r.Int63n(4))
+	}
+	cceReg := CCE(regular, 4, 6)
+	cceRnd := CCE(random, 4, 6)
+	if cceReg > 0.3 {
+		t.Fatalf("regular CCE %v, want near 0", cceReg)
+	}
+	if cceRnd < 1.0 {
+		t.Fatalf("random CCE %v, want near 2", cceRnd)
+	}
+}
+
+func TestROCPerfectDetector(t *testing.T) {
+	pos := []float64{10, 11, 12}
+	neg := []float64{1, 2, 3}
+	if a := AUC(pos, neg); a != 1.0 {
+		t.Fatalf("perfect AUC = %v", a)
+	}
+	curve := ROC(pos, neg)
+	if curve[len(curve)-1].FPR != 1 || curve[len(curve)-1].TPR != 1 {
+		t.Fatalf("curve does not end at (1,1): %+v", curve)
+	}
+}
+
+func TestROCChanceDetector(t *testing.T) {
+	r := hw.NewRNG(3)
+	pos := make([]float64, 400)
+	neg := make([]float64, 400)
+	for i := range pos {
+		pos[i] = r.Float64()
+		neg[i] = r.Float64()
+	}
+	a := AUC(pos, neg)
+	if a < 0.44 || a > 0.56 {
+		t.Fatalf("chance AUC = %v, want ~0.5", a)
+	}
+}
+
+func TestROCInvertedDetector(t *testing.T) {
+	pos := []float64{1, 2, 3}
+	neg := []float64{10, 11, 12}
+	if a := AUC(pos, neg); a != 0 {
+		t.Fatalf("inverted AUC = %v, want 0", a)
+	}
+}
+
+func TestAUCMatchesCurveIntegral(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := hw.NewRNG(seed)
+		pos := make([]float64, 60)
+		neg := make([]float64, 60)
+		for i := range pos {
+			pos[i] = r.Norm(1, 1)
+			neg[i] = r.Norm(0, 1)
+		}
+		rank := AUC(pos, neg)
+		curve := AUCFromCurve(ROC(pos, neg))
+		return math.Abs(rank-curve) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAUCTiesAreHalfCredit(t *testing.T) {
+	pos := []float64{5, 5}
+	neg := []float64{5, 5}
+	if a := AUC(pos, neg); a != 0.5 {
+		t.Fatalf("all-ties AUC = %v, want 0.5", a)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string rendering")
+	}
+}
+
+func TestInt64sToFloats(t *testing.T) {
+	out := Int64sToFloats([]int64{1, -2, 3})
+	if len(out) != 3 || out[1] != -2 {
+		t.Fatalf("conversion wrong: %v", out)
+	}
+}

@@ -1,0 +1,258 @@
+// Package svm implements the Sanity Virtual Machine: a from-scratch,
+// interpreted, stack-based bytecode machine in the spirit of the
+// paper's clean-slate JVM (§3.1, §4.1). Like the paper's prototype it
+// has no JIT and no reflection; unlike a hosted JVM it charges every
+// instruction fetch and memory access through an explicit hardware
+// model (internal/hw), which is what makes its timing reproducible.
+//
+// The VM is single-core (one timed core) with deterministic
+// round-robin multithreading (§3.2): each runnable thread executes a
+// fixed budget of instructions before it is forced to yield, so
+// context switches land at identical instruction counts during play
+// and replay and never need to be logged. A single global instruction
+// counter identifies any point in the execution.
+package svm
+
+import "fmt"
+
+// Opcode identifies one SVM instruction. The set is deliberately
+// small (the paper's JVM has 202 instructions; the SVM keeps the same
+// flavor — typed arithmetic, arrays, objects, calls, exceptions,
+// monitors — without x86-style legacy forms).
+type Opcode uint8
+
+// Instruction opcodes. Instructions are fixed-width: an opcode plus
+// two int32 operands A and B (most use only A).
+const (
+	OpNop  Opcode = iota
+	OpHalt        // stop the VM; A = exit code
+
+	// Constants.
+	OpIConst // push small int A
+	OpLConst // push IntPool[A]
+	OpFConst // push FloatPool[A]
+	OpSConst // push interned string object StrPool[A]
+	OpNullC  // push null reference
+
+	// Operand stack.
+	OpPop
+	OpDup
+	OpSwap
+
+	// Locals. A = slot. OpIInc: locals[A] += B without stack traffic.
+	OpLoad
+	OpStore
+	OpIInc
+
+	// Integer arithmetic (64-bit two's complement).
+	OpIAdd
+	OpISub
+	OpIMul
+	OpIDiv
+	OpIRem
+	OpINeg
+	OpIShl
+	OpIShr
+	OpIUshr
+	OpIAnd
+	OpIOr
+	OpIXor
+
+	// Floating-point arithmetic (IEEE-754 double).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg
+
+	// Conversions.
+	OpI2F
+	OpF2I
+
+	// Comparisons: push -1, 0, or +1.
+	OpICmp
+	OpFCmp
+
+	// Control flow. A = target PC.
+	OpGoto
+	OpIfEq // pop int; branch if == 0
+	OpIfNe
+	OpIfLt
+	OpIfGe
+	OpIfGt
+	OpIfLe
+	OpIfICmpEq // pop two ints; branch on comparison
+	OpIfICmpNe
+	OpIfICmpLt
+	OpIfICmpGe
+	OpIfICmpGt
+	OpIfICmpLe
+	OpIfNull // pop ref; branch if null
+	OpIfNonNull
+
+	// Arrays. OpNewArr: A = element kind (ElemInt..ElemRef), pops
+	// length. OpALoad pops (arr, idx); OpAStore pops (arr, idx, val).
+	OpNewArr
+	OpALoad
+	OpAStore
+	OpALen
+
+	// Objects. OpNew: A = class index. Field ops: A = field offset.
+	OpNew
+	OpGetF
+	OpPutF
+
+	// Globals. A = global index.
+	OpGGet
+	OpGPut
+
+	// Calls. OpCall: A = function index. OpNCall: A = native index.
+	OpCall
+	OpNCall
+	OpRet  // return void
+	OpRetV // return top of stack
+
+	// Exceptions: pop a reference and unwind to a matching handler.
+	OpThrow
+
+	// Threads and monitors.
+	OpSpawn // A = function index, B = number of arguments popped
+	OpYield
+	OpMonEnter // pop object ref; block if lock held by another thread
+	OpMonExit
+
+	opCount // sentinel
+)
+
+// Array element kinds for OpNewArr.
+const (
+	ElemInt = iota
+	ElemFloat
+	ElemByte
+	ElemRef
+)
+
+// opInfo is the static description of one opcode: mnemonic, base
+// cycle cost (charged to the platform on top of fetch and memory
+// costs), and net stack effect where it is fixed.
+type opInfo struct {
+	name string
+	cost int64
+	pop  int // operands popped (fixed part)
+	push int // results pushed (fixed part)
+}
+
+var opTable = [opCount]opInfo{
+	OpNop:       {"nop", 1, 0, 0},
+	OpHalt:      {"halt", 1, 0, 0},
+	OpIConst:    {"iconst", 1, 0, 1},
+	OpLConst:    {"lconst", 1, 0, 1},
+	OpFConst:    {"fconst", 1, 0, 1},
+	OpSConst:    {"sconst", 2, 0, 1},
+	OpNullC:     {"nullc", 1, 0, 1},
+	OpPop:       {"pop", 1, 1, 0},
+	OpDup:       {"dup", 1, 1, 2},
+	OpSwap:      {"swap", 1, 2, 2},
+	OpLoad:      {"load", 1, 0, 1},
+	OpStore:     {"store", 1, 1, 0},
+	OpIInc:      {"iinc", 1, 0, 0},
+	OpIAdd:      {"iadd", 1, 2, 1},
+	OpISub:      {"isub", 1, 2, 1},
+	OpIMul:      {"imul", 3, 2, 1},
+	OpIDiv:      {"idiv", 24, 2, 1},
+	OpIRem:      {"irem", 24, 2, 1},
+	OpINeg:      {"ineg", 1, 1, 1},
+	OpIShl:      {"ishl", 1, 2, 1},
+	OpIShr:      {"ishr", 1, 2, 1},
+	OpIUshr:     {"iushr", 1, 2, 1},
+	OpIAnd:      {"iand", 1, 2, 1},
+	OpIOr:       {"ior", 1, 2, 1},
+	OpIXor:      {"ixor", 1, 2, 1},
+	OpFAdd:      {"fadd", 3, 2, 1},
+	OpFSub:      {"fsub", 3, 2, 1},
+	OpFMul:      {"fmul", 5, 2, 1},
+	OpFDiv:      {"fdiv", 22, 2, 1},
+	OpFNeg:      {"fneg", 1, 1, 1},
+	OpI2F:       {"i2f", 4, 1, 1},
+	OpF2I:       {"f2i", 4, 1, 1},
+	OpICmp:      {"icmp", 1, 2, 1},
+	OpFCmp:      {"fcmp", 3, 2, 1},
+	OpGoto:      {"goto", 1, 0, 0},
+	OpIfEq:      {"ifeq", 1, 1, 0},
+	OpIfNe:      {"ifne", 1, 1, 0},
+	OpIfLt:      {"iflt", 1, 1, 0},
+	OpIfGe:      {"ifge", 1, 1, 0},
+	OpIfGt:      {"ifgt", 1, 1, 0},
+	OpIfLe:      {"ifle", 1, 1, 0},
+	OpIfICmpEq:  {"if_icmpeq", 1, 2, 0},
+	OpIfICmpNe:  {"if_icmpne", 1, 2, 0},
+	OpIfICmpLt:  {"if_icmplt", 1, 2, 0},
+	OpIfICmpGe:  {"if_icmpge", 1, 2, 0},
+	OpIfICmpGt:  {"if_icmpgt", 1, 2, 0},
+	OpIfICmpLe:  {"if_icmple", 1, 2, 0},
+	OpIfNull:    {"ifnull", 1, 1, 0},
+	OpIfNonNull: {"ifnonnull", 1, 1, 0},
+	OpNewArr:    {"newarr", 40, 1, 1},
+	OpALoad:     {"aload", 1, 2, 1},
+	OpAStore:    {"astore", 1, 3, 0},
+	OpALen:      {"alen", 1, 1, 1},
+	OpNew:       {"new", 40, 0, 1},
+	OpGetF:      {"getf", 1, 1, 1},
+	OpPutF:      {"putf", 1, 2, 0},
+	OpGGet:      {"gget", 1, 0, 1},
+	OpGPut:      {"gput", 1, 1, 0},
+	OpCall:      {"call", 10, 0, 0}, // args handled by callee's NumParams
+	OpNCall:     {"ncall", 30, 0, 0},
+	OpRet:       {"ret", 8, 0, 0},
+	OpRetV:      {"retv", 8, 1, 0},
+	OpThrow:     {"throw", 50, 1, 0},
+	OpSpawn:     {"spawn", 80, 0, 1},
+	OpYield:     {"yield", 4, 0, 0},
+	OpMonEnter:  {"monenter", 12, 1, 0},
+	OpMonExit:   {"monexit", 12, 1, 0},
+}
+
+// String returns the opcode mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opTable) && opTable[o].name != "" {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// BaseCost returns the opcode's base cycle cost, before memory
+// hierarchy effects.
+func (o Opcode) BaseCost() int64 {
+	if int(o) < len(opTable) {
+		return opTable[o].cost
+	}
+	return 1
+}
+
+// opcodeByName maps mnemonics back to opcodes for the assembler.
+var opcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, opCount)
+	for op := Opcode(0); op < opCount; op++ {
+		if opTable[op].name != "" {
+			m[opTable[op].name] = op
+		}
+	}
+	return m
+}()
+
+// OpcodeByName resolves a mnemonic; ok is false for unknown names.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opcodeByName[name]
+	return op, ok
+}
+
+// Instr is one fixed-width SVM instruction.
+type Instr struct {
+	Op Opcode
+	A  int32
+	B  int32
+}
+
+// InstrBytes is the architectural size of one instruction; the
+// instruction-fetch path charges I-cache accesses at PC*InstrBytes.
+const InstrBytes = 8

@@ -1,0 +1,106 @@
+package svm
+
+// ThreadState tracks where a thread is in its lifecycle.
+type ThreadState uint8
+
+// Thread states.
+const (
+	ThreadRunnable ThreadState = iota
+	ThreadBlocked              // waiting on a monitor
+	ThreadDone
+)
+
+// Frame is one activation record: function, program counter, locals,
+// and operand stack. localsAddr is the virtual address of local slot
+// 0; the interpreter charges locals traffic against it so that the
+// cache model sees realistic stack behavior.
+type Frame struct {
+	fn         *Function
+	fnIdx      int
+	pc         int
+	locals     []Value
+	stack      []Value
+	localsAddr int64
+}
+
+// Thread is one SVM thread. Threads are scheduled round-robin with a
+// fixed instruction budget (§3.2 deterministic multithreading), so
+// their interleaving is a pure function of the program.
+type Thread struct {
+	ID     int
+	State  ThreadState
+	frames []*Frame
+
+	stackBase int64 // base of this thread's stack region
+	stackTop  int64 // next frame's locals address
+
+	waitingOn Ref // monitor this thread is blocked on (if Blocked)
+
+	// Result holds the main function's return value for thread 0,
+	// or the spawned function's return value otherwise.
+	Result Value
+}
+
+const (
+	codeSpaceBase   = int64(0x0100_0000)
+	globalSpaceBase = int64(0x0800_0000)
+	stackSpaceBase  = int64(0x1000_0000)
+	stackSpaceSize  = int64(0x0010_0000) // 1 MB per thread
+	frameSlack      = int64(64)          // saved-registers area per frame
+)
+
+// top returns the current (innermost) frame.
+func (t *Thread) top() *Frame {
+	return t.frames[len(t.frames)-1]
+}
+
+// pushFrame activates fn with the given arguments in its first slots.
+func (t *Thread) pushFrame(fn *Function, fnIdx int, args []Value) {
+	f := &Frame{
+		fn:         fn,
+		fnIdx:      fnIdx,
+		locals:     make([]Value, fn.NumLocals),
+		localsAddr: t.stackTop,
+	}
+	copy(f.locals, args)
+	t.stackTop += alignUp(int64(fn.NumLocals)*8+frameSlack, 64)
+	t.frames = append(t.frames, f)
+}
+
+// popFrame deactivates the innermost frame and releases its stack
+// region.
+func (t *Thread) popFrame() *Frame {
+	f := t.frames[len(t.frames)-1]
+	t.frames = t.frames[:len(t.frames)-1]
+	t.stackTop = f.localsAddr
+	return f
+}
+
+// roots appends every reference reachable from this thread's frames.
+func (t *Thread) roots(out []Ref) []Ref {
+	for _, f := range t.frames {
+		for _, v := range f.locals {
+			if v.K == KRef && v.I != 0 {
+				out = append(out, v.Ref())
+			}
+		}
+		for _, v := range f.stack {
+			if v.K == KRef && v.I != 0 {
+				out = append(out, v.Ref())
+			}
+		}
+	}
+	if t.Result.K == KRef && t.Result.I != 0 {
+		out = append(out, t.Result.Ref())
+	}
+	return out
+}
+
+// monitor is the lock state for one object.
+type monitor struct {
+	owner int // thread ID, -1 when free
+	depth int
+	queue []int // blocked thread IDs, FIFO (deterministic wakeup)
+}
+
+func alignUp(v, a int64) int64 { return (v + a - 1) &^ (a - 1) }

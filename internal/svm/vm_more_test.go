@@ -1,0 +1,478 @@
+package svm_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sanity/internal/asm"
+	"sanity/internal/hw"
+	"sanity/internal/svm"
+)
+
+func TestSwapAndDup(t *testing.T) {
+	v := mainResult(t, `
+	    iconst 3
+	    iconst 10
+	    swap
+	    isub          ; 10 - 3
+	    dup
+	    iadd          ; 7 + 7
+	    gput out
+	    ret`)
+	if v.I != 14 {
+		t.Fatalf("got %d, want 14", v.I)
+	}
+}
+
+func TestRefArrays(t *testing.T) {
+	vm := run(t, `
+.global out
+.func main 0 3
+    iconst 2
+    newarr ref
+    store 0
+    load 0
+    iconst 0
+    sconst "abc"
+    astore
+    load 0
+    iconst 1
+    sconst "defgh"
+    astore
+    load 0
+    iconst 0
+    aload
+    alen
+    load 0
+    iconst 1
+    aload
+    alen
+    iadd
+    gput out
+    ret
+.end`, nil)
+	gi, _ := vm.Prog.GlobalIndex("out")
+	if vm.Globals[gi].I != 8 {
+		t.Fatalf("total string length %d, want 8", vm.Globals[gi].I)
+	}
+}
+
+func TestNullStoreIntoRefArray(t *testing.T) {
+	run(t, `
+.func main 0 2
+    iconst 1
+    newarr ref
+    store 0
+    load 0
+    iconst 0
+    nullc
+    astore
+    load 0
+    iconst 0
+    aload
+    ifnull ok
+    iconst 1
+    iconst 0
+    idiv
+    pop
+ok:
+    ret
+.end`, nil)
+}
+
+func TestMixedTypeArrayStoreTraps(t *testing.T) {
+	runErr(t, `
+.func main 0 2
+    iconst 1
+    newarr float
+    store 0
+    load 0
+    iconst 0
+    iconst 7
+    astore
+    ret
+.end`, "float array")
+}
+
+func TestNestedExceptionHandlers(t *testing.T) {
+	// Inner handler rethrows; outer handler catches.
+	v := mainResult(t, `
+	outer_s:
+	    call risky
+	    ret
+	outer_e:
+	outer_h:
+	    pop
+	    iconst 42
+	    gput out
+	    ret
+	.catch outer_s outer_e outer_h
+	.end
+	.func risky 0 1
+	inner_s:
+	    sconst "boom"
+	    throw
+	    ret
+	inner_e:
+	inner_h:
+	    throw        ; rethrow to the caller
+	    ret
+	.catch inner_s inner_e inner_h`)
+	if v.I != 42 {
+		t.Fatalf("outer handler result %d, want 42", v.I)
+	}
+}
+
+func TestSpawnedThreadResultIsolated(t *testing.T) {
+	// A value-returning function can be spawned; its return value is
+	// stored on the thread, not pushed anywhere.
+	vm := run(t, `
+.global out
+.func main 0 2
+    iconst 5
+    spawn double
+    pop
+    ret
+.end
+.func double 1 1 retv
+    load 0
+    load 0
+    iadd
+    dup
+    gput out
+    retv
+.end`, nil)
+	gi, _ := vm.Prog.GlobalIndex("out")
+	if vm.Globals[gi].I != 10 {
+		t.Fatalf("spawned result %d, want 10", vm.Globals[gi].I)
+	}
+	threads := vm.Threads()
+	if len(threads) != 2 {
+		t.Fatalf("threads = %d", len(threads))
+	}
+	if threads[1].Result.I != 10 {
+		t.Fatalf("thread result %v", threads[1].Result)
+	}
+}
+
+func TestReentrantMonitor(t *testing.T) {
+	run(t, `
+.global lock
+.func main 0 1
+    iconst 1
+    newarr int
+    gput lock
+    gget lock
+    monenter
+    gget lock
+    monenter     ; re-entry by the owner must not deadlock
+    gget lock
+    monexit
+    gget lock
+    monexit
+    ret
+.end`, nil)
+}
+
+func TestMonitorExitWithoutOwnershipTraps(t *testing.T) {
+	runErr(t, `
+.func main 0 1
+    iconst 1
+    newarr int
+    monexit
+    ret
+.end`, "monexit without ownership")
+}
+
+func TestSliceBudgetBoundsInterleaving(t *testing.T) {
+	// With a huge budget, the first spawned thread runs to completion
+	// before the second starts; with budget 1 they alternate. The
+	// recorded order must reflect that.
+	src := `
+.global buf
+.global pos
+.func main 0 1
+    iconst 40
+    newarr int
+    gput buf
+    iconst 1
+    spawn writer
+    pop
+    iconst 2
+    spawn writer
+    pop
+    ret
+.end
+.func writer 1 2
+    iconst 0
+    store 1
+loop:
+    load 1
+    iconst 10
+    if_icmpge done
+    gget buf
+    gget pos
+    load 0
+    astore
+    gget pos
+    iconst 1
+    iadd
+    gput pos
+    iinc 1 1
+    goto loop
+done:
+    ret
+.end`
+	order := func(budget int64) []int64 {
+		prog := asm.MustAssemble("sched", src)
+		vm, err := svm.New(prog, nil, svm.Config{SliceBudget: budget, MaxSteps: 1_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Run(); err != nil {
+			t.Fatal(err)
+		}
+		gi, _ := prog.GlobalIndex("buf")
+		return vm.Heap.Get(vm.Globals[gi].Ref()).AI[:20]
+	}
+	big := order(1 << 20)
+	// Sequential: all 1s then all 2s.
+	for i := 0; i < 10; i++ {
+		if big[i] != 1 || big[10+i] != 2 {
+			t.Fatalf("big budget interleaved: %v", big)
+		}
+	}
+	// With a tiny budget the threads interleave (and, absent locks,
+	// race on pos — deterministically). The result cannot be the
+	// sequential pattern above.
+	small := order(7)
+	sequential := true
+	for i := 0; i < 10; i++ {
+		if small[i] != 1 || small[10+i] != 2 {
+			sequential = false
+			break
+		}
+	}
+	if sequential {
+		t.Fatalf("small budget still sequential: %v", small)
+	}
+	// And it must be reproducible: deterministic multithreading means
+	// the same racy interleaving every run.
+	again := order(7)
+	for i := range small {
+		if small[i] != again[i] {
+			t.Fatalf("racy interleaving not deterministic at %d", i)
+		}
+	}
+}
+
+func TestVerifierHandlerChecks(t *testing.T) {
+	prog := svm.NewProgram("h")
+	fn := &svm.Function{Name: "main", NumLocals: 1, Code: []svm.Instr{
+		{Op: svm.OpNop}, {Op: svm.OpRet},
+	}, Handlers: []svm.Handler{{Start: 0, End: 5, Target: 0, Class: -1}}}
+	if _, err := prog.AddFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	err := svm.Verify(prog)
+	if err == nil || !strings.Contains(err.Error(), "handler") {
+		t.Fatalf("bad handler range accepted: %v", err)
+	}
+}
+
+func TestVerifierSpawnArity(t *testing.T) {
+	_, err := asm.Assemble("s", `
+.func main 0 1
+    iconst 1
+    iconst 2
+    spawn w
+    pop
+    ret
+.end
+.func w 2 2
+    ret
+.end`)
+	// The assembler auto-fills spawn arity from the callee, so this
+	// assembles; hand-built wrong arity must be rejected.
+	if err != nil {
+		t.Fatalf("assembler spawn failed: %v", err)
+	}
+	prog := svm.NewProgram("bad")
+	w := &svm.Function{Name: "w", NumParams: 2, NumLocals: 2, Code: []svm.Instr{{Op: svm.OpRet}}}
+	main := &svm.Function{Name: "main", NumLocals: 1, Code: []svm.Instr{
+		{Op: svm.OpIConst, A: 1},
+		{Op: svm.OpSpawn, A: 1, B: 1}, // wrong: w takes 2
+		{Op: svm.OpPop},
+		{Op: svm.OpRet},
+	}}
+	if _, err := prog.AddFunction(main); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.AddFunction(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := svm.Verify(prog); err == nil {
+		t.Fatal("wrong spawn arity accepted")
+	}
+}
+
+func TestHeapAllocKinds(t *testing.T) {
+	h := svm.NewHeap(0)
+	for _, kind := range []int{svm.ElemInt, svm.ElemFloat, svm.ElemByte, svm.ElemRef} {
+		r, err := h.AllocArray(kind, 16)
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if h.Get(r).Len() != 16 {
+			t.Fatalf("kind %d len wrong", kind)
+		}
+	}
+	if _, err := h.AllocArray(99, 1); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestHeapAddressesAligned(t *testing.T) {
+	h := svm.NewHeap(0)
+	f := func(sz uint16) bool {
+		r := h.AllocBytes(make([]byte, int(sz)%4096))
+		return h.Get(r).Addr%64 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimedMultithreadedDeterministicAcrossSeeds(t *testing.T) {
+	// Deterministic multithreading (§3.2): with the Sanity profile the
+	// interleaving is identical across hardware seeds, so instruction
+	// counts match exactly.
+	src := `
+.global pos
+.func main 0 1
+    spawn w
+    pop
+    spawn w
+    pop
+    ret
+.end
+.func w 0 2
+    iconst 0
+    store 0
+loop:
+    load 0
+    iconst 200
+    if_icmpge done
+    gget pos
+    iconst 1
+    iadd
+    gput pos
+    iinc 0 1
+    yield
+    goto loop
+done:
+    ret
+.end`
+	runWith := func(seed uint64) int64 {
+		prog := asm.MustAssemble("mt", src)
+		plat := hw.MustNewPlatform(hw.Optiplex9020(), hw.ProfileSanity(), seed)
+		vm, err := svm.New(prog, nil, svm.Config{Platform: plat, SliceBudget: 13, MaxSteps: 1_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return vm.InstrCount
+	}
+	if runWith(1) != runWith(2) {
+		t.Fatal("instruction counts differ across seeds under deterministic multithreading")
+	}
+}
+
+func TestSchedulerJitterBreaksDeterminismInDirtyMode(t *testing.T) {
+	// The converse: a noisy scheduler (SchedulerJitter > 0) moves the
+	// slice boundaries, so multithreaded interleavings vary by seed.
+	// This is the "Scheduler" row of Table 1.
+	src := `
+.global buf
+.global pos
+.func main 0 1
+    iconst 400
+    newarr int
+    gput buf
+    spawn w1
+    pop
+    spawn w2
+    pop
+    ret
+.end
+.func w1 0 2
+    iconst 0
+    store 0
+l:
+    load 0
+    iconst 100
+    if_icmpge d
+    gget buf
+    gget pos
+    iconst 1
+    astore
+    gget pos
+    iconst 1
+    iadd
+    gput pos
+    iinc 0 1
+    goto l
+d:
+    ret
+.end
+.func w2 0 2
+    iconst 0
+    store 0
+l:
+    load 0
+    iconst 100
+    if_icmpge d
+    gget buf
+    gget pos
+    iconst 2
+    astore
+    gget pos
+    iconst 1
+    iadd
+    gput pos
+    iinc 0 1
+    goto l
+d:
+    ret
+.end`
+	capture := func(seed uint64) []int64 {
+		prog := asm.MustAssemble("mtj", src)
+		plat := hw.MustNewPlatform(hw.Optiplex9020(), hw.ProfileDirty(), seed)
+		vm, err := svm.New(prog, nil, svm.Config{Platform: plat, SliceBudget: 17, MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Run(); err != nil {
+			t.Fatal(err)
+		}
+		gi, _ := prog.GlobalIndex("buf")
+		return append([]int64(nil), vm.Heap.Get(vm.Globals[gi].Ref()).AI...)
+	}
+	a := capture(1)
+	diff := false
+	for s := uint64(2); s < 6 && !diff; s++ {
+		b := capture(s)
+		for i := range a {
+			if a[i] != b[i] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("dirty-mode scheduler produced identical interleavings across seeds")
+	}
+}

@@ -1,0 +1,132 @@
+// Package sanity is the public API of the Sanity time-deterministic
+// replay (TDR) library, a reproduction of "Detecting Covert Timing
+// Channels with Time-Deterministic Replay" (Chen et al., OSDI 2014).
+//
+// The library can:
+//
+//   - run programs for the Sanity VM (a clean-slate, interpreted,
+//     JVM-like bytecode machine) on a deterministic hardware timing
+//     model, recording every nondeterministic input in a log;
+//
+//   - replay such a log with time determinism: the replayed execution
+//     reproduces not only the outputs but their virtual timing, to
+//     within the residual hardware noise (<2%);
+//
+//   - audit a machine for covert timing channels by replaying its log
+//     on a known-good binary and comparing packet timings (the TDR
+//     detector), alongside the four statistical detectors from the
+//     literature.
+//
+// Quick start:
+//
+//	prog, _ := sanity.Assemble("hello", src)
+//	play, log, _ := sanity.Play(prog, inputs, sanity.DefaultConfig(1))
+//	replay, _ := sanity.ReplayTDR(prog, log, sanity.DefaultConfig(2))
+//	cmp, _ := sanity.Compare(play, replay)
+//	fmt.Printf("max IPD deviation: %.3f%%\n", cmp.MaxRelIPDDev*100)
+//
+// The subsystems live in internal packages: internal/svm (the VM),
+// internal/hw (the timing model), internal/core (the TDR engine),
+// internal/covert and internal/detect (channels and detectors), and
+// internal/experiments (the paper's evaluation). This package
+// re-exports the surface a downstream user needs.
+package sanity
+
+import (
+	"sanity/internal/asm"
+	"sanity/internal/core"
+	"sanity/internal/hw"
+	"sanity/internal/replaylog"
+	"sanity/internal/svm"
+)
+
+// Program is a loaded SVM program.
+type Program = svm.Program
+
+// Config describes one execution: machine type, noise profile, seed,
+// stable-storage contents, and (for compromised machines) the covert
+// delay hook.
+type Config = core.Config
+
+// Execution is the observable result of a run: outputs with virtual
+// timestamps, the event trace, and hardware statistics.
+type Execution = core.Execution
+
+// InputEvent is one scheduled input (arrival time + payload).
+type InputEvent = core.InputEvent
+
+// OutputEvent is one captured output.
+type OutputEvent = core.OutputEvent
+
+// Log is the record of nondeterministic events written during play.
+type Log = replaylog.Log
+
+// TimingComparison relates a replay's timing to the observed one.
+type TimingComparison = core.TimingComparison
+
+// MachineSpec describes a machine type T (clock, caches, TLB, DRAM).
+type MachineSpec = hw.MachineSpec
+
+// NoiseProfile selects which sources of time noise are active.
+type NoiseProfile = hw.NoiseProfile
+
+// DelayHook is the covert channel's send-path primitive.
+type DelayHook = core.DelayHook
+
+// Assemble parses SVM assembly into a verified program.
+func Assemble(name, src string) (*Program, error) {
+	return asm.Assemble(name, src)
+}
+
+// Disassemble renders a program back to readable assembly.
+func Disassemble(p *Program) string {
+	return asm.Disassemble(p)
+}
+
+// Play runs the original execution and records its log.
+func Play(prog *Program, inputs []InputEvent, cfg Config) (*Execution, *Log, error) {
+	return core.Play(prog, inputs, cfg)
+}
+
+// ReplayTDR reproduces an execution — outputs and timing — from its
+// log.
+func ReplayTDR(prog *Program, log *Log, cfg Config) (*Execution, error) {
+	return core.ReplayTDR(prog, log, cfg)
+}
+
+// ReplayFunctional reproduces only the functional behavior, the way
+// conventional deterministic-replay systems do; its timing diverges
+// from play (paper Figure 3).
+func ReplayFunctional(prog *Program, log *Log, cfg Config) (*Execution, error) {
+	return core.ReplayFunctional(prog, log, cfg)
+}
+
+// Compare aligns a play execution with a replay and summarizes the
+// timing deviation; it is the measurement behind the TDR detector.
+func Compare(play, replay *Execution) (*TimingComparison, error) {
+	return core.Compare(play, replay)
+}
+
+// Optiplex9020 is the paper's testbed machine type.
+func Optiplex9020() MachineSpec { return hw.Optiplex9020() }
+
+// SlowerT is a weaker machine type T' for the cloud-verification
+// scenario.
+func SlowerT() MachineSpec { return hw.SlowerT() }
+
+// ProfileSanity is the full Sanity design: all Table-1 mitigations on.
+func ProfileSanity() NoiseProfile { return hw.ProfileSanity() }
+
+// ProfileDirty is an uncontrolled multi-user environment.
+func ProfileDirty() NoiseProfile { return hw.ProfileDirty() }
+
+// DefaultConfig returns a ready-to-use Sanity configuration on the
+// paper's machine with the given noise seed.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Machine:  hw.Optiplex9020(),
+		Profile:  hw.ProfileSanity(),
+		Seed:     seed,
+		MaxSteps: 4_000_000_000,
+	}
+}

@@ -1,0 +1,152 @@
+package sanity_test
+
+import (
+	"strings"
+	"testing"
+
+	"sanity"
+)
+
+const echoSrc = `
+.program facade-echo
+.func main 0 2
+loop:
+    ncall io.recvblock 0
+    store 0
+    load 0
+    ifnull done
+    load 0
+    ncall io.send 1
+    pop
+    goto loop
+done:
+    ret
+.end`
+
+func TestFacadePlayReplayRoundTrip(t *testing.T) {
+	prog, err := sanity.Assemble("facade-echo", echoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []sanity.InputEvent{
+		{ArrivalPs: 1_000_000_000, Payload: []byte("a")},
+		{ArrivalPs: 3_000_000_000, Payload: []byte("bb")},
+	}
+	play, log, err := sanity.Play(prog, inputs, sanity.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := sanity.ReplayTDR(prog, log, sanity.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := sanity.Compare(play, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OutputsMatch {
+		t.Fatal("outputs diverged through the facade")
+	}
+	if cmp.MaxRelIPDDev > 0.02 {
+		t.Fatalf("IPD deviation %.4f above 2%%", cmp.MaxRelIPDDev)
+	}
+}
+
+func TestFacadeFunctionalReplay(t *testing.T) {
+	prog, err := sanity.Assemble("facade-echo", echoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []sanity.InputEvent{
+		{ArrivalPs: 5_000_000_000, Payload: []byte("x")},
+		{ArrivalPs: 25_000_000_000, Payload: []byte("y")},
+	}
+	play, log, err := sanity.Play(prog, inputs, sanity.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := sanity.ReplayFunctional(prog, log, sanity.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.TotalPs >= play.TotalPs/2 {
+		t.Fatalf("functional replay should skip waits: %d vs %d", fr.TotalPs, play.TotalPs)
+	}
+}
+
+func TestFacadeDisassemble(t *testing.T) {
+	prog, err := sanity.Assemble("facade-echo", echoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sanity.Disassemble(prog)
+	if !strings.Contains(text, "recvblock") || !strings.Contains(text, ".func main") {
+		t.Fatalf("disassembly missing expected content:\n%s", text)
+	}
+}
+
+func TestFacadeMachinePresets(t *testing.T) {
+	t7 := sanity.Optiplex9020()
+	tp := sanity.SlowerT()
+	if t7.ClockGHz <= tp.ClockGHz {
+		t.Fatal("T' should be slower than T")
+	}
+	if err := t7.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sanity.ProfileSanity().Name != "sanity" || sanity.ProfileDirty().Name != "dirty" {
+		t.Fatal("profile presets misnamed")
+	}
+}
+
+func TestFacadeMachineTypeDetection(t *testing.T) {
+	// The cloudcheck scenario through the public API: an execution on
+	// T' replayed on T shows a large timing deviation.
+	prog, err := sanity.Assemble("work", `
+.func main 0 3
+    iconst 16384
+    newarr int
+    store 0
+    iconst 0
+    store 1
+loop:
+    load 1
+    iconst 16384
+    if_icmpge send
+    load 0
+    load 1
+    load 1
+    astore
+    iinc 1 1
+    goto loop
+send:
+    iconst 1
+    newarr byte
+    ncall io.send 1
+    pop
+    ret
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheatCfg := sanity.DefaultConfig(10)
+	cheatCfg.Machine = sanity.SlowerT()
+	cheat, log, err := sanity.Play(prog, nil, cheatCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := sanity.ReplayTDR(prog, log, sanity.DefaultConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := sanity.Compare(cheat, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.TotalRelDev < 0.10 {
+		t.Fatalf("T' vs T deviation %.3f suspiciously small", cmp.TotalRelDev)
+	}
+}
