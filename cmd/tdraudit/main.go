@@ -1,0 +1,103 @@
+// Command tdraudit runs the concurrent multi-trace audit pipeline
+// over a labeled batch of recorded NFS sessions: half benign, half
+// compromised by the four covert timing channels. Every trace goes
+// through the full Sanity path — statistical detectors plus
+// time-deterministic replay of the trace's log on the known-good
+// binary — and per-trace verdicts stream out as they are merged back
+// into submission order.
+//
+//	tdraudit                          # 120 traces, all CPUs
+//	tdraudit -traces 240 -workers 4   # fixed pool
+//	tdraudit -stream                  # print each verdict as it lands
+//	tdraudit -compare                 # also run 1 worker, report speedup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"sanity/internal/fixtures"
+	"sanity/internal/pipeline"
+)
+
+func main() {
+	var (
+		traces    = flag.Int("traces", 120, "total test traces (half benign, half covert)")
+		packets   = flag.Int("packets", 60, "packets per trace")
+		workers   = flag.Int("workers", 0, "audit workers (0 = GOMAXPROCS)")
+		batch     = flag.Int("batch", 8, "traces per scheduling chunk")
+		queue     = flag.Int("queue", 0, "bounded queue depth in chunks (0 = 2x workers)")
+		threshold = flag.Float64("threshold", 0.05, "TDR suspicion threshold (max relative IPD deviation)")
+		seed      = flag.Uint64("seed", 42, "base noise seed")
+		stream    = flag.Bool("stream", false, "print each verdict as it is emitted")
+		compare   = flag.Bool("compare", false, "also run with 1 worker and report the speedup")
+	)
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "recording %d traces of %d packets (plus training traces)...\n", *traces, *packets)
+	b, err := fixtures.LabeledAuditBatch(*traces, *packets, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := pipeline.Config{
+		Workers:      *workers,
+		BatchSize:    *batch,
+		QueueDepth:   *queue,
+		TDRThreshold: *threshold,
+	}
+	p := pipeline.New(cfg)
+	fmt.Fprintf(os.Stderr, "auditing %d traces on %s (GOMAXPROCS %d)...\n",
+		len(b.Jobs), p, runtime.GOMAXPROCS(0))
+
+	s, err := p.Go(b)
+	if err != nil {
+		fatal(err)
+	}
+	for v := range s.Verdicts {
+		if !*stream {
+			continue
+		}
+		mark := " "
+		if v.Suspicious {
+			mark = "!"
+		}
+		tdr := "    -    "
+		if v.TDRAudited {
+			tdr = fmt.Sprintf("%8.4f%%", v.TDRScore*100)
+		}
+		fmt.Printf("%s %-12s %-7s tdr-dev %s", mark, v.JobID, v.Label, tdr)
+		if v.Err != "" {
+			fmt.Printf("  [%s]", v.Err)
+		}
+		fmt.Println()
+	}
+	r := s.Wait()
+	fmt.Print(r.Format())
+
+	if *compare && p.Workers() > 1 {
+		fmt.Fprintf(os.Stderr, "re-auditing with 1 worker for comparison...\n")
+		cfg1 := cfg
+		cfg1.Workers = 1
+		r1, err := pipeline.New(cfg1).Run(b)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r1.Format())
+		if r1.Metrics.ThroughputPerSec > 0 {
+			fmt.Printf("speedup with %d workers: %.2fx\n",
+				r.Metrics.Workers, r.Metrics.ThroughputPerSec/r1.Metrics.ThroughputPerSec)
+		}
+		if string(r.Canonical()) != string(r1.Canonical()) {
+			fatal(fmt.Errorf("verdicts diverged between worker counts — determinism violation"))
+		}
+		fmt.Println("verdicts identical across worker counts: true")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tdraudit: %v\n", err)
+	os.Exit(1)
+}

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig6|fig7|log|fig8|noise|ablate")
+		which = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig6|fig7|log|fig8|noise|ablate|throughput")
 		full  = flag.Bool("full", false, "use paper-scale experiment sizes (slow)")
 		seed  = flag.Uint64("seed", 42, "base noise seed")
 	)
@@ -98,6 +98,13 @@ func main() {
 			return "", err
 		}
 		return experiments.FormatNoiseVsJitter(experiments.NoiseVsJitter(fig7)), nil
+	})
+	run("throughput", func() (string, error) {
+		r, err := experiments.Throughput(sizes, *seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatThroughput(r), nil
 	})
 	run("ablate", func() (string, error) {
 		packets := 60

@@ -1,0 +1,3 @@
+module sanity
+
+go 1.24

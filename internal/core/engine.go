@@ -120,6 +120,35 @@ type Config struct {
 	ExtraNatives map[string]svm.NativeFunc
 }
 
+// Clone returns a deep copy of the configuration: the Files and
+// ExtraNatives maps are duplicated so that the copy shares no mutable
+// state with the original. File *contents* are still shared — the
+// engine treats stable storage as read-only initial state — but a
+// holder of the clone may add or remove entries freely.
+//
+// Play/ReplayTDR/ReplayFunctional already take Config by value and
+// build all engine state per run, so concurrent executions are safe
+// as long as no goroutine mutates a shared Files/ExtraNatives map or
+// installs a Hook with unsynchronized captured state. Clone is how an
+// auditor that reuses one prototype Config across a worker pool
+// severs that last bit of sharing.
+func (c Config) Clone() Config {
+	out := c
+	if c.Files != nil {
+		out.Files = make(map[string][]byte, len(c.Files))
+		for k, v := range c.Files {
+			out.Files[k] = v
+		}
+	}
+	if c.ExtraNatives != nil {
+		out.ExtraNatives = make(map[string]svm.NativeFunc, len(c.ExtraNatives))
+		for k, v := range c.ExtraNatives {
+			out.ExtraNatives[k] = v
+		}
+	}
+	return out
+}
+
 // Default polling-loop cost model: a handful of instructions and a
 // couple of dozen cycles per check.
 const (

@@ -217,19 +217,35 @@ func (c *CCE) Score(tr *Trace) (float64, error) {
 // the observed packet timing against the reconstruction. The score is
 // the maximum relative IPD deviation — in effect, "how much timing
 // the adversary added that the software cannot explain".
+//
+// A TDR detector is safe for concurrent use: NewTDR severs the
+// configuration from the caller's copy, Score never mutates detector
+// state, and every replay builds its engine (platform, VM, ring
+// buffers) from scratch. One detector can therefore serve a whole
+// audit worker pool.
 type TDR struct {
-	// Prog is the known-good binary of the audited software.
+	// Prog is the known-good binary of the audited software. Programs
+	// are immutable after assembly, so sharing one across goroutines
+	// is safe.
 	Prog *svm.Program
 	// Cfg is the auditor's replay configuration (machine of the same
-	// type T; no covert hook).
+	// type T; no covert hook). It is a private deep copy; callers must
+	// not mutate it after construction.
 	Cfg core.Config
 }
 
+// FunctionalDivergenceScore is returned by Score when the replay's
+// outputs do not match the observed execution at all: the machine was
+// not running the claimed software, the strongest possible signal.
+const FunctionalDivergenceScore = 1e9
+
 // NewTDR builds the detector. The configuration's Hook is forcibly
-// cleared: the auditor replays the *unmodified* software.
+// cleared — the auditor replays the *unmodified* software — and the
+// configuration is deep-copied so later caller-side mutation of its
+// Files/ExtraNatives maps cannot race with audits in flight.
 func NewTDR(prog *svm.Program, cfg core.Config) *TDR {
 	cfg.Hook = nil
-	return &TDR{Prog: prog, Cfg: cfg}
+	return &TDR{Prog: prog, Cfg: cfg.Clone()}
 }
 
 // Name implements Detector.
@@ -238,23 +254,28 @@ func (d *TDR) Name() string { return "sanity-tdr" }
 // Score implements Detector: it runs the replay. Traces without a log
 // cannot be audited and return an error.
 func (d *TDR) Score(tr *Trace) (float64, error) {
-	if tr.Log == nil || tr.Play == nil {
-		return 0, fmt.Errorf("detect: TDR detector needs the machine's log and observed execution")
-	}
-	replay, err := core.ReplayTDR(d.Prog, tr.Log, d.Cfg)
-	if err != nil {
-		return 0, fmt.Errorf("detect: replay failed: %w", err)
-	}
-	cmp, err := core.Compare(tr.Play, replay)
+	cmp, err := d.ScoreDetail(tr)
 	if err != nil {
 		return 0, err
 	}
 	if !cmp.OutputsMatch {
-		// Functional divergence is the strongest possible signal: the
-		// machine was not running the claimed software at all.
-		return 1e9, nil
+		return FunctionalDivergenceScore, nil
 	}
 	return cmp.MaxRelIPDDev, nil
+}
+
+// ScoreDetail runs the replay and returns the full timing comparison
+// — the material an audit pipeline reports alongside the scalar
+// verdict. Safe to call from multiple goroutines.
+func (d *TDR) ScoreDetail(tr *Trace) (*core.TimingComparison, error) {
+	if tr.Log == nil || tr.Play == nil {
+		return nil, fmt.Errorf("detect: TDR detector needs the machine's log and observed execution")
+	}
+	replay, err := core.ReplayTDR(d.Prog, tr.Log, d.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("detect: replay failed: %w", err)
+	}
+	return core.Compare(tr.Play, replay)
 }
 
 // Statistical builds the four statistical detectors trained on the

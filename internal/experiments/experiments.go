@@ -58,6 +58,10 @@ type Sizes struct {
 	Fig8LegitTraces  int
 	Fig8CovertTraces int
 	Fig8Packets      int
+
+	// Throughput experiment (audit pipeline scaling).
+	ThroughputTraces  int // total test traces (half benign, half covert)
+	ThroughputPackets int
 }
 
 // DefaultSizes is the quick configuration used by tests and the
@@ -76,6 +80,9 @@ func DefaultSizes() Sizes {
 		Fig8LegitTraces:  16,
 		Fig8CovertTraces: 16,
 		Fig8Packets:      220,
+
+		ThroughputTraces:  120,
+		ThroughputPackets: 60,
 	}
 }
 
@@ -94,6 +101,9 @@ func FullSizes() Sizes {
 		Fig8LegitTraces:  50,
 		Fig8CovertTraces: 50,
 		Fig8Packets:      400,
+
+		ThroughputTraces:  240,
+		ThroughputPackets: 220,
 	}
 }
 

@@ -20,6 +20,9 @@ func tinySizes() Sizes {
 		Fig8LegitTraces:  6,
 		Fig8CovertTraces: 6,
 		Fig8Packets:      140,
+
+		ThroughputTraces:  16,
+		ThroughputPackets: 60,
 	}
 }
 
@@ -184,6 +187,31 @@ func TestFigure8ShapeHolds(t *testing.T) {
 		}
 	}
 	t.Log("\n" + FormatFigure8(res))
+}
+
+func TestThroughputScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput sweep is slow; skipped with -short")
+	}
+	res, err := Throughput(tinySizes(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Fatal("verdicts diverged across pipeline configurations")
+	}
+	if res.FalsePositives != 0 || res.FalseNegatives != 0 {
+		t.Fatalf("TDR misclassified labeled traces: FP %d FN %d", res.FalsePositives, res.FalseNegatives)
+	}
+	if len(res.Points) < 2 {
+		t.Fatalf("sweep produced %d points", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.TracesPerSec <= 0 {
+			t.Fatalf("workers=%d: throughput %.2f", p.Workers, p.TracesPerSec)
+		}
+	}
+	t.Log("\n" + FormatThroughput(res))
 }
 
 func TestNoiseVsJitter(t *testing.T) {

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"sanity/internal/fixtures"
+	"sanity/internal/pipeline"
+)
+
+// ThroughputPoint is one pipeline configuration's measured
+// performance over the shared audit batch.
+type ThroughputPoint struct {
+	Workers   int
+	BatchSize int
+
+	TracesPerSec float64
+	P50LatencyNs int64
+	P99LatencyNs int64
+	// Speedup is TracesPerSec normalized by the 1-worker baseline.
+	Speedup float64
+}
+
+// ThroughputResult is the full sweep: worker counts at a fixed batch
+// size, then batch sizes at the widest worker count, all over one
+// batch of recorded traces audited through the full TDR path.
+type ThroughputResult struct {
+	Traces  int
+	Packets int
+	Points  []ThroughputPoint
+
+	// Deterministic reports whether every configuration produced
+	// byte-identical canonical verdicts — the pipeline's ordering
+	// contract, verified as part of the experiment.
+	Deterministic bool
+	// Confusion of the (shared) verdicts against ground truth.
+	TruePositives  int
+	FalsePositives int
+	TrueNegatives  int
+	FalseNegatives int
+}
+
+// Throughput measures how the audit pipeline scales with its worker
+// pool: one labeled batch (half benign, half covert across the four
+// channels, every trace with its replay log) is audited repeatedly
+// under different Workers/BatchSize configurations. The audit work
+// per trace is dominated by the TDR replay, which is embarrassingly
+// parallel across traces — the sweep quantifies how close the
+// pipeline gets to that ideal.
+func Throughput(sizes Sizes, baseSeed uint64) (*ThroughputResult, error) {
+	batch, err := fixtures.LabeledAuditBatch(sizes.ThroughputTraces, sizes.ThroughputPackets, baseSeed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: throughput corpus: %w", err)
+	}
+	res := &ThroughputResult{
+		Traces:        len(batch.Jobs),
+		Packets:       sizes.ThroughputPackets,
+		Deterministic: true,
+	}
+
+	maxWorkers := runtime.GOMAXPROCS(0)
+	if maxWorkers > 8 {
+		maxWorkers = 8
+	}
+	var configs []pipeline.Config
+	for w := 1; w <= maxWorkers; w *= 2 {
+		configs = append(configs, pipeline.Config{Workers: w, BatchSize: 8})
+	}
+	// Batch-size sweep at the widest pool.
+	for _, bs := range []int{1, 32} {
+		configs = append(configs, pipeline.Config{Workers: maxWorkers, BatchSize: bs})
+	}
+
+	var canonical []byte
+	var baseline float64
+	for i, cfg := range configs {
+		r, err := pipeline.New(cfg).Run(batch)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: throughput workers=%d: %w", cfg.Workers, err)
+		}
+		if i == 0 {
+			canonical = r.Canonical()
+			baseline = r.Metrics.ThroughputPerSec
+			res.TruePositives = r.Metrics.TruePositives
+			res.FalsePositives = r.Metrics.FalsePositives
+			res.TrueNegatives = r.Metrics.TrueNegatives
+			res.FalseNegatives = r.Metrics.FalseNegatives
+		} else if !bytes.Equal(canonical, r.Canonical()) {
+			res.Deterministic = false
+		}
+		p := ThroughputPoint{
+			Workers:      r.Metrics.Workers,
+			BatchSize:    r.Metrics.BatchSize,
+			TracesPerSec: r.Metrics.ThroughputPerSec,
+			P50LatencyNs: r.Metrics.P50LatencyNs,
+			P99LatencyNs: r.Metrics.P99LatencyNs,
+		}
+		if baseline > 0 {
+			p.Speedup = p.TracesPerSec / baseline
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// FormatThroughput renders the sweep.
+func FormatThroughput(r *ThroughputResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Audit pipeline throughput: %d traces x %d packets, full TDR path per trace\n",
+		r.Traces, r.Packets)
+	sb.WriteString("  workers  batch   traces/s   p50 ms   p99 ms   speedup\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "  %7d  %5d  %9.1f  %7.1f  %7.1f  %6.2fx\n",
+			p.Workers, p.BatchSize, p.TracesPerSec,
+			float64(p.P50LatencyNs)/1e6, float64(p.P99LatencyNs)/1e6, p.Speedup)
+	}
+	fmt.Fprintf(&sb, "  verdicts identical across configurations: %v\n", r.Deterministic)
+	fmt.Fprintf(&sb, "  detection on labeled batch: TP %d  FP %d  TN %d  FN %d\n",
+		r.TruePositives, r.FalsePositives, r.TrueNegatives, r.FalseNegatives)
+	return sb.String()
+}

@@ -1,0 +1,296 @@
+// Package fixtures builds the labeled trace sets shared by the
+// detector tests, the pipeline tests, and the audit tooling. Two
+// tiers are provided:
+//
+//   - Synthetic IPD traces: cheap, IPDs only (no log, no execution),
+//     enough for the four statistical detectors. Benign traces follow
+//     the bursty think-time model of internal/netsim; covert traces
+//     apply a channel's delay hook over a natural schedule.
+//
+//   - Played traces: full record/replay material — the NFS server is
+//     actually executed under internal/core, producing the execution
+//     and its replay log — enough for the TDR detector and the audit
+//     pipeline's end-to-end path.
+//
+// Everything is seed-deterministic: the same arguments produce the
+// same traces, which is what lets the pipeline tests demand
+// byte-identical results across worker counts.
+package fixtures
+
+import (
+	"fmt"
+
+	"sanity/internal/core"
+	"sanity/internal/covert"
+	"sanity/internal/detect"
+	"sanity/internal/hw"
+	"sanity/internal/netsim"
+	"sanity/internal/nfs"
+	"sanity/internal/pipeline"
+	"sanity/internal/replaylog"
+	"sanity/internal/svm"
+)
+
+// Label aliases the pipeline's ground-truth labels; fixtures are the
+// labeled population the pipeline's FP/FN accounting runs against.
+type Label = pipeline.Label
+
+// Trace labels.
+const (
+	LabelUnknown = pipeline.LabelUnknown
+	LabelBenign  = pipeline.LabelBenign
+	LabelCovert  = pipeline.LabelCovert
+)
+
+// PsPerCycle is the paper testbed's clock conversion, used when a
+// covert hook is applied arithmetically to a synthetic schedule.
+const PsPerCycle = 294
+
+// SyntheticIPDs returns one benign bursty IPD trace of n delays.
+func SyntheticIPDs(n int, seed uint64) []int64 {
+	m := netsim.DefaultThinkTime()
+	sched := m.Schedule(n+1, hw.NewRNG(seed))
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = sched[i+1] - sched[i]
+	}
+	return out
+}
+
+// SyntheticTraining returns count benign traces of per IPDs each, for
+// detector training.
+func SyntheticTraining(count, per int, seed uint64) [][]int64 {
+	out := make([][]int64, count)
+	for i := range out {
+		out[i] = SyntheticIPDs(per, seed+uint64(i))
+	}
+	return out
+}
+
+// SyntheticCovertIPDs applies a covert channel's delay hook over a
+// natural benign schedule, returning the receiver-visible IPDs.
+func SyntheticCovertIPDs(c covert.Channel, n int, seed uint64) []int64 {
+	natural := SyntheticIPDs(n+1, seed)
+	hook := c.Hook(covertSecret(n, seed^0xBEEF))
+	last, now := int64(0), int64(0)
+	var ipds []int64
+	for i, gap := range natural {
+		now += gap
+		d := hook(core.DelayCtx{
+			PacketIndex: int64(i), TimePs: now,
+			LastSendPs: last, PsPerCycle: PsPerCycle,
+		})
+		now += d * PsPerCycle
+		if i > 0 {
+			ipds = append(ipds, now-last)
+		}
+		last = now
+	}
+	return ipds
+}
+
+// ServerConfig is the auditor-side execution environment on the
+// paper's testbed machine: Sanity profile, NFS file store.
+func ServerConfig(seed uint64) core.Config {
+	return core.Config{
+		Machine:  hw.Optiplex9020(),
+		Profile:  hw.ProfileSanity(),
+		Seed:     seed,
+		Files:    nfs.FileStore(),
+		MaxSteps: 4_000_000_000,
+	}
+}
+
+// ServerProgram is the known-good NFS server binary.
+func ServerProgram() *svm.Program { return nfs.ServerProgram() }
+
+// PlayTrace records one real NFS session: the server program runs
+// under the engine against a client workload of the given packet
+// count. hook, when non-nil, compromises the server. The returned
+// trace carries everything any detector needs (IPDs, log, execution).
+func PlayTrace(packets int, workloadSeed, engineSeed uint64, hook core.DelayHook) (*detect.Trace, error) {
+	w := nfs.ClientWorkload(packets, netsim.DefaultThinkTime(), workloadSeed)
+	inputs := w.ToServerInputs(netsim.PaperPath(workloadSeed^0xABCD), 0)
+	cfg := ServerConfig(engineSeed)
+	cfg.Hook = hook
+	exec, log, err := core.Play(nfs.ServerProgram(), inputs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fixtures: play trace: %w", err)
+	}
+	return &detect.Trace{IPDs: exec.OutputIPDs(), Log: log, Play: exec}, nil
+}
+
+// LabeledTrace is one fixture with ground truth attached.
+type LabeledTrace struct {
+	// ID names the trace ("benign-3", "ipctc-0", ...).
+	ID string
+	// Label is the ground truth.
+	Label Label
+	// Channel is the covert channel's name, empty for benign traces.
+	Channel string
+	// Trace is the detector-visible material.
+	Trace *detect.Trace
+}
+
+// Set is a complete labeled corpus: training material plus a mixed
+// benign/covert test population.
+type Set struct {
+	// Training holds benign IPD traces for detector training.
+	Training [][]int64
+	// Traces is the labeled test population, benign first, then one
+	// block per channel, each block in seed order.
+	Traces []LabeledTrace
+}
+
+// SetSizes scales a fixture set.
+type SetSizes struct {
+	Training int // benign training traces
+	Benign   int // benign test traces
+	Covert   int // covert test traces per channel
+	Packets  int // packets per trace
+}
+
+// SmallSet is the test-suite configuration: big enough for every
+// detector to have signal, small enough for -race CI runs.
+func SmallSet() SetSizes {
+	return SetSizes{Training: 6, Benign: 8, Covert: 4, Packets: 220}
+}
+
+// SyntheticSet builds a labeled corpus of synthetic traces covering
+// all four covert channels. The adaptive channels (TRCTC, MBCTC)
+// train on the pooled benign training IPDs, exactly as in the paper's
+// evaluation.
+func SyntheticSet(sizes SetSizes, seed uint64) (*Set, error) {
+	s := &Set{Training: SyntheticTraining(sizes.Training, sizes.Packets, seed)}
+	var pooled []int64
+	for _, tr := range s.Training {
+		pooled = append(pooled, tr...)
+	}
+	channels, err := covert.All(pooled, seed+99)
+	if err != nil {
+		return nil, fmt.Errorf("fixtures: training channels: %w", err)
+	}
+	scaleNeedle(channels, sizes.Packets)
+	for i := 0; i < sizes.Benign; i++ {
+		s.Traces = append(s.Traces, LabeledTrace{
+			ID:    fmt.Sprintf("benign-%d", i),
+			Label: LabelBenign,
+			Trace: &detect.Trace{IPDs: SyntheticIPDs(sizes.Packets, seed+5000+uint64(i))},
+		})
+	}
+	for ci, ch := range channels {
+		for i := 0; i < sizes.Covert; i++ {
+			traceSeed := seed + 9000 + uint64(ci)*1000 + uint64(i)
+			s.Traces = append(s.Traces, LabeledTrace{
+				ID:      fmt.Sprintf("%s-%d", ch.Name(), i),
+				Label:   LabelCovert,
+				Channel: ch.Name(),
+				Trace:   &detect.Trace{IPDs: SyntheticCovertIPDs(ch, sizes.Packets, traceSeed)},
+			})
+		}
+	}
+	return s, nil
+}
+
+// covertSecret draws the exfiltrated bits for one covert fixture. The
+// leading bit is forced to 1: a short trace whose random secret holds
+// only 0-bits at the channel's few mark points adds no delay at all —
+// a functionally benign trace that no detector can (or should) flag —
+// and a labeled *covert* fixture must actually transmit.
+func covertSecret(n int, seed uint64) covert.Bits {
+	b := covert.RandomBits(n, seed)
+	if len(b) > 0 {
+		b[0] = 1
+	}
+	return b
+}
+
+// PlayedSet builds a labeled corpus of real played traces (with logs
+// and executions), suitable for the TDR detector and the pipeline's
+// full record/replay path. Costs one engine run per trace.
+func PlayedSet(sizes SetSizes, seed uint64) (*Set, error) {
+	s := &Set{}
+	var pooled []int64
+	for i := 0; i < sizes.Training; i++ {
+		ws := seed + uint64(i)*31
+		tr, err := PlayTrace(sizes.Packets, ws, ws+1, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.Training = append(s.Training, tr.IPDs)
+		pooled = append(pooled, tr.IPDs...)
+	}
+	channels, err := covert.All(pooled, seed+99)
+	if err != nil {
+		return nil, fmt.Errorf("fixtures: training channels: %w", err)
+	}
+	scaleNeedle(channels, sizes.Packets)
+	for i := 0; i < sizes.Benign; i++ {
+		ws := seed + 10_000 + uint64(i)*37
+		tr, err := PlayTrace(sizes.Packets, ws, ws+2, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.Traces = append(s.Traces, LabeledTrace{
+			ID: fmt.Sprintf("benign-%d", i), Label: LabelBenign, Trace: tr,
+		})
+	}
+	for ci, ch := range channels {
+		for i := 0; i < sizes.Covert; i++ {
+			ws := seed + 50_000 + uint64(ci)*10_000 + uint64(i)*41
+			secret := covertSecret(sizes.Packets, ws^0xFEED)
+			tr, err := PlayTrace(sizes.Packets, ws, ws+2, ch.Hook(secret))
+			if err != nil {
+				return nil, err
+			}
+			s.Traces = append(s.Traces, LabeledTrace{
+				ID: fmt.Sprintf("%s-%d", ch.Name(), i), Label: LabelCovert,
+				Channel: ch.Name(), Trace: tr,
+			})
+		}
+	}
+	return s, nil
+}
+
+// scaleNeedle shortens the needle channel's period so scaled-down
+// traces still carry several marks (a trace with zero 1-bits modifies
+// nothing and is undetectable by definition).
+func scaleNeedle(channels []covert.Channel, packets int) {
+	for _, ch := range channels {
+		if n, ok := ch.(*covert.Needle); ok {
+			p := int64(packets / 8)
+			if p < 16 {
+				p = 16
+			}
+			if p > 100 {
+				p = 100
+			}
+			n.Period = p
+		}
+	}
+}
+
+// RoundTripLog is a seeded replay log exercising every record kind,
+// used as the fuzz corpus seed and the encode/decode round-trip
+// fixture.
+func RoundTripLog(seed uint64) *replaylog.Log {
+	rng := hw.NewRNG(seed)
+	l := replaylog.New("nfsd", "optiplex9020", "sanity")
+	instr := int64(0)
+	for i := 0; i < 64; i++ {
+		instr += rng.Int63n(10_000) + 1
+		switch i % 3 {
+		case 0:
+			payload := make([]byte, rng.Int63n(96))
+			for j := range payload {
+				payload[j] = byte(rng.Uint64())
+			}
+			l.AppendPacket(instr, instr*290, payload)
+		case 1:
+			l.AppendValue(replaylog.KindTimeRead, instr, instr*290, rng.Int63n(1<<40))
+		default:
+			l.AppendValue(replaylog.KindRandom, instr, instr*290, rng.Int63n(1<<62))
+		}
+	}
+	return l
+}

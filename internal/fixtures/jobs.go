@@ -1,0 +1,60 @@
+package fixtures
+
+import (
+	"sanity/internal/pipeline"
+)
+
+// DefaultShardKey names the single-shard fixture population: the NFS
+// server on the paper's testbed machine under the Sanity profile.
+const DefaultShardKey = "nfsd/optiplex9020/sanity"
+
+// Shard wraps the set's training material into a pipeline shard. When
+// withTDR is set, the shard carries the known-good server binary and
+// the auditor replay configuration, enabling the full record/replay
+// path for traces that have logs.
+func (s *Set) Shard(withTDR bool, seed uint64) *pipeline.Shard {
+	sh := &pipeline.Shard{Key: DefaultShardKey, Training: s.Training}
+	if withTDR {
+		sh.Prog = ServerProgram()
+		sh.Cfg = ServerConfig(seed)
+	}
+	return sh
+}
+
+// LabeledAuditBatch records a labeled NFS corpus of roughly `traces`
+// test traces — half benign, half covert split across the four
+// channels, every trace with its replay log — and wraps it into a
+// single-shard batch with the full TDR path enabled. This is the
+// shared recipe behind cmd/tdraudit and the throughput experiment.
+func LabeledAuditBatch(traces, packets int, seed uint64) (*pipeline.Batch, error) {
+	perChannel := traces / 8
+	if perChannel < 1 {
+		perChannel = 1
+	}
+	set, err := PlayedSet(SetSizes{
+		Training: 6,
+		Benign:   traces / 2,
+		Covert:   perChannel,
+		Packets:  packets,
+	}, seed)
+	if err != nil {
+		return nil, err
+	}
+	return set.Batch(true, seed+777), nil
+}
+
+// Batch converts the labeled set into a single-shard pipeline batch,
+// jobs in the set's (deterministic) order.
+func (s *Set) Batch(withTDR bool, seed uint64) *pipeline.Batch {
+	b := &pipeline.Batch{}
+	b.AddShard(s.Shard(withTDR, seed))
+	for _, lt := range s.Traces {
+		b.Append(pipeline.Job{
+			ID:    lt.ID,
+			Shard: DefaultShardKey,
+			Label: lt.Label,
+			Trace: lt.Trace,
+		})
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sanity/internal/core"
+	"sanity/internal/detect"
+	"sanity/internal/svm"
+)
+
+// Trace is the detector-visible material of one job.
+type Trace = detect.Trace
+
+// Shard is one audit population: every trace recorded from the same
+// program on the same machine profile. The per-population setup —
+// the known-good binary and the statistical detectors' training — is
+// paid once per shard and shared, read-only, by all workers.
+type Shard struct {
+	// Key names the shard ("nfsd/optiplex9020/sanity").
+	Key string
+	// Prog is the known-good binary for TDR replay. Nil disables the
+	// TDR path for this shard (statistical detectors only).
+	Prog *svm.Program
+	// Cfg is the auditor's replay configuration. Its Hook is cleared
+	// by the TDR detector; the maps are deep-copied at training time.
+	Cfg core.Config
+	// Training holds benign IPD traces that train Shape, KS, and CCE.
+	Training [][]int64
+	// RegularityWindow overrides the regularity test's window; zero
+	// scales it to the training trace length as the Figure-8
+	// experiment does.
+	RegularityWindow int
+}
+
+// auditor is a shard's trained, immutable audit state. All methods
+// are safe for concurrent use: scoring never mutates detector state.
+type auditor struct {
+	shard      *Shard
+	detectors  []detect.Detector // statistical, in the paper's order
+	tdr        *detect.TDR       // nil when the shard has no binary
+	tdrLimit   float64
+	statsLimit float64
+}
+
+// newAuditor trains a shard's detectors.
+func newAuditor(s *Shard, tdrThreshold, statThreshold float64) (*auditor, error) {
+	detectors, err := detect.Statistical(s.Training)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: shard %q training: %w", s.Key, err)
+	}
+	window := s.RegularityWindow
+	if window <= 0 && len(s.Training) > 0 {
+		// Scale the window to the trace length so short populations
+		// still produce enough windows (cf. experiments.Figure8).
+		window = len(s.Training[0]) / 5
+		if window > 100 {
+			window = 100
+		}
+		if window < 20 {
+			window = 20
+		}
+	}
+	a := &auditor{shard: s, detectors: detectors, tdrLimit: tdrThreshold, statsLimit: statThreshold}
+	for i, d := range a.detectors {
+		if d.Name() == "regularity" && window > 0 {
+			a.detectors[i] = detect.NewRegularity(window)
+		}
+	}
+	if s.Prog != nil {
+		a.tdr = detect.NewTDR(s.Prog, s.Cfg)
+	}
+	return a, nil
+}
+
+// audit scores one job with every detector the trace supports and
+// renders the verdict. Per-detector failures (e.g. a trace too short
+// for the regularity test) degrade the verdict instead of failing the
+// batch.
+func (a *auditor) audit(job Job, index int) Verdict {
+	v := Verdict{JobID: job.ID, Index: index, Shard: job.Shard, Label: job.Label}
+	var errs []string
+	for _, d := range a.detectors {
+		s, err := d.Score(job.Trace)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", d.Name(), err))
+			continue
+		}
+		v.Scores = append(v.Scores, Score{Detector: d.Name(), Value: s})
+	}
+	if a.tdr != nil && job.Trace.Log != nil && job.Trace.Play != nil {
+		cmp, err := a.tdr.ScoreDetail(job.Trace)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", a.tdr.Name(), err))
+		} else {
+			score := cmp.MaxRelIPDDev
+			if !cmp.OutputsMatch {
+				score = detect.FunctionalDivergenceScore
+			}
+			v.Scores = append(v.Scores, Score{Detector: a.tdr.Name(), Value: score})
+			v.TDR = cmp
+			v.TDRScore = score
+			v.TDRAudited = true
+		}
+	}
+	sort.Slice(v.Scores, func(i, j int) bool { return v.Scores[i].Detector < v.Scores[j].Detector })
+	v.Suspicious = a.decide(&v)
+	if len(errs) > 0 {
+		v.Err = strings.Join(errs, "; ")
+	}
+	return v
+}
+
+// decide renders the binary verdict. When the TDR path ran, it alone
+// decides — that is the paper's point: replayed timing explains the
+// benign variation, so anything above the noise floor is the
+// adversary's. Without a log, the best statistical detector (CCE)
+// decides on its z-distance from the legitimate baseline.
+func (a *auditor) decide(v *Verdict) bool {
+	if v.TDRAudited {
+		return v.TDRScore > a.tdrLimit
+	}
+	if s, ok := v.Score("cce"); ok {
+		return s > a.statsLimit
+	}
+	return false
+}

@@ -1,0 +1,262 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config tunes one pipeline.
+type Config struct {
+	// Workers is the audit worker-pool size. Zero or negative selects
+	// GOMAXPROCS.
+	Workers int
+	// BatchSize groups a shard's jobs into chunks dispatched as one
+	// unit, amortizing scheduling overhead. Zero selects 8.
+	BatchSize int
+	// QueueDepth bounds the chunk queue between the scheduler and the
+	// workers: when every worker is busy and the queue is full, the
+	// scheduler blocks instead of buffering the whole batch —
+	// backpressure for callers that stream batches in. Zero selects
+	// 2×Workers.
+	QueueDepth int
+	// TDRThreshold is the suspicion threshold on the TDR detector's
+	// maximum relative IPD deviation. The paper's replays land within
+	// 2% of the recorded timing (§6.4), so anything above that is
+	// delay the software cannot explain. Zero selects 0.05.
+	TDRThreshold float64
+	// StatThreshold is the fallback threshold on the CCE detector's
+	// z-distance for traces that carry no replay log. Zero selects 3.
+	StatThreshold float64
+}
+
+// withDefaults normalizes the configuration.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.TDRThreshold <= 0 {
+		c.TDRThreshold = 0.05
+	}
+	if c.StatThreshold <= 0 {
+		c.StatThreshold = 3
+	}
+	return c
+}
+
+// Pipeline is a reusable audit pipeline configuration. One Pipeline
+// may run many batches, sequentially or concurrently.
+type Pipeline struct {
+	cfg Config
+}
+
+// New builds a pipeline with the given configuration.
+func New(cfg Config) *Pipeline {
+	return &Pipeline{cfg: cfg.withDefaults()}
+}
+
+// Workers reports the effective worker-pool size.
+func (p *Pipeline) Workers() int { return p.cfg.Workers }
+
+// indexedJob carries a job's submission index through the pool.
+type indexedJob struct {
+	idx int
+	job Job
+}
+
+// chunk is the dispatch unit: consecutive same-shard jobs.
+type chunk struct {
+	shard string
+	jobs  []indexedJob
+}
+
+// Stream is a running audit. Verdicts delivers every verdict in
+// submission order as soon as it is available; Wait blocks until the
+// run completes and returns the aggregate results. Wait drains any
+// verdicts the caller has not consumed, so fire-and-forget callers
+// can ignore the channel entirely.
+type Stream struct {
+	Verdicts <-chan Verdict
+
+	done    chan struct{}
+	results *Results
+}
+
+// Wait drains the verdict stream and returns the completed results.
+func (s *Stream) Wait() *Results {
+	for range s.Verdicts {
+	}
+	<-s.done
+	return s.results
+}
+
+// Run audits a batch to completion and returns the results.
+func (p *Pipeline) Run(b *Batch) (*Results, error) {
+	s, err := p.Go(b)
+	if err != nil {
+		return nil, err
+	}
+	return s.Wait(), nil
+}
+
+// Go starts auditing a batch and returns the verdict stream. Shard
+// training happens before Go returns, so a training error (too few
+// benign traces, a bad binary) fails fast instead of surfacing
+// mid-stream.
+func (p *Pipeline) Go(b *Batch) (*Stream, error) {
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	auditors, err := p.train(b)
+	if err != nil {
+		return nil, err
+	}
+	chunks := makeChunks(b, p.cfg.BatchSize)
+
+	// Bounded chunk queue: the scheduler blocks when workers fall
+	// behind, instead of buffering everything.
+	in := make(chan chunk, p.cfg.QueueDepth)
+	out := make(chan Verdict, p.cfg.QueueDepth*p.cfg.BatchSize)
+	// The reorder buffer must stay bounded too: one slow job would
+	// otherwise let every later verdict pile up waiting for it. The
+	// collector reports its emission watermark and the scheduler
+	// refuses to dispatch a chunk that starts more than runahead jobs
+	// past it, so pending verdicts never exceed runahead plus the
+	// in-flight work. Deadlock-free: every chunk below the dispatch
+	// point is already dispatched, so the watermark job is always
+	// either done or on a worker.
+	runahead := (p.cfg.QueueDepth + p.cfg.Workers) * p.cfg.BatchSize
+	emitted := make(chan int, len(b.Jobs)+1)
+	go func() {
+		watermark := 0
+		for _, c := range chunks {
+			for c.jobs[0].idx >= watermark+runahead {
+				watermark = <-emitted
+			}
+			in <- c
+		}
+		close(in)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < p.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range in {
+				a := auditors[c.shard]
+				for _, ij := range c.jobs {
+					t0 := time.Now()
+					v := a.audit(ij.job, ij.idx)
+					v.latencyNs = time.Since(t0).Nanoseconds()
+					out <- v
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	public := make(chan Verdict, p.cfg.QueueDepth*p.cfg.BatchSize)
+	s := &Stream{Verdicts: public, done: make(chan struct{}), results: &Results{}}
+	go func() {
+		// Reorder buffer: workers finish in any interleaving; verdicts
+		// leave in submission order.
+		pending := make(map[int]Verdict)
+		next := 0
+		for v := range out {
+			pending[v.Index] = v
+			for {
+				nv, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				s.results.add(nv)
+				public <- nv
+				next++
+			}
+			// Non-blocking by construction: capacity covers every job.
+			emitted <- next
+		}
+		s.results.finish(time.Since(start).Nanoseconds(), p.cfg.Workers, p.cfg.BatchSize)
+		close(public)
+		close(s.done)
+	}()
+	return s, nil
+}
+
+// train builds every shard's auditor, in parallel across shards (CCE
+// training and binary setup dominate batch startup for small
+// batches). Shards are processed in sorted-key order so error
+// reporting is deterministic.
+func (p *Pipeline) train(b *Batch) (map[string]*auditor, error) {
+	keys := make([]string, 0, len(b.Shards))
+	for k := range b.Shards {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	auditors := make([]*auditor, len(keys))
+	errs := make([]error, len(keys))
+	sem := make(chan struct{}, p.cfg.Workers)
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, s *Shard) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			auditors[i], errs[i] = newAuditor(s, p.cfg.TDRThreshold, p.cfg.StatThreshold)
+		}(i, b.Shards[k])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]*auditor, len(keys))
+	for i, k := range keys {
+		out[k] = auditors[i]
+	}
+	return out, nil
+}
+
+// makeChunks groups each shard's jobs (in submission order) into
+// chunks of at most batchSize, then orders chunks by their first
+// job's index so a single worker processes the batch in submission
+// order exactly.
+func makeChunks(b *Batch, batchSize int) []chunk {
+	perShard := make(map[string][]indexedJob)
+	for i, j := range b.Jobs {
+		perShard[j.Shard] = append(perShard[j.Shard], indexedJob{idx: i, job: j})
+	}
+	var chunks []chunk
+	for shard, jobs := range perShard {
+		for start := 0; start < len(jobs); start += batchSize {
+			end := start + batchSize
+			if end > len(jobs) {
+				end = len(jobs)
+			}
+			chunks = append(chunks, chunk{shard: shard, jobs: jobs[start:end]})
+		}
+	}
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].jobs[0].idx < chunks[j].jobs[0].idx })
+	return chunks
+}
+
+// String describes the pipeline for logs.
+func (p *Pipeline) String() string {
+	return fmt.Sprintf("pipeline{workers=%d batch=%d queue=%d}", p.cfg.Workers, p.cfg.BatchSize, p.cfg.QueueDepth)
+}

@@ -1,0 +1,221 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"sanity/internal/fixtures"
+	"sanity/internal/pipeline"
+)
+
+// syntheticBatch builds the shared synthetic corpus once: 8 benign +
+// 4 covert traces per channel, statistical detectors only.
+var syntheticBatch = sync.OnceValue(func() *pipeline.Batch {
+	set, err := fixtures.SyntheticSet(fixtures.SmallSet(), 42)
+	if err != nil {
+		panic(err)
+	}
+	return set.Batch(false, 7)
+})
+
+// playedBatch builds the shared played corpus once: real engine runs
+// with logs, so the full TDR record/replay path is exercised.
+var playedBatch = sync.OnceValue(func() *pipeline.Batch {
+	set, err := fixtures.PlayedSet(fixtures.SetSizes{
+		Training: 3, Benign: 4, Covert: 2, Packets: 60,
+	}, 42)
+	if err != nil {
+		panic(err)
+	}
+	return set.Batch(true, 777)
+})
+
+func run(t *testing.T, b *pipeline.Batch, cfg pipeline.Config) *pipeline.Results {
+	t.Helper()
+	r, err := pipeline.New(cfg).Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestDeterministicAcrossWorkers is the pipeline's core contract: an
+// N-worker run produces results identical in content and order to a
+// 1-worker run over the same batch.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	b := syntheticBatch()
+	base := run(t, b, pipeline.Config{Workers: 1, BatchSize: 1}).Canonical()
+	if len(base) == 0 {
+		t.Fatal("empty canonical results")
+	}
+	for _, cfg := range []pipeline.Config{
+		{Workers: 2, BatchSize: 1},
+		{Workers: 4, BatchSize: 3},
+		{Workers: 8, BatchSize: 8},
+		{Workers: 3, BatchSize: 100, QueueDepth: 1},
+		// Tiny runahead: the scheduler's reorder-bound watermark must
+		// throttle dispatch without deadlocking or reordering.
+		{Workers: 2, BatchSize: 1, QueueDepth: 1},
+	} {
+		got := run(t, b, cfg).Canonical()
+		if !bytes.Equal(base, got) {
+			t.Fatalf("workers=%d batch=%d diverged from 1-worker run:\n--- want\n%s--- got\n%s",
+				cfg.Workers, cfg.BatchSize, base, got)
+		}
+	}
+}
+
+// TestDeterministicTDRPath repeats the determinism check over the
+// full record/replay path.
+func TestDeterministicTDRPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("played corpus in -short mode")
+	}
+	b := playedBatch()
+	base := run(t, b, pipeline.Config{Workers: 1}).Canonical()
+	got := run(t, b, pipeline.Config{Workers: 4, BatchSize: 2}).Canonical()
+	if !bytes.Equal(base, got) {
+		t.Fatalf("TDR path diverged across worker counts:\n--- 1 worker\n%s--- 4 workers\n%s", base, got)
+	}
+}
+
+// TestStreamOrder checks the verdict stream arrives in submission
+// order with matching job IDs, whatever the worker interleaving.
+func TestStreamOrder(t *testing.T) {
+	b := syntheticBatch()
+	s, err := pipeline.New(pipeline.Config{Workers: 6, BatchSize: 2}).Go(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for v := range s.Verdicts {
+		if v.Index != i {
+			t.Fatalf("verdict %d arrived with index %d", i, v.Index)
+		}
+		if v.JobID != b.Jobs[i].ID {
+			t.Fatalf("verdict %d is for job %q, want %q", i, v.JobID, b.Jobs[i].ID)
+		}
+		i++
+	}
+	r := s.Wait()
+	if i != len(b.Jobs) || r.Metrics.Traces != len(b.Jobs) {
+		t.Fatalf("streamed %d verdicts, metrics saw %d, want %d", i, r.Metrics.Traces, len(b.Jobs))
+	}
+}
+
+// TestTDRConfusion checks the end-to-end verdicts against ground
+// truth: with replay logs available, TDR separates covert from benign
+// perfectly at the default threshold (the paper's Figure 8 result).
+func TestTDRConfusion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("played corpus in -short mode")
+	}
+	r := run(t, playedBatch(), pipeline.Config{Workers: 4})
+	m := r.Metrics
+	if m.FalsePositives != 0 {
+		t.Errorf("false positives: %d benign traces flagged", m.FalsePositives)
+	}
+	if m.FalseNegatives != 0 {
+		t.Errorf("false negatives: %d covert traces missed", m.FalseNegatives)
+	}
+	if m.TruePositives == 0 || m.TrueNegatives == 0 {
+		t.Fatalf("degenerate corpus: TP=%d TN=%d", m.TruePositives, m.TrueNegatives)
+	}
+	for _, v := range r.Verdicts {
+		if !v.TDRAudited {
+			t.Errorf("trace %s skipped the TDR path", v.JobID)
+		}
+	}
+}
+
+// TestMetrics sanity-checks the aggregate numbers.
+func TestMetrics(t *testing.T) {
+	b := syntheticBatch()
+	r := run(t, b, pipeline.Config{Workers: 4})
+	m := r.Metrics
+	if m.Traces != len(b.Jobs) {
+		t.Fatalf("traces = %d, want %d", m.Traces, len(b.Jobs))
+	}
+	if m.ThroughputPerSec <= 0 {
+		t.Fatalf("throughput = %f", m.ThroughputPerSec)
+	}
+	if m.P99LatencyNs < m.P50LatencyNs {
+		t.Fatalf("p99 %d < p50 %d", m.P99LatencyNs, m.P50LatencyNs)
+	}
+	if m.Workers != 4 {
+		t.Fatalf("workers = %d", m.Workers)
+	}
+	total := m.TruePositives + m.FalsePositives + m.TrueNegatives + m.FalseNegatives
+	if total != m.Traces {
+		t.Fatalf("confusion total %d != traces %d (all fixture jobs are labeled)", total, m.Traces)
+	}
+}
+
+// TestValidation checks batch errors fail fast.
+func TestValidation(t *testing.T) {
+	p := pipeline.New(pipeline.Config{})
+	b := &pipeline.Batch{}
+	b.Append(pipeline.Job{ID: "orphan", Shard: "nope", Trace: &pipeline.Trace{}})
+	if _, err := p.Run(b); err == nil {
+		t.Fatal("unknown shard accepted")
+	}
+	b2 := &pipeline.Batch{}
+	b2.AddShard(&pipeline.Shard{Key: "s"})
+	b2.Append(pipeline.Job{ID: "no-trace", Shard: "s"})
+	if _, err := p.Run(b2); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	// Training failure (too few benign traces) must surface from Go.
+	b3 := &pipeline.Batch{}
+	b3.AddShard(&pipeline.Shard{Key: "s", Training: nil})
+	b3.Append(pipeline.Job{ID: "j", Shard: "s", Trace: &pipeline.Trace{IPDs: []int64{1, 2, 3}}})
+	if _, err := p.Run(b3); err == nil {
+		t.Fatal("untrainable shard accepted")
+	}
+}
+
+// TestEmptyBatch checks the zero-job edge.
+func TestEmptyBatch(t *testing.T) {
+	b := &pipeline.Batch{}
+	b.AddShard(syntheticBatch().Shards[fixtures.DefaultShardKey])
+	r := run(t, b, pipeline.Config{Workers: 2})
+	if len(r.Verdicts) != 0 || r.Metrics.Traces != 0 {
+		t.Fatalf("empty batch produced %d verdicts", len(r.Verdicts))
+	}
+}
+
+// TestMultiShard routes jobs to two shards and checks each job is
+// scored against its own shard's training.
+func TestMultiShard(t *testing.T) {
+	set, err := fixtures.SyntheticSet(fixtures.SetSizes{Training: 4, Benign: 3, Covert: 1, Packets: 220}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &pipeline.Batch{}
+	b.AddShard(&pipeline.Shard{Key: "a", Training: set.Training})
+	b.AddShard(&pipeline.Shard{Key: "b", Training: set.Training})
+	for i, lt := range set.Traces {
+		shard := "a"
+		if i%2 == 1 {
+			shard = "b"
+		}
+		b.Append(pipeline.Job{ID: lt.ID, Shard: shard, Label: lt.Label, Trace: lt.Trace})
+	}
+	r := run(t, b, pipeline.Config{Workers: 3, BatchSize: 2})
+	for i, v := range r.Verdicts {
+		want := "a"
+		if i%2 == 1 {
+			want = "b"
+		}
+		if v.Shard != want {
+			t.Fatalf("verdict %d audited by shard %q, want %q", i, v.Shard, want)
+		}
+	}
+	// Identical shards, deterministic scoring: a job's scores must not
+	// depend on which shard (with equal training) handled it.
+	base := run(t, b, pipeline.Config{Workers: 1, BatchSize: 1}).Canonical()
+	if got := r.Canonical(); !bytes.Equal(base, got) {
+		t.Fatalf("multi-shard run not deterministic:\n%s\nvs\n%s", base, got)
+	}
+}

@@ -1,0 +1,176 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"sanity/internal/core"
+	"sanity/internal/stats"
+)
+
+// Score is one detector's opinion of one trace.
+type Score struct {
+	Detector string
+	Value    float64
+}
+
+// Verdict is the pipeline's output for one job.
+type Verdict struct {
+	// JobID and Index identify the job; Index is the submission order,
+	// and the verdict stream is emitted in Index order.
+	JobID string
+	Index int
+	// Shard is the audit population the job was scored against.
+	Shard string
+	// Label is the job's ground truth, echoed for downstream
+	// accounting.
+	Label Label
+	// Scores holds every detector that produced a score, sorted by
+	// detector name for stable output.
+	Scores []Score
+	// TDRAudited reports whether the full record/replay path ran;
+	// TDRScore and TDR are only meaningful when it did.
+	TDRAudited bool
+	TDRScore   float64
+	// TDR is the full timing comparison behind the TDR score.
+	TDR *core.TimingComparison
+	// Suspicious is the binary verdict.
+	Suspicious bool
+	// Err collects per-detector failures ("" when all ran clean).
+	Err string
+
+	// latencyNs is the wall-clock audit time of this job. It feeds the
+	// latency percentiles but stays out of the canonical encoding: it
+	// is the one non-deterministic field.
+	latencyNs int64
+}
+
+// Score finds one detector's score.
+func (v *Verdict) Score(detector string) (float64, bool) {
+	for _, s := range v.Scores {
+		if s.Detector == detector {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Metrics aggregates one pipeline run.
+type Metrics struct {
+	Traces     int
+	Suspicious int
+	// Errors counts verdicts with at least one detector failure.
+	Errors int
+
+	// Confusion counts against labeled jobs; LabelUnknown jobs are
+	// excluded.
+	TruePositives  int
+	FalsePositives int
+	TrueNegatives  int
+	FalseNegatives int
+
+	// ElapsedNs is the wall-clock duration of the whole run;
+	// ThroughputPerSec is Traces normalized by it.
+	ElapsedNs        int64
+	ThroughputPerSec float64
+	// P50LatencyNs / P99LatencyNs summarize per-trace audit latency.
+	P50LatencyNs int64
+	P99LatencyNs int64
+
+	// Workers and BatchSize echo the configuration that produced the
+	// run (after defaulting).
+	Workers   int
+	BatchSize int
+}
+
+// Results is a completed run: every verdict in submission order plus
+// the aggregate metrics.
+type Results struct {
+	Verdicts []Verdict
+	Metrics  Metrics
+}
+
+// Canonical renders the deterministic part of the results: one line
+// per verdict with every score, excluding latency and wall-clock
+// fields. Two runs over the same batch must produce byte-identical
+// canonical encodings regardless of worker count — the concurrency
+// tests compare exactly this.
+func (r *Results) Canonical() []byte {
+	var sb strings.Builder
+	for _, v := range r.Verdicts {
+		fmt.Fprintf(&sb, "%d %s shard=%s label=%s suspicious=%t tdr=%t", v.Index, v.JobID, v.Shard, v.Label, v.Suspicious, v.TDRAudited)
+		for _, s := range v.Scores {
+			fmt.Fprintf(&sb, " %s=%.12g", s.Detector, s.Value)
+		}
+		if v.Err != "" {
+			fmt.Fprintf(&sb, " err=%q", v.Err)
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+// collect folds the verdict stream into Results, assuming verdicts
+// arrive already reordered (the collector goroutine guarantees it).
+func (r *Results) add(v Verdict) {
+	r.Verdicts = append(r.Verdicts, v)
+	m := &r.Metrics
+	m.Traces++
+	if v.Suspicious {
+		m.Suspicious++
+	}
+	if v.Err != "" {
+		m.Errors++
+	}
+	switch v.Label {
+	case LabelBenign:
+		if v.Suspicious {
+			m.FalsePositives++
+		} else {
+			m.TrueNegatives++
+		}
+	case LabelCovert:
+		if v.Suspicious {
+			m.TruePositives++
+		} else {
+			m.FalseNegatives++
+		}
+	}
+}
+
+// finish computes the derived metrics.
+func (r *Results) finish(elapsedNs int64, workers, batchSize int) {
+	m := &r.Metrics
+	m.ElapsedNs = elapsedNs
+	m.Workers = workers
+	m.BatchSize = batchSize
+	if elapsedNs > 0 {
+		m.ThroughputPerSec = float64(m.Traces) / (float64(elapsedNs) / 1e9)
+	}
+	if len(r.Verdicts) > 0 {
+		lat := make([]float64, len(r.Verdicts))
+		for i, v := range r.Verdicts {
+			lat[i] = float64(v.latencyNs)
+		}
+		m.P50LatencyNs = int64(stats.Percentile(lat, 0.5))
+		m.P99LatencyNs = int64(stats.Percentile(lat, 0.99))
+	}
+}
+
+// Format renders a human-readable run summary.
+func (r *Results) Format() string {
+	m := r.Metrics
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "audited %d traces with %d workers (batch %d) in %.2fs — %.1f traces/s\n",
+		m.Traces, m.Workers, m.BatchSize, float64(m.ElapsedNs)/1e9, m.ThroughputPerSec)
+	fmt.Fprintf(&sb, "  latency p50 %.1fms  p99 %.1fms\n", float64(m.P50LatencyNs)/1e6, float64(m.P99LatencyNs)/1e6)
+	fmt.Fprintf(&sb, "  suspicious %d/%d", m.Suspicious, m.Traces)
+	if m.TruePositives+m.FalsePositives+m.TrueNegatives+m.FalseNegatives > 0 {
+		fmt.Fprintf(&sb, "  (labeled: TP %d  FP %d  TN %d  FN %d)", m.TruePositives, m.FalsePositives, m.TrueNegatives, m.FalseNegatives)
+	}
+	if m.Errors > 0 {
+		fmt.Fprintf(&sb, "  detector errors on %d traces", m.Errors)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,163 @@
+package replaylog_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sanity/internal/fixtures"
+	"sanity/internal/replaylog"
+)
+
+// encodeLog renders a log to bytes, failing the test on error.
+func encodeLog(t testing.TB, l *replaylog.Log) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// logsEqual compares two logs record by record, treating nil and
+// empty payloads as equal (Decode materializes empty payloads,
+// AppendPacket may keep them nil).
+func logsEqual(a, b *replaylog.Log) bool {
+	if a.Program != b.Program || a.Machine != b.Machine || a.Profile != b.Profile {
+		return false
+	}
+	if len(a.Records) != len(b.Records) {
+		return false
+	}
+	for i := range a.Records {
+		ra, rb := a.Records[i], b.Records[i]
+		if ra.Kind != rb.Kind || ra.Instr != rb.Instr || ra.PlayPs != rb.PlayPs || ra.Value != rb.Value {
+			return false
+		}
+		if !bytes.Equal(ra.Payload, rb.Payload) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEncodeDecodeRoundTrip is the seeded-corpus round-trip check:
+// decode-of-encode reproduces every record of a log that exercises
+// all three record kinds.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		l := fixtures.RoundTripLog(seed)
+		got, err := replaylog.Decode(bytes.NewReader(encodeLog(t, l)))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if !logsEqual(l, got) {
+			t.Fatalf("seed %d: round trip lost records", seed)
+		}
+		if got.SizeBytes() != l.SizeBytes() {
+			t.Fatalf("seed %d: size drifted: %d -> %d", seed, l.SizeBytes(), got.SizeBytes())
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption feeds structured corruptions and
+// demands errors, never panics.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	valid := encodeLog(t, fixtures.RoundTripLog(7))
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOTALOG\n")},
+		{"truncated magic", valid[:4]},
+		{"truncated header", valid[:10]},
+		{"truncated mid-records", valid[:len(valid)-9]},
+		{"unknown record kind", corrupt(valid, func(b []byte) { b[findRecordStart(valid)] = 'Z' })},
+		{"huge string length", corrupt(valid, func(b []byte) {
+			// First string length prefix sits right after the magic.
+			b[8], b[9], b[10], b[11] = 0xff, 0xff, 0xff, 0xff
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := replaylog.Decode(bytes.NewReader(tc.data)); err == nil {
+				t.Fatalf("corrupted input accepted")
+			}
+		})
+	}
+}
+
+// TestDecodeHugeCountClaim checks the header's record count cannot
+// force a giant allocation: a log claiming 2^29 records backed by no
+// bytes must fail cheaply.
+func TestDecodeHugeCountClaim(t *testing.T) {
+	l := replaylog.New("p", "m", "prof")
+	data := encodeLog(t, l)
+	// The record count is the 8 bytes before the (empty) record area:
+	// magic(8) + 3×(len prefix 4 + str) + count(8).
+	countOff := 8 + 4 + 1 + 4 + 1 + 4 + 4
+	data[countOff] = 0
+	data[countOff+1] = 0
+	data[countOff+2] = 0
+	data[countOff+3] = 0x20 // 2^29 records
+	if _, err := replaylog.Decode(bytes.NewReader(data)); err == nil {
+		t.Fatal("claimed 2^29 records with empty body, decode accepted")
+	}
+}
+
+// findRecordStart returns the offset of the first record's kind byte.
+func findRecordStart(valid []byte) int {
+	// magic(8) + for each of 3 strings: 4-byte length + bytes, then
+	// 8-byte count. RoundTripLog uses fixed identity strings.
+	off := 8
+	for i := 0; i < 3; i++ {
+		n := int(uint32(valid[off]) | uint32(valid[off+1])<<8 | uint32(valid[off+2])<<16 | uint32(valid[off+3])<<24)
+		off += 4 + n
+	}
+	return off + 8
+}
+
+func corrupt(valid []byte, f func([]byte)) []byte {
+	b := append([]byte(nil), valid...)
+	f(b)
+	return b
+}
+
+// FuzzDecode is the round-trip fuzz target: any input that decodes
+// must re-encode and re-decode to the identical log; any input that
+// does not decode must fail with an error, not a panic or a runaway
+// allocation.
+func FuzzDecode(f *testing.F) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		f.Add(encodeLog(f, fixtures.RoundTripLog(seed)))
+	}
+	valid := encodeLog(f, fixtures.RoundTripLog(9))
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("SANLOG1\n"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := replaylog.Decode(bytes.NewReader(data))
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "replaylog:") && !isIOError(err) {
+				t.Fatalf("unwrapped error: %v", err)
+			}
+			return
+		}
+		reencoded := encodeLog(t, l)
+		l2, err := replaylog.Decode(bytes.NewReader(reencoded))
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		if !logsEqual(l, l2) {
+			t.Fatal("decode(encode(l)) != l")
+		}
+	})
+}
+
+// isIOError recognizes the raw io errors Decode lets through on
+// truncated fixed-width fields.
+func isIOError(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "EOF")
+}

@@ -206,7 +206,15 @@ func Decode(r io.Reader) (*Log, error) {
 	if count > 1<<30 {
 		return nil, fmt.Errorf("replaylog: implausible record count %d", count)
 	}
-	l.Records = make([]Record, 0, count)
+	// Cap the preallocation independently of the declared count: a
+	// corrupted or hostile header must not be able to demand gigabytes
+	// before a single record has parsed. The slice still grows to the
+	// real count via append.
+	capHint := count
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	l.Records = make([]Record, 0, capHint)
 	for i := uint64(0); i < count; i++ {
 		kind, err := br.ReadByte()
 		if err != nil {

@@ -181,11 +181,21 @@ func blockEntropy(symbols []int, m int) (h float64, uniqueFrac float64) {
 	for i := 0; i < n; i++ {
 		counts[patternKey(symbols, i, m)]++
 	}
+	// Accumulate in sorted-count order, not map order: float addition
+	// is not associative, and entropy summed in Go's randomized map
+	// iteration order drifts by an ulp between runs. The repo's
+	// determinism contract (identical scores for identical inputs,
+	// whatever the interleaving) extends to the detectors.
+	cs := make([]int, 0, len(counts))
 	unique := 0
 	for _, c := range counts {
 		if c == 1 {
 			unique++
 		}
+		cs = append(cs, c)
+	}
+	sort.Ints(cs)
+	for _, c := range cs {
 		p := float64(c) / float64(n)
 		h -= p * math.Log2(p)
 	}

@@ -27,11 +27,6 @@ type Function struct {
 	ReturnsValue bool
 	Code         []Instr
 	Handlers     []Handler
-
-	// codeBase is the virtual address of Code[0], assigned when the
-	// program is prepared; instruction fetches charge the I-cache at
-	// codeBase + PC*InstrBytes.
-	codeBase int64
 }
 
 // Class describes an object layout: a name and field names (all

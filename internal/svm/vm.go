@@ -72,6 +72,10 @@ type VM struct {
 	monitors map[Ref]*monitor
 	natives  []NativeFunc
 	strRefs  []Ref
+	// codeBases holds each function's virtual code address, indexed by
+	// function index. Per-VM (not on the shared, read-only Program) so
+	// that VMs on different goroutines can run the same binary.
+	codeBases []int64
 
 	cur         int // index of the current thread
 	sliceLeft   int64
@@ -120,10 +124,14 @@ func New(prog *Program, natives map[string]NativeFunc, cfg Config) (*VM, error) 
 		maxSteps:    cfg.MaxSteps,
 	}
 	// Assign code addresses: each function page-aligned so programs
-	// have stable, layout-independent fetch behavior.
+	// have stable, layout-independent fetch behavior. The table lives
+	// on the VM, not the Program: programs are shared read-only across
+	// concurrently replaying engines (the audit pipeline runs one
+	// worker pool over one binary), so New must not write to prog.
+	vm.codeBases = make([]int64, len(prog.Funcs))
 	addr := codeSpaceBase
-	for _, f := range prog.Funcs {
-		f.codeBase = addr
+	for i, f := range prog.Funcs {
+		vm.codeBases[i] = addr
 		addr += alignUp(int64(len(f.Code))*InstrBytes, 4096)
 	}
 	// Intern string constants as byte arrays; this happens before
@@ -329,7 +337,7 @@ func (vm *VM) exec(t *Thread) error {
 	in := f.fn.Code[f.pc]
 	plat := vm.Platform
 	if plat != nil {
-		plat.FetchInstr(f.fn.codeBase + int64(f.pc)*InstrBytes)
+		plat.FetchInstr(vm.codeBases[f.fnIdx] + int64(f.pc)*InstrBytes)
 		plat.AddCycles(in.Op.BaseCost())
 	}
 	vm.InstrCount++

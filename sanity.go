@@ -35,7 +35,9 @@ package sanity
 import (
 	"sanity/internal/asm"
 	"sanity/internal/core"
+	"sanity/internal/detect"
 	"sanity/internal/hw"
+	"sanity/internal/pipeline"
 	"sanity/internal/replaylog"
 	"sanity/internal/svm"
 )
@@ -72,6 +74,9 @@ type NoiseProfile = hw.NoiseProfile
 
 // DelayHook is the covert channel's send-path primitive.
 type DelayHook = core.DelayHook
+
+// DelayCtx is what a DelayHook sees on each outgoing packet.
+type DelayCtx = core.DelayCtx
 
 // Assemble parses SVM assembly into a verified program.
 func Assemble(name, src string) (*Program, error) {
@@ -129,4 +134,62 @@ func DefaultConfig(seed uint64) Config {
 		Seed:     seed,
 		MaxSteps: 4_000_000_000,
 	}
+}
+
+// ---- Concurrent audit pipeline ----
+//
+// The audit pipeline scales the TDR detector from one execution at a
+// time to batches of recorded traces: jobs fan out across a worker
+// pool, each worker runs the statistical detectors plus a full
+// time-deterministic replay, and verdicts stream back merged into
+// submission order — identical in content and order whatever the
+// worker count.
+
+// Trace is one observation available to the detectors: inter-packet
+// delays, and (for the TDR path) the machine's log and observed
+// execution.
+type Trace = detect.Trace
+
+// AuditJob is one trace awaiting a verdict.
+type AuditJob = pipeline.Job
+
+// AuditShard is one audit population: traces recorded from the same
+// program on the same machine profile share one shard, whose detector
+// training and binary setup are paid once.
+type AuditShard = pipeline.Shard
+
+// AuditBatch is a set of shards plus the jobs to audit against them.
+type AuditBatch = pipeline.Batch
+
+// AuditConfig tunes the pipeline: worker count, chunk size, bounded
+// queue depth, suspicion thresholds.
+type AuditConfig = pipeline.Config
+
+// AuditVerdict is the pipeline's per-trace output.
+type AuditVerdict = pipeline.Verdict
+
+// AuditResults is a completed run: ordered verdicts plus aggregate
+// metrics (throughput, latency percentiles, confusion counts).
+type AuditResults = pipeline.Results
+
+// AuditStream is a running audit delivering verdicts as they merge.
+type AuditStream = pipeline.Stream
+
+// AuditLabel is a trace's ground truth, when known.
+type AuditLabel = pipeline.Label
+
+// Ground-truth labels for audit jobs.
+const (
+	AuditLabelUnknown = pipeline.LabelUnknown
+	AuditLabelBenign  = pipeline.LabelBenign
+	AuditLabelCovert  = pipeline.LabelCovert
+)
+
+// AuditPipeline is a reusable audit pipeline; one pipeline may run
+// many batches, sequentially or concurrently.
+type AuditPipeline = pipeline.Pipeline
+
+// NewAuditPipeline builds a concurrent audit pipeline.
+func NewAuditPipeline(cfg AuditConfig) *AuditPipeline {
+	return pipeline.New(cfg)
 }

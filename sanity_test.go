@@ -102,6 +102,97 @@ func TestFacadeMachinePresets(t *testing.T) {
 	}
 }
 
+// echoInputs builds a seeded bursty input schedule for the echo
+// program: gaps wander between ~2 ms and ~20 ms.
+func echoInputs(n int, seed int64) []sanity.InputEvent {
+	inputs := make([]sanity.InputEvent, n)
+	at := int64(0)
+	x := seed
+	for i := range inputs {
+		x = x*6364136223846793005 + 1442695040888963407 // LCG
+		gap := 2_000_000_000 + (x>>33)%18_000_000_000
+		if gap < 0 {
+			gap = -gap
+		}
+		at += gap
+		inputs[i] = sanity.InputEvent{ArrivalPs: at, Payload: []byte{byte(i), byte(seed)}}
+	}
+	return inputs
+}
+
+// TestFacadeAuditPipeline drives the concurrent audit pipeline
+// through the public API: benign and compromised echo traces audited
+// by a multi-worker pool, with verdicts deterministic across worker
+// counts.
+func TestFacadeAuditPipeline(t *testing.T) {
+	prog, err := sanity.Assemble("facade-echo", echoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const packets = 64
+	play := func(seed int64, hook sanity.DelayHook) (*sanity.Execution, *sanity.Log) {
+		cfg := sanity.DefaultConfig(uint64(seed))
+		cfg.Hook = hook
+		exec, log, err := sanity.Play(prog, echoInputs(packets, seed), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exec, log
+	}
+	// Covert hook: stall every other response by 5 ms — far above the
+	// replay noise floor.
+	covertHook := func(ctx sanity.DelayCtx) int64 {
+		if ctx.PacketIndex%2 == 0 {
+			return 0
+		}
+		return 5_000_000_000 / ctx.PsPerCycle
+	}
+
+	var training [][]int64
+	for seed := int64(1); seed <= 3; seed++ {
+		exec, _ := play(seed, nil)
+		training = append(training, exec.OutputIPDs())
+	}
+	batch := &sanity.AuditBatch{}
+	batch.AddShard(&sanity.AuditShard{
+		Key:      "echo",
+		Prog:     prog,
+		Cfg:      sanity.DefaultConfig(99),
+		Training: training,
+	})
+	for seed := int64(10); seed < 14; seed++ {
+		exec, log := play(seed, nil)
+		batch.Append(sanity.AuditJob{
+			ID: "benign", Shard: "echo", Label: sanity.AuditLabelBenign,
+			Trace: &sanity.Trace{IPDs: exec.OutputIPDs(), Log: log, Play: exec},
+		})
+		exec, log = play(seed+100, covertHook)
+		batch.Append(sanity.AuditJob{
+			ID: "covert", Shard: "echo", Label: sanity.AuditLabelCovert,
+			Trace: &sanity.Trace{IPDs: exec.OutputIPDs(), Log: log, Play: exec},
+		})
+	}
+
+	serial, err := sanity.NewAuditPipeline(sanity.AuditConfig{Workers: 1}).Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sanity.NewAuditPipeline(sanity.AuditConfig{Workers: 4, BatchSize: 2}).Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(serial.Canonical()) != string(parallel.Canonical()) {
+		t.Fatalf("verdicts diverged across worker counts:\n%s\nvs\n%s", serial.Canonical(), parallel.Canonical())
+	}
+	m := parallel.Metrics
+	if m.FalsePositives != 0 || m.FalseNegatives != 0 {
+		t.Fatalf("confusion: TP %d FP %d TN %d FN %d", m.TruePositives, m.FalsePositives, m.TrueNegatives, m.FalseNegatives)
+	}
+	if m.TruePositives != 4 || m.TrueNegatives != 4 {
+		t.Fatalf("expected 4 TP + 4 TN, got TP %d TN %d", m.TruePositives, m.TrueNegatives)
+	}
+}
+
 func TestFacadeMachineTypeDetection(t *testing.T) {
 	// The cloudcheck scenario through the public API: an execution on
 	// T' replayed on T shows a large timing deviation.
