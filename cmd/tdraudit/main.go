@@ -1,53 +1,209 @@
-// Command tdraudit runs the concurrent multi-trace audit pipeline
-// over a labeled batch of recorded NFS sessions: half benign, half
-// compromised by the four covert timing channels. Every trace goes
-// through the full Sanity path — statistical detectors plus
-// time-deterministic replay of the trace's log on the known-good
-// binary — and per-trace verdicts stream out as they are merged back
-// into submission order.
+// Command tdraudit runs the concurrent multi-trace audit pipeline.
+// Besides the original in-memory mode, it speaks the persistent trace
+// store and the ingest protocol, so the play side and the audit side
+// can run as separate processes (or separate machines):
 //
-//	tdraudit                          # 120 traces, all CPUs
-//	tdraudit -traces 240 -workers 4   # fixed pool
-//	tdraudit -stream                  # print each verdict as it lands
-//	tdraudit -compare                 # also run 1 worker, report speedup
+//	tdraudit                            # in-memory corpus, all CPUs
+//	tdraudit -traces 240 -workers 4     # fixed pool
+//	tdraudit -stream -json              # machine-readable verdict stream
+//	tdraudit -compare                   # also run 1 worker, report speedup
+//
+//	tdraudit record -dir corpus         # record a labeled corpus to disk
+//	tdraudit record -dir corpus -hetero # two shards: nfsd/T and echod/T'
+//	tdraudit serve -addr :7070 -dir spool      # audit-side ingest server
+//	tdraudit send -addr host:7070 -dir corpus  # ship a corpus to a server
+//	tdraudit audit-dir -dir spool -json        # audit a spooled corpus
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
 	"sanity/internal/fixtures"
+	"sanity/internal/ingest"
 	"sanity/internal/pipeline"
+	"sanity/internal/store"
 )
 
 func main() {
-	var (
-		traces    = flag.Int("traces", 120, "total test traces (half benign, half covert)")
-		packets   = flag.Int("packets", 60, "packets per trace")
-		workers   = flag.Int("workers", 0, "audit workers (0 = GOMAXPROCS)")
-		batch     = flag.Int("batch", 8, "traces per scheduling chunk")
-		queue     = flag.Int("queue", 0, "bounded queue depth in chunks (0 = 2x workers)")
-		threshold = flag.Float64("threshold", 0.05, "TDR suspicion threshold (max relative IPD deviation)")
-		seed      = flag.Uint64("seed", 42, "base noise seed")
-		stream    = flag.Bool("stream", false, "print each verdict as it is emitted")
-		compare   = flag.Bool("compare", false, "also run with 1 worker and report the speedup")
-	)
-	flag.Parse()
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "record":
+			recordMain(os.Args[2:])
+			return
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "send":
+			sendMain(os.Args[2:])
+			return
+		case "audit-dir":
+			auditDirMain(os.Args[2:])
+			return
+		}
+	}
+	inMemoryMain(os.Args[1:])
+}
+
+// auditFlags are the pipeline knobs shared by every auditing mode.
+type auditFlags struct {
+	workers, batch, queue *int
+	threshold             *float64
+	stream, jsonOut       *bool
+	compare               *bool
+}
+
+func addAuditFlags(fs *flag.FlagSet) *auditFlags {
+	return &auditFlags{
+		workers:   fs.Int("workers", 0, "audit workers (0 = GOMAXPROCS)"),
+		batch:     fs.Int("batch", 8, "traces per scheduling chunk"),
+		queue:     fs.Int("queue", 0, "bounded queue depth in chunks (0 = 2x workers)"),
+		threshold: fs.Float64("threshold", 0.05, "TDR suspicion threshold (max relative IPD deviation)"),
+		stream:    fs.Bool("stream", false, "print each verdict as it is emitted"),
+		jsonOut:   fs.Bool("json", false, "emit verdicts and the summary as JSON lines"),
+		compare:   fs.Bool("compare", false, "also run with 1 worker and report the speedup"),
+	}
+}
+
+func (a *auditFlags) config() pipeline.Config {
+	return pipeline.Config{
+		Workers:      *a.workers,
+		BatchSize:    *a.batch,
+		QueueDepth:   *a.queue,
+		TDRThreshold: *a.threshold,
+	}
+}
+
+func inMemoryMain(args []string) {
+	fs := flag.NewFlagSet("tdraudit", flag.ExitOnError)
+	traces := fs.Int("traces", 120, "total test traces (half benign, half covert)")
+	packets := fs.Int("packets", 60, "packets per trace")
+	seed := fs.Uint64("seed", 42, "base noise seed")
+	af := addAuditFlags(fs)
+	fs.Parse(args)
 
 	fmt.Fprintf(os.Stderr, "recording %d traces of %d packets (plus training traces)...\n", *traces, *packets)
 	b, err := fixtures.LabeledAuditBatch(*traces, *packets, *seed)
 	if err != nil {
 		fatal(err)
 	}
+	runAudit(b, af)
+}
 
-	cfg := pipeline.Config{
-		Workers:      *workers,
-		BatchSize:    *batch,
-		QueueDepth:   *queue,
-		TDRThreshold: *threshold,
+func recordMain(args []string) {
+	fs := flag.NewFlagSet("tdraudit record", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus directory to create (required)")
+	traces := fs.Int("traces", 120, "total test traces per shard (half benign, half covert)")
+	packets := fs.Int("packets", 60, "packets per trace")
+	seed := fs.Uint64("seed", 42, "base noise seed")
+	hetero := fs.Bool("hetero", false, "record two shards: the NFS server on T and the echo server on T'")
+	fs.Parse(args)
+	if *dir == "" {
+		fatal(fmt.Errorf("record: -dir is required"))
 	}
+
+	st, err := store.Create(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	sizes := fixtures.AuditSizes(*traces, *packets)
+	if *hetero {
+		fmt.Fprintf(os.Stderr, "recording two heterogeneous populations (%d+ traces each)...\n", *traces)
+		nfsSet, echoSet, err := fixtures.HeterogeneousSets(sizes, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fixtures.ExportHeterogeneous(st, nfsSet, echoSet, *seed+777); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "recording %d traces of %d packets (plus training traces)...\n", *traces, *packets)
+		set, err := fixtures.PlayedSet(sizes, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fixtures.ExportSet(st, set, fixtures.NFSShardMeta(*seed+777)); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("recorded %d traces across %d shards into %s\n",
+		len(st.Entries()), len(st.Shards()), st.Dir())
+}
+
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("tdraudit serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7070", "listen address")
+	dir := fs.String("dir", "", "spool directory for uploaded corpora (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		fatal(fmt.Errorf("serve: -dir is required"))
+	}
+	st, err := store.Create(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := ingest.Listen(*addr, st)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ingest server listening on %s, spooling to %s\n", srv.Addr(), st.Dir())
+	select {} // serve until killed; the manifest is flushed per session
+}
+
+func sendMain(args []string) {
+	fs := flag.NewFlagSet("tdraudit send", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:7070", "ingest server address")
+	dir := fs.String("dir", "", "corpus directory to upload (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		fatal(fmt.Errorf("send: -dir is required"))
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := ingest.Push(*addr, st)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pushed %d shards, %d traces accepted, %d rejected\n",
+		res.Shards, res.Accepted, len(res.Rejected))
+	for _, r := range res.Rejected {
+		fmt.Fprintf(os.Stderr, "rejected %s\n", r)
+	}
+	if len(res.Rejected) > 0 {
+		os.Exit(1)
+	}
+}
+
+func auditDirMain(args []string) {
+	fs := flag.NewFlagSet("tdraudit audit-dir", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus directory to audit (required)")
+	af := addAuditFlags(fs)
+	fs.Parse(args)
+	if *dir == "" {
+		fatal(fmt.Errorf("audit-dir: -dir is required"))
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := pipeline.BatchFromStore(st, fixtures.Resolver)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d jobs across %d shards from %s\n",
+		len(b.Jobs), len(b.Shards), st.Dir())
+	runAudit(b, af)
+}
+
+// runAudit drives one pipeline run (plus the optional 1-worker
+// comparison) with the shared output formats.
+func runAudit(b *pipeline.Batch, af *auditFlags) {
+	cfg := af.config()
 	p := pipeline.New(cfg)
 	fmt.Fprintf(os.Stderr, "auditing %d traces on %s (GOMAXPROCS %d)...\n",
 		len(b.Jobs), p, runtime.GOMAXPROCS(0))
@@ -56,28 +212,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for v := range s.Verdicts {
-		if !*stream {
-			continue
+		switch {
+		case *af.jsonOut && *af.stream:
+			if err := enc.Encode(v); err != nil {
+				fatal(err)
+			}
+		case *af.stream:
+			printVerdict(v)
 		}
-		mark := " "
-		if v.Suspicious {
-			mark = "!"
-		}
-		tdr := "    -    "
-		if v.TDRAudited {
-			tdr = fmt.Sprintf("%8.4f%%", v.TDRScore*100)
-		}
-		fmt.Printf("%s %-12s %-7s tdr-dev %s", mark, v.JobID, v.Label, tdr)
-		if v.Err != "" {
-			fmt.Printf("  [%s]", v.Err)
-		}
-		fmt.Println()
 	}
 	r := s.Wait()
-	fmt.Print(r.Format())
+	if *af.jsonOut {
+		if !*af.stream {
+			for _, v := range r.Verdicts {
+				if err := enc.Encode(v); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		if err := enc.Encode(struct {
+			Metrics pipeline.Metrics `json:"metrics"`
+		}{r.Metrics}); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(r.Format())
+	}
 
-	if *compare && p.Workers() > 1 {
+	if *af.compare && p.Workers() > 1 {
 		fmt.Fprintf(os.Stderr, "re-auditing with 1 worker for comparison...\n")
 		cfg1 := cfg
 		cfg1.Workers = 1
@@ -85,16 +249,32 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(r1.Format())
+		fmt.Fprint(os.Stderr, r1.Format())
 		if r1.Metrics.ThroughputPerSec > 0 {
-			fmt.Printf("speedup with %d workers: %.2fx\n",
+			fmt.Fprintf(os.Stderr, "speedup with %d workers: %.2fx\n",
 				r.Metrics.Workers, r.Metrics.ThroughputPerSec/r1.Metrics.ThroughputPerSec)
 		}
 		if string(r.Canonical()) != string(r1.Canonical()) {
 			fatal(fmt.Errorf("verdicts diverged between worker counts — determinism violation"))
 		}
-		fmt.Println("verdicts identical across worker counts: true")
+		fmt.Fprintln(os.Stderr, "verdicts identical across worker counts: true")
 	}
+}
+
+func printVerdict(v pipeline.Verdict) {
+	mark := " "
+	if v.Suspicious {
+		mark = "!"
+	}
+	tdr := "    -    "
+	if v.TDRAudited {
+		tdr = fmt.Sprintf("%8.4f%%", v.TDRScore*100)
+	}
+	fmt.Printf("%s %-12s %-7s tdr-dev %s", mark, v.JobID, v.Label, tdr)
+	if v.Err != "" {
+		fmt.Printf("  [%s]", v.Err)
+	}
+	fmt.Println()
 }
 
 func fatal(err error) {

@@ -1,0 +1,135 @@
+package fixtures
+
+import (
+	"fmt"
+
+	"sanity/internal/core"
+	"sanity/internal/detect"
+	"sanity/internal/store"
+	"sanity/internal/svm"
+)
+
+// ShardMetaFor derives the persistent shard identity from the material
+// an in-memory shard is built from, so exported corpora and in-memory
+// batches can never disagree about names or seeds.
+func ShardMetaFor(key string, prog *svm.Program, cfg core.Config) store.ShardMeta {
+	return store.ShardMeta{
+		Key:     key,
+		Program: prog.Name,
+		Machine: cfg.Machine.Name,
+		Profile: cfg.Profile.Name,
+		Seed:    cfg.Seed,
+	}
+}
+
+// NFSShardMeta is the persistent identity of the default NFS shard
+// with the given auditor replay seed.
+func NFSShardMeta(seed uint64) store.ShardMeta {
+	return ShardMetaFor(DefaultShardKey, ServerProgram(), ServerConfig(seed))
+}
+
+// EchoShardMeta is the persistent identity of the echo-on-T' shard.
+func EchoShardMeta(seed uint64) store.ShardMeta {
+	return ShardMetaFor(EchoShardKey, EchoProgram(), EchoConfig(seed))
+}
+
+// exportTraining stores a set's benign training traces (IPDs only)
+// under the given shard.
+func exportTraining(st *store.Store, s *Set, shardKey string) error {
+	for i, ipds := range s.Training {
+		meta := store.Meta{
+			ID:    fmt.Sprintf("train-%d", i),
+			Shard: shardKey,
+			Role:  store.RoleTraining,
+			Label: store.LabelBenign,
+		}
+		if err := st.Put(meta, &detect.Trace{IPDs: ipds}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportTest stores one labeled test trace under the given shard.
+func exportTest(st *store.Store, shardKey string, lt LabeledTrace) error {
+	meta := store.Meta{
+		ID:      lt.ID,
+		Shard:   shardKey,
+		Role:    store.RoleTest,
+		Label:   lt.Label.String(),
+		Channel: lt.Channel,
+	}
+	return st.Put(meta, lt.Trace)
+}
+
+// ExportSet materializes a labeled set into st as one shard's corpus:
+// the training traces (IPDs only), then every labeled test trace with
+// its log and observed execution, then the manifest. Calling it again
+// with a different set and shard grows the store into a heterogeneous
+// corpus.
+func ExportSet(st *store.Store, s *Set, shard store.ShardMeta) error {
+	if err := st.AddShard(shard); err != nil {
+		return err
+	}
+	if err := exportTraining(st, s, shard.Key); err != nil {
+		return err
+	}
+	for _, lt := range s.Traces {
+		if err := exportTest(st, shard.Key, lt); err != nil {
+			return err
+		}
+	}
+	return st.Flush()
+}
+
+// ExportHeterogeneous materializes the two-population corpus in
+// exactly the job order HeterogeneousBatch audits it, so a store
+// round-trip reproduces the in-memory verdict stream byte for byte.
+// seed must match the seed passed to HeterogeneousBatch.
+func ExportHeterogeneous(st *store.Store, nfs, echo *Set, seed uint64) error {
+	if err := st.AddShard(NFSShardMeta(seed)); err != nil {
+		return err
+	}
+	if err := st.AddShard(EchoShardMeta(seed + 1)); err != nil {
+		return err
+	}
+	if err := exportTraining(st, nfs, DefaultShardKey); err != nil {
+		return err
+	}
+	if err := exportTraining(st, echo, EchoShardKey); err != nil {
+		return err
+	}
+	for _, sh := range interleave(nfs, echo) {
+		if err := exportTest(st, sh.shard, sh.lt); err != nil {
+			return err
+		}
+	}
+	return st.Flush()
+}
+
+// Resolver is the fixture registry's pipeline.ShardResolver: it maps
+// the program named by a stored shard onto the known-good binary and
+// rebuilds the replay configuration for the named machine type, then
+// cross-checks that the corpus and the registry agree on the machine
+// and profile names. The auditor never loads binaries or file stores
+// from a corpus — a recorded log can only ever be replayed against the
+// auditor's own known-good material (paper §5.3).
+func Resolver(m store.ShardMeta) (*svm.Program, core.Config, error) {
+	var prog *svm.Program
+	var cfg core.Config
+	switch m.Program {
+	case "nfsd":
+		prog, cfg = ServerProgram(), ServerConfig(m.Seed)
+	case "echod":
+		prog, cfg = EchoProgram(), EchoConfig(m.Seed)
+	default:
+		return nil, core.Config{}, fmt.Errorf("fixtures: no known-good binary for program %q", m.Program)
+	}
+	if cfg.Machine.Name != m.Machine {
+		return nil, core.Config{}, fmt.Errorf("fixtures: shard %q wants machine %q, registry has %q for %s", m.Key, m.Machine, cfg.Machine.Name, m.Program)
+	}
+	if cfg.Profile.Name != m.Profile {
+		return nil, core.Config{}, fmt.Errorf("fixtures: shard %q wants profile %q, registry has %q for %s", m.Key, m.Profile, cfg.Profile.Name, m.Program)
+	}
+	return prog, cfg, nil
+}

@@ -209,11 +209,21 @@ func covertSecret(n int, seed uint64) covert.Bits {
 // and executions), suitable for the TDR detector and the pipeline's
 // full record/replay path. Costs one engine run per trace.
 func PlayedSet(sizes SetSizes, seed uint64) (*Set, error) {
+	return playedSetWith(sizes, seed, PlayTrace)
+}
+
+// playFunc records one trace of some server under some machine type.
+type playFunc func(packets int, workloadSeed, engineSeed uint64, hook core.DelayHook) (*detect.Trace, error)
+
+// playedSetWith is the corpus recipe shared by every played
+// population: benign training runs, channels trained on the pooled
+// benign IPDs, then the labeled benign/covert test traces.
+func playedSetWith(sizes SetSizes, seed uint64, play playFunc) (*Set, error) {
 	s := &Set{}
 	var pooled []int64
 	for i := 0; i < sizes.Training; i++ {
 		ws := seed + uint64(i)*31
-		tr, err := PlayTrace(sizes.Packets, ws, ws+1, nil)
+		tr, err := play(sizes.Packets, ws, ws+1, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +237,7 @@ func PlayedSet(sizes SetSizes, seed uint64) (*Set, error) {
 	scaleNeedle(channels, sizes.Packets)
 	for i := 0; i < sizes.Benign; i++ {
 		ws := seed + 10_000 + uint64(i)*37
-		tr, err := PlayTrace(sizes.Packets, ws, ws+2, nil)
+		tr, err := play(sizes.Packets, ws, ws+2, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -239,7 +249,7 @@ func PlayedSet(sizes SetSizes, seed uint64) (*Set, error) {
 		for i := 0; i < sizes.Covert; i++ {
 			ws := seed + 50_000 + uint64(ci)*10_000 + uint64(i)*41
 			secret := covertSecret(sizes.Packets, ws^0xFEED)
-			tr, err := PlayTrace(sizes.Packets, ws, ws+2, ch.Hook(secret))
+			tr, err := play(sizes.Packets, ws, ws+2, ch.Hook(secret))
 			if err != nil {
 				return nil, err
 			}

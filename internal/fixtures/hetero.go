@@ -1,0 +1,171 @@
+package fixtures
+
+import (
+	"fmt"
+	"sync"
+
+	"sanity/internal/asm"
+	"sanity/internal/core"
+	"sanity/internal/detect"
+	"sanity/internal/hw"
+	"sanity/internal/netsim"
+	"sanity/internal/pipeline"
+	"sanity/internal/svm"
+)
+
+// EchoShardKey names the second fixture population: a byte-summing
+// echo server on the slower T' machine type — a different program AND
+// a different machine in the same batch, the heterogeneous-shard
+// scenario the ROADMAP calls for.
+const EchoShardKey = "echod/slower-t-prime/sanity"
+
+// echoSource is the echo server: receive a packet, read the clock
+// (logged nondeterminism), sum the payload so it is actually touched
+// through the cache hierarchy, and send it back.
+const echoSource = `
+.program echod
+.func main 0 3
+loop:
+    ncall io.recvblock 0
+    store 0
+    load 0
+    ifnull done
+    ncall sys.nanotime 0
+    pop
+    iconst 0
+    store 1
+    iconst 0
+    store 2
+sum:
+    load 2
+    load 0
+    alen
+    if_icmpge send
+    load 1
+    load 0
+    load 2
+    aload
+    iadd
+    store 1
+    iinc 2 1
+    goto sum
+send:
+    load 0
+    ncall io.send 1
+    pop
+    goto loop
+done:
+    ret
+.end`
+
+var (
+	echoOnce sync.Once
+	echoMemo *svm.Program
+)
+
+// EchoProgram assembles (and memoizes) the echo server. Programs are
+// immutable, so sharing one instance across executions is safe.
+func EchoProgram() *svm.Program {
+	echoOnce.Do(func() {
+		echoMemo = asm.MustAssemble("echod", echoSource)
+	})
+	return echoMemo
+}
+
+// EchoConfig is the echo population's execution environment: the
+// slower T' machine type under the Sanity profile, no file store.
+func EchoConfig(seed uint64) core.Config {
+	return core.Config{
+		Machine:  hw.SlowerT(),
+		Profile:  hw.ProfileSanity(),
+		Seed:     seed,
+		MaxSteps: 4_000_000_000,
+	}
+}
+
+// PlayEchoTrace records one echo session: fixed-size requests on the
+// bursty think-time schedule, played on the T' machine. hook, when
+// non-nil, compromises the server.
+func PlayEchoTrace(packets int, workloadSeed, engineSeed uint64, hook core.DelayHook) (*detect.Trace, error) {
+	rng := hw.NewRNG(workloadSeed ^ 0xEC40)
+	w := &netsim.Workload{
+		Requests:   make([][]byte, packets),
+		Departures: netsim.DefaultThinkTime().Schedule(packets, hw.NewRNG(workloadSeed)),
+	}
+	for i := range w.Requests {
+		req := make([]byte, 96)
+		for j := range req {
+			req[j] = byte(rng.Uint64())
+		}
+		w.Requests[i] = req
+	}
+	inputs := w.ToServerInputs(netsim.PaperPath(workloadSeed^0xABCD), 0)
+	cfg := EchoConfig(engineSeed)
+	cfg.Hook = hook
+	exec, log, err := core.Play(EchoProgram(), inputs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fixtures: play echo trace: %w", err)
+	}
+	return &detect.Trace{IPDs: exec.OutputIPDs(), Log: log, Play: exec}, nil
+}
+
+// EchoSet builds a labeled corpus of played echo traces on the T'
+// machine, the second population of heterogeneous batches.
+func EchoSet(sizes SetSizes, seed uint64) (*Set, error) {
+	return playedSetWith(sizes, seed, PlayEchoTrace)
+}
+
+// HeterogeneousSets records the two played populations of a
+// heterogeneous corpus: the NFS server on the paper's testbed machine
+// and the echo server on the slower T'.
+func HeterogeneousSets(sizes SetSizes, seed uint64) (nfs, echo *Set, err error) {
+	if nfs, err = PlayedSet(sizes, seed); err != nil {
+		return nil, nil, err
+	}
+	if echo, err = EchoSet(sizes, seed+0x51AB); err != nil {
+		return nil, nil, err
+	}
+	return nfs, echo, nil
+}
+
+// HeterogeneousBatch wraps the two populations into one two-shard
+// batch with the full TDR path on both, jobs interleaved alternately
+// so neighboring jobs hit different shards. The job order here defines
+// the corpus order everywhere: ExportHeterogeneous persists it, and
+// BatchFromStore reproduces it, which is what makes in-memory and
+// store-backed audits byte-comparable.
+func HeterogeneousBatch(nfs, echo *Set, seed uint64) *pipeline.Batch {
+	b := &pipeline.Batch{}
+	b.AddShard(nfs.ShardWith(DefaultShardKey, ServerProgram(), ServerConfig(seed)))
+	b.AddShard(echo.ShardWith(EchoShardKey, EchoProgram(), EchoConfig(seed+1)))
+	for _, st := range interleave(nfs, echo) {
+		b.Append(pipeline.Job{
+			ID:    st.lt.ID,
+			Shard: st.shard,
+			Label: st.lt.Label,
+			Trace: st.lt.Trace,
+		})
+	}
+	return b
+}
+
+// shardedTrace pairs a labeled trace with the shard it belongs to.
+type shardedTrace struct {
+	shard string
+	lt    LabeledTrace
+}
+
+// interleave alternates the two populations' test traces, appending
+// the longer tail at the end.
+func interleave(nfs, echo *Set) []shardedTrace {
+	var out []shardedTrace
+	for i := 0; i < len(nfs.Traces) || i < len(echo.Traces); i++ {
+		if i < len(nfs.Traces) {
+			out = append(out, shardedTrace{DefaultShardKey, nfs.Traces[i]})
+		}
+		if i < len(echo.Traces) {
+			out = append(out, shardedTrace{EchoShardKey, echo.Traces[i]})
+		}
+	}
+	return out
+}

@@ -1,7 +1,9 @@
 package fixtures
 
 import (
+	"sanity/internal/core"
 	"sanity/internal/pipeline"
+	"sanity/internal/svm"
 )
 
 // DefaultShardKey names the single-shard fixture population: the NFS
@@ -13,30 +15,43 @@ const DefaultShardKey = "nfsd/optiplex9020/sanity"
 // the auditor replay configuration, enabling the full record/replay
 // path for traces that have logs.
 func (s *Set) Shard(withTDR bool, seed uint64) *pipeline.Shard {
-	sh := &pipeline.Shard{Key: DefaultShardKey, Training: s.Training}
-	if withTDR {
-		sh.Prog = ServerProgram()
-		sh.Cfg = ServerConfig(seed)
+	if !withTDR {
+		return s.ShardWith(DefaultShardKey, nil, core.Config{})
 	}
-	return sh
+	return s.ShardWith(DefaultShardKey, ServerProgram(), ServerConfig(seed))
 }
 
-// LabeledAuditBatch records a labeled NFS corpus of roughly `traces`
-// test traces — half benign, half covert split across the four
-// channels, every trace with its replay log — and wraps it into a
-// single-shard batch with the full TDR path enabled. This is the
-// shared recipe behind cmd/tdraudit and the throughput experiment.
-func LabeledAuditBatch(traces, packets int, seed uint64) (*pipeline.Batch, error) {
+// ShardWith wraps the set's training material into a shard with an
+// explicit identity — the heterogeneous-batch builders use it to pair
+// each population with its own binary and machine type.
+func (s *Set) ShardWith(key string, prog *svm.Program, cfg core.Config) *pipeline.Shard {
+	return &pipeline.Shard{Key: key, Prog: prog, Cfg: cfg, Training: s.Training}
+}
+
+// AuditSizes is the corpus recipe behind the audit tooling: roughly
+// `traces` test traces, half benign and half covert split across the
+// four channels, plus a fixed training population. cmd/tdraudit's
+// in-memory and record modes both use it, so a recorded corpus at the
+// same flags matches the in-memory one.
+func AuditSizes(traces, packets int) SetSizes {
 	perChannel := traces / 8
 	if perChannel < 1 {
 		perChannel = 1
 	}
-	set, err := PlayedSet(SetSizes{
+	return SetSizes{
 		Training: 6,
 		Benign:   traces / 2,
 		Covert:   perChannel,
 		Packets:  packets,
-	}, seed)
+	}
+}
+
+// LabeledAuditBatch records a labeled NFS corpus per AuditSizes, every
+// trace with its replay log, and wraps it into a single-shard batch
+// with the full TDR path enabled. This is the shared recipe behind
+// cmd/tdraudit and the throughput experiment.
+func LabeledAuditBatch(traces, packets int, seed uint64) (*pipeline.Batch, error) {
+	set, err := PlayedSet(AuditSizes(traces, packets), seed)
 	if err != nil {
 		return nil, err
 	}

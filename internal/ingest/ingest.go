@@ -1,0 +1,312 @@
+// Package ingest implements the network leg of the audit hand-off:
+// the play side records trace corpora to stable storage
+// (internal/store) and ships them to an auditor machine over TCP,
+// mirroring the cloud-verification setting of paper §5.2 where
+// recorded executions are checked by a separate verifier.
+//
+// The protocol is line-framed commands with binary payloads. After
+// exchanging the banner, a client issues:
+//
+//	SHARD <n>\n  followed by n bytes of ShardMeta JSON
+//	PUT <n>\n    followed by n bytes of trace container
+//	DONE\n       flush the manifest and end the session
+//
+// The server answers every command with one line, "OK ..." or
+// "ERR <reason>". A PUT is validated while it is spooled — frame
+// CRCs, section structure, log decoding, metadata cross-checks — and
+// a corrupted upload earns a per-trace ERR while the connection stays
+// usable for the next command. Uploads from many connections may
+// interleave; the store serializes admissions.
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"sanity/internal/store"
+)
+
+// Banner is the protocol greeting either side must send first.
+const Banner = "TDR-INGEST/1"
+
+// Upload size limits. Shard metadata is a handful of names; containers
+// are bounded generously (a day-long NFS log at the paper's §6.5
+// growth rate is well under this).
+const (
+	maxShardJSON = 64 << 10
+	maxContainer = 1 << 30
+)
+
+// Server accepts framed log uploads and spools them into a store.
+type Server struct {
+	st *store.Store
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Listen starts an ingest server on addr (e.g. ":7070" or
+// "127.0.0.1:0") spooling into st.
+func Listen(addr string, st *store.Store) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listen %s: %w", addr, err)
+	}
+	return Serve(ln, st), nil
+}
+
+// Serve starts an ingest server on an existing listener.
+func Serve(ln net.Listener, st *store.Store) *Server {
+	s := &Server{st: st, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, closes live connections, waits for handlers,
+// and flushes the manifest.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+	return s.st.Flush()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// oneline folds any newlines out of text destined for a reply line,
+// so identifiers that originate in an upload cannot inject extra
+// protocol lines.
+func oneline(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '\n' || r == '\r' {
+			return ' '
+		}
+		return r
+	}, s)
+}
+
+// errLine renders an error as a single protocol line.
+func errLine(err error) string {
+	return "ERR " + oneline(err.Error()) + "\n"
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	line, err := readLine(br)
+	if err != nil || line != Banner {
+		fmt.Fprintf(conn, "ERR expected banner %s\n", Banner)
+		return
+	}
+	fmt.Fprintf(conn, "OK %s\n", Banner)
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return
+		}
+		cmd, arg, _ := strings.Cut(line, " ")
+		switch cmd {
+		case "SHARD":
+			n, err := parseSize(arg, maxShardJSON)
+			if err != nil {
+				fmt.Fprint(conn, errLine(err))
+				return
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return
+			}
+			var m store.ShardMeta
+			if err := json.Unmarshal(buf, &m); err != nil {
+				fmt.Fprint(conn, errLine(fmt.Errorf("ingest: shard metadata: %w", err)))
+				continue
+			}
+			if err := s.st.AddShard(m); err != nil {
+				fmt.Fprint(conn, errLine(err))
+				continue
+			}
+			fmt.Fprintf(conn, "OK shard %s\n", oneline(m.Key))
+		case "PUT":
+			n, err := parseSize(arg, maxContainer)
+			if err != nil {
+				fmt.Fprint(conn, errLine(err))
+				return
+			}
+			lr := io.LimitReader(br, n)
+			meta, perr := s.st.PutContainer(lr)
+			// Always drain the declared payload so a rejected container
+			// does not desynchronize the command stream.
+			if _, err := io.Copy(io.Discard, lr); err != nil {
+				return
+			}
+			if perr != nil {
+				fmt.Fprint(conn, errLine(perr))
+				continue
+			}
+			fmt.Fprintf(conn, "OK %s\n", oneline(meta.ID))
+		case "DONE":
+			if err := s.st.Flush(); err != nil {
+				fmt.Fprint(conn, errLine(err))
+				return
+			}
+			fmt.Fprintf(conn, "BYE %d\n", len(s.st.Entries()))
+			return
+		default:
+			fmt.Fprintf(conn, "ERR unknown command %q\n", cmd)
+			return
+		}
+	}
+}
+
+// readLine reads one newline-terminated command or reply. The line
+// must fit the bufio buffer (4 KiB): a peer that streams bytes without
+// ever sending a newline gets an error, not unbounded buffering.
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		return "", fmt.Errorf("ingest: protocol line exceeds %d bytes", br.Size())
+	}
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(string(line), "\r\n"), nil
+}
+
+func parseSize(arg string, limit int64) (int64, error) {
+	n, err := strconv.ParseInt(strings.TrimSpace(arg), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("ingest: bad payload size %q", arg)
+	}
+	if n > limit {
+		return 0, fmt.Errorf("ingest: payload of %d bytes exceeds the %d limit", n, limit)
+	}
+	return n, nil
+}
+
+// PushResult summarizes one Push: how many traces the server accepted
+// and any per-trace rejections (which do not abort the session).
+type PushResult struct {
+	Shards   int
+	Accepted int
+	Rejected []string // "id: reason" for every ERR reply
+}
+
+// Push uploads every shard and trace of a local store to the ingest
+// server at addr. Containers are streamed straight from disk. It
+// returns the per-trace outcome; err is non-nil only for protocol or
+// transport failures.
+func Push(addr string, st *store.Store) (*PushResult, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "%s\n", Banner)
+	if reply, err := readLine(br); err != nil || !strings.HasPrefix(reply, "OK") {
+		return nil, fmt.Errorf("ingest: banner rejected: %q err=%v", reply, err)
+	}
+	res := &PushResult{}
+	for _, sh := range st.Shards() {
+		b, err := json.Marshal(sh)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(conn, "SHARD %d\n", len(b))
+		conn.Write(b)
+		reply, err := readLine(br)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: shard %s: %w", sh.Key, err)
+		}
+		if !strings.HasPrefix(reply, "OK") {
+			return nil, fmt.Errorf("ingest: shard %s rejected: %s", sh.Key, reply)
+		}
+		res.Shards++
+	}
+	for _, e := range st.Entries() {
+		if err := pushOne(conn, br, st, e, res); err != nil {
+			return res, err
+		}
+	}
+	fmt.Fprintf(conn, "DONE\n")
+	reply, err := readLine(br)
+	if err != nil {
+		return res, fmt.Errorf("ingest: closing session: %w", err)
+	}
+	if !strings.HasPrefix(reply, "BYE") {
+		return res, fmt.Errorf("ingest: unexpected close reply %q", reply)
+	}
+	return res, nil
+}
+
+func pushOne(conn net.Conn, br *bufio.Reader, st *store.Store, e store.Entry, res *PushResult) error {
+	f, err := st.OpenTrace(e.File)
+	if err != nil {
+		return fmt.Errorf("ingest: opening %s: %w", e.File, err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("ingest: sizing %s: %w", e.File, err)
+	}
+	fmt.Fprintf(conn, "PUT %d\n", info.Size())
+	if _, err := io.Copy(conn, f); err != nil {
+		return fmt.Errorf("ingest: uploading %s: %w", e.ID, err)
+	}
+	reply, err := readLine(br)
+	if err != nil {
+		return fmt.Errorf("ingest: upload %s: %w", e.ID, err)
+	}
+	if strings.HasPrefix(reply, "OK") {
+		res.Accepted++
+		return nil
+	}
+	res.Rejected = append(res.Rejected, e.ID+": "+strings.TrimPrefix(reply, "ERR "))
+	return nil
+}

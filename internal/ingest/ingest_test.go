@@ -1,0 +1,301 @@
+package ingest_test
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"sanity/internal/fixtures"
+	"sanity/internal/ingest"
+	"sanity/internal/pipeline"
+	"sanity/internal/store"
+)
+
+// exportSynthetic materializes a small synthetic (IPD-only) corpus —
+// no engine runs, so the protocol tests stay cheap.
+func exportSynthetic(t testing.TB, dir string) *store.Store {
+	t.Helper()
+	set, err := fixtures.SyntheticSet(fixtures.SetSizes{Training: 4, Benign: 3, Covert: 1, Packets: 220}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fixtures.ExportSet(st, set, fixtures.NFSShardMeta(7)); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func startServer(t testing.TB, dir string) (*ingest.Server, *store.Store) {
+	t.Helper()
+	spool, err := store.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ingest.Listen("127.0.0.1:0", spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, spool
+}
+
+// TestPushSyntheticCorpus ships a synthetic corpus over TCP and
+// audits both sides: the spooled corpus must verdict byte-identically
+// to the in-memory set it came from.
+func TestPushSyntheticCorpus(t *testing.T) {
+	src := exportSynthetic(t, filepath.Join(t.TempDir(), "src"))
+	srv, spool := startServer(t, filepath.Join(t.TempDir(), "spool"))
+
+	res, err := ingest.Push(srv.Addr().String(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(src.Entries())
+	if res.Accepted != want || len(res.Rejected) != 0 || res.Shards != 1 {
+		t.Fatalf("push result %+v, want %d accepted", res, want)
+	}
+
+	// The spool's manifest was flushed by DONE: reopen from disk.
+	reopened, err := store.Open(spool.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := fixtures.SyntheticSet(fixtures.SetSizes{Training: 4, Benign: 3, Covert: 1, Packets: 220}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.Config{Workers: 2, BatchSize: 3}
+	base, err := pipeline.New(cfg).Run(set.Batch(false, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No resolver: statistical detectors only, same as Batch(false).
+	b, err := pipeline.BatchFromStore(reopened, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pipeline.New(cfg).Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(base.Canonical(), got.Canonical()) {
+		t.Fatalf("spooled corpus diverged from in-memory audit:\n--- want\n%s--- got\n%s", base.Canonical(), got.Canonical())
+	}
+}
+
+// TestCorruptedUploadRejectedPerTrace flips one byte of a stored
+// container and pushes the corpus: the server must reject exactly that
+// trace with an ERR reply, keep the connection usable, and accept the
+// rest.
+func TestCorruptedUploadRejectedPerTrace(t *testing.T) {
+	src := exportSynthetic(t, filepath.Join(t.TempDir(), "src"))
+	entries := src.Entries()
+	victim := entries[len(entries)/2]
+	path := filepath.Join(src.Dir(), victim.File)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), raw...)
+	mut[len(mut)-2] ^= 0x40 // inside the end frame's CRC
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, spool := startServer(t, filepath.Join(t.TempDir(), "spool"))
+	res, err := ingest.Push(srv.Addr().String(), src)
+	if err != nil {
+		t.Fatalf("push aborted instead of degrading: %v", err)
+	}
+	if res.Accepted != len(entries)-1 {
+		t.Fatalf("accepted %d of %d", res.Accepted, len(entries))
+	}
+	if len(res.Rejected) != 1 || !strings.Contains(res.Rejected[0], victim.ID) {
+		t.Fatalf("rejections %v, want one naming %s", res.Rejected, victim.ID)
+	}
+	if !strings.Contains(res.Rejected[0], "CRC") {
+		t.Fatalf("rejection does not blame the checksum: %v", res.Rejected[0])
+	}
+	if got := len(spool.Entries()); got != len(entries)-1 {
+		t.Fatalf("spool holds %d traces, want %d", got, len(entries)-1)
+	}
+}
+
+// TestProtocolRaw speaks the wire protocol by hand: bad banner, bad
+// sizes, unknown commands, and a valid session.
+func TestProtocolRaw(t *testing.T) {
+	srv, _ := startServer(t, filepath.Join(t.TempDir(), "spool"))
+	addr := srv.Addr().String()
+
+	dial := func() (net.Conn, *bufio.Reader) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		return conn, bufio.NewReader(conn)
+	}
+	expect := func(br *bufio.Reader, prefix string) string {
+		t.Helper()
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading reply: %v", err)
+		}
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("reply %q, want prefix %q", line, prefix)
+		}
+		return line
+	}
+
+	t.Run("bad banner", func(t *testing.T) {
+		conn, br := dial()
+		fmt.Fprintf(conn, "HELLO\n")
+		expect(br, "ERR")
+	})
+	t.Run("oversized put", func(t *testing.T) {
+		conn, br := dial()
+		fmt.Fprintf(conn, "%s\n", ingest.Banner)
+		expect(br, "OK")
+		fmt.Fprintf(conn, "PUT 99999999999999\n")
+		expect(br, "ERR")
+	})
+	t.Run("unknown command", func(t *testing.T) {
+		conn, br := dial()
+		fmt.Fprintf(conn, "%s\n", ingest.Banner)
+		expect(br, "OK")
+		fmt.Fprintf(conn, "FROB 12\n")
+		expect(br, "ERR")
+	})
+	t.Run("garbage put then valid session", func(t *testing.T) {
+		conn, br := dial()
+		fmt.Fprintf(conn, "%s\n", ingest.Banner)
+		expect(br, "OK")
+		// A PUT whose payload is noise: per-trace ERR, connection lives.
+		junk := bytes.Repeat([]byte{0xEE}, 100)
+		fmt.Fprintf(conn, "PUT %d\n", len(junk))
+		conn.Write(junk)
+		expect(br, "ERR")
+		fmt.Fprintf(conn, "DONE\n")
+		expect(br, "BYE 0")
+	})
+}
+
+// TestConcurrentPushes runs several clients at once; the store must
+// serialize admissions without losing or duplicating traces.
+func TestConcurrentPushes(t *testing.T) {
+	srv, spool := startServer(t, filepath.Join(t.TempDir(), "spool"))
+	const clients = 4
+	dirs := make([]*store.Store, clients)
+	for i := range dirs {
+		set, err := fixtures.SyntheticSet(fixtures.SetSizes{Training: 2, Benign: 2, Covert: 1, Packets: 220}, 100+uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := store.Create(filepath.Join(t.TempDir(), fmt.Sprintf("c%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard := fixtures.NFSShardMeta(7)
+		shard.Key = fmt.Sprintf("shard-%d", i)
+		if err := fixtures.ExportSet(st, set, shard); err != nil {
+			t.Fatal(err)
+		}
+		dirs[i] = st
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := range dirs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := ingest.Push(srv.Addr().String(), dirs[i])
+			if err == nil && (res.Accepted != len(dirs[i].Entries()) || len(res.Rejected) != 0) {
+				err = fmt.Errorf("client %d: %+v", i, res)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := 0
+	for _, d := range dirs {
+		want += len(d.Entries())
+	}
+	if got := len(spool.Entries()); got != want {
+		t.Fatalf("spool holds %d traces, want %d", got, want)
+	}
+	if got := len(spool.Shards()); got != clients {
+		t.Fatalf("spool holds %d shards, want %d", got, clients)
+	}
+}
+
+// TestStoreIngestAuditRoundTrip is the acceptance path: record a
+// heterogeneous corpus (two programs, two machine types), export it,
+// ship it over TCP, load the spooled corpus through BatchFromStore,
+// and demand byte-identical verdicts to auditing the same population
+// in memory — with 1 worker and with N.
+func TestStoreIngestAuditRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("played corpus in -short mode")
+	}
+	const seed = 777
+	nfs, echo, err := fixtures.HeterogeneousSets(fixtures.SetSizes{
+		Training: 3, Benign: 2, Covert: 1, Packets: 50,
+	}, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := fixtures.HeterogeneousBatch(nfs, echo, seed)
+	base, err := pipeline.New(pipeline.Config{Workers: 1, BatchSize: 1}).Run(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := store.Create(filepath.Join(t.TempDir(), "playside"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fixtures.ExportHeterogeneous(src, nfs, echo, seed); err != nil {
+		t.Fatal(err)
+	}
+	srv, spool := startServer(t, filepath.Join(t.TempDir(), "auditside"))
+	res, err := ingest.Push(srv.Addr().String(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 0 || res.Accepted != len(src.Entries()) || res.Shards != 2 {
+		t.Fatalf("push result %+v", res)
+	}
+
+	for _, cfg := range []pipeline.Config{
+		{Workers: 1, BatchSize: 1},
+		{Workers: 4, BatchSize: 2},
+	} {
+		b, err := pipeline.BatchFromStore(spool, fixtures.Resolver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pipeline.New(cfg).Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(base.Canonical(), got.Canonical()) {
+			t.Fatalf("store round trip diverged at workers=%d:\n--- in-memory\n%s--- store\n%s",
+				cfg.Workers, base.Canonical(), got.Canonical())
+		}
+	}
+}

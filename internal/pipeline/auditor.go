@@ -80,17 +80,29 @@ func newAuditor(s *Shard, tdrThreshold, statThreshold float64) (*auditor, error)
 // batch.
 func (a *auditor) audit(job Job, index int) Verdict {
 	v := Verdict{JobID: job.ID, Index: index, Shard: job.Shard, Label: job.Label}
+	tr := job.Trace
+	if tr == nil {
+		loaded, err := job.Load()
+		if err == nil && loaded == nil {
+			err = fmt.Errorf("loader returned no trace")
+		}
+		if err != nil {
+			v.Err = fmt.Sprintf("load: %v", err)
+			return v
+		}
+		tr = loaded
+	}
 	var errs []string
 	for _, d := range a.detectors {
-		s, err := d.Score(job.Trace)
+		s, err := d.Score(tr)
 		if err != nil {
 			errs = append(errs, fmt.Sprintf("%s: %v", d.Name(), err))
 			continue
 		}
 		v.Scores = append(v.Scores, Score{Detector: d.Name(), Value: s})
 	}
-	if a.tdr != nil && job.Trace.Log != nil && job.Trace.Play != nil {
-		cmp, err := a.tdr.ScoreDetail(job.Trace)
+	if a.tdr != nil && tr.Log != nil && tr.Play != nil {
+		cmp, err := a.tdr.ScoreDetail(tr)
 		if err != nil {
 			errs = append(errs, fmt.Sprintf("%s: %v", a.tdr.Name(), err))
 		} else {

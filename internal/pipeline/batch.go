@@ -58,6 +58,13 @@ type Job struct {
 	// Trace is the detector-visible material: IPDs always; log and
 	// observed execution when the TDR path should run.
 	Trace *Trace
+	// Load, when Trace is nil, materializes the trace on demand on the
+	// worker that audits the job. Store-backed batches use this so a
+	// corpus is streamed from disk as it is audited instead of being
+	// loaded whole; at most workers×runahead traces are resident at
+	// once. A load failure degrades to a per-job error verdict, not a
+	// batch failure. Load must be safe for concurrent use across jobs.
+	Load func() (*Trace, error)
 }
 
 // Batch is one pipeline input: a set of shards and the jobs to audit
@@ -82,8 +89,8 @@ func (b *Batch) Append(j Job) { b.Jobs = append(b.Jobs, j) }
 // validate checks shard references before any worker starts.
 func (b *Batch) validate() error {
 	for i, j := range b.Jobs {
-		if j.Trace == nil {
-			return fmt.Errorf("pipeline: job %d (%q) has no trace", i, j.ID)
+		if j.Trace == nil && j.Load == nil {
+			return fmt.Errorf("pipeline: job %d (%q) has no trace and no loader", i, j.ID)
 		}
 		if _, ok := b.Shards[j.Shard]; !ok {
 			return fmt.Errorf("pipeline: job %d (%q) references unknown shard %q", i, j.ID, j.Shard)

@@ -238,6 +238,16 @@ func (p *Pipeline) train(b *Batch) (map[string]*auditor, error) {
 // job's index so a single worker processes the batch in submission
 // order exactly.
 func makeChunks(b *Batch, batchSize int) []chunk {
+	// Guard the edges: an empty batch yields no chunks (never an empty
+	// chunk — dispatch assumes chunk.jobs is non-empty), and a
+	// non-positive batch size degrades to one job per chunk instead of
+	// looping forever.
+	if len(b.Jobs) == 0 {
+		return nil
+	}
+	if batchSize <= 0 {
+		batchSize = 1
+	}
 	perShard := make(map[string][]indexedJob)
 	for i, j := range b.Jobs {
 		perShard[j.Shard] = append(perShard[j.Shard], indexedJob{idx: i, job: j})

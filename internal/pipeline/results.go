@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -10,8 +11,8 @@ import (
 
 // Score is one detector's opinion of one trace.
 type Score struct {
-	Detector string
-	Value    float64
+	Detector string  `json:"detector"`
+	Value    float64 `json:"value"`
 }
 
 // Verdict is the pipeline's output for one job.
@@ -45,6 +46,29 @@ type Verdict struct {
 	latencyNs int64
 }
 
+// MarshalJSON renders the deterministic part of a verdict for -json
+// consumers: latency stays out (it is the one non-deterministic
+// field), the label becomes its string form, and the full TDR timing
+// comparison is reduced to the fields a downstream consumer acts on.
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	out := struct {
+		Index      int     `json:"index"`
+		ID         string  `json:"id"`
+		Shard      string  `json:"shard"`
+		Label      string  `json:"label"`
+		Scores     []Score `json:"scores"`
+		TDRAudited bool    `json:"tdrAudited"`
+		TDRScore   float64 `json:"tdrScore"`
+		Suspicious bool    `json:"suspicious"`
+		Err        string  `json:"err,omitempty"`
+	}{
+		Index: v.Index, ID: v.JobID, Shard: v.Shard, Label: v.Label.String(),
+		Scores: v.Scores, TDRAudited: v.TDRAudited, TDRScore: v.TDRScore,
+		Suspicious: v.Suspicious, Err: v.Err,
+	}
+	return json.Marshal(out)
+}
+
 // Score finds one detector's score.
 func (v *Verdict) Score(detector string) (float64, bool) {
 	for _, s := range v.Scores {
@@ -57,30 +81,30 @@ func (v *Verdict) Score(detector string) (float64, bool) {
 
 // Metrics aggregates one pipeline run.
 type Metrics struct {
-	Traces     int
-	Suspicious int
+	Traces     int `json:"traces"`
+	Suspicious int `json:"suspicious"`
 	// Errors counts verdicts with at least one detector failure.
-	Errors int
+	Errors int `json:"errors"`
 
 	// Confusion counts against labeled jobs; LabelUnknown jobs are
 	// excluded.
-	TruePositives  int
-	FalsePositives int
-	TrueNegatives  int
-	FalseNegatives int
+	TruePositives  int `json:"truePositives"`
+	FalsePositives int `json:"falsePositives"`
+	TrueNegatives  int `json:"trueNegatives"`
+	FalseNegatives int `json:"falseNegatives"`
 
 	// ElapsedNs is the wall-clock duration of the whole run;
 	// ThroughputPerSec is Traces normalized by it.
-	ElapsedNs        int64
-	ThroughputPerSec float64
+	ElapsedNs        int64   `json:"elapsedNs"`
+	ThroughputPerSec float64 `json:"throughputPerSec"`
 	// P50LatencyNs / P99LatencyNs summarize per-trace audit latency.
-	P50LatencyNs int64
-	P99LatencyNs int64
+	P50LatencyNs int64 `json:"p50LatencyNs"`
+	P99LatencyNs int64 `json:"p99LatencyNs"`
 
 	// Workers and BatchSize echo the configuration that produced the
 	// run (after defaulting).
-	Workers   int
-	BatchSize int
+	Workers   int `json:"workers"`
+	BatchSize int `json:"batchSize"`
 }
 
 // Results is a completed run: every verdict in submission order plus

@@ -1,0 +1,81 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"sanity/internal/core"
+	"sanity/internal/store"
+	"sanity/internal/svm"
+)
+
+// ShardResolver maps a stored shard's metadata onto the audit side's
+// own known-good material: the trusted binary for the named program
+// and the replay configuration for the named machine type and noise
+// profile. Binaries and machine models are code the auditor already
+// has — a corpus only names them. Returning a nil program disables the
+// TDR path for that shard (statistical detectors still run).
+type ShardResolver func(m store.ShardMeta) (*svm.Program, core.Config, error)
+
+// ParseLabel maps a store label string onto the pipeline's ground
+// truth; unrecognized strings are LabelUnknown (excluded from FP/FN
+// accounting), never an error.
+func ParseLabel(s string) Label {
+	switch s {
+	case store.LabelBenign:
+		return LabelBenign
+	case store.LabelCovert:
+		return LabelCovert
+	}
+	return LabelUnknown
+}
+
+// BatchFromStore builds a pipeline batch over a persistent corpus.
+// Shard training material (IPDs only) is read up front — training
+// happens before the first verdict — but test traces are NOT loaded
+// here: each job carries a loader and its container is decoded on the
+// worker that audits it, so a corpus far larger than memory streams
+// through the pipeline under the scheduler's runahead bound. Jobs
+// appear in manifest order, so verdicts over a store round-trip are
+// byte-identical to auditing the same corpus in memory.
+func BatchFromStore(st *store.Store, resolve ShardResolver) (*Batch, error) {
+	shards := st.Shards()
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("pipeline: store %s has no shards", st.Dir())
+	}
+	b := &Batch{}
+	for _, sm := range shards {
+		training, err := st.TrainingIPDs(sm.Key)
+		if err != nil {
+			return nil, err
+		}
+		sh := &Shard{Key: sm.Key, Training: training}
+		if resolve != nil {
+			prog, cfg, err := resolve(sm)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: resolving shard %q: %w", sm.Key, err)
+			}
+			sh.Prog = prog
+			sh.Cfg = cfg
+		}
+		b.AddShard(sh)
+	}
+	for _, e := range st.Entries() {
+		if e.Role != store.RoleTest {
+			continue
+		}
+		if _, ok := b.Shards[e.Shard]; !ok {
+			return nil, fmt.Errorf("pipeline: trace %q references unregistered shard %q", e.ID, e.Shard)
+		}
+		file := e.File
+		b.Append(Job{
+			ID:    e.ID,
+			Shard: e.Shard,
+			Label: ParseLabel(e.Label),
+			Load: func() (*Trace, error) {
+				_, tr, err := st.LoadTrace(file)
+				return tr, err
+			},
+		})
+	}
+	return b, nil
+}

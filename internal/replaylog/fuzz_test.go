@@ -19,43 +19,66 @@ func encodeLog(t testing.TB, l *replaylog.Log) []byte {
 	return buf.Bytes()
 }
 
-// logsEqual compares two logs record by record, treating nil and
-// empty payloads as equal (Decode materializes empty payloads,
-// AppendPacket may keep them nil).
-func logsEqual(a, b *replaylog.Log) bool {
-	if a.Program != b.Program || a.Machine != b.Machine || a.Profile != b.Profile {
-		return false
-	}
-	if len(a.Records) != len(b.Records) {
-		return false
-	}
-	for i := range a.Records {
-		ra, rb := a.Records[i], b.Records[i]
-		if ra.Kind != rb.Kind || ra.Instr != rb.Instr || ra.PlayPs != rb.PlayPs || ra.Value != rb.Value {
-			return false
-		}
-		if !bytes.Equal(ra.Payload, rb.Payload) {
-			return false
-		}
-	}
-	return true
-}
-
-// TestEncodeDecodeRoundTrip is the seeded-corpus round-trip check:
-// decode-of-encode reproduces every record of a log that exercises
-// all three record kinds.
+// TestEncodeDecodeRoundTrip is the seeded-corpus round-trip property:
+// Decode(Encode(l)).Equal(l) for every log in the fuzz seed corpus,
+// which exercises all three record kinds.
 func TestEncodeDecodeRoundTrip(t *testing.T) {
-	for seed := uint64(1); seed <= 4; seed++ {
+	for seed := uint64(1); seed <= 8; seed++ {
 		l := fixtures.RoundTripLog(seed)
 		got, err := replaylog.Decode(bytes.NewReader(encodeLog(t, l)))
 		if err != nil {
 			t.Fatalf("seed %d: decode: %v", seed, err)
 		}
-		if !logsEqual(l, got) {
+		if !got.Equal(l) {
 			t.Fatalf("seed %d: round trip lost records", seed)
 		}
 		if got.SizeBytes() != l.SizeBytes() {
 			t.Fatalf("seed %d: size drifted: %d -> %d", seed, l.SizeBytes(), got.SizeBytes())
+		}
+	}
+}
+
+// TestEqual checks the comparison notices every kind of difference.
+func TestEqual(t *testing.T) {
+	base := func() *replaylog.Log { return fixtures.RoundTripLog(3) }
+	if !base().Equal(base()) {
+		t.Fatal("identical logs compare unequal")
+	}
+	mutations := map[string]func(l *replaylog.Log){
+		"program":  func(l *replaylog.Log) { l.Program = "other" },
+		"machine":  func(l *replaylog.Log) { l.Machine = "other" },
+		"profile":  func(l *replaylog.Log) { l.Profile = "other" },
+		"truncate": func(l *replaylog.Log) { l.Records = l.Records[:len(l.Records)-1] },
+		"kind":     func(l *replaylog.Log) { l.Records[0].Kind = replaylog.KindRandom },
+		"instr":    func(l *replaylog.Log) { l.Records[1].Instr++ },
+		"value":    func(l *replaylog.Log) { l.Records[1].Value++ },
+		"playps":   func(l *replaylog.Log) { l.Records[1].PlayPs++ },
+		"payload":  func(l *replaylog.Log) { l.Records[0].Payload = append(l.Records[0].Payload, 1) },
+	}
+	for name, mutate := range mutations {
+		l := base()
+		mutate(l)
+		if l.Equal(base()) {
+			t.Errorf("%s mutation went unnoticed", name)
+		}
+	}
+	var nilLog *replaylog.Log
+	if nilLog.Equal(base()) || base().Equal(nilLog) {
+		t.Fatal("nil log equals a real one")
+	}
+	if !nilLog.Equal(nil) {
+		t.Fatal("nil != nil")
+	}
+}
+
+// TestDecodeRejectsTrailingGarbage: bytes after the last record are
+// corruption, not padding — Decode must not silently ignore them.
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	valid := encodeLog(t, fixtures.RoundTripLog(5))
+	for _, extra := range [][]byte{{0}, []byte("junk"), valid} {
+		data := append(append([]byte(nil), valid...), extra...)
+		if _, err := replaylog.Decode(bytes.NewReader(data)); err == nil {
+			t.Fatalf("accepted %d trailing bytes", len(extra))
 		}
 	}
 }
@@ -149,7 +172,7 @@ func FuzzDecode(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode of re-encode failed: %v", err)
 		}
-		if !logsEqual(l, l2) {
+		if !l2.Equal(l) {
 			t.Fatal("decode(encode(l)) != l")
 		}
 	})

@@ -9,6 +9,7 @@ package replaylog
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -51,6 +52,31 @@ type Log struct {
 // New creates an empty log with the given identity.
 func New(program, machine, profile string) *Log {
 	return &Log{Program: program, Machine: machine, Profile: profile}
+}
+
+// Equal reports whether two logs carry the same identity and the same
+// record sequence. Nil and empty packet payloads compare equal, since
+// Decode materializes empty payloads that AppendPacket may keep nil.
+func (l *Log) Equal(other *Log) bool {
+	if l == nil || other == nil {
+		return l == other
+	}
+	if l.Program != other.Program || l.Machine != other.Machine || l.Profile != other.Profile {
+		return false
+	}
+	if len(l.Records) != len(other.Records) {
+		return false
+	}
+	for i := range l.Records {
+		a, b := l.Records[i], other.Records[i]
+		if a.Kind != b.Kind || a.Instr != b.Instr || a.PlayPs != b.PlayPs || a.Value != b.Value {
+			return false
+		}
+		if !bytes.Equal(a.Payload, b.Payload) {
+			return false
+		}
+	}
+	return true
 }
 
 // AppendPacket records an incoming packet delivered at instr.
@@ -249,6 +275,14 @@ func Decode(r io.Reader) (*Log, error) {
 			rec.Value = int64(binary.LittleEndian.Uint64(buf[:]))
 		}
 		l.Records = append(l.Records, rec)
+	}
+	// The record count is authoritative: anything after the last record
+	// is corruption (or a concatenated second log), not padding.
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("replaylog: after last record: %w", err)
+		}
+		return nil, fmt.Errorf("replaylog: trailing garbage after record %d", count)
 	}
 	return l, nil
 }

@@ -1,0 +1,426 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"sanity/internal/detect"
+)
+
+// ManifestName is the directory-level index file.
+const ManifestName = "manifest.json"
+
+// tracesDir is the subdirectory holding containers and sidecars.
+const tracesDir = "traces"
+
+// ShardMeta identifies one audit population of a corpus: which
+// program ran, on which machine type, under which noise profile, and
+// the auditor-side replay seed. The audit side resolves these names
+// against its own registry of known-good binaries and machine models —
+// programs and file stores are code, not data, and are never shipped
+// inside a corpus.
+type ShardMeta struct {
+	Key     string `json:"key"`
+	Program string `json:"program"`
+	Machine string `json:"machine"`
+	Profile string `json:"profile"`
+	Seed    uint64 `json:"seed"`
+}
+
+// Entry is one manifest line: a trace container and its metadata.
+type Entry struct {
+	// File is the container path relative to the store directory.
+	File string `json:"file"`
+	Meta
+}
+
+// Manifest indexes a corpus directory.
+type Manifest struct {
+	Version int         `json:"version"`
+	Shards  []ShardMeta `json:"shards"`
+	Traces  []Entry     `json:"traces"`
+}
+
+// Store is a corpus directory: trace containers, their sidecars, and
+// the manifest. All methods are safe for concurrent use; Flush
+// persists the manifest atomically.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	manifest Manifest
+	// pending marks reserved entries whose container is still being
+	// written; snapshots (Entries, Flush, TrainingIPDs) exclude them so
+	// a concurrent Flush can never persist an entry without a file.
+	pending map[string]struct{}
+}
+
+// Create opens dir as a store, creating it (and its traces
+// subdirectory) if needed. An existing manifest is loaded, so Create
+// is also "open for append".
+func Create(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, tracesDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, manifest: Manifest{Version: Version}}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+		return Open(dir)
+	}
+	return s, nil
+}
+
+// Open loads an existing store's manifest.
+func Open(dir string) (*Store, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("store: parsing manifest: %w", err)
+	}
+	if m.Version != Version {
+		return nil, fmt.Errorf("store: manifest version %d, want %d", m.Version, Version)
+	}
+	return &Store{dir: dir, manifest: m}, nil
+}
+
+// Dir returns the corpus directory.
+func (s *Store) Dir() string { return s.dir }
+
+// AddShard registers a shard. Re-registering an identical shard is a
+// no-op; registering a conflicting one under the same key is an error.
+func (s *Store) AddShard(m ShardMeta) error {
+	if m.Key == "" {
+		return fmt.Errorf("store: shard has no key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, have := range s.manifest.Shards {
+		if have.Key == m.Key {
+			if have == m {
+				return nil
+			}
+			return fmt.Errorf("store: shard %q already registered with different metadata", m.Key)
+		}
+	}
+	s.manifest.Shards = append(s.manifest.Shards, m)
+	return nil
+}
+
+// Shards returns the registered shards, sorted by key.
+func (s *Store) Shards() []ShardMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]ShardMeta(nil), s.manifest.Shards...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Entries returns the fully admitted manifest entries in admission
+// order; entries still being written are excluded.
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admittedLocked()
+}
+
+// admittedLocked snapshots the non-pending entries. Callers hold s.mu.
+func (s *Store) admittedLocked() []Entry {
+	out := make([]Entry, 0, len(s.manifest.Traces))
+	for _, e := range s.manifest.Traces {
+		if _, busy := s.pending[e.File]; !busy {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// fileName derives a container file name unique within the store from
+// the trace's shard, role and ID.
+func fileName(m Meta) string {
+	sanitize := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '_':
+				return r
+			}
+			return '_'
+		}, s)
+	}
+	return sanitize(m.Shard) + "--" + sanitize(m.Role) + "-" + sanitize(m.ID) + ".trace"
+}
+
+// reserve claims the manifest slot AND the container file for a trace
+// under one lock acquisition, before any bytes hit disk. This is what
+// makes concurrent admissions safe: a duplicate identity, a sanitized
+// file-name collision ("a/b" vs "a_b" both map to "a_b"), or an
+// unregistered shard is rejected before it could overwrite an already
+// admitted trace's container.
+func (s *Store) reserve(full Meta) (Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var shard *ShardMeta
+	for i := range s.manifest.Shards {
+		if s.manifest.Shards[i].Key == full.Shard {
+			shard = &s.manifest.Shards[i]
+			break
+		}
+	}
+	if shard == nil {
+		return Entry{}, fmt.Errorf("store: trace %q references unregistered shard %q", full.ID, full.Shard)
+	}
+	// A trace that names its origin must agree with its shard — a lying
+	// upload is rejected here, not discovered as a replay failure later.
+	for _, c := range []struct{ field, got, want string }{
+		{"program", full.Program, shard.Program},
+		{"machine", full.Machine, shard.Machine},
+		{"profile", full.Profile, shard.Profile},
+	} {
+		if c.got != "" && c.got != c.want {
+			return Entry{}, fmt.Errorf("store: trace %q claims %s %q but shard %q is %q", full.ID, c.field, c.got, full.Shard, c.want)
+		}
+	}
+	e := Entry{File: filepath.Join(tracesDir, fileName(full)), Meta: full}
+	for _, have := range s.manifest.Traces {
+		if have.Shard == full.Shard && have.Role == full.Role && have.ID == full.ID {
+			return Entry{}, fmt.Errorf("store: trace %s/%s/%s already stored", full.Shard, full.Role, full.ID)
+		}
+		if have.File == e.File {
+			return Entry{}, fmt.Errorf("store: trace %q collides with %q on container file %s", full.ID, have.ID, e.File)
+		}
+	}
+	s.manifest.Traces = append(s.manifest.Traces, e)
+	if s.pending == nil {
+		s.pending = make(map[string]struct{})
+	}
+	s.pending[e.File] = struct{}{}
+	return e, nil
+}
+
+// commit marks a reserved entry's container as durably written.
+func (s *Store) commit(e Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pending, e.File)
+}
+
+// unreserve rolls a reservation back after a failed write.
+func (s *Store) unreserve(e Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pending, e.File)
+	for i := range s.manifest.Traces {
+		if s.manifest.Traces[i].File == e.File {
+			s.manifest.Traces = append(s.manifest.Traces[:i], s.manifest.Traces[i+1:]...)
+			return
+		}
+	}
+}
+
+// atomicWrite writes a store-relative file via temp-file-then-rename,
+// so readers never observe a partial file. Like the rest of the store
+// it does not fsync: atomicity against concurrent readers is ours,
+// durability across power loss is the filesystem's.
+func (s *Store) atomicWrite(dest string, write func(io.Writer) error) error {
+	f, err := os.CreateTemp(s.dir, ".spool-*")
+	if err != nil {
+		return fmt.Errorf("store: writing %s: %w", dest, err)
+	}
+	defer os.Remove(f.Name())
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: writing %s: %w", dest, err)
+	}
+	if err := os.Rename(f.Name(), filepath.Join(s.dir, dest)); err != nil {
+		return fmt.Errorf("store: writing %s: %w", dest, err)
+	}
+	return nil
+}
+
+// writeSidecar writes a reserved entry's human-readable JSON twin.
+func (s *Store) writeSidecar(e Entry) error {
+	side, err := json.MarshalIndent(e.Meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, e.File)+".json", append(side, '\n'), 0o644); err != nil {
+		return fmt.Errorf("store: writing sidecar: %w", err)
+	}
+	return nil
+}
+
+// admitSpooled renames a spooled temp file onto a reserved entry's
+// container path and writes the sidecar.
+func (s *Store) admitSpooled(tmpName string, e Entry) error {
+	if err := os.Rename(tmpName, filepath.Join(s.dir, e.File)); err != nil {
+		return fmt.Errorf("store: admitting container: %w", err)
+	}
+	return s.writeSidecar(e)
+}
+
+// writeContainer encodes a reserved entry's container plus sidecar
+// atomically (temp file then rename).
+func (s *Store) writeContainer(e Entry, tr *detect.Trace) error {
+	err := s.atomicWrite(e.File, func(w io.Writer) error {
+		return WriteTrace(w, e.Meta, tr)
+	})
+	if err != nil {
+		return err
+	}
+	return s.writeSidecar(e)
+}
+
+// checkedMeta completes the metadata and rejects a meta section that
+// contradicts the embedded log's identity.
+func checkedMeta(meta Meta, tr *detect.Trace) (Meta, error) {
+	if tr.Log != nil {
+		for _, c := range []struct{ field, claimed, logged string }{
+			{"program", meta.Program, tr.Log.Program},
+			{"machine", meta.Machine, tr.Log.Machine},
+			{"profile", meta.Profile, tr.Log.Profile},
+		} {
+			if c.claimed != "" && c.claimed != c.logged {
+				return meta, fmt.Errorf("store: trace %q metadata claims %s %q but its log was recorded on %q", meta.ID, c.field, c.claimed, c.logged)
+			}
+		}
+	}
+	full := completeMeta(meta, tr)
+	return full, full.validate()
+}
+
+// put completes the metadata, reserves the slot, and writes the
+// container, rolling the reservation back on failure.
+func (s *Store) put(meta Meta, tr *detect.Trace) (Meta, error) {
+	if tr == nil {
+		return meta, fmt.Errorf("store: nil trace")
+	}
+	full, err := checkedMeta(meta, tr)
+	if err != nil {
+		return full, err
+	}
+	e, err := s.reserve(full)
+	if err != nil {
+		return full, err
+	}
+	if err := s.writeContainer(e, tr); err != nil {
+		s.unreserve(e)
+		return full, err
+	}
+	s.commit(e)
+	return full, nil
+}
+
+// Put encodes a trace into the store and indexes it in the manifest.
+// Its shard must already be registered with AddShard. The manifest
+// itself is only persisted by Flush.
+func (s *Store) Put(meta Meta, tr *detect.Trace) error {
+	_, err := s.put(meta, tr)
+	return err
+}
+
+// PutContainer validates a container streamed from r — frame CRCs,
+// section structure, log decoding, metadata and shard identity
+// cross-checks — and spools it into the store. This is the ingest
+// path: a corrupted, truncated, or lying upload is rejected here, as
+// a per-trace error, before it can reach an auditor. The validated
+// bytes are teed straight to the spool file as they stream in — no
+// re-encode — so the admitted container is byte-identical to the
+// upload.
+func (s *Store) PutContainer(r io.Reader) (Meta, error) {
+	f, err := os.CreateTemp(s.dir, ".spool-*")
+	if err != nil {
+		return Meta{}, fmt.Errorf("store: spooling: %w", err)
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp)
+	meta, tr, err := ReadTrace(io.TeeReader(r, f))
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("store: spooling: %w", cerr)
+	}
+	if err != nil {
+		return meta, err
+	}
+	full, err := checkedMeta(meta, tr)
+	if err != nil {
+		return full, err
+	}
+	e, err := s.reserve(full)
+	if err != nil {
+		return full, err
+	}
+	if err := s.admitSpooled(tmp, e); err != nil {
+		s.unreserve(e)
+		return full, err
+	}
+	s.commit(e)
+	return full, nil
+}
+
+// OpenTrace opens a container by its manifest-relative path.
+func (s *Store) OpenTrace(rel string) (*os.File, error) {
+	if rel != filepath.Clean(rel) || strings.Contains(rel, "..") || filepath.IsAbs(rel) {
+		return nil, fmt.Errorf("store: invalid trace path %q", rel)
+	}
+	return os.Open(filepath.Join(s.dir, rel))
+}
+
+// LoadTrace decodes a full trace by its manifest-relative path.
+func (s *Store) LoadTrace(rel string) (Meta, *detect.Trace, error) {
+	f, err := s.OpenTrace(rel)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// TrainingIPDs loads the IPDs of every training trace of a shard, in
+// manifest order, reading only the metadata and IPD sections of each
+// container.
+func (s *Store) TrainingIPDs(shardKey string) ([][]int64, error) {
+	var out [][]int64
+	for _, e := range s.Entries() {
+		if e.Shard != shardKey || e.Role != RoleTraining {
+			continue
+		}
+		f, err := s.OpenTrace(e.File)
+		if err != nil {
+			return nil, err
+		}
+		_, ipds, err := ReadIPDs(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("store: training trace %s: %w", e.ID, err)
+		}
+		out = append(out, ipds)
+	}
+	return out, nil
+}
+
+// Flush persists the manifest atomically. The whole write happens
+// under the store lock: concurrent Flushes must not be able to land an
+// older snapshot over a newer one.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snapshot := s.manifest
+	snapshot.Traces = s.admittedLocked()
+	b, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		return err
+	}
+	return s.atomicWrite(ManifestName, func(w io.Writer) error {
+		_, err := w.Write(append(b, '\n'))
+		return err
+	})
+}

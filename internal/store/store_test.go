@@ -1,0 +1,399 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sanity/internal/core"
+	"sanity/internal/detect"
+	"sanity/internal/fixtures"
+	"sanity/internal/store"
+)
+
+// fullTrace builds a trace with all three data sections: IPDs, a log
+// exercising every record kind, and an observed execution.
+func fullTrace() *detect.Trace {
+	log := fixtures.RoundTripLog(11)
+	exec := &core.Execution{
+		Mode: core.ModePlay,
+		Outputs: []core.OutputEvent{
+			{Seq: 0, Instr: 100, TimePs: 5_000, Payload: []byte("first")},
+			{Seq: 1, Instr: 900, TimePs: 12_345, Payload: []byte{0, 1, 2, 255}},
+			{Seq: 2, Instr: 2_000, TimePs: 99_000, Payload: nil},
+		},
+		TotalPs:      123_456_789,
+		Instructions: 42_000,
+		ExitCode:     0,
+	}
+	return &detect.Trace{IPDs: exec.OutputIPDs(), Log: log, Play: exec}
+}
+
+func testMeta() store.Meta {
+	return store.Meta{
+		ID: "covert-0", Shard: "nfsd/optiplex9020/sanity",
+		Role: store.RoleTest, Label: store.LabelCovert, Channel: "ipctc",
+	}
+}
+
+func encode(t testing.TB, meta store.Meta, tr *detect.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := store.WriteTrace(&buf, meta, tr); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	tr := fullTrace()
+	raw := encode(t, testMeta(), tr)
+	meta, got, err := store.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if meta.ID != "covert-0" || meta.Channel != "ipctc" || meta.Label != store.LabelCovert {
+		t.Fatalf("metadata lost: %+v", meta)
+	}
+	if meta.Program != "nfsd" || meta.Machine != "optiplex9020" || meta.Profile != "sanity" {
+		t.Fatalf("identity not filled from the log: %+v", meta)
+	}
+	if meta.IPDs != len(tr.IPDs) || meta.Records != len(tr.Log.Records) {
+		t.Fatalf("count cross-checks wrong: %+v", meta)
+	}
+	if len(got.IPDs) != len(tr.IPDs) {
+		t.Fatalf("IPDs lost: %d vs %d", len(got.IPDs), len(tr.IPDs))
+	}
+	for i := range tr.IPDs {
+		if got.IPDs[i] != tr.IPDs[i] {
+			t.Fatalf("IPD %d drifted", i)
+		}
+	}
+	if !got.Log.Equal(tr.Log) {
+		t.Fatal("log did not round-trip")
+	}
+	if got.Play == nil || len(got.Play.Outputs) != len(tr.Play.Outputs) {
+		t.Fatal("execution lost")
+	}
+	for i, o := range tr.Play.Outputs {
+		g := got.Play.Outputs[i]
+		if g.Seq != o.Seq || g.Instr != o.Instr || g.TimePs != o.TimePs || !bytes.Equal(g.Payload, o.Payload) {
+			t.Fatalf("output %d differs: %+v vs %+v", i, g, o)
+		}
+	}
+	if got.Play.TotalPs != tr.Play.TotalPs || got.Play.Instructions != tr.Play.Instructions {
+		t.Fatal("execution totals differ")
+	}
+}
+
+// TestIPDOnlyTrace checks a synthetic trace (no log, no execution)
+// survives a round trip.
+func TestIPDOnlyTrace(t *testing.T) {
+	tr := &detect.Trace{IPDs: []int64{10, 20, -3, 1 << 60}}
+	meta := testMeta()
+	meta.Label = store.LabelBenign
+	meta.Channel = ""
+	raw := encode(t, meta, tr)
+	got, gotTr, err := store.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if got.Records != 0 || gotTr.Log != nil || gotTr.Play != nil {
+		t.Fatal("phantom sections appeared")
+	}
+	if len(gotTr.IPDs) != 4 || gotTr.IPDs[2] != -3 || gotTr.IPDs[3] != 1<<60 {
+		t.Fatalf("IPDs wrong: %v", gotTr.IPDs)
+	}
+}
+
+// TestCorruptionRejected flips every byte position (sparsely) and
+// demands an error — frame CRCs must catch any single-byte corruption
+// in any section, and never panic.
+func TestCorruptionRejected(t *testing.T) {
+	raw := encode(t, testMeta(), fullTrace())
+	rejected := 0
+	for off := 0; off < len(raw); off += 7 {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0xA5
+		if _, _, err := store.ReadTrace(bytes.NewReader(mut)); err != nil {
+			rejected++
+		}
+	}
+	// Every flip lands in the header, a frame header, a payload, or a
+	// CRC — all covered by the magic check or a checksum.
+	if total := (len(raw) + 6) / 7; rejected != total {
+		t.Fatalf("%d/%d corruptions detected", rejected, total)
+	}
+}
+
+func TestTruncationRejected(t *testing.T) {
+	raw := encode(t, testMeta(), fullTrace())
+	for _, cut := range []int{0, 4, 9, 14, len(raw) / 2, len(raw) - 1} {
+		if _, _, err := store.ReadTrace(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	raw := encode(t, testMeta(), fullTrace())
+	for _, extra := range [][]byte{{0}, []byte("junk"), raw} {
+		mut := append(append([]byte(nil), raw...), extra...)
+		if _, _, err := store.ReadTrace(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("accepted %d trailing bytes", len(extra))
+		}
+	}
+}
+
+func TestBadVersionRejected(t *testing.T) {
+	raw := encode(t, testMeta(), fullTrace())
+	mut := append([]byte(nil), raw...)
+	mut[8] = 99
+	if _, _, err := store.ReadTrace(bytes.NewReader(mut)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+// TestReadIPDsSkipsHeavySections checks the training fast path decodes
+// the delays without touching the log or execution bytes.
+func TestReadIPDsSkipsHeavySections(t *testing.T) {
+	tr := fullTrace()
+	raw := encode(t, testMeta(), tr)
+	meta, ipds, err := store.ReadIPDs(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadIPDs: %v", err)
+	}
+	if meta.ID != "covert-0" || len(ipds) != len(tr.IPDs) {
+		t.Fatalf("fast path lost data: %d IPDs", len(ipds))
+	}
+	// Corrupt a byte near the end (inside the exec section): the fast
+	// path must not notice, the full read must.
+	mut := append([]byte(nil), raw...)
+	mut[len(mut)-20] ^= 0xFF
+	if _, _, err := store.ReadIPDs(bytes.NewReader(mut)); err != nil {
+		t.Fatalf("fast path read a section it should skip: %v", err)
+	}
+	if _, _, err := store.ReadTrace(bytes.NewReader(mut)); err == nil {
+		t.Fatal("full read missed exec-section corruption")
+	}
+}
+
+// TestMetaCountMismatchRejected forges a container whose metadata
+// promises more IPDs than its data section holds: the counts are
+// integrity checks, not hints.
+func TestMetaCountMismatchRejected(t *testing.T) {
+	forge := func(claim int, ipds []int64) []byte {
+		var buf bytes.Buffer
+		fw, err := store.NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := testMeta()
+		meta.IPDs = claim
+		mj, err := json.Marshal(meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Section(store.FrameMeta).Write(mj); err != nil {
+			t.Fatal(err)
+		}
+		sw := fw.Section(store.FrameIPD)
+		var b [8]byte
+		for _, d := range ipds {
+			binary.LittleEndian.PutUint64(b[:], uint64(d))
+			if _, err := sw.Write(b[:]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if _, _, err := store.ReadTrace(bytes.NewReader(forge(5, []int64{1, 2, 3}))); err == nil {
+		t.Fatal("short IPD section accepted")
+	}
+	if _, _, err := store.ReadTrace(bytes.NewReader(forge(2, []int64{1, 2, 3}))); err == nil {
+		t.Fatal("long IPD section accepted")
+	}
+	if _, _, err := store.ReadTrace(bytes.NewReader(forge(3, []int64{1, 2, 3}))); err != nil {
+		t.Fatalf("honest container rejected: %v", err)
+	}
+}
+
+func TestStoreDirectoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Create(filepath.Join(dir, "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := store.ShardMeta{Key: "nfsd/optiplex9020/sanity", Program: "nfsd", Machine: "optiplex9020", Profile: "sanity", Seed: 7}
+	if err := st.AddShard(shard); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddShard(shard); err != nil {
+		t.Fatalf("idempotent re-add failed: %v", err)
+	}
+	bad := shard
+	bad.Seed = 8
+	if err := st.AddShard(bad); err == nil {
+		t.Fatal("conflicting shard accepted")
+	}
+	train := store.Meta{ID: "train-0", Shard: shard.Key, Role: store.RoleTraining, Label: store.LabelBenign}
+	if err := st.Put(train, &detect.Trace{IPDs: []int64{5, 6, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	test := testMeta()
+	if err := st.Put(test, fullTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(test, fullTrace()); err == nil {
+		t.Fatal("duplicate trace accepted")
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := store.Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Shards(); len(got) != 1 || got[0] != shard {
+		t.Fatalf("shards did not persist: %+v", got)
+	}
+	entries := re.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	training, err := re.TrainingIPDs(shard.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(training) != 1 || len(training[0]) != 3 || training[0][2] != 7 {
+		t.Fatalf("training IPDs wrong: %v", training)
+	}
+	for _, e := range entries {
+		if e.Role != store.RoleTest {
+			continue
+		}
+		meta, tr, err := re.LoadTrace(e.File)
+		if err != nil {
+			t.Fatalf("LoadTrace(%s): %v", e.File, err)
+		}
+		if meta.ID != "covert-0" || tr.Log == nil || tr.Play == nil {
+			t.Fatalf("test trace lost material: %+v", meta)
+		}
+		// The sidecar exists and parses as the same metadata.
+		side, err := os.ReadFile(filepath.Join(re.Dir(), e.File+".json"))
+		if err != nil {
+			t.Fatalf("sidecar: %v", err)
+		}
+		if !strings.Contains(string(side), `"covert-0"`) {
+			t.Fatalf("sidecar does not name the trace: %s", side)
+		}
+	}
+	// Path traversal is refused.
+	if _, err := re.OpenTrace("../../etc/passwd"); err == nil {
+		t.Fatal("path traversal accepted")
+	}
+}
+
+// TestAdmissionGuards: duplicate file names after sanitization and
+// unregistered shards are rejected before any container is written.
+func TestAdmissionGuards(t *testing.T) {
+	st, err := store.Create(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unregistered shard: rejected.
+	stray := testMeta()
+	if err := st.Put(stray, fullTrace()); err == nil || !strings.Contains(err.Error(), "unregistered shard") {
+		t.Fatalf("unregistered shard accepted: %v", err)
+	}
+	if err := st.AddShard(store.ShardMeta{Key: stray.Shard, Program: "nfsd", Machine: "optiplex9020", Profile: "sanity"}); err != nil {
+		t.Fatal(err)
+	}
+	// Two IDs that sanitize onto the same container file must not
+	// silently overwrite one another.
+	a := testMeta()
+	a.ID = "x/y"
+	b := testMeta()
+	b.ID = "x_y"
+	if err := st.Put(a, fullTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(b, fullTrace()); err == nil || !strings.Contains(err.Error(), "collides") {
+		t.Fatalf("file-name collision accepted: %v", err)
+	}
+	if got := len(st.Entries()); got != 1 {
+		t.Fatalf("%d entries after rejected collision, want 1", got)
+	}
+	// Identity fields that could break the line-framed ingest protocol
+	// are refused outright.
+	evil := testMeta()
+	evil.ID = "x\nBYE 0"
+	if err := st.Put(evil, fullTrace()); err == nil {
+		t.Fatal("newline in trace ID accepted")
+	}
+	// ".." would be admitted, land in the manifest, and then be refused
+	// forever by OpenTrace's traversal guard — reject it up front.
+	dots := testMeta()
+	dots.ID = "a..b"
+	if err := st.Put(dots, fullTrace()); err == nil {
+		t.Fatal("'..' in trace ID accepted")
+	}
+	// Metadata that contradicts the embedded log's identity is a lying
+	// upload, rejected at admission.
+	liar := testMeta()
+	liar.ID = "liar"
+	liar.Program = "echod"
+	if err := st.Put(liar, fullTrace()); err == nil || !strings.Contains(err.Error(), "recorded on") {
+		t.Fatalf("meta/log identity mismatch accepted: %v", err)
+	}
+	// Metadata that contradicts the registered shard is rejected too.
+	if err := st.AddShard(store.ShardMeta{Key: "other/shard", Program: "echod", Machine: "slower-t-prime", Profile: "sanity"}); err != nil {
+		t.Fatal(err)
+	}
+	stray2 := testMeta()
+	stray2.ID = "wrong-shard"
+	stray2.Shard = "other/shard" // trace's log says nfsd/optiplex9020
+	if err := st.Put(stray2, fullTrace()); err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("meta/shard identity mismatch accepted: %v", err)
+	}
+}
+
+// TestPutContainerValidates is the ingest-side contract: a flipped CRC
+// byte is a per-trace error, a valid container is admitted and
+// readable.
+func TestPutContainerValidates(t *testing.T) {
+	st, err := store.Create(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddShard(store.ShardMeta{Key: testMeta().Shard, Program: "nfsd", Machine: "optiplex9020", Profile: "sanity"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := encode(t, testMeta(), fullTrace())
+	mut := append([]byte(nil), raw...)
+	mut[len(mut)-6] ^= 0x01 // inside the end frame / last CRC region
+	if _, err := st.PutContainer(bytes.NewReader(mut)); err == nil {
+		t.Fatal("corrupted container admitted")
+	}
+	if len(st.Entries()) != 0 {
+		t.Fatal("rejected container left a manifest entry")
+	}
+	meta, err := st.PutContainer(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID != "covert-0" {
+		t.Fatalf("admitted wrong meta: %+v", meta)
+	}
+	if len(st.Entries()) != 1 {
+		t.Fatal("admitted container missing from the manifest")
+	}
+}
