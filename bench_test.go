@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"sanity/internal/asm"
+	"sanity/internal/calib"
 	"sanity/internal/core"
 	"sanity/internal/covert"
 	"sanity/internal/detect"
@@ -382,6 +383,43 @@ func BenchmarkAblation_NoInterruptConfinement(b *testing.B) {
 		p.InterruptCycles = 15_000
 		p.InterruptEvicts = 80
 	})
+}
+
+// --- Cross-machine calibrated audit ---------------------------------
+
+// BenchmarkCrossMachine_CalibratedAudit is the §5.2 cloud-verification
+// hot path: one trace recorded on the Optiplex testbed, audited by a
+// SlowerT-only auditor through a fitted calibration (replay on T',
+// rescale, compare with the absolute allowance). Fitting happens once
+// in setup; the loop measures the steady-state per-trace audit cost
+// that a heterogeneous fleet pays.
+func BenchmarkCrossMachine_CalibratedAudit(b *testing.B) {
+	var training []*detect.Trace
+	for i := 0; i < 2; i++ {
+		play, log := benchNFSTrace(b, 300+uint64(i)*7, nil)
+		training = append(training, &detect.Trace{IPDs: play.OutputIPDs(), Log: log, Play: play})
+	}
+	auditorCfg := benchNFSConfig(801)
+	auditorCfg.Machine = hw.SlowerT()
+	model, err := calib.Fit(nfs.ServerProgram(), auditorCfg, hw.Optiplex9020().Name, training)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := detect.NewCalibratedTDR(nfs.ServerProgram(), auditorCfg, model.Calibration())
+	play, log := benchNFSTrace(b, 9, nil)
+	trace := &detect.Trace{IPDs: play.OutputIPDs(), Log: log, Play: play}
+	limit := 0.05 + model.Slack()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		score, err := d.Score(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if score > limit {
+			b.Fatalf("benign trace flagged cross-machine: score %.4f > %.4f", score, limit)
+		}
+	}
 }
 
 // --- VM micro-benchmarks --------------------------------------------

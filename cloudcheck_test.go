@@ -1,0 +1,146 @@
+package sanity_test
+
+import (
+	"testing"
+
+	"sanity"
+)
+
+// cloudcheckSrc is the examples/cloudcheck program: rounds of
+// memory-heavy array-walk work, a heartbeat packet after each round.
+// The walk's cache behavior is what makes timing depend on the
+// machine type.
+const cloudcheckSrc = `
+.program cloudcheck
+.func main 0 6
+    iconst 65536
+    newarr int
+    store 0
+    iconst 0
+    store 1              ; round
+rounds:
+    load 1
+    iconst 6
+    if_icmpge done
+    iconst 0
+    store 2
+work:
+    load 2
+    iconst 65536
+    if_icmpge beat
+    load 0
+    load 2
+    load 2
+    load 1
+    imul
+    astore
+    iinc 2 7
+    goto work
+beat:
+    iconst 4
+    newarr byte
+    store 3
+    load 3
+    iconst 0
+    load 1
+    astore
+    load 3
+    ncall io.send 1
+    pop
+    iinc 1 1
+    goto rounds
+done:
+    ret
+.end`
+
+// TestCloudcheckScenario pins down the examples/cloudcheck behavior —
+// the paper's Figure 1(a) cloud verification — as a test, so the
+// example cannot silently rot: replaying an honest type-T recording on
+// a local T machine must line up (deviation well under the 5%
+// verdict threshold the example prints), and replaying a recording
+// that secretly ran on the cheaper T' must diverge far beyond it.
+func TestCloudcheckScenario(t *testing.T) {
+	prog, err := sanity.Assemble("cloudcheck", cloudcheckSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(machine sanity.MachineSpec, seed uint64) (*sanity.Execution, *sanity.Log) {
+		t.Helper()
+		cfg := sanity.DefaultConfig(seed)
+		cfg.Machine = machine
+		exec, lg, err := sanity.Play(prog, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exec, lg
+	}
+	replayOnT := func(lg *sanity.Log, seed uint64) *sanity.Execution {
+		t.Helper()
+		cfg := sanity.DefaultConfig(seed)
+		cfg.Machine = sanity.Optiplex9020()
+		exec, err := sanity.ReplayTDR(prog, lg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exec
+	}
+
+	const threshold = 0.05 // the example's verdict line
+
+	// Case 1: Alice provisions the promised type T.
+	honest, honestLog := run(sanity.Optiplex9020(), 11)
+	cmp, err := sanity.Compare(honest, replayOnT(honestLog, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OutputsMatch {
+		t.Fatal("honest replay diverged functionally")
+	}
+	if len(honest.Outputs) != 6 {
+		t.Fatalf("heartbeats: %d, want 6", len(honest.Outputs))
+	}
+	if cmp.TotalRelDev >= threshold/5 {
+		t.Fatalf("honest T-vs-T deviation %.4f%%; the promised hardware must line up", cmp.TotalRelDev*100)
+	}
+
+	// Case 2: Alice secretly runs Bob on the cheaper T'.
+	cheat, cheatLog := run(sanity.SlowerT(), 21)
+	cmp2, err := sanity.Compare(cheat, replayOnT(cheatLog, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp2.OutputsMatch {
+		t.Fatal("cheat replay must still be functionally equivalent — only the timing betrays T'")
+	}
+	if cmp2.TotalRelDev <= threshold {
+		t.Fatalf("T'-vs-T deviation %.2f%% under the %.0f%% verdict threshold; the heartbeat divergence must flag", cmp2.TotalRelDev*100, threshold*100)
+	}
+	// The divergence direction is physical: the slower machine's
+	// observed run takes longer than the type-T replay reconstructs.
+	if cheat.TotalPs <= honest.TotalPs {
+		t.Fatalf("T' run (%d ps) not slower than T run (%d ps)", cheat.TotalPs, honest.TotalPs)
+	}
+
+	// And the cross-machine calibration closes the loop. The naive
+	// clock ratio is NOT enough for this cache-heavy workload (the two
+	// types differ in L3 and DRAM cost, not just clock speed) — which
+	// is exactly why internal/calib fits the effective dilation from
+	// known-good runs instead of deriving it from specs. Emulate the
+	// fit with an independent training run: a known-good T' recording
+	// replayed on T gives the pair's effective scale, which then
+	// explains the cheat recording's timing.
+	training, trainingLog := run(sanity.SlowerT(), 31)
+	trainingReplay := replayOnT(trainingLog, 32)
+	scale := float64(training.TotalPs) / float64(trainingReplay.TotalPs)
+	clockRatio := float64(sanity.SlowerT().PsPerCycle()) / float64(sanity.Optiplex9020().PsPerCycle())
+	if scale <= clockRatio {
+		t.Fatalf("effective dilation %.3f not above the bare clock ratio %.3f; cache effects should add cost on T'", scale, clockRatio)
+	}
+	cmp3, err := sanity.CompareCalibrated(cheat, replayOnT(cheatLog, 23), sanity.Calibration{Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp3.TotalRelDev >= threshold/5 {
+		t.Fatalf("fitted calibration leaves %.2f%% total deviation; the trained dilation should explain the T' timing", cmp3.TotalRelDev*100)
+	}
+}

@@ -13,6 +13,12 @@
 //	tdraudit serve -addr :7070 -dir spool      # audit-side ingest server
 //	tdraudit send -addr host:7070 -dir corpus  # ship a corpus to a server
 //	tdraudit audit-dir -dir spool -json        # audit a spooled corpus
+//
+// Cross-machine audits (the paper's §5.2 cloud-verification setting:
+// the corpus was recorded on a machine type the auditor does not own):
+//
+//	tdraudit calibrate -dir corpus -auditor slower-t-prime
+//	tdraudit audit-dir -dir corpus -cross-machine -auditor slower-t-prime
 package main
 
 import (
@@ -22,7 +28,9 @@ import (
 	"os"
 	"runtime"
 
+	"sanity/internal/calib"
 	"sanity/internal/fixtures"
+	"sanity/internal/hw"
 	"sanity/internal/ingest"
 	"sanity/internal/pipeline"
 	"sanity/internal/store"
@@ -42,6 +50,9 @@ func main() {
 			return
 		case "audit-dir":
 			auditDirMain(os.Args[2:])
+			return
+		case "calibrate":
+			calibrateMain(os.Args[2:])
 			return
 		}
 	}
@@ -137,6 +148,7 @@ func serveMain(args []string) {
 	fs := flag.NewFlagSet("tdraudit serve", flag.ExitOnError)
 	addr := fs.String("addr", ":7070", "listen address")
 	dir := fs.String("dir", "", "spool directory for uploaded corpora (required)")
+	secret := fs.String("secret", "", "shared secret clients must present with AUTH (empty = open server)")
 	fs.Parse(args)
 	if *dir == "" {
 		fatal(fmt.Errorf("serve: -dir is required"))
@@ -145,7 +157,7 @@ func serveMain(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := ingest.Listen(*addr, st)
+	srv, err := ingest.ListenOpts(*addr, st, ingest.Options{Secret: *secret})
 	if err != nil {
 		fatal(err)
 	}
@@ -157,6 +169,7 @@ func sendMain(args []string) {
 	fs := flag.NewFlagSet("tdraudit send", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:7070", "ingest server address")
 	dir := fs.String("dir", "", "corpus directory to upload (required)")
+	secret := fs.String("secret", "", "shared secret to present with AUTH (empty = none)")
 	fs.Parse(args)
 	if *dir == "" {
 		fatal(fmt.Errorf("send: -dir is required"))
@@ -165,7 +178,7 @@ func sendMain(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := ingest.Push(*addr, st)
+	res, err := ingest.PushAuth(*addr, st, *secret)
 	if err != nil {
 		fatal(err)
 	}
@@ -182,6 +195,8 @@ func sendMain(args []string) {
 func auditDirMain(args []string) {
 	fs := flag.NewFlagSet("tdraudit audit-dir", flag.ExitOnError)
 	dir := fs.String("dir", "", "corpus directory to audit (required)")
+	cross := fs.Bool("cross-machine", false, "audit shards recorded on other machine types through the corpus's calibration artifact")
+	auditorName := fs.String("auditor", hw.Optiplex9020().Name, "the machine type the auditor owns (with -cross-machine)")
 	af := addAuditFlags(fs)
 	fs.Parse(args)
 	if *dir == "" {
@@ -191,13 +206,92 @@ func auditDirMain(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	b, err := pipeline.BatchFromStore(st, fixtures.Resolver)
+	resolve := fixtures.Resolver
+	if *cross {
+		auditor, err := hw.MachineByName(*auditorName)
+		if err != nil {
+			fatal(err)
+		}
+		models, err := calib.Load(st.Dir())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cross-machine mode: auditing as %s with %d calibration model(s)\n",
+			auditor.Name, len(models.Models))
+		resolve = fixtures.CalibratedResolver(auditor, models)
+	}
+	b, err := pipeline.BatchFromStore(st, resolve)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d jobs across %d shards from %s\n",
 		len(b.Jobs), len(b.Shards), st.Dir())
 	runAudit(b, af)
+}
+
+// calibrateMain fits time-dilation models for every shard of a corpus
+// recorded on a machine type other than the auditor's, and stores them
+// as the corpus's calibration artifact (calib.json, next to
+// manifest.json).
+func calibrateMain(args []string) {
+	fs := flag.NewFlagSet("tdraudit calibrate", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus directory to calibrate for (required)")
+	auditorName := fs.String("auditor", hw.Optiplex9020().Name, "the machine type the auditor owns")
+	train := fs.Int("train", 4, "known-good training traces per machine pair")
+	packets := fs.Int("packets", 60, "packets per training trace")
+	seed := fs.Uint64("seed", 42, "training-trace seed")
+	fs.Parse(args)
+	if *dir == "" {
+		fatal(fmt.Errorf("calibrate: -dir is required"))
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	auditor, err := hw.MachineByName(*auditorName)
+	if err != nil {
+		fatal(err)
+	}
+	models, err := calib.Load(st.Dir())
+	if err != nil {
+		fatal(err)
+	}
+	fitted := 0
+	done := make(map[string]bool)
+	for _, sm := range st.Shards() {
+		if sm.Machine == auditor.Name {
+			continue
+		}
+		// Models are scoped per (program, machine pair); many shards of
+		// the same program and machine share one fit.
+		if done[sm.Program+":"+sm.Machine] {
+			continue
+		}
+		done[sm.Program+":"+sm.Machine] = true
+		recorded, err := hw.MachineByName(sm.Machine)
+		if err != nil {
+			fatal(fmt.Errorf("calibrate: shard %q: %w", sm.Key, err))
+		}
+		fmt.Fprintf(os.Stderr, "calibrating %s: %s -> %s (%d training traces x %d packets)...\n",
+			sm.Program, recorded.Name, auditor.Name, *train, *packets)
+		mod, err := fixtures.CalibratePair(sm.Program, recorded, auditor, *train, *packets, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		models.Add(mod)
+		fitted++
+		fmt.Printf("%s: scale %.4f [%.4f, %.4f], residual spread %.3f%% + %d ps (%d IPD pairs)\n",
+			mod.Key(), mod.Scale, mod.ScaleLow, mod.ScaleHigh,
+			mod.ResidualSpread*100, mod.AbsSpreadPs, mod.TrainingIPDs)
+	}
+	if fitted == 0 {
+		fmt.Printf("every shard in %s is already recorded on %s; nothing to calibrate\n", st.Dir(), auditor.Name)
+		return
+	}
+	if err := models.Save(st.Dir()); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d model(s) to %s\n", len(models.Models), st.Dir()+"/"+calib.FileName)
 }
 
 // runAudit drives one pipeline run (plus the optional 1-worker

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig6|fig7|log|fig8|noise|ablate|throughput")
+		which = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig6|fig7|log|fig8|noise|ablate|throughput|crossmachine")
 		full  = flag.Bool("full", false, "use paper-scale experiment sizes (slow)")
 		seed  = flag.Uint64("seed", 42, "base noise seed")
 	)
@@ -105,6 +105,13 @@ func main() {
 			return "", err
 		}
 		return experiments.FormatThroughput(r), nil
+	})
+	run("crossmachine", func() (string, error) {
+		r, err := experiments.CrossMachine(sizes, *seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatCrossMachine(r), nil
 	})
 	run("ablate", func() (string, error) {
 		packets := 60

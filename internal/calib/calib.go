@@ -1,0 +1,292 @@
+// Package calib makes cross-machine audits a first-class mode: it
+// learns and applies time-dilation models between machine types, so a
+// log recorded on a machine of type T can be audited by a verifier
+// that only owns machines of type T'.
+//
+// This is the paper's headline deployment (§5.2, Figure 1a): the
+// cloud-verification auditor replays Bob's log on whatever hardware it
+// actually has. Time-deterministic replay reproduces the *instruction
+// stream* exactly on any machine type, but the virtual clock advances
+// at the auditor's machine's rate — so before the replayed timing can
+// be compared against the recorded one, it must be mapped back into
+// the recorder's timebase. Deterland (Wu & Ford, 2015) and Aviram et
+// al. make the same observation: deterministic-time techniques survive
+// hardware heterogeneity only with an explicit timing model between
+// platforms.
+//
+// The model is deliberately simple and auditable: a per-machine-pair
+// linear scale (fitted as the total-time ratio over known-good
+// training traces replayed on both types) plus the residual spread
+// left after rescaling. The scale corrects the systematic dilation;
+// the spread widens the detection threshold, pricing the added
+// false-positive risk of auditing across machine types instead of
+// hiding it. Fitted models persist as versioned JSON artifacts next to
+// a corpus manifest (see persist.go), so a calibration computed once
+// ships with the corpus.
+package calib
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sanity/internal/core"
+	"sanity/internal/detect"
+	"sanity/internal/svm"
+)
+
+// ErrNoModel is the sentinel matched by errors.Is when an audit needs
+// a machine-pair calibration that was never fitted. Callers must treat
+// it as "refuse the audit", never as "assume scale 1": an uncalibrated
+// cross-machine comparison produces silent garbage verdicts.
+var ErrNoModel = errors.New("calib: no calibration model for machine pair")
+
+// NoModelError is the typed form of ErrNoModel, carrying the pair the
+// auditor asked for. It unwraps to ErrNoModel.
+type NoModelError struct {
+	// Program is the audited program the model would apply to.
+	Program string
+	// Recorded is the machine type the shard was recorded on.
+	Recorded string
+	// Auditor is the machine type the auditor replays on.
+	Auditor string
+}
+
+// Error implements error.
+func (e *NoModelError) Error() string {
+	return fmt.Sprintf("calib: no calibration model for auditing %s shards recorded on %q with a %q auditor (run `tdraudit calibrate` first)", e.Program, e.Recorded, e.Auditor)
+}
+
+// Unwrap makes errors.Is(err, ErrNoModel) hold.
+func (e *NoModelError) Unwrap() error { return ErrNoModel }
+
+// Model is one fitted time-dilation model for a program on the
+// directed machine pair (Recorded -> Auditor): replaying a
+// Recorded-type log of Program on an Auditor-type machine, multiplying
+// replayed timings by Scale maps them back onto the Recorded timebase
+// to within the residual envelope. Models are scoped per program, not
+// just per machine pair, because the residual envelope is
+// program-dependent — a storage-heavy server and a compute-only one
+// diverge across machine types in very different ways — and applying
+// one program's envelope to another would either flag benign traffic
+// or hide real delays.
+type Model struct {
+	// Program names the audited software the model was fitted on.
+	Program string `json:"program"`
+	// Recorded is the machine type the audited logs were recorded on.
+	Recorded string `json:"recorded"`
+	// Auditor is the machine type the replays run on.
+	Auditor string `json:"auditor"`
+
+	// Scale is the fitted dilation factor: recorded-time ≈ Scale ×
+	// auditor-replay-time. Fitted as the pooled total-time ratio over
+	// the training traces.
+	Scale float64 `json:"scale"`
+	// ScaleLow and ScaleHigh bound the per-trace scale estimates — a
+	// cheap confidence interval on the fit. A wide band means the pair
+	// does not dilate linearly and the model should not be trusted.
+	ScaleLow  float64 `json:"scaleLow"`
+	ScaleHigh float64 `json:"scaleHigh"`
+
+	// The residual left after rescaling decomposes into two physical
+	// components, fitted as the envelope |error| <= AbsSpreadPs +
+	// ResidualSpread × IPD over every training pair:
+	//
+	//   - ResidualSpread is the relative component, estimated on the
+	//     idle-dominated (large) IPDs where poll-loop time dilation is
+	//     almost perfectly linear. Audits widen their suspicion
+	//     threshold by Slack() (derived from it).
+	//
+	//   - AbsSpreadPs is the absolute component: compute-dominated
+	//     divergence (cache geometry and DRAM cost differences between
+	//     the machine types) that does not scale with the IPD. A
+	//     back-to-back send pair is microseconds apart; a sub-µs
+	//     modelling error there is an enormous *relative* deviation but
+	//     carries no evidence of an adversary. Audits forgive
+	//     AbsSlackPs() per IPD before computing relative deviations.
+	//
+	// Together they are the added false-positive / false-negative
+	// trade of cross-machine auditing, which the crossmachine
+	// experiment quantifies.
+	ResidualSpread float64 `json:"residualSpread"`
+	AbsSpreadPs    int64   `json:"absSpreadPs"`
+	// ResidualMean averages the raw per-IPD relative residuals over
+	// all training pairs.
+	ResidualMean float64 `json:"residualMean"`
+
+	// TrainingTraces and TrainingIPDs record how much data the fit saw.
+	TrainingTraces int `json:"trainingTraces"`
+	TrainingIPDs   int `json:"trainingIPDs"`
+}
+
+// The margins widen the observed training spreads before they are
+// applied to a detection threshold: test traces draw fresh workload
+// and noise seeds, so their residuals can land past the training
+// maximum (deeper queues for the absolute component, longer idle runs
+// for the relative one). The margins trade a little detection
+// sensitivity — delays below margin × spread hide in the calibration
+// noise — for cross-machine false positives.
+const (
+	slackMargin    = 1.5
+	absSlackMargin = 2
+)
+
+// Slack is the amount a cross-machine audit adds to its TDR suspicion
+// threshold: the relative training residual spread with a safety
+// margin.
+func (m *Model) Slack() float64 { return m.ResidualSpread * slackMargin }
+
+// AbsSlackPs is the per-IPD absolute allowance a calibrated
+// comparison forgives: the absolute training spread with a safety
+// margin.
+func (m *Model) AbsSlackPs() int64 { return m.AbsSpreadPs * absSlackMargin }
+
+// Calibration renders the model as the core comparison calibration.
+func (m *Model) Calibration() core.Calibration {
+	return core.Calibration{Scale: m.Scale, AbsSlackPs: m.AbsSlackPs()}
+}
+
+// Key names the model's scope in artifacts and logs.
+func (m *Model) Key() string { return m.Program + ":" + m.Recorded + "->" + m.Auditor }
+
+// validate rejects a model no audit should trust: non-finite or
+// non-positive scale, negative spreads, or a missing scope. Load
+// applies it so a hand-edited or corrupted artifact is refused instead
+// of silently degrading to an identity calibration.
+func (m *Model) validate() error {
+	if m.Program == "" || m.Recorded == "" || m.Auditor == "" {
+		return fmt.Errorf("calib: model %q names no program or machine pair", m.Key())
+	}
+	if !(m.Scale > 0) || math.IsInf(m.Scale, 0) {
+		return fmt.Errorf("calib: model %s has invalid scale %v", m.Key(), m.Scale)
+	}
+	if !(m.ScaleLow >= 0) || math.IsInf(m.ScaleLow, 0) || !(m.ScaleHigh >= 0) || math.IsInf(m.ScaleHigh, 0) {
+		return fmt.Errorf("calib: model %s has invalid confidence band [%v, %v]", m.Key(), m.ScaleLow, m.ScaleHigh)
+	}
+	if !(m.ResidualSpread >= 0) || math.IsInf(m.ResidualSpread, 0) || m.AbsSpreadPs < 0 {
+		return fmt.Errorf("calib: model %s has invalid residual envelope (%v, %d ps)", m.Key(), m.ResidualSpread, m.AbsSpreadPs)
+	}
+	return nil
+}
+
+// Fit learns the time-dilation model for auditing `recorded`-type logs
+// on the machine type of auditorCfg. Every training trace must be
+// known-good material recorded on the `recorded` machine type, with
+// its log and observed execution attached; Fit replays each log under
+// the auditor configuration (hook forcibly cleared) and fits the
+// recorded-vs-replayed timing relation:
+//
+//	scale     = Σ recorded-IPD / Σ replayed-IPD  (pooled total ratio)
+//	residuals = per-IPD relative deviation after rescaling
+//
+// A training trace whose replay diverges functionally is rejected —
+// it was not recorded from the known-good binary, and fitting a
+// timing model to it would calibrate the detector against compromised
+// behavior.
+func Fit(prog *svm.Program, auditorCfg core.Config, recorded string, training []*detect.Trace) (*Model, error) {
+	if len(training) == 0 {
+		return nil, fmt.Errorf("calib: fitting %s->%s needs at least one training trace", recorded, auditorCfg.Machine.Name)
+	}
+	if auditorCfg.Machine.Name == "" {
+		return nil, fmt.Errorf("calib: auditor config names no machine type")
+	}
+	auditorCfg.Hook = nil
+	m := &Model{
+		Program:  prog.Name,
+		Recorded: recorded,
+		Auditor:  auditorCfg.Machine.Name,
+		ScaleLow: -1,
+	}
+	// Pass 1: replay every training trace on the auditor machine and
+	// pool the timing pairs.
+	type pairs struct{ play, replay []int64 }
+	var all []pairs
+	var sumPlay, sumReplay float64
+	for i, tr := range training {
+		if tr == nil || tr.Log == nil || tr.Play == nil {
+			return nil, fmt.Errorf("calib: training trace %d has no log or observed execution", i)
+		}
+		if tr.Log.Machine != recorded {
+			return nil, fmt.Errorf("calib: training trace %d was recorded on %q, want %q", i, tr.Log.Machine, recorded)
+		}
+		replay, err := core.ReplayTDR(prog, tr.Log, auditorCfg)
+		if err != nil {
+			return nil, fmt.Errorf("calib: training trace %d: %w", i, err)
+		}
+		cmp, err := core.Compare(tr.Play, replay)
+		if err != nil {
+			return nil, err
+		}
+		if !cmp.OutputsMatch {
+			return nil, fmt.Errorf("calib: training trace %d diverged functionally at output %d — not recorded from the known-good binary", i, cmp.MismatchAt)
+		}
+		p := pairs{play: tr.Play.OutputIPDs(), replay: replay.OutputIPDs()}
+		var playTotal, replayTotal float64
+		for j := range p.play {
+			playTotal += float64(p.play[j])
+			replayTotal += float64(p.replay[j])
+		}
+		if replayTotal <= 0 || playTotal <= 0 {
+			return nil, fmt.Errorf("calib: training trace %d has no usable inter-packet delays", i)
+		}
+		perTrace := playTotal / replayTotal
+		if m.ScaleLow < 0 || perTrace < m.ScaleLow {
+			m.ScaleLow = perTrace
+		}
+		if perTrace > m.ScaleHigh {
+			m.ScaleHigh = perTrace
+		}
+		sumPlay += playTotal
+		sumReplay += replayTotal
+		all = append(all, p)
+		m.TrainingTraces++
+		m.TrainingIPDs += len(p.play)
+	}
+	m.Scale = sumPlay / sumReplay
+	// Pass 2: residuals of the pooled fit, decomposed into the
+	// two-component envelope |error| <= AbsSpreadPs + ResidualSpread×IPD.
+	type residual struct {
+		playPs  int64
+		errorPs int64
+	}
+	var residuals []residual
+	var magnitudes []int64
+	var sum float64
+	for _, p := range all {
+		for j := range p.play {
+			scaled := int64(float64(p.replay[j])*m.Scale + 0.5)
+			e := scaled - p.play[j]
+			if e < 0 {
+				e = -e
+			}
+			residuals = append(residuals, residual{playPs: p.play[j], errorPs: e})
+			magnitudes = append(magnitudes, p.play[j])
+			if p.play[j] > 0 {
+				sum += float64(e) / float64(p.play[j])
+			}
+		}
+	}
+	// Relative component: fitted on the idle-dominated (above-median)
+	// IPDs, where time dilation is almost perfectly linear.
+	sort.Slice(magnitudes, func(i, j int) bool { return magnitudes[i] < magnitudes[j] })
+	median := magnitudes[len(magnitudes)/2]
+	for _, r := range residuals {
+		if r.playPs >= median && r.playPs > 0 {
+			if d := float64(r.errorPs) / float64(r.playPs); d > m.ResidualSpread {
+				m.ResidualSpread = d
+			}
+		}
+	}
+	// Absolute component: whatever the relative envelope leaves
+	// unexplained on any pair (compute-dominated, small-IPD divergence).
+	for _, r := range residuals {
+		if a := r.errorPs - int64(m.ResidualSpread*float64(r.playPs)); a > m.AbsSpreadPs {
+			m.AbsSpreadPs = a
+		}
+	}
+	if m.TrainingIPDs > 0 {
+		m.ResidualMean = sum / float64(m.TrainingIPDs)
+	}
+	return m, nil
+}

@@ -1,0 +1,267 @@
+package calib_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sanity/internal/calib"
+	"sanity/internal/covert"
+	"sanity/internal/detect"
+	"sanity/internal/fixtures"
+	"sanity/internal/hw"
+	"sanity/internal/pipeline"
+	"sanity/internal/store"
+)
+
+// fitNFS fits the Optiplex->SlowerT model once per test binary.
+func fitNFS(t *testing.T) *calib.Model {
+	t.Helper()
+	mod, err := fixtures.CalibratePair("nfsd", hw.Optiplex9020(), hw.SlowerT(), 2, 60, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// TestFitRecoversClockDilation: the dominant cross-machine effect is
+// the clock ratio, so the fitted scale must land near
+// PsPerCycle(T)/PsPerCycle(T'), with a tight per-trace band and a
+// small residual spread — the signature of a genuinely linear
+// dilation.
+func TestFitRecoversClockDilation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("played traces in -short mode")
+	}
+	mod := fitNFS(t)
+	ideal := float64(hw.Optiplex9020().PsPerCycle()) / float64(hw.SlowerT().PsPerCycle())
+	if mod.Scale < ideal*0.95 || mod.Scale > ideal*1.05 {
+		t.Fatalf("scale %.4f, want within 5%% of clock ratio %.4f", mod.Scale, ideal)
+	}
+	if mod.ScaleLow > mod.Scale || mod.Scale > mod.ScaleHigh {
+		t.Fatalf("confidence band [%f, %f] does not bracket scale %f", mod.ScaleLow, mod.ScaleHigh, mod.Scale)
+	}
+	if mod.ResidualSpread <= 0 || mod.ResidualSpread > 0.05 {
+		t.Fatalf("residual spread %.4f outside (0, 0.05]", mod.ResidualSpread)
+	}
+	if mod.Slack() <= mod.ResidualSpread {
+		t.Fatalf("slack %.4f must exceed the raw spread %.4f", mod.Slack(), mod.ResidualSpread)
+	}
+	if mod.TrainingTraces != 2 || mod.TrainingIPDs == 0 {
+		t.Fatalf("training accounting: %+v", mod)
+	}
+
+	// The fit is a pure function of its inputs: fitting again must
+	// reproduce the model bit for bit (the calibration artifact is
+	// byte-deterministic).
+	again := fitNFS(t)
+	if !reflect.DeepEqual(mod, again) {
+		t.Fatalf("fit is nondeterministic:\n%+v\n%+v", mod, again)
+	}
+}
+
+// TestCalibratedVerdicts: with the fitted model, a calibrated TDR
+// detector must keep fresh benign traces under the widened threshold
+// and keep covert traces far above it — same verdicts as the
+// same-machine audit.
+func TestCalibratedVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("played traces in -short mode")
+	}
+	mod := fitNFS(t)
+	cfg := fixtures.ServerConfig(990)
+	cfg.Machine = hw.SlowerT()
+	d := detect.NewCalibratedTDR(fixtures.ServerProgram(), cfg, mod.Calibration())
+	limit := 0.05 + mod.Slack()
+
+	for i := 0; i < 3; i++ {
+		tr, err := fixtures.PlayTrace(60, 7000+uint64(i)*37, 7002+uint64(i)*37, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := d.Score(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > limit {
+			t.Errorf("benign trace %d: calibrated score %.4f above widened threshold %.4f", i, s, limit)
+		}
+	}
+
+	var pooled []int64
+	for i := 0; i < 4; i++ {
+		tr, err := fixtures.PlayTrace(60, 8000+uint64(i)*37, 8002+uint64(i)*37, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled = append(pooled, tr.IPDs...)
+	}
+	chans, err := covert.All(pooled, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := chans[0] // IPCTC
+	tr, err := fixtures.PlayTrace(60, 9100, 9102, ch.Hook(covert.RandomBits(60, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Score(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < limit*2 {
+		t.Fatalf("covert %s trace: calibrated score %.4f not clearly above threshold %.4f", ch.Name(), s, limit)
+	}
+}
+
+// TestFitRejectsBadTraining: traces without replay material, traces
+// recorded on a different machine than claimed, and logs from a
+// different program must all be refused.
+func TestFitRejectsBadTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("played traces in -short mode")
+	}
+	cfg := fixtures.ServerConfig(1)
+	cfg.Machine = hw.SlowerT()
+
+	if _, err := calib.Fit(fixtures.ServerProgram(), cfg, hw.Optiplex9020().Name, nil); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := calib.Fit(fixtures.ServerProgram(), cfg, hw.Optiplex9020().Name,
+		[]*detect.Trace{{IPDs: []int64{1, 2, 3}}}); err == nil {
+		t.Fatal("log-less training trace accepted")
+	}
+
+	tr, err := fixtures.PlayTrace(40, 11, 12, nil) // recorded on optiplex9020
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := calib.Fit(fixtures.ServerProgram(), cfg, hw.SlowerT().Name, []*detect.Trace{tr}); err == nil {
+		t.Fatal("machine-mismatched training trace accepted")
+	}
+	if _, err := calib.Fit(fixtures.EchoProgram(), cfg, hw.Optiplex9020().Name, []*detect.Trace{tr}); err == nil {
+		t.Fatal("wrong-program training trace accepted")
+	}
+}
+
+// TestPersistRoundTrip: Save/Load reproduces the set, Add replaces
+// same-pair fits, a missing artifact loads as an empty set, and a
+// version skew is rejected.
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := calib.NewSet()
+	s.Add(&calib.Model{Program: "nfsd", Recorded: "a", Auditor: "b", Scale: 2, ResidualSpread: 0.01, TrainingTraces: 3})
+	s.Add(&calib.Model{Program: "nfsd", Recorded: "b", Auditor: "a", Scale: 0.5, ResidualSpread: 0.02, TrainingTraces: 3})
+	s.Add(&calib.Model{Program: "nfsd", Recorded: "a", Auditor: "b", Scale: 3, ResidualSpread: 0.015, TrainingTraces: 5})
+	// Same machine pair, different program: a distinct model, never an
+	// overwrite — the residual envelope is program-dependent.
+	s.Add(&calib.Model{Program: "echod", Recorded: "a", Auditor: "b", Scale: 2.1, ResidualSpread: 0.001, TrainingTraces: 3})
+	if len(s.Models) != 3 {
+		t.Fatalf("Add collapsed program-scoped fits: %d models", len(s.Models))
+	}
+	if got := s.Lookup("nfsd", "a", "b"); got == nil || got.Scale != 3 {
+		t.Fatalf("Lookup(nfsd,a,b) = %+v", got)
+	}
+	if got := s.Lookup("echod", "a", "b"); got == nil || got.Scale != 2.1 {
+		t.Fatalf("Lookup(echod,a,b) = %+v", got)
+	}
+	if s.Lookup("nfsd", "b", "c") != nil || s.Lookup("httpd", "a", "b") != nil {
+		t.Fatal("Lookup invented a model")
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := calib.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Version != calib.Version || len(loaded.Models) != 3 {
+		t.Fatalf("loaded %+v", loaded)
+	}
+	if got := loaded.Lookup("nfsd", "b", "a"); got == nil || got.Scale != 0.5 {
+		t.Fatalf("round-tripped Lookup(nfsd,b,a) = %+v", got)
+	}
+
+	empty, err := calib.Load(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Models) != 0 {
+		t.Fatalf("missing artifact loaded %d models", len(empty.Models))
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, calib.FileName), []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := calib.Load(dir); err == nil {
+		t.Fatal("version-skewed artifact accepted")
+	}
+
+	// A structurally valid artifact carrying a poisoned model (zero
+	// scale would silently degrade to an identity calibration) must be
+	// refused at load, not applied.
+	bad := `{"version":1,"models":[{"program":"nfsd","recorded":"a","auditor":"b","scale":0}]}`
+	if err := os.WriteFile(filepath.Join(dir, calib.FileName), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := calib.Load(dir); err == nil {
+		t.Fatal("zero-scale model accepted")
+	}
+}
+
+// TestUncalibratedAuditRefused: building a store-backed batch for a
+// machine pair with no fitted model must fail with the typed
+// calib.ErrNoModel — never fall back to an uncalibrated comparison
+// that would produce silent garbage verdicts.
+func TestUncalibratedAuditRefused(t *testing.T) {
+	set, err := fixtures.SyntheticSet(fixtures.SetSizes{Training: 2, Benign: 2, Covert: 1, Packets: 220}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Create(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fixtures.ExportSet(st, set, fixtures.NFSShardMeta(7)); err != nil {
+		t.Fatal(err)
+	}
+	// The corpus is recorded on optiplex9020; the auditor owns only
+	// slower-t-prime and has no calibration artifact.
+	_, err = pipeline.BatchFromStore(st, fixtures.CalibratedResolver(hw.SlowerT(), calib.NewSet()))
+	if !errors.Is(err, calib.ErrNoModel) {
+		t.Fatalf("uncalibrated cross-machine audit error = %v, want ErrNoModel", err)
+	}
+	var typed *calib.NoModelError
+	if !errors.As(err, &typed) || typed.Recorded != hw.Optiplex9020().Name || typed.Auditor != hw.SlowerT().Name {
+		t.Fatalf("errors.As lost the pair: %v", err)
+	}
+
+	// A model for the pair but the wrong program is still a refusal.
+	models := calib.NewSet()
+	models.Add(&calib.Model{Program: "echod", Recorded: hw.Optiplex9020().Name, Auditor: hw.SlowerT().Name, Scale: 0.645})
+	_, err = pipeline.BatchFromStore(st, fixtures.CalibratedResolver(hw.SlowerT(), models))
+	if !errors.Is(err, calib.ErrNoModel) {
+		t.Fatalf("wrong-program model error = %v, want ErrNoModel", err)
+	}
+
+	// With the right program's model in place the same batch builds.
+	models.Add(&calib.Model{Program: "nfsd", Recorded: hw.Optiplex9020().Name, Auditor: hw.SlowerT().Name, Scale: 0.645})
+	if _, err := pipeline.BatchFromStore(st, fixtures.CalibratedResolver(hw.SlowerT(), models)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoModelErrorTyped: the refusal is matchable both as the sentinel
+// and as the typed error carrying the pair.
+func TestNoModelErrorTyped(t *testing.T) {
+	var err error = &calib.NoModelError{Program: "nfsd", Recorded: "t", Auditor: "t-prime"}
+	if !errors.Is(err, calib.ErrNoModel) {
+		t.Fatal("NoModelError does not unwrap to ErrNoModel")
+	}
+	var typed *calib.NoModelError
+	if !errors.As(err, &typed) || typed.Program != "nfsd" || typed.Recorded != "t" || typed.Auditor != "t-prime" {
+		t.Fatalf("errors.As lost the scope: %+v", typed)
+	}
+}

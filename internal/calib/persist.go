@@ -1,0 +1,112 @@
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FileName is the calibration artifact stored in a corpus directory,
+// next to the store's manifest.json: a calibration computed once ships
+// with the corpus.
+const FileName = "calib.json"
+
+// Version is the artifact schema version. Readers reject artifacts
+// from a different schema instead of misinterpreting them.
+const Version = 1
+
+// Set is a collection of fitted machine-pair models — the auditor's
+// whole calibration state, and the unit of persistence.
+type Set struct {
+	Version int     `json:"version"`
+	Models  []Model `json:"models"`
+}
+
+// NewSet returns an empty current-version set.
+func NewSet() *Set { return &Set{Version: Version} }
+
+// Add inserts a model, replacing any previous fit for the same
+// program and directed pair.
+func (s *Set) Add(m *Model) {
+	for i := range s.Models {
+		if s.Models[i].Program == m.Program && s.Models[i].Recorded == m.Recorded && s.Models[i].Auditor == m.Auditor {
+			s.Models[i] = *m
+			return
+		}
+	}
+	s.Models = append(s.Models, *m)
+}
+
+// Lookup finds the model for auditing `program` logs across the
+// directed pair (recorded -> auditor), or nil when that combination
+// was never calibrated. Models are program-scoped (see Model), so a
+// fit for one program never silently covers another.
+func (s *Set) Lookup(program, recorded, auditor string) *Model {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Models {
+		if s.Models[i].Program == program && s.Models[i].Recorded == recorded && s.Models[i].Auditor == auditor {
+			return &s.Models[i]
+		}
+	}
+	return nil
+}
+
+// Save writes the set atomically (temp file, then rename) as
+// dir/calib.json, models sorted by pair key so the artifact is
+// byte-deterministic for a given set of fits.
+func (s *Set) Save(dir string) error {
+	out := Set{Version: Version, Models: append([]Model(nil), s.Models...)}
+	sort.Slice(out.Models, func(i, j int) bool {
+		return out.Models[i].Key() < out.Models[j].Key()
+	})
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("calib: encoding artifact: %w", err)
+	}
+	f, err := os.CreateTemp(dir, ".calib-*")
+	if err != nil {
+		return fmt.Errorf("calib: writing artifact: %w", err)
+	}
+	defer os.Remove(f.Name())
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("calib: writing artifact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("calib: writing artifact: %w", err)
+	}
+	if err := os.Rename(f.Name(), filepath.Join(dir, FileName)); err != nil {
+		return fmt.Errorf("calib: writing artifact: %w", err)
+	}
+	return nil
+}
+
+// Load reads dir/calib.json. A missing file is not an error: it loads
+// as an empty set, and audits needing a pair then fail with the typed
+// NoModelError, which names the fix.
+func Load(dir string) (*Set, error) {
+	b, err := os.ReadFile(filepath.Join(dir, FileName))
+	if os.IsNotExist(err) {
+		return NewSet(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("calib: reading artifact: %w", err)
+	}
+	var s Set
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("calib: parsing %s: %w", FileName, err)
+	}
+	if s.Version != Version {
+		return nil, fmt.Errorf("calib: artifact version %d, want %d", s.Version, Version)
+	}
+	for i := range s.Models {
+		if err := s.Models[i].validate(); err != nil {
+			return nil, fmt.Errorf("calib: %s: %w", FileName, err)
+		}
+	}
+	return &s, nil
+}

@@ -14,15 +14,27 @@ type IPDPair struct {
 
 // RelDev returns the relative deviation |replay-play|/play.
 func (p IPDPair) RelDev() float64 {
-	if p.PlayPs == 0 {
-		if p.ReplayPs == 0 {
-			return 0
-		}
-		return 1
-	}
+	return p.RelDevSlack(0)
+}
+
+// RelDevSlack returns the relative deviation after forgiving absPs
+// picoseconds of absolute error: max(0, |replay-play|-absPs)/play.
+// Cross-machine calibration uses the allowance for the
+// compute-dominated divergence (cache and DRAM cost differences
+// between machine types) that is absolute in nature — without it, a
+// microsecond-scale modelling error on a back-to-back send would read
+// as a huge *relative* deviation and flag benign traffic.
+func (p IPDPair) RelDevSlack(absPs int64) float64 {
 	d := p.ReplayPs - p.PlayPs
 	if d < 0 {
 		d = -d
+	}
+	d -= absPs
+	if d <= 0 {
+		return 0
+	}
+	if p.PlayPs == 0 {
+		return 1
 	}
 	return float64(d) / float64(p.PlayPs)
 }
@@ -49,9 +61,40 @@ type TimingComparison struct {
 	TotalRelDev float64
 }
 
+// Calibration maps a cross-machine replay's timing onto the recorded
+// machine's timebase. The zero value (and Scale 1 with no slack) is
+// the identity: a plain same-machine comparison.
+type Calibration struct {
+	// Scale multiplies every replayed timing: recorded-time ≈ Scale ×
+	// replay-time. Zero or one means same timebase.
+	Scale float64
+	// AbsSlackPs forgives that much absolute per-IPD error before the
+	// relative deviation is computed — the allowance for
+	// compute-dominated divergence (cache/DRAM cost differences) that
+	// does not scale with the IPD. Zero means no allowance.
+	AbsSlackPs int64
+}
+
+// enabled reports whether the calibration changes the comparison.
+func (c Calibration) enabled() bool {
+	return (c.Scale > 0 && c.Scale != 1) || c.AbsSlackPs > 0
+}
+
 // Compare aligns a play execution with a replay of its log and
 // summarizes the timing deviations.
 func Compare(play, replay *Execution) (*TimingComparison, error) {
+	return CompareCalibrated(play, replay, Calibration{})
+}
+
+// CompareCalibrated is Compare for cross-machine audits: the replay
+// ran on a different machine type than the recording, and cal maps the
+// replay's timebase back onto the recorded machine's (a calibration
+// learned from known-good traces, internal/calib). Every replayed IPD
+// and the replay total are rescaled, and per-IPD deviations forgive
+// the calibration's absolute allowance; the resulting MaxRelIPDDev is
+// "deviation the software AND the machine-pair model cannot explain".
+// The zero calibration degrades to the plain comparison.
+func CompareCalibrated(play, replay *Execution, cal Calibration) (*TimingComparison, error) {
 	if play == nil || replay == nil {
 		return nil, fmt.Errorf("core: Compare needs two executions")
 	}
@@ -70,12 +113,19 @@ func Compare(play, replay *Execution) (*TimingComparison, error) {
 	}
 	pIPD := play.OutputIPDs()
 	rIPD := replay.OutputIPDs()
+	replayTotal := replay.TotalPs
+	if cal.enabled() && cal.Scale > 0 && cal.Scale != 1 {
+		for i := range rIPD {
+			rIPD[i] = rescalePs(rIPD[i], cal.Scale)
+		}
+		replayTotal = rescalePs(replayTotal, cal.Scale)
+	}
 	n := min(len(pIPD), len(rIPD))
 	var sum float64
 	for i := 0; i < n; i++ {
 		pair := IPDPair{PlayPs: pIPD[i], ReplayPs: rIPD[i]}
 		c.IPDs = append(c.IPDs, pair)
-		d := pair.RelDev()
+		d := pair.RelDevSlack(cal.AbsSlackPs)
 		sum += d
 		if d > c.MaxRelIPDDev {
 			c.MaxRelIPDDev = d
@@ -85,13 +135,24 @@ func Compare(play, replay *Execution) (*TimingComparison, error) {
 		c.MeanRelIPDDev = sum / float64(n)
 	}
 	if play.TotalPs > 0 {
-		d := replay.TotalPs - play.TotalPs
+		d := replayTotal - play.TotalPs
 		if d < 0 {
 			d = -d
 		}
 		c.TotalRelDev = float64(d) / float64(play.TotalPs)
 	}
 	return c, nil
+}
+
+// rescalePs maps a picosecond quantity between machine timebases,
+// rounding to the nearest integer so comparisons stay bit-exact for a
+// fixed (execution, scale) pair.
+func rescalePs(ps int64, scale float64) int64 {
+	s := float64(ps) * scale
+	if s < 0 {
+		return int64(s - 0.5)
+	}
+	return int64(s + 0.5)
 }
 
 func min(a, b int) int {

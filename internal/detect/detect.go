@@ -232,6 +232,12 @@ type TDR struct {
 	// type T; no covert hook). It is a private deep copy; callers must
 	// not mutate it after construction.
 	Cfg core.Config
+	// Calib, when the auditor's machine type differs from the
+	// recorder's (cloud verification, §5.2), maps the replayed timing
+	// back onto the recorded machine's timebase. It comes from a fitted
+	// calibration model (internal/calib); the zero value is the
+	// same-machine audit of the paper's main setting.
+	Calib core.Calibration
 }
 
 // FunctionalDivergenceScore is returned by Score when the replay's
@@ -246,6 +252,17 @@ const FunctionalDivergenceScore = 1e9
 func NewTDR(prog *svm.Program, cfg core.Config) *TDR {
 	cfg.Hook = nil
 	return &TDR{Prog: prog, Cfg: cfg.Clone()}
+}
+
+// NewCalibratedTDR builds the detector for a cross-machine audit: the
+// configuration's machine is the auditor's own type T', and cal is
+// the fitted time-dilation model mapping T'-replay timing back onto
+// the recorded machine type T. The zero calibration behaves exactly
+// like NewTDR.
+func NewCalibratedTDR(prog *svm.Program, cfg core.Config, cal core.Calibration) *TDR {
+	d := NewTDR(prog, cfg)
+	d.Calib = cal
+	return d
 }
 
 // Name implements Detector.
@@ -275,7 +292,7 @@ func (d *TDR) ScoreDetail(tr *Trace) (*core.TimingComparison, error) {
 	if err != nil {
 		return nil, fmt.Errorf("detect: replay failed: %w", err)
 	}
-	return core.Compare(tr.Play, replay)
+	return core.CompareCalibrated(tr.Play, replay, d.Calib)
 }
 
 // Statistical builds the four statistical detectors trained on the

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"sanity/internal/calib"
+	"sanity/internal/fixtures"
+	"sanity/internal/hw"
+	"sanity/internal/pipeline"
+	"sanity/internal/store"
+)
+
+// CrossMachineConfusion is one audit's detection outcome on a labeled
+// corpus.
+type CrossMachineConfusion struct {
+	TP, FP, TN, FN int
+}
+
+// CrossMachinePoint is one calibration-training size of the sweep: the
+// model fitted from TrainTraces known-good traces and the detection
+// cost of auditing with it.
+type CrossMachinePoint struct {
+	TrainTraces int
+
+	// Fitted model summary.
+	Scale          float64
+	ScaleLow       float64
+	ScaleHigh      float64
+	ResidualSpread float64
+
+	// Calibrated audit outcome on the labeled corpus.
+	Confusion CrossMachineConfusion
+	// MatchesBaseline reports whether the calibrated cross-machine
+	// audit reached exactly the per-trace verdicts of the same-machine
+	// audit — the paper's cloud-verification promise.
+	MatchesBaseline bool
+}
+
+// CrossMachineDirection is one directed machine pair of the
+// experiment: a corpus recorded on Recorded audited by an auditor
+// owning only Auditor machines.
+type CrossMachineDirection struct {
+	Program  string
+	Recorded string
+	Auditor  string
+
+	// Baseline is the same-machine audit of the identical corpus (the
+	// auditor owning the recorded type), the reference the calibrated
+	// audits are charged against.
+	Baseline CrossMachineConfusion
+	Points   []CrossMachinePoint
+}
+
+// CrossMachineResult is the full experiment: both directions of the
+// Optiplex/SlowerT pair swept over calibration-training sizes.
+type CrossMachineResult struct {
+	Traces     int
+	Packets    int
+	Directions []CrossMachineDirection
+}
+
+// suspicion extracts the per-trace verdict vector, the quantity the
+// baseline comparison is over (scores legitimately differ across
+// machine types; verdicts must not).
+func suspicion(r *pipeline.Results) []bool {
+	out := make([]bool, len(r.Verdicts))
+	for i, v := range r.Verdicts {
+		out[i] = v.Suspicious
+	}
+	return out
+}
+
+func confusionOf(r *pipeline.Results) CrossMachineConfusion {
+	return CrossMachineConfusion{
+		TP: r.Metrics.TruePositives, FP: r.Metrics.FalsePositives,
+		TN: r.Metrics.TrueNegatives, FN: r.Metrics.FalseNegatives,
+	}
+}
+
+func sameVerdicts(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CrossMachine reproduces the paper's §5.2 cloud-verification
+// deployment as a measured experiment: a labeled corpus recorded on
+// machine type T is persisted to a store, then audited end-to-end
+// (store → resolver → pipeline) twice — once by an auditor owning T
+// (the same-machine baseline) and once by an auditor owning only T',
+// through a calibration model fitted from a sweep of known-good
+// training-set sizes. Both directions run: nfsd-on-Optiplex audited
+// from SlowerT, and echod-on-SlowerT audited from Optiplex. The
+// reported FP/FN deltas against the baseline are the cost of
+// heterogeneous-fleet auditing.
+func CrossMachine(sizes Sizes, baseSeed uint64) (*CrossMachineResult, error) {
+	res := &CrossMachineResult{Traces: sizes.CrossTraces, Packets: sizes.CrossPackets}
+	corpus := fixtures.AuditSizes(sizes.CrossTraces, sizes.CrossPackets)
+
+	type direction struct {
+		program  string
+		recorded hw.MachineSpec
+		auditor  hw.MachineSpec
+		record   func() (*fixtures.Set, error)
+		meta     store.ShardMeta
+	}
+	dirs := []direction{
+		{
+			program: "nfsd", recorded: hw.Optiplex9020(), auditor: hw.SlowerT(),
+			record: func() (*fixtures.Set, error) { return fixtures.PlayedSet(corpus, baseSeed) },
+			meta:   fixtures.NFSShardMeta(baseSeed + 777),
+		},
+		{
+			program: "echod", recorded: hw.SlowerT(), auditor: hw.Optiplex9020(),
+			record: func() (*fixtures.Set, error) { return fixtures.EchoSet(corpus, baseSeed+0x51AB) },
+			meta:   fixtures.EchoShardMeta(baseSeed + 778),
+		},
+	}
+
+	cfg := pipeline.Config{}
+	for _, d := range dirs {
+		set, err := d.record()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: crossmachine corpus %s: %w", d.program, err)
+		}
+		dir, err := os.MkdirTemp("", "crossmachine-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Create(dir)
+		if err != nil {
+			return nil, err
+		}
+		if err := fixtures.ExportSet(st, set, d.meta); err != nil {
+			return nil, fmt.Errorf("experiments: exporting %s corpus: %w", d.program, err)
+		}
+
+		// Same-machine baseline, end to end from the store.
+		bb, err := pipeline.BatchFromStore(st, fixtures.Resolver)
+		if err != nil {
+			return nil, err
+		}
+		baseline, err := pipeline.New(cfg).Run(bb)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: baseline audit %s: %w", d.program, err)
+		}
+		dres := CrossMachineDirection{
+			Program:  d.program,
+			Recorded: d.recorded.Name,
+			Auditor:  d.auditor.Name,
+			Baseline: confusionOf(baseline),
+		}
+		baseVerdicts := suspicion(baseline)
+
+		for _, train := range sizes.CrossTrainSweep {
+			mod, err := fixtures.CalibratePair(d.program, d.recorded, d.auditor, train, sizes.CrossPackets, baseSeed+0xCC)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: calibrating %s %s->%s (train=%d): %w",
+					d.program, d.recorded.Name, d.auditor.Name, train, err)
+			}
+			models := calib.NewSet()
+			models.Add(mod)
+			cb, err := pipeline.BatchFromStore(st, fixtures.CalibratedResolver(d.auditor, models))
+			if err != nil {
+				return nil, err
+			}
+			r, err := pipeline.New(cfg).Run(cb)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: calibrated audit %s (train=%d): %w", d.program, train, err)
+			}
+			dres.Points = append(dres.Points, CrossMachinePoint{
+				TrainTraces:     train,
+				Scale:           mod.Scale,
+				ScaleLow:        mod.ScaleLow,
+				ScaleHigh:       mod.ScaleHigh,
+				ResidualSpread:  mod.ResidualSpread,
+				Confusion:       confusionOf(r),
+				MatchesBaseline: sameVerdicts(baseVerdicts, suspicion(r)),
+			})
+		}
+		res.Directions = append(res.Directions, dres)
+	}
+	return res, nil
+}
+
+// FormatCrossMachine renders the sweep.
+func FormatCrossMachine(r *CrossMachineResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Cross-machine calibrated audits (§5.2 cloud verification): %d traces x %d packets per direction\n",
+		r.Traces, r.Packets)
+	for _, d := range r.Directions {
+		fmt.Fprintf(&sb, "  %s recorded on %s, audited from %s\n", d.Program, d.Recorded, d.Auditor)
+		fmt.Fprintf(&sb, "    same-machine baseline: TP %d  FP %d  TN %d  FN %d\n",
+			d.Baseline.TP, d.Baseline.FP, d.Baseline.TN, d.Baseline.FN)
+		sb.WriteString("    train   scale [low, high]          spread    TP  FP  TN  FN  matches-baseline\n")
+		for _, p := range d.Points {
+			fmt.Fprintf(&sb, "    %5d   %.4f [%.4f, %.4f]   %6.3f%%  %3d %3d %3d %3d  %v\n",
+				p.TrainTraces, p.Scale, p.ScaleLow, p.ScaleHigh, p.ResidualSpread*100,
+				p.Confusion.TP, p.Confusion.FP, p.Confusion.TN, p.Confusion.FN, p.MatchesBaseline)
+		}
+	}
+	return sb.String()
+}

@@ -62,6 +62,11 @@ type Sizes struct {
 	// Throughput experiment (audit pipeline scaling).
 	ThroughputTraces  int // total test traces (half benign, half covert)
 	ThroughputPackets int
+
+	// Cross-machine calibrated-audit experiment.
+	CrossTraces     int   // labeled test traces per direction
+	CrossPackets    int   // packets per trace
+	CrossTrainSweep []int // calibration-training sizes to sweep
 }
 
 // DefaultSizes is the quick configuration used by tests and the
@@ -83,6 +88,10 @@ func DefaultSizes() Sizes {
 
 		ThroughputTraces:  120,
 		ThroughputPackets: 60,
+
+		CrossTraces:     16,
+		CrossPackets:    60,
+		CrossTrainSweep: []int{2, 4},
 	}
 }
 
@@ -104,6 +113,10 @@ func FullSizes() Sizes {
 
 		ThroughputTraces:  240,
 		ThroughputPackets: 220,
+
+		CrossTraces:     48,
+		CrossPackets:    120,
+		CrossTrainSweep: []int{1, 2, 4, 8},
 	}
 }
 

@@ -23,6 +23,10 @@ func tinySizes() Sizes {
 
 		ThroughputTraces:  16,
 		ThroughputPackets: 60,
+
+		CrossTraces:     8,
+		CrossPackets:    50,
+		CrossTrainSweep: []int{2, 3},
 	}
 }
 
@@ -212,6 +216,45 @@ func TestThroughputScaling(t *testing.T) {
 		}
 	}
 	t.Log("\n" + FormatThroughput(res))
+}
+
+// TestCrossMachineCalibratedAudit is the cross-machine acceptance
+// path: a corpus recorded on T, audited end-to-end from the store by a
+// T'-only auditor through a fitted calibration, must reach the same
+// verdicts as the same-machine audit — in both directions of the
+// Optiplex/SlowerT pair.
+func TestCrossMachineCalibratedAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("played corpora in -short mode")
+	}
+	res, err := CrossMachine(tinySizes(), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Directions) != 2 {
+		t.Fatalf("%d directions, want both T->T' and T'->T", len(res.Directions))
+	}
+	for _, d := range res.Directions {
+		if d.Recorded == d.Auditor {
+			t.Fatalf("direction %s is not cross-machine: %s -> %s", d.Program, d.Recorded, d.Auditor)
+		}
+		if d.Baseline.TP == 0 || d.Baseline.TN == 0 {
+			t.Fatalf("%s baseline audit has no signal: %+v", d.Program, d.Baseline)
+		}
+		if len(d.Points) != 2 {
+			t.Fatalf("%s swept %d training sizes", d.Program, len(d.Points))
+		}
+		for _, p := range d.Points {
+			if p.Scale <= 0 || p.ScaleLow > p.Scale || p.Scale > p.ScaleHigh {
+				t.Fatalf("%s train=%d: implausible scale %f [%f, %f]", d.Program, p.TrainTraces, p.Scale, p.ScaleLow, p.ScaleHigh)
+			}
+			if !p.MatchesBaseline {
+				t.Errorf("%s train=%d: calibrated verdicts diverged from the same-machine baseline (%+v vs %+v)",
+					d.Program, p.TrainTraces, p.Confusion, d.Baseline)
+			}
+		}
+	}
+	t.Log("\n" + FormatCrossMachine(res))
 }
 
 func TestNoiseVsJitter(t *testing.T) {

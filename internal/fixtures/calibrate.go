@@ -1,0 +1,78 @@
+package fixtures
+
+import (
+	"sanity/internal/calib"
+	"sanity/internal/detect"
+	"sanity/internal/hw"
+	"sanity/internal/netsim"
+)
+
+// burstThinkTime is the calibration-training workload flavor that
+// forces back-to-back sends: request gaps small enough that network
+// jitter makes requests queue at the server, producing the short,
+// compute-dominated IPDs whose cross-machine divergence is *absolute*
+// (cache/DRAM cost differences) rather than relative. Without them in
+// the training material, a fitted model would never observe the
+// absolute residual component and under-estimate it as zero.
+func burstThinkTime() netsim.ThinkTimeModel {
+	return netsim.ThinkTimeModel{BurstGapPs: netsim.Ms / 10, PausePs: 2 * netsim.Ms, BurstLen: 16}
+}
+
+// CalibrationTraces plays count known-good traces of the named
+// program on the given machine type — the training material a
+// calibration fit replays on the auditor's own hardware. Traces
+// alternate between the natural think-time workload and a bursty one,
+// so the fit observes both residual regimes (idle-dominated relative
+// dilation and compute-dominated absolute divergence); with a single
+// trace only the natural flavor is played, which is exactly the
+// under-trained case the crossmachine experiment's sweep exposes. The
+// traces are seed-deterministic and disjoint (by seed offset) from
+// every corpus recipe in this package, so a calibration is never
+// fitted on the traces it will later audit.
+func CalibrationTraces(program string, machine hw.MachineSpec, count, packets int, seed uint64) ([]*detect.Trace, error) {
+	var play func(think netsim.ThinkTimeModel, m hw.MachineSpec, packets int, ws, es uint64) (*detect.Trace, error)
+	switch program {
+	case "nfsd":
+		play = func(think netsim.ThinkTimeModel, m hw.MachineSpec, packets int, ws, es uint64) (*detect.Trace, error) {
+			return playNFSTrace(think, m, packets, ws, es, nil)
+		}
+	case "echod":
+		play = func(think netsim.ThinkTimeModel, m hw.MachineSpec, packets int, ws, es uint64) (*detect.Trace, error) {
+			return playEchoTrace(think, m, packets, ws, es, nil)
+		}
+	default:
+		return nil, &UnknownShardError{Program: program}
+	}
+	out := make([]*detect.Trace, 0, count)
+	for i := 0; i < count; i++ {
+		think := netsim.DefaultThinkTime()
+		if i%2 == 1 {
+			think = burstThinkTime()
+		}
+		ws := seed + 0xCA11B + uint64(i)*61
+		tr, err := play(think, machine, packets, ws, ws+3)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// CalibratePair fits the time-dilation model for auditing
+// `program`-shards recorded on machine type `recorded` with an auditor
+// that owns machines of type `auditor`: it plays train known-good
+// traces on the recorded type, replays each on the auditor type, and
+// fits the scale and residual envelope (calib.Fit).
+func CalibratePair(program string, recorded, auditor hw.MachineSpec, train, packets int, seed uint64) (*calib.Model, error) {
+	training, err := CalibrationTraces(program, recorded, train, packets, seed)
+	if err != nil {
+		return nil, err
+	}
+	prog, cfg, err := knownGood(program, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Machine = auditor
+	return calib.Fit(prog, cfg, recorded.Name, training)
+}

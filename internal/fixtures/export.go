@@ -1,10 +1,14 @@
 package fixtures
 
 import (
+	"errors"
 	"fmt"
 
+	"sanity/internal/calib"
 	"sanity/internal/core"
 	"sanity/internal/detect"
+	"sanity/internal/hw"
+	"sanity/internal/pipeline"
 	"sanity/internal/store"
 	"sanity/internal/svm"
 )
@@ -107,29 +111,89 @@ func ExportHeterogeneous(st *store.Store, nfs, echo *Set, seed uint64) error {
 	return st.Flush()
 }
 
+// ErrUnknownShard is the sentinel matched by errors.Is when a corpus
+// names a program the auditor's known-good registry does not carry.
+// Callers distinguish it from a machine mismatch (which calibration
+// can bridge) or a corrupt corpus (which nothing should bridge).
+var ErrUnknownShard = errors.New("fixtures: unknown shard")
+
+// UnknownShardError is the typed form of ErrUnknownShard: the corpus
+// asked for a program with no known-good binary in the registry. It
+// unwraps to ErrUnknownShard.
+type UnknownShardError struct {
+	// Program is the name the corpus asked for.
+	Program string
+}
+
+// Error implements error.
+func (e *UnknownShardError) Error() string {
+	return fmt.Sprintf("fixtures: no known-good binary for program %q", e.Program)
+}
+
+// Unwrap makes errors.Is(err, ErrUnknownShard) hold.
+func (e *UnknownShardError) Unwrap() error { return ErrUnknownShard }
+
+// knownGood is the auditor's registry: the trusted binary and the
+// canonical replay configuration (machine, profile, file store) for
+// each program name a corpus may carry.
+func knownGood(program string, seed uint64) (*svm.Program, core.Config, error) {
+	switch program {
+	case "nfsd":
+		return ServerProgram(), ServerConfig(seed), nil
+	case "echod":
+		return EchoProgram(), EchoConfig(seed), nil
+	}
+	return nil, core.Config{}, &UnknownShardError{Program: program}
+}
+
 // Resolver is the fixture registry's pipeline.ShardResolver: it maps
 // the program named by a stored shard onto the known-good binary and
 // rebuilds the replay configuration for the named machine type, then
 // cross-checks that the corpus and the registry agree on the machine
 // and profile names. The auditor never loads binaries or file stores
 // from a corpus — a recorded log can only ever be replayed against the
-// auditor's own known-good material (paper §5.3).
-func Resolver(m store.ShardMeta) (*svm.Program, core.Config, error) {
-	var prog *svm.Program
-	var cfg core.Config
-	switch m.Program {
-	case "nfsd":
-		prog, cfg = ServerProgram(), ServerConfig(m.Seed)
-	case "echod":
-		prog, cfg = EchoProgram(), EchoConfig(m.Seed)
-	default:
-		return nil, core.Config{}, fmt.Errorf("fixtures: no known-good binary for program %q", m.Program)
+// auditor's own known-good material (paper §5.3). An unknown program
+// fails with ErrUnknownShard; a machine mismatch is a distinct error,
+// bridged only by CalibratedResolver.
+func Resolver(m store.ShardMeta) (pipeline.Resolved, error) {
+	prog, cfg, err := knownGood(m.Program, m.Seed)
+	if err != nil {
+		return pipeline.Resolved{}, err
 	}
 	if cfg.Machine.Name != m.Machine {
-		return nil, core.Config{}, fmt.Errorf("fixtures: shard %q wants machine %q, registry has %q for %s", m.Key, m.Machine, cfg.Machine.Name, m.Program)
+		return pipeline.Resolved{}, fmt.Errorf("fixtures: shard %q wants machine %q, registry has %q for %s", m.Key, m.Machine, cfg.Machine.Name, m.Program)
 	}
 	if cfg.Profile.Name != m.Profile {
-		return nil, core.Config{}, fmt.Errorf("fixtures: shard %q wants profile %q, registry has %q for %s", m.Key, m.Profile, cfg.Profile.Name, m.Program)
+		return pipeline.Resolved{}, fmt.Errorf("fixtures: shard %q wants profile %q, registry has %q for %s", m.Key, m.Profile, cfg.Profile.Name, m.Program)
 	}
-	return prog, cfg, nil
+	return pipeline.Resolved{Prog: prog, Cfg: cfg}, nil
+}
+
+// CalibratedResolver is the cross-machine audit mode's resolver: the
+// auditor owns machines of type `auditor` only, and models carries the
+// fitted time-dilation calibrations. Shards recorded on the auditor's
+// own machine type resolve as usual; shards recorded on a different
+// type resolve to the auditor's machine plus the pair's fitted
+// scale/slack — and refuse, with calib.ErrNoModel, any pair that was
+// never calibrated, so an uncalibrated audit can never produce silent
+// garbage verdicts.
+func CalibratedResolver(auditor hw.MachineSpec, models *calib.Set) pipeline.ShardResolver {
+	return func(m store.ShardMeta) (pipeline.Resolved, error) {
+		prog, cfg, err := knownGood(m.Program, m.Seed)
+		if err != nil {
+			return pipeline.Resolved{}, err
+		}
+		if cfg.Profile.Name != m.Profile {
+			return pipeline.Resolved{}, fmt.Errorf("fixtures: shard %q wants profile %q, registry has %q for %s", m.Key, m.Profile, cfg.Profile.Name, m.Program)
+		}
+		cfg.Machine = auditor
+		if m.Machine == auditor.Name {
+			return pipeline.Resolved{Prog: prog, Cfg: cfg}, nil
+		}
+		mod := models.Lookup(m.Program, m.Machine, auditor.Name)
+		if mod == nil {
+			return pipeline.Resolved{}, &calib.NoModelError{Program: m.Program, Recorded: m.Machine, Auditor: auditor.Name}
+		}
+		return pipeline.Resolved{Prog: prog, Cfg: cfg, TDRCalib: mod.Calibration(), TDRSlack: mod.Slack()}, nil
+	}
 }

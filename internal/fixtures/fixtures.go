@@ -109,9 +109,24 @@ func ServerProgram() *svm.Program { return nfs.ServerProgram() }
 // count. hook, when non-nil, compromises the server. The returned
 // trace carries everything any detector needs (IPDs, log, execution).
 func PlayTrace(packets int, workloadSeed, engineSeed uint64, hook core.DelayHook) (*detect.Trace, error) {
-	w := nfs.ClientWorkload(packets, netsim.DefaultThinkTime(), workloadSeed)
+	return PlayTraceOn(hw.Optiplex9020(), packets, workloadSeed, engineSeed, hook)
+}
+
+// PlayTraceOn is PlayTrace on an explicit machine type — the
+// cross-machine scenarios record the same known-good server on
+// different hardware.
+func PlayTraceOn(machine hw.MachineSpec, packets int, workloadSeed, engineSeed uint64, hook core.DelayHook) (*detect.Trace, error) {
+	return playNFSTrace(netsim.DefaultThinkTime(), machine, packets, workloadSeed, engineSeed, hook)
+}
+
+// playNFSTrace is the NFS recording recipe with every knob exposed:
+// client think-time model, machine type, workload/engine seeds, and
+// the optional covert hook.
+func playNFSTrace(think netsim.ThinkTimeModel, machine hw.MachineSpec, packets int, workloadSeed, engineSeed uint64, hook core.DelayHook) (*detect.Trace, error) {
+	w := nfs.ClientWorkload(packets, think, workloadSeed)
 	inputs := w.ToServerInputs(netsim.PaperPath(workloadSeed^0xABCD), 0)
 	cfg := ServerConfig(engineSeed)
+	cfg.Machine = machine
 	cfg.Hook = hook
 	exec, log, err := core.Play(nfs.ServerProgram(), inputs, cfg)
 	if err != nil {

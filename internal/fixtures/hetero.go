@@ -87,10 +87,20 @@ func EchoConfig(seed uint64) core.Config {
 // bursty think-time schedule, played on the T' machine. hook, when
 // non-nil, compromises the server.
 func PlayEchoTrace(packets int, workloadSeed, engineSeed uint64, hook core.DelayHook) (*detect.Trace, error) {
+	return PlayEchoTraceOn(hw.SlowerT(), packets, workloadSeed, engineSeed, hook)
+}
+
+// PlayEchoTraceOn is PlayEchoTrace on an explicit machine type.
+func PlayEchoTraceOn(machine hw.MachineSpec, packets int, workloadSeed, engineSeed uint64, hook core.DelayHook) (*detect.Trace, error) {
+	return playEchoTrace(netsim.DefaultThinkTime(), machine, packets, workloadSeed, engineSeed, hook)
+}
+
+// playEchoTrace is the echo recording recipe with every knob exposed.
+func playEchoTrace(think netsim.ThinkTimeModel, machine hw.MachineSpec, packets int, workloadSeed, engineSeed uint64, hook core.DelayHook) (*detect.Trace, error) {
 	rng := hw.NewRNG(workloadSeed ^ 0xEC40)
 	w := &netsim.Workload{
 		Requests:   make([][]byte, packets),
-		Departures: netsim.DefaultThinkTime().Schedule(packets, hw.NewRNG(workloadSeed)),
+		Departures: think.Schedule(packets, hw.NewRNG(workloadSeed)),
 	}
 	for i := range w.Requests {
 		req := make([]byte, 96)
@@ -101,6 +111,7 @@ func PlayEchoTrace(packets int, workloadSeed, engineSeed uint64, hook core.Delay
 	}
 	inputs := w.ToServerInputs(netsim.PaperPath(workloadSeed^0xABCD), 0)
 	cfg := EchoConfig(engineSeed)
+	cfg.Machine = machine
 	cfg.Hook = hook
 	exec, log, err := core.Play(EchoProgram(), inputs, cfg)
 	if err != nil {

@@ -1,0 +1,103 @@
+package fixtures_test
+
+import (
+	"errors"
+	"testing"
+
+	"sanity/internal/calib"
+	"sanity/internal/core"
+	"sanity/internal/fixtures"
+	"sanity/internal/hw"
+	"sanity/internal/store"
+)
+
+// TestResolverUnknownShardTyped: an unknown program fails with the
+// typed sentinel, so callers can distinguish "no known-good binary"
+// from a machine mismatch.
+func TestResolverUnknownShardTyped(t *testing.T) {
+	_, err := fixtures.Resolver(store.ShardMeta{Key: "x", Program: "mystery", Machine: "optiplex9020", Profile: "sanity"})
+	if !errors.Is(err, fixtures.ErrUnknownShard) {
+		t.Fatalf("unknown program error = %v, want ErrUnknownShard", err)
+	}
+	var typed *fixtures.UnknownShardError
+	if !errors.As(err, &typed) || typed.Program != "mystery" {
+		t.Fatalf("errors.As lost the program: %v", err)
+	}
+
+	// A machine mismatch is a different failure, not ErrUnknownShard.
+	_, err = fixtures.Resolver(store.ShardMeta{Key: "x", Program: "nfsd", Machine: "slower-t-prime", Profile: "sanity"})
+	if err == nil || errors.Is(err, fixtures.ErrUnknownShard) {
+		t.Fatalf("machine mismatch error = %v, want a non-ErrUnknownShard error", err)
+	}
+}
+
+// TestCalibratedResolver: same-machine shards pass through without
+// calibration, cross-machine shards pick up the model's scale and
+// slack, and an uncalibrated pair is refused with the typed
+// calib.ErrNoModel.
+func TestCalibratedResolver(t *testing.T) {
+	auditor := hw.SlowerT()
+	models := calib.NewSet()
+	models.Add(&calib.Model{
+		Program: "nfsd", Recorded: hw.Optiplex9020().Name, Auditor: auditor.Name,
+		Scale: 0.645, ResidualSpread: 0.02, AbsSpreadPs: 1000,
+	})
+	resolve := fixtures.CalibratedResolver(auditor, models)
+
+	// Cross-machine: nfsd recorded on optiplex, audited on slower-t.
+	r, err := resolve(store.ShardMeta{Key: "nfsd/optiplex9020/sanity", Program: "nfsd", Machine: "optiplex9020", Profile: "sanity", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cfg.Machine.Name != auditor.Name {
+		t.Fatalf("cross-machine audit config uses machine %q, want the auditor's %q", r.Cfg.Machine.Name, auditor.Name)
+	}
+	if r.TDRCalib.Scale != 0.645 || r.TDRCalib.AbsSlackPs != 2000 || r.TDRSlack <= 0.02 {
+		t.Fatalf("calibration not applied: calib=%+v slack=%f", r.TDRCalib, r.TDRSlack)
+	}
+
+	// Same machine: echod's canonical type is the auditor's own.
+	r, err = resolve(store.ShardMeta{Key: "echod/slower-t-prime/sanity", Program: "echod", Machine: "slower-t-prime", Profile: "sanity", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TDRCalib != (core.Calibration{}) || r.TDRSlack != 0 {
+		t.Fatalf("same-machine shard picked up calibration: %+v", r)
+	}
+
+	// Unknown pair: an optiplex auditor with no model for slower-t
+	// recordings must refuse, typed.
+	reverse := fixtures.CalibratedResolver(hw.Optiplex9020(), calib.NewSet())
+	_, err = reverse(store.ShardMeta{Key: "echod/slower-t-prime/sanity", Program: "echod", Machine: "slower-t-prime", Profile: "sanity", Seed: 7})
+	if !errors.Is(err, calib.ErrNoModel) {
+		t.Fatalf("uncalibrated pair error = %v, want ErrNoModel", err)
+	}
+	var noModel *calib.NoModelError
+	if !errors.As(err, &noModel) || noModel.Recorded != "slower-t-prime" || noModel.Auditor != "optiplex9020" {
+		t.Fatalf("errors.As lost the pair: %v", err)
+	}
+
+	// Unknown program still surfaces ErrUnknownShard through the
+	// calibrated path.
+	_, err = resolve(store.ShardMeta{Key: "x", Program: "mystery", Machine: "optiplex9020", Profile: "sanity"})
+	if !errors.Is(err, fixtures.ErrUnknownShard) {
+		t.Fatalf("unknown program error = %v, want ErrUnknownShard", err)
+	}
+}
+
+// TestMachineByName: the hw registry resolves both known types and
+// refuses unknown names instead of guessing a spec.
+func TestMachineByName(t *testing.T) {
+	for _, want := range hw.KnownMachines() {
+		got, err := hw.MachineByName(want.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != want.Name || got.ClockGHz != want.ClockGHz {
+			t.Fatalf("MachineByName(%q) = %+v", want.Name, got)
+		}
+	}
+	if _, err := hw.MachineByName("quantum-mainframe"); err == nil {
+		t.Fatal("unknown machine name resolved")
+	}
+}

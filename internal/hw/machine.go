@@ -134,3 +134,21 @@ func SlowerT() MachineSpec {
 	m.DRAMCycles = 260
 	return m
 }
+
+// MachineByName resolves a machine-type name — the form that travels
+// in logs and shard metadata — back to its full specification. Names
+// are the auditor's registry of machine types it can model; an unknown
+// name is an error, never a guessed spec.
+func MachineByName(name string) (MachineSpec, error) {
+	for _, m := range KnownMachines() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return MachineSpec{}, fmt.Errorf("hw: unknown machine type %q", name)
+}
+
+// KnownMachines lists every machine type the auditor can model.
+func KnownMachines() []MachineSpec {
+	return []MachineSpec{Optiplex9020(), SlowerT()}
+}

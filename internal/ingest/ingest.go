@@ -7,9 +7,10 @@
 // The protocol is line-framed commands with binary payloads. After
 // exchanging the banner, a client issues:
 //
-//	SHARD <n>\n  followed by n bytes of ShardMeta JSON
-//	PUT <n>\n    followed by n bytes of trace container
-//	DONE\n       flush the manifest and end the session
+//	AUTH <token>\n  shared-secret authentication (when the server requires it)
+//	SHARD <n>\n     followed by n bytes of ShardMeta JSON
+//	PUT <n>\n       followed by n bytes of trace container
+//	DONE\n          flush the manifest and end the session
 //
 // The server answers every command with one line, "OK ..." or
 // "ERR <reason>". A PUT is validated while it is spooled — frame
@@ -17,10 +18,17 @@
 // a corrupted upload earns a per-trace ERR while the connection stays
 // usable for the next command. Uploads from many connections may
 // interleave; the store serializes admissions.
+//
+// A server configured with a shared secret (Options.Secret) refuses
+// every command until the session has authenticated: a wrong or
+// missing token earns exactly one ERR line and a closed connection,
+// so an unauthenticated peer can neither fill the spool nor probe the
+// validator.
 package ingest
 
 import (
 	"bufio"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -43,10 +51,21 @@ const (
 	maxContainer = 1 << 30
 )
 
+// Options tunes a server beyond its listener and store.
+type Options struct {
+	// Secret, when non-empty, requires every session to authenticate
+	// with "AUTH <secret>" before any other command. The comparison is
+	// constant-time. An empty secret accepts all sessions (trusted
+	// networks, tests), and treats a client's AUTH as a no-op so a
+	// token-configured client can still talk to an open server.
+	Secret string
+}
+
 // Server accepts framed log uploads and spools them into a store.
 type Server struct {
-	st *store.Store
-	ln net.Listener
+	st   *store.Store
+	ln   net.Listener
+	opts Options
 
 	mu     sync.Mutex
 	closed bool
@@ -57,16 +76,26 @@ type Server struct {
 // Listen starts an ingest server on addr (e.g. ":7070" or
 // "127.0.0.1:0") spooling into st.
 func Listen(addr string, st *store.Store) (*Server, error) {
+	return ListenOpts(addr, st, Options{})
+}
+
+// ListenOpts is Listen with explicit options.
+func ListenOpts(addr string, st *store.Store, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: listen %s: %w", addr, err)
 	}
-	return Serve(ln, st), nil
+	return ServeOpts(ln, st, opts), nil
 }
 
 // Serve starts an ingest server on an existing listener.
 func Serve(ln net.Listener, st *store.Store) *Server {
-	s := &Server{st: st, ln: ln, conns: make(map[net.Conn]struct{})}
+	return ServeOpts(ln, st, Options{})
+}
+
+// ServeOpts is Serve with explicit options.
+func ServeOpts(ln net.Listener, st *store.Store, opts Options) *Server {
+	s := &Server{st: st, ln: ln, opts: opts, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -145,12 +174,30 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	fmt.Fprintf(conn, "OK %s\n", Banner)
+	authed := s.opts.Secret == ""
 	for {
 		line, err := readLine(br)
 		if err != nil {
 			return
 		}
 		cmd, arg, _ := strings.Cut(line, " ")
+		if cmd == "AUTH" {
+			// Constant-time comparison: a probing client learns nothing
+			// about the secret from timing. With no secret configured the
+			// command is a no-op, so token-carrying clients interoperate
+			// with open servers.
+			if authed || subtle.ConstantTimeCompare([]byte(arg), []byte(s.opts.Secret)) == 1 {
+				authed = true
+				fmt.Fprint(conn, "OK authenticated\n")
+				continue
+			}
+			fmt.Fprint(conn, "ERR invalid auth token\n")
+			return
+		}
+		if !authed {
+			fmt.Fprint(conn, "ERR authentication required\n")
+			return
+		}
 		switch cmd {
 		case "SHARD":
 			n, err := parseSize(arg, maxShardJSON)
@@ -242,6 +289,15 @@ type PushResult struct {
 // returns the per-trace outcome; err is non-nil only for protocol or
 // transport failures.
 func Push(addr string, st *store.Store) (*PushResult, error) {
+	return PushAuth(addr, st, "")
+}
+
+// PushAuth is Push with a shared-secret token, sent as an AUTH line
+// right after the banner exchange. An empty secret sends no AUTH line.
+func PushAuth(addr string, st *store.Store, secret string) (*PushResult, error) {
+	if strings.ContainsAny(secret, "\r\n") {
+		return nil, fmt.Errorf("ingest: auth token must be a single line")
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: dial %s: %w", addr, err)
@@ -251,6 +307,12 @@ func Push(addr string, st *store.Store) (*PushResult, error) {
 	fmt.Fprintf(conn, "%s\n", Banner)
 	if reply, err := readLine(br); err != nil || !strings.HasPrefix(reply, "OK") {
 		return nil, fmt.Errorf("ingest: banner rejected: %q err=%v", reply, err)
+	}
+	if secret != "" {
+		fmt.Fprintf(conn, "AUTH %s\n", secret)
+		if reply, err := readLine(br); err != nil || !strings.HasPrefix(reply, "OK") {
+			return nil, fmt.Errorf("ingest: authentication rejected: %q err=%v", reply, err)
+		}
 	}
 	res := &PushResult{}
 	for _, sh := range st.Shards() {

@@ -190,6 +190,82 @@ func TestProtocolRaw(t *testing.T) {
 	})
 }
 
+// TestAuth covers the shared-secret slice of ingest hardening: an
+// authenticated server admits only clients presenting the right
+// token, answers a wrong or missing token with exactly one ERR and a
+// closed connection, and an open server still interoperates with
+// token-carrying clients.
+func TestAuth(t *testing.T) {
+	const secret = "squeamish-ossifrage"
+	src := exportSynthetic(t, filepath.Join(t.TempDir(), "src"))
+	spool, err := store.Create(filepath.Join(t.TempDir(), "spool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ingest.ListenOpts("127.0.0.1:0", spool, ingest.Options{Secret: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	addr := srv.Addr().String()
+
+	t.Run("right token", func(t *testing.T) {
+		res, err := ingest.PushAuth(addr, src, secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted != len(src.Entries()) || len(res.Rejected) != 0 {
+			t.Fatalf("authenticated push result %+v", res)
+		}
+	})
+	t.Run("missing token", func(t *testing.T) {
+		if _, err := ingest.Push(addr, src); err == nil || !strings.Contains(err.Error(), "authentication required") {
+			t.Fatalf("unauthenticated push error = %v, want authentication required", err)
+		}
+	})
+	t.Run("wrong token closes connection", func(t *testing.T) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		fmt.Fprintf(conn, "%s\nAUTH wrong-token\n", ingest.Banner)
+		if line, err := br.ReadString('\n'); err != nil || !strings.HasPrefix(line, "OK") {
+			t.Fatalf("banner reply %q err=%v", line, err)
+		}
+		if line, err := br.ReadString('\n'); err != nil || !strings.HasPrefix(line, "ERR") {
+			t.Fatalf("wrong token reply %q err=%v, want one ERR", line, err)
+		}
+		// Exactly one ERR, then the connection is gone.
+		fmt.Fprintf(conn, "DONE\n")
+		if line, err := br.ReadString('\n'); err == nil {
+			t.Fatalf("connection still alive after bad token: got %q", line)
+		}
+	})
+	t.Run("multiline token rejected client-side", func(t *testing.T) {
+		if _, err := ingest.PushAuth(addr, src, "a\nb"); err == nil {
+			t.Fatal("newline token accepted")
+		}
+	})
+	t.Run("open server tolerates AUTH", func(t *testing.T) {
+		open, openSpool := startServer(t, filepath.Join(t.TempDir(), "openspool"))
+		res, err := ingest.PushAuth(open.Addr().String(), src, "anything")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted != len(src.Entries()) {
+			t.Fatalf("open-server push result %+v", res)
+		}
+		_ = openSpool
+	})
+
+	// Only the authenticated session's traces made it into the spool.
+	if got := len(spool.Entries()); got != len(src.Entries()) {
+		t.Fatalf("spool holds %d traces, want %d", got, len(src.Entries()))
+	}
+}
+
 // TestConcurrentPushes runs several clients at once; the store must
 // serialize admissions without losing or duplicating traces.
 func TestConcurrentPushes(t *testing.T) {

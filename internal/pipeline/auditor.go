@@ -32,6 +32,15 @@ type Shard struct {
 	// scales it to the training trace length as the Figure-8
 	// experiment does.
 	RegularityWindow int
+
+	// TDRCalib and TDRSlack enable the cross-machine audit mode: the
+	// shard's traces were recorded on a machine type the auditor does
+	// not own, Cfg.Machine is the auditor's own type, TDRCalib maps
+	// replayed timings back onto the recorded timebase, and TDRSlack
+	// widens the TDR suspicion threshold by the calibration's residual
+	// spread. Zero values select the plain same-machine audit.
+	TDRCalib core.Calibration
+	TDRSlack float64
 }
 
 // auditor is a shard's trained, immutable audit state. All methods
@@ -62,14 +71,14 @@ func newAuditor(s *Shard, tdrThreshold, statThreshold float64) (*auditor, error)
 			window = 20
 		}
 	}
-	a := &auditor{shard: s, detectors: detectors, tdrLimit: tdrThreshold, statsLimit: statThreshold}
+	a := &auditor{shard: s, detectors: detectors, tdrLimit: tdrThreshold + s.TDRSlack, statsLimit: statThreshold}
 	for i, d := range a.detectors {
 		if d.Name() == "regularity" && window > 0 {
 			a.detectors[i] = detect.NewRegularity(window)
 		}
 	}
 	if s.Prog != nil {
-		a.tdr = detect.NewTDR(s.Prog, s.Cfg)
+		a.tdr = detect.NewCalibratedTDR(s.Prog, s.Cfg, s.TDRCalib)
 	}
 	return a, nil
 }

@@ -8,13 +8,33 @@ import (
 	"sanity/internal/svm"
 )
 
+// Resolved is the audit-side material a resolver supplies for one
+// stored shard: the trusted binary, the replay configuration, and —
+// for cross-machine audits — the calibration that maps the auditor's
+// replay timing back onto the recorded machine's timebase. A nil
+// program disables the TDR path for the shard (statistical detectors
+// still run); zero TDRCalib/TDRSlack is the plain same-machine audit.
+type Resolved struct {
+	Prog *svm.Program
+	Cfg  core.Config
+	// TDRCalib maps replayed timings into the recorded machine type's
+	// timebase; the zero value means same-machine.
+	TDRCalib core.Calibration
+	// TDRSlack widens the TDR suspicion threshold by the calibration's
+	// residual spread, pricing the cross-machine noise floor.
+	TDRSlack float64
+}
+
 // ShardResolver maps a stored shard's metadata onto the audit side's
 // own known-good material: the trusted binary for the named program
 // and the replay configuration for the named machine type and noise
 // profile. Binaries and machine models are code the auditor already
-// has — a corpus only names them. Returning a nil program disables the
-// TDR path for that shard (statistical detectors still run).
-type ShardResolver func(m store.ShardMeta) (*svm.Program, core.Config, error)
+// has — a corpus only names them. When the shard was recorded on a
+// machine type the auditor does not own, a calibrating resolver
+// substitutes the auditor's machine and returns the fitted
+// scale/slack; a resolver with no model for the pair must refuse
+// (calib.ErrNoModel) rather than return an uncalibrated config.
+type ShardResolver func(m store.ShardMeta) (Resolved, error)
 
 // ParseLabel maps a store label string onto the pipeline's ground
 // truth; unrecognized strings are LabelUnknown (excluded from FP/FN
@@ -50,12 +70,14 @@ func BatchFromStore(st *store.Store, resolve ShardResolver) (*Batch, error) {
 		}
 		sh := &Shard{Key: sm.Key, Training: training}
 		if resolve != nil {
-			prog, cfg, err := resolve(sm)
+			r, err := resolve(sm)
 			if err != nil {
 				return nil, fmt.Errorf("pipeline: resolving shard %q: %w", sm.Key, err)
 			}
-			sh.Prog = prog
-			sh.Cfg = cfg
+			sh.Prog = r.Prog
+			sh.Cfg = r.Cfg
+			sh.TDRCalib = r.TDRCalib
+			sh.TDRSlack = r.TDRSlack
 		}
 		b.AddShard(sh)
 	}

@@ -112,6 +112,18 @@ func Compare(play, replay *Execution) (*TimingComparison, error) {
 	return core.Compare(play, replay)
 }
 
+// Calibration maps a cross-machine replay's timing onto the recorded
+// machine's timebase (scale plus absolute per-IPD allowance); models
+// are fitted by the calibration subsystem (`tdraudit calibrate`).
+type Calibration = core.Calibration
+
+// CompareCalibrated is Compare for cross-machine audits: the replay
+// ran on a different machine type than the recording, and cal maps its
+// timing back onto the recorded machine's timebase.
+func CompareCalibrated(play, replay *Execution, cal Calibration) (*TimingComparison, error) {
+	return core.CompareCalibrated(play, replay, cal)
+}
+
 // Optiplex9020 is the paper's testbed machine type.
 func Optiplex9020() MachineSpec { return hw.Optiplex9020() }
 
