@@ -25,11 +25,14 @@ import (
 	"sanity/internal/core"
 	"sanity/internal/covert"
 	"sanity/internal/detect"
+	"sanity/internal/fixtures"
 	"sanity/internal/hw"
 	"sanity/internal/netsim"
 	"sanity/internal/nfs"
+	"sanity/internal/pipeline"
 	"sanity/internal/replaylog"
 	"sanity/internal/scimark"
+	"sanity/internal/store"
 	"sanity/internal/svm"
 )
 
@@ -421,6 +424,100 @@ func BenchmarkCrossMachine_CalibratedAudit(b *testing.B) {
 		}
 	}
 }
+
+// --- Audit hot path: windowed replay & shard memoization ------------
+
+// auditBenchBatch records one persisted checkpointed corpus and
+// rebuilds the pipeline batch from the store, the repeated-shard
+// shape `tdrbench bench` gates in CI (see internal/benchreg for the
+// regression harness and BENCH_*.json for the checked-in baseline).
+func auditBenchBatch(b *testing.B) *pipeline.Batch {
+	b.Helper()
+	set, err := fixtures.PlayedSetCheckpointed(fixtures.AuditSizes(10, 60), 12, 4242)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.Create(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := fixtures.ExportSet(st, set, fixtures.NFSShardMeta(4242+777)); err != nil {
+		b.Fatal(err)
+	}
+	batch, err := pipeline.BatchFromStore(st, fixtures.Resolver)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return batch
+}
+
+func benchAudit(b *testing.B, cfg pipeline.Config) {
+	batch := auditBenchBatch(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := pipeline.New(cfg).Run(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Metrics.Errors > 0 {
+			b.Fatalf("audit errors: %+v", r.Metrics)
+		}
+	}
+}
+
+// BenchmarkAudit_FullReplay vs BenchmarkAudit_WindowedReplay is the
+// tentpole measurement: same persisted corpus, whole-trace replay vs
+// windowed replay resumed from checkpoints (trailing 8 of ~59 IPDs).
+// The acceptance criterion is >=2x; `tdrbench bench -check` enforces
+// it against the checked-in baseline.
+func BenchmarkAudit_FullReplay(b *testing.B)     { benchAudit(b, pipeline.Config{}) }
+func BenchmarkAudit_WindowedReplay(b *testing.B) { benchAudit(b, pipeline.Config{WindowIPDs: 8}) }
+
+// BenchmarkAudit_WindowedReference measures the diagnostic mode that
+// scores the same windows out of full replays — it should track
+// BenchmarkAudit_FullReplay, not the windowed number.
+func BenchmarkAudit_WindowedReference(b *testing.B) {
+	benchAudit(b, pipeline.Config{WindowIPDs: 8, WindowViaFullReplay: true})
+}
+
+// Shard setup: cold (first-seen shard identity — the memo cache is
+// emptied each iteration) vs memoized (registry singleton, cache
+// hit). Jobless batches, so an iteration is exactly the setup a batch
+// pays before its first verdict.
+func benchShardSetup(b *testing.B, cold bool) {
+	training := fixtures.SyntheticTraining(6, 60, 99)
+	prog := nfs.ServerProgram()
+	if cold {
+		prog = asm.MustAssemble("nfsd", nfs.ServerSource())
+	}
+	mkBatch := func() *pipeline.Batch {
+		bb := &pipeline.Batch{}
+		bb.AddShard(&pipeline.Shard{
+			Key:      fixtures.DefaultShardKey,
+			Prog:     prog,
+			Cfg:      fixtures.ServerConfig(777),
+			Training: training,
+		})
+		return bb
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if cold {
+			pipeline.ResetShardMemosForTesting()
+		}
+		batch := mkBatch()
+		b.StartTimer()
+		if _, err := pipeline.New(pipeline.Config{Workers: 1}).Run(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShard_ColdSetup(b *testing.B)     { benchShardSetup(b, true) }
+func BenchmarkShard_MemoizedSetup(b *testing.B) { benchShardSetup(b, false) }
 
 // --- VM micro-benchmarks --------------------------------------------
 

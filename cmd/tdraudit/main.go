@@ -13,6 +13,8 @@
 //	tdraudit serve -addr :7070 -dir spool      # audit-side ingest server
 //	tdraudit send -addr host:7070 -dir corpus  # ship a corpus to a server
 //	tdraudit audit-dir -dir spool -json        # audit a spooled corpus
+//	tdraudit audit-dir -dir spool -window 16   # windowed replay: audit each
+//	                                           # trace's trailing 16 IPDs only
 //
 // Cross-machine audits (the paper's §5.2 cloud-verification setting:
 // the corpus was recorded on a machine type the auditor does not own):
@@ -65,6 +67,7 @@ type auditFlags struct {
 	threshold             *float64
 	stream, jsonOut       *bool
 	compare               *bool
+	window                *int
 }
 
 func addAuditFlags(fs *flag.FlagSet) *auditFlags {
@@ -76,6 +79,8 @@ func addAuditFlags(fs *flag.FlagSet) *auditFlags {
 		stream:    fs.Bool("stream", false, "print each verdict as it is emitted"),
 		jsonOut:   fs.Bool("json", false, "emit verdicts and the summary as JSON lines"),
 		compare:   fs.Bool("compare", false, "also run with 1 worker and report the speedup"),
+		window: fs.Int("window", 0, "audit only each trace's trailing N inter-packet delays via windowed replay "+
+			"(traces recorded with checkpoints resume mid-log; others fall back to full replay; 0 = whole trace)"),
 	}
 }
 
@@ -85,6 +90,7 @@ func (a *auditFlags) config() pipeline.Config {
 		BatchSize:    *a.batch,
 		QueueDepth:   *a.queue,
 		TDRThreshold: *a.threshold,
+		WindowIPDs:   *a.window,
 	}
 }
 
@@ -93,11 +99,19 @@ func inMemoryMain(args []string) {
 	traces := fs.Int("traces", 120, "total test traces (half benign, half covert)")
 	packets := fs.Int("packets", 60, "packets per trace")
 	seed := fs.Uint64("seed", 42, "base noise seed")
+	ckptEvery := fs.Int("checkpoint-every", fixtures.DefaultCheckpointEvery,
+		"emit a replay checkpoint every N sent packets while recording (0 = none; enables -window)")
 	af := addAuditFlags(fs)
 	fs.Parse(args)
 
 	fmt.Fprintf(os.Stderr, "recording %d traces of %d packets (plus training traces)...\n", *traces, *packets)
-	b, err := fixtures.LabeledAuditBatch(*traces, *packets, *seed)
+	var b *pipeline.Batch
+	var err error
+	if *ckptEvery > 0 {
+		b, err = fixtures.CheckpointedAuditBatch(*traces, *packets, *ckptEvery, *seed)
+	} else {
+		b, err = fixtures.LabeledAuditBatch(*traces, *packets, *seed)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -111,6 +125,8 @@ func recordMain(args []string) {
 	packets := fs.Int("packets", 60, "packets per trace")
 	seed := fs.Uint64("seed", 42, "base noise seed")
 	hetero := fs.Bool("hetero", false, "record two shards: the NFS server on T and the echo server on T'")
+	ckptEvery := fs.Int("checkpoint-every", fixtures.DefaultCheckpointEvery,
+		"emit a replay checkpoint every N sent packets (0 = none; checkpointed corpora support audit-dir -window)")
 	fs.Parse(args)
 	if *dir == "" {
 		fatal(fmt.Errorf("record: -dir is required"))
@@ -122,6 +138,9 @@ func recordMain(args []string) {
 	}
 	sizes := fixtures.AuditSizes(*traces, *packets)
 	if *hetero {
+		// The heterogeneous recipe predates checkpointing and stays
+		// uncheckpointed; windowed audits over it fall back to full
+		// replay per trace.
 		fmt.Fprintf(os.Stderr, "recording two heterogeneous populations (%d+ traces each)...\n", *traces)
 		nfsSet, echoSet, err := fixtures.HeterogeneousSets(sizes, *seed)
 		if err != nil {
@@ -131,8 +150,15 @@ func recordMain(args []string) {
 			fatal(err)
 		}
 	} else {
-		fmt.Fprintf(os.Stderr, "recording %d traces of %d packets (plus training traces)...\n", *traces, *packets)
-		set, err := fixtures.PlayedSet(sizes, *seed)
+		fmt.Fprintf(os.Stderr, "recording %d traces of %d packets (checkpoint every %d packets)...\n",
+			*traces, *packets, *ckptEvery)
+		var set *fixtures.Set
+		var err error
+		if *ckptEvery > 0 {
+			set, err = fixtures.PlayedSetCheckpointed(sizes, *ckptEvery, *seed)
+		} else {
+			set, err = fixtures.PlayedSet(sizes, *seed)
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sanity/internal/benchreg"
+)
+
+// benchMain runs the benchmark-regression harness: measure the audit
+// hot path, write the BENCH_<date>.json report, and optionally gate
+// against a checked-in baseline. Exit status 1 on any gate violation,
+// so CI fails on a >25% regression (or on losing the windowed
+// replay's required 2x speedup).
+func benchMain(args []string) {
+	fs := flag.NewFlagSet("tdrbench bench", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "write the BENCH_<date>.json report")
+	out := fs.String("out", "", "report path (default BENCH_<date>.json; implies -json)")
+	check := fs.String("check", "", "baseline BENCH json to gate against")
+	short := fs.Bool("short", false, "CI-sized corpus (baselines only gate allocations at matching scale)")
+	seed := fs.Uint64("seed", 42, "corpus seed")
+	fs.Parse(args)
+
+	fmt.Fprintf(os.Stderr, "measuring audit hot path (short=%v)...\n", *short)
+	report, err := benchreg.Run(*short, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdrbench bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(report.Format())
+
+	if *jsonOut || *out != "" {
+		path := *out
+		if path == "" {
+			path = report.DefaultFileName()
+		}
+		if err := report.Write(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tdrbench bench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	var baseline *benchreg.Report
+	if *check != "" {
+		baseline, err = benchreg.Load(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdrbench bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	violations := benchreg.Check(baseline, report)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	if baseline != nil {
+		fmt.Fprintf(os.Stderr, "within %0.f%% of baseline %s (and above the %.1fx windowed floor)\n",
+			benchreg.Tolerance*100, *check, benchreg.MinWindowedSpeedup)
+	}
+}

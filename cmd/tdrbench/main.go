@@ -6,6 +6,15 @@
 //	tdrbench -experiment fig7
 //	tdrbench -experiment fig8 -full
 //	tdrbench -experiment ablate
+//
+// The bench subcommand is the benchmark-regression harness: it
+// measures the audit hot path (full vs windowed replay, cold vs
+// memoized shard setup) with testing.Benchmark, writes a
+// BENCH_<date>.json report, and can gate a run against a checked-in
+// baseline:
+//
+//	tdrbench bench -json
+//	tdrbench bench -json -short -check BENCH_2026-07-29.json
 package main
 
 import (
@@ -18,8 +27,12 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		benchMain(os.Args[2:])
+		return
+	}
 	var (
-		which = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig6|fig7|log|fig8|noise|ablate|throughput|crossmachine")
+		which = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig6|fig7|log|fig8|noise|ablate|throughput|crossmachine|replaywindow")
 		full  = flag.Bool("full", false, "use paper-scale experiment sizes (slow)")
 		seed  = flag.Uint64("seed", 42, "base noise seed")
 	)
@@ -112,6 +125,13 @@ func main() {
 			return "", err
 		}
 		return experiments.FormatCrossMachine(r), nil
+	})
+	run("replaywindow", func() (string, error) {
+		r, err := experiments.ReplayWindow(sizes, *seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatReplayWindow(r), nil
 	})
 	run("ablate", func() (string, error) {
 		packets := 60

@@ -1,0 +1,200 @@
+// Package benchreg is the benchmark-regression harness behind
+// `tdrbench bench`: it measures the audit hot path with
+// testing.Benchmark — full vs windowed replay over a persisted
+// checkpointed corpus, cold vs memoized shard setup — and renders the
+// measurements as a JSON report (BENCH_<date>.json) that later runs
+// gate against.
+//
+// Cross-machine comparability: absolute ns/op is machine-dependent,
+// so a checked-in baseline is never compared on it. What IS enforced
+// is machine-independent: the windowed-over-full and memoized-over-
+// cold speedup *ratios* (within a tolerance of the baseline, and the
+// windowed ratio also against the hard 2x floor the optimization
+// promises) and allocations per op (within tolerance, when the
+// baseline was produced at the same corpus scale).
+package benchreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Measurement is one benchmark's result.
+type Measurement struct {
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// Derived holds the machine-independent ratios the gate enforces.
+type Derived struct {
+	// WindowedSpeedup is full-audit ns/op over windowed-audit ns/op —
+	// what checkpointed windowed replay buys on the same corpus.
+	WindowedSpeedup float64 `json:"windowedSpeedup"`
+	// MemoSpeedup is cold-shard ns/op over memoized-shard ns/op — what
+	// the per-shard platform memo buys on repeated-shard corpora.
+	// Informational only: at CI scale the delta drowns in scheduler
+	// noise, so Check gates the memo on its (deterministic)
+	// allocation saving instead.
+	MemoSpeedup float64 `json:"memoSpeedup"`
+}
+
+// Report is one harness run.
+type Report struct {
+	Date       string                 `json:"date"`
+	GoOS       string                 `json:"goos"`
+	GoArch     string                 `json:"goarch"`
+	GoMaxProcs int                    `json:"gomaxprocs"`
+	Short      bool                   `json:"short"`
+	Seed       uint64                 `json:"seed"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+	Derived    Derived                `json:"derived"`
+}
+
+// Benchmark names.
+const (
+	BenchAuditFull     = "audit_full"
+	BenchAuditWindowed = "audit_windowed"
+	BenchShardCold     = "shard_cold"
+	BenchShardMemoized = "shard_memoized"
+)
+
+// Gate thresholds.
+const (
+	// MinWindowedSpeedup is the absolute floor on the windowed-replay
+	// speedup — the optimization's acceptance criterion, enforced even
+	// without a baseline.
+	MinWindowedSpeedup = 2.0
+	// Tolerance is the allowed relative regression against a baseline
+	// (ratios may degrade and allocations may grow by this fraction).
+	Tolerance = 0.25
+)
+
+// NewReport stamps an empty report with the environment.
+func NewReport(short bool, seed uint64) *Report {
+	return &Report{
+		Date:       time.Now().Format("2006-01-02"),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Short:      short,
+		Seed:       seed,
+		Benchmarks: make(map[string]Measurement),
+	}
+}
+
+// Finalize computes the derived ratios from the recorded benchmarks.
+func (r *Report) Finalize() {
+	full, okF := r.Benchmarks[BenchAuditFull]
+	win, okW := r.Benchmarks[BenchAuditWindowed]
+	if okF && okW && win.NsPerOp > 0 {
+		r.Derived.WindowedSpeedup = full.NsPerOp / win.NsPerOp
+	}
+	cold, okC := r.Benchmarks[BenchShardCold]
+	memo, okM := r.Benchmarks[BenchShardMemoized]
+	if okC && okM && memo.NsPerOp > 0 {
+		r.Derived.MemoSpeedup = cold.NsPerOp / memo.NsPerOp
+	}
+}
+
+// DefaultFileName is the report name the harness writes when no
+// output path is given.
+func (r *Report) DefaultFileName() string {
+	return "BENCH_" + r.Date + ".json"
+}
+
+// Write renders the report as indented JSON.
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a report back.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchreg: decoding %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Check gates current against baseline and the absolute floors,
+// returning one message per violation (empty = pass). baseline may be
+// nil, in which case only the baseline-independent gates apply.
+//
+// The memoization gate is deliberately allocation-based, not
+// time-based: the memo's wall-clock delta (a few hundred µs of
+// Prepare/clone work under ~1ms of statistical training) drowns in
+// scheduler noise, but the allocations it avoids are deterministic —
+// a memoized shard setup must allocate strictly less than a cold one,
+// or the memo has stopped memoizing.
+func Check(baseline, current *Report) []string {
+	var violations []string
+	if current.Derived.WindowedSpeedup < MinWindowedSpeedup {
+		violations = append(violations, fmt.Sprintf(
+			"windowed-replay speedup %.2fx below the required %.2fx floor",
+			current.Derived.WindowedSpeedup, MinWindowedSpeedup))
+	}
+	cold, okC := current.Benchmarks[BenchShardCold]
+	memo, okM := current.Benchmarks[BenchShardMemoized]
+	if okC && okM && memo.AllocsPerOp >= cold.AllocsPerOp {
+		violations = append(violations, fmt.Sprintf(
+			"shard memoization is not saving work: memoized setup allocates %d/op vs cold %d/op",
+			memo.AllocsPerOp, cold.AllocsPerOp))
+	}
+	if baseline == nil {
+		return violations
+	}
+	floor := 1 - Tolerance
+	if base := baseline.Derived.WindowedSpeedup; base > 0 &&
+		current.Derived.WindowedSpeedup < base*floor {
+		violations = append(violations, fmt.Sprintf(
+			"windowed-replay speedup regressed: %.2fx vs baseline %.2fx (>%0.f%% loss)",
+			current.Derived.WindowedSpeedup, base, Tolerance*100))
+	}
+	// Allocations are machine-independent but scale with the corpus,
+	// so they only gate runs at the same scale as the baseline.
+	if baseline.Short == current.Short {
+		ceil := 1 + Tolerance
+		for name, base := range baseline.Benchmarks {
+			cur, ok := current.Benchmarks[name]
+			if !ok || base.AllocsPerOp <= 0 {
+				continue
+			}
+			if float64(cur.AllocsPerOp) > float64(base.AllocsPerOp)*ceil {
+				violations = append(violations, fmt.Sprintf(
+					"%s allocations regressed: %d/op vs baseline %d/op (>%0.f%% growth)",
+					name, cur.AllocsPerOp, base.AllocsPerOp, Tolerance*100))
+			}
+		}
+	}
+	return violations
+}
+
+// Format renders the report for humans.
+func (r *Report) Format() string {
+	out := fmt.Sprintf("bench report %s (%s/%s, GOMAXPROCS %d, short=%v)\n",
+		r.Date, r.GoOS, r.GoArch, r.GoMaxProcs, r.Short)
+	for _, name := range []string{BenchAuditFull, BenchAuditWindowed, BenchShardCold, BenchShardMemoized} {
+		m, ok := r.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		out += fmt.Sprintf("  %-16s %12.0f ns/op  %8d allocs/op  %10d B/op  (n=%d)\n",
+			name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.N)
+	}
+	out += fmt.Sprintf("  windowed-replay speedup: %.2fx   shard-memo speedup: %.2fx\n",
+		r.Derived.WindowedSpeedup, r.Derived.MemoSpeedup)
+	return out
+}

@@ -1,0 +1,95 @@
+package benchreg
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// report builds a synthetic harness report: windowed speedup as
+// given, and a memo that saves memoSaved allocations per op relative
+// to the cold setup.
+func report(winSpeedup float64, memoSaved int64, short bool, allocs int64) *Report {
+	r := NewReport(short, 1)
+	r.Benchmarks[BenchAuditFull] = Measurement{N: 3, NsPerOp: 100e6 * winSpeedup, AllocsPerOp: allocs}
+	r.Benchmarks[BenchAuditWindowed] = Measurement{N: 10, NsPerOp: 100e6, AllocsPerOp: allocs}
+	r.Benchmarks[BenchShardCold] = Measurement{N: 50, NsPerOp: 1.2e6, AllocsPerOp: allocs / 10}
+	r.Benchmarks[BenchShardMemoized] = Measurement{N: 50, NsPerOp: 1e6, AllocsPerOp: allocs/10 - memoSaved}
+	r.Finalize()
+	return r
+}
+
+func TestCheckEnforcesWindowedFloor(t *testing.T) {
+	if v := Check(nil, report(3.0, 10, true, 1000)); len(v) != 0 {
+		t.Fatalf("healthy report flagged: %v", v)
+	}
+	v := Check(nil, report(1.4, 10, true, 1000))
+	if len(v) != 1 || !strings.Contains(v[0], "floor") {
+		t.Fatalf("sub-2x windowed speedup not flagged: %v", v)
+	}
+}
+
+func TestCheckEnforcesMemoAllocSaving(t *testing.T) {
+	// A memoized setup that allocates as much as (or more than) a cold
+	// one means the memo stopped memoizing — baseline-independent.
+	v := Check(nil, report(3.0, 0, true, 1000))
+	if len(v) != 1 || !strings.Contains(v[0], "memoization") {
+		t.Fatalf("alloc-neutral memo not flagged: %v", v)
+	}
+	if v := Check(nil, report(3.0, -5, true, 1000)); len(v) != 1 {
+		t.Fatalf("alloc-regressing memo not flagged: %v", v)
+	}
+}
+
+func TestCheckAgainstBaseline(t *testing.T) {
+	base := report(4.0, 10, true, 1000)
+	// Within tolerance: 4.0 -> 3.2 (-20%), allocs +20%.
+	if v := Check(base, report(3.2, 10, true, 1200)); len(v) != 0 {
+		t.Fatalf("in-tolerance run flagged: %v", v)
+	}
+	// Windowed-ratio regression beyond tolerance (still above the
+	// absolute floor).
+	v := Check(base, report(2.5, 10, true, 1000))
+	if len(v) != 1 || !strings.Contains(v[0], "regressed") {
+		t.Fatalf("expected the windowed regression, got %v", v)
+	}
+	// Alloc regression beyond tolerance.
+	v = Check(base, report(4.0, 10, true, 1500))
+	if len(v) == 0 || !strings.Contains(strings.Join(v, " "), "allocations") {
+		t.Fatalf("alloc regression not flagged: %v", v)
+	}
+	// Allocations are only gated at matching scale.
+	if v := Check(base, report(4.0, 10, false, 100000)); len(v) != 0 {
+		t.Fatalf("cross-scale alloc comparison happened: %v", v)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := report(3.5, 12, true, 1234)
+	path := filepath.Join(t.TempDir(), r.DefaultFileName())
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Derived != r.Derived || len(got.Benchmarks) != len(r.Benchmarks) {
+		t.Fatalf("round trip lost data: %+v vs %+v", got, r)
+	}
+	if !strings.HasPrefix(r.DefaultFileName(), "BENCH_") {
+		t.Fatalf("unexpected default name %q", r.DefaultFileName())
+	}
+}
+
+func TestCheckMissingDerived(t *testing.T) {
+	// A report with no measurements has zero speedups and must fail
+	// the floor, not pass vacuously (the memo gate skips benchmarks
+	// that are absent, so exactly the floor violation remains).
+	empty := NewReport(true, 1)
+	empty.Finalize()
+	v := Check(nil, empty)
+	if len(v) != 1 || !strings.Contains(v[0], "floor") {
+		t.Fatalf("empty report: %v", v)
+	}
+}

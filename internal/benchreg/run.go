@@ -1,0 +1,140 @@
+package benchreg
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"sanity/internal/asm"
+	"sanity/internal/fixtures"
+	"sanity/internal/nfs"
+	"sanity/internal/pipeline"
+	"sanity/internal/store"
+	"sanity/internal/svm"
+)
+
+// Scale is the corpus shape a harness run measures against.
+type Scale struct {
+	Traces  int // labeled test traces in the persisted corpus
+	Packets int // packets per trace
+	Every   int // checkpoint interval (outputs)
+	Window  int // audited trailing window (IPDs) for the windowed rows
+}
+
+// ShortScale keeps a harness run CI-sized; FullScale is the local
+// deep-measurement configuration.
+func ShortScale() Scale { return Scale{Traces: 10, Packets: 48, Every: 12, Window: 8} }
+func FullScale() Scale  { return Scale{Traces: 24, Packets: 120, Every: 16, Window: 12} }
+
+// Run records a checkpointed corpus into a throwaway persisted store,
+// audits it through the pipeline, and measures the four hot-path
+// benchmarks. The corpus is repeated-shard: every trace resolves to
+// the same known-good binary, the shape the per-shard memo optimizes.
+func Run(short bool, seed uint64) (*Report, error) {
+	scale := FullScale()
+	if short {
+		scale = ShortScale()
+	}
+	report := NewReport(short, seed)
+
+	dir, err := os.MkdirTemp("", "tdrbench-corpus-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Create(dir)
+	if err != nil {
+		return nil, err
+	}
+	set, err := fixtures.PlayedSetCheckpointed(
+		fixtures.AuditSizes(scale.Traces, scale.Packets), scale.Every, seed)
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: recording corpus: %w", err)
+	}
+	if err := fixtures.ExportSet(st, set, fixtures.NFSShardMeta(seed+777)); err != nil {
+		return nil, fmt.Errorf("benchreg: persisting corpus: %w", err)
+	}
+	batch, err := pipeline.BatchFromStore(st, fixtures.Resolver)
+	if err != nil {
+		return nil, err
+	}
+
+	measure := func(name string, fn func(b *testing.B)) {
+		res := testing.Benchmark(fn)
+		report.Benchmarks[name] = Measurement{
+			N:           res.N,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+	}
+
+	// A broken replay path degrades to per-job error verdicts, not a
+	// pipeline error — and erroring audits are fast, so they'd gate as
+	// a speedup. Every measured run must therefore be error-free for
+	// its measurement to count.
+	auditErr := error(nil)
+	runClean := func(cfg pipeline.Config, bb *pipeline.Batch) {
+		r, err := pipeline.New(cfg).Run(bb)
+		if err == nil && r.Metrics.Errors > 0 {
+			err = fmt.Errorf("%d of %d audits errored", r.Metrics.Errors, r.Metrics.Traces)
+		}
+		if err != nil && auditErr == nil {
+			auditErr = err
+		}
+	}
+	audit := func(cfg pipeline.Config) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runClean(cfg, batch)
+			}
+		}
+	}
+	measure(BenchAuditFull, audit(pipeline.Config{}))
+	measure(BenchAuditWindowed, audit(pipeline.Config{WindowIPDs: scale.Window}))
+
+	// Shard setup cost, isolated: batches with shards but no jobs, so
+	// an iteration measures exactly what a batch pays before its first
+	// verdict — statistical training plus the TDR side's resolution.
+	// The cold variant empties the memo cache before every iteration
+	// (one freshly assembled binary, never the registry singleton), so
+	// each run takes the genuine first-seen path with stable per-op
+	// cost and no permanent cache pollution; the memoized variant
+	// reuses the registry singleton and hits the cache after its first
+	// iteration.
+	trainIPDs := set.Training
+	shardBatch := func(prog *svm.Program) *pipeline.Batch {
+		b := &pipeline.Batch{}
+		sh := set.ShardWith(fixtures.DefaultShardKey, prog, fixtures.ServerConfig(seed+777))
+		sh.Training = trainIPDs
+		b.AddShard(sh)
+		return b
+	}
+	coldProg := asm.MustAssemble("nfsd", nfs.ServerSource())
+	measure(BenchShardCold, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			pipeline.ResetShardMemosForTesting()
+			bb := shardBatch(coldProg)
+			b.StartTimer()
+			runClean(pipeline.Config{Workers: 1}, bb)
+		}
+	})
+	measure(BenchShardMemoized, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			bb := shardBatch(fixtures.ServerProgram())
+			b.StartTimer()
+			runClean(pipeline.Config{Workers: 1}, bb)
+		}
+	})
+	if auditErr != nil {
+		return nil, fmt.Errorf("benchreg: audit failed during measurement: %w", auditErr)
+	}
+	report.Finalize()
+	return report, nil
+}
+

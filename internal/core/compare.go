@@ -57,8 +57,14 @@ type TimingComparison struct {
 	// MeanRelIPDDev averages the per-IPD deviations.
 	MeanRelIPDDev float64
 	// TotalRelDev is the relative difference of total execution time
-	// (the §6.4 "97% of replays within 1%" metric).
+	// (the §6.4 "97% of replays within 1%" metric); for a windowed
+	// comparison it covers the window's span instead.
 	TotalRelDev float64
+
+	// WindowFrom/WindowTo record the audited IPD range when the
+	// comparison was windowed (CompareWindow); both are zero for a
+	// whole-trace comparison.
+	WindowFrom, WindowTo int
 }
 
 // Calibration maps a cross-machine replay's timing onto the recorded
@@ -140,6 +146,91 @@ func CompareCalibrated(play, replay *Execution, cal Calibration) (*TimingCompari
 			d = -d
 		}
 		c.TotalRelDev = float64(d) / float64(play.TotalPs)
+	}
+	return c, nil
+}
+
+// CompareWindow is CompareCalibrated restricted to the IPD window
+// [fromIPD, toIPD): only the outputs spanning the window are checked
+// functionally and only the window's IPD pairs feed the deviation
+// statistics, with TotalRelDev computed over the window's span. The
+// replay execution may be a full replay or a windowed replay resumed
+// mid-stream — outputs are aligned by their absolute sequence
+// numbers, and both produce bit-identical comparisons for the same
+// window (the differential tests pin exactly this).
+//
+// Windows extending past the recorded execution are clipped to it; a
+// window entirely past the end compares nothing and reports a clean
+// empty result. A replay missing an output the window needs reads as
+// a functional mismatch at that index.
+func CompareWindow(play, replay *Execution, fromIPD, toIPD int, cal Calibration) (*TimingComparison, error) {
+	if play == nil || replay == nil {
+		return nil, fmt.Errorf("core: CompareWindow needs two executions")
+	}
+	if fromIPD < 0 || toIPD < fromIPD {
+		return nil, fmt.Errorf("core: invalid IPD window [%d, %d)", fromIPD, toIPD)
+	}
+	c := &TimingComparison{OutputsMatch: true, MismatchAt: -1, WindowFrom: fromIPD, WindowTo: toIPD}
+	// Clip to the recorded execution: IPD i exists when outputs i and
+	// i+1 do.
+	to := toIPD
+	if max := len(play.Outputs) - 1; to > max {
+		to = max
+	}
+	if fromIPD >= to {
+		return c, nil
+	}
+	// Replay outputs carry absolute sequence numbers; a windowed
+	// replay's slice starts at its resume point.
+	firstSeq := 0
+	if len(replay.Outputs) > 0 {
+		firstSeq = replay.Outputs[0].Seq
+	}
+	rOut := func(i int) *OutputEvent {
+		j := i - firstSeq
+		if j < 0 || j >= len(replay.Outputs) {
+			return nil
+		}
+		return &replay.Outputs[j]
+	}
+	for i := fromIPD; i <= to && c.OutputsMatch; i++ {
+		ro := rOut(i)
+		if ro == nil || !bytes.Equal(play.Outputs[i].Payload, ro.Payload) {
+			c.OutputsMatch = false
+			c.MismatchAt = i
+		}
+	}
+	var sum float64
+	var spanPlay, spanReplay int64
+	for i := fromIPD; i < to; i++ {
+		ra, rb := rOut(i), rOut(i+1)
+		if ra == nil || rb == nil {
+			break
+		}
+		pIPD := play.Outputs[i+1].TimePs - play.Outputs[i].TimePs
+		rIPD := rb.TimePs - ra.TimePs
+		if cal.enabled() && cal.Scale > 0 && cal.Scale != 1 {
+			rIPD = rescalePs(rIPD, cal.Scale)
+		}
+		pair := IPDPair{PlayPs: pIPD, ReplayPs: rIPD}
+		c.IPDs = append(c.IPDs, pair)
+		spanPlay += pIPD
+		spanReplay += rIPD
+		d := pair.RelDevSlack(cal.AbsSlackPs)
+		sum += d
+		if d > c.MaxRelIPDDev {
+			c.MaxRelIPDDev = d
+		}
+	}
+	if n := len(c.IPDs); n > 0 {
+		c.MeanRelIPDDev = sum / float64(n)
+	}
+	if spanPlay > 0 {
+		d := spanReplay - spanPlay
+		if d < 0 {
+			d = -d
+		}
+		c.TotalRelDev = float64(d) / float64(spanPlay)
 	}
 	return c, nil
 }

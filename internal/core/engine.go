@@ -118,6 +118,20 @@ type Config struct {
 	// ExtraNatives are merged into the engine's native set (tests and
 	// workloads can add primitives).
 	ExtraNatives map[string]svm.NativeFunc
+
+	// CheckpointEveryOutputs, when positive, makes Play emit a
+	// quiescence-boundary checkpoint into the log after every that
+	// many sent packets: the machine's functional state is snapshotted
+	// and the platform re-quiesced (§3.6 applied mid-run), so an
+	// auditor can later replay only the IPD window it cares about.
+	// Replay modes ignore the field — boundaries are driven by the
+	// checkpoints the log actually carries.
+	CheckpointEveryOutputs int
+
+	// Prepared, when non-nil, carries the program's memoized
+	// verification and code layout (svm.Prepare); audit pipelines set
+	// it once per shard so per-replay engine construction skips both.
+	Prepared *svm.Prepared
 }
 
 // Clone returns a deep copy of the configuration: the Files and
@@ -205,12 +219,25 @@ type engine struct {
 	log  *replaylog.Log // play: written; replay: read-only source
 	exec *Execution
 	rng  *hw.RNG // play-side source for sys.rand
+	recs *recBufs
 
 	pollIterInstr  int64
 	pollIterCycles int64
 
 	sendCount  int64
 	lastSendPs int64
+
+	// Quiescence-boundary state. boundaries holds the output counts at
+	// which replay must re-quiesce (from the log's checkpoints);
+	// nextBoundary is the cursor. resumed marks an engine restored from
+	// a checkpoint (startOutputs = the boundary's output count), and
+	// stopAfterOutputs, when positive, halts the VM once that many
+	// outputs exist — the end of the audited window.
+	boundaries       []int64
+	nextBoundary     int
+	resumed          bool
+	startOutputs     int64
+	stopAfterOutputs int64
 }
 
 const (
@@ -229,6 +256,7 @@ func Play(prog *svm.Program, inputs []InputEvent, cfg Config) (*Execution, *repl
 	}
 	e.inputs = inputs
 	e.log = replaylog.New(prog.Name, cfg.Machine.Name, cfg.Profile.Name)
+	defer e.release()
 	if err := e.run(); err != nil {
 		return nil, nil, err
 	}
@@ -236,7 +264,11 @@ func Play(prog *svm.Program, inputs []InputEvent, cfg Config) (*Execution, *repl
 }
 
 // ReplayTDR reproduces an execution from its log with
-// time-deterministic replay.
+// time-deterministic replay. Logs recorded with checkpointing carry
+// quiescence boundaries; the replay re-quiesces at the same output
+// counts the recorder did, with noise re-keyed from its own
+// configuration seed, so the boundary cost cancels out of the
+// comparison exactly like initialization does.
 func ReplayTDR(prog *svm.Program, log *replaylog.Log, cfg Config) (*Execution, error) {
 	if log.Program != prog.Name {
 		return nil, fmt.Errorf("core: log was recorded for program %q, not %q", log.Program, prog.Name)
@@ -245,9 +277,9 @@ func ReplayTDR(prog *svm.Program, log *replaylog.Log, cfg Config) (*Execution, e
 	if err != nil {
 		return nil, err
 	}
-	e.log = log
-	e.logPackets = log.Packets()
-	e.logValues = log.Values()
+	e.setReplayLog(log)
+	e.boundaries = boundaryOutputs(log)
+	defer e.release()
 	if err := e.run(); err != nil {
 		return nil, err
 	}
@@ -267,17 +299,69 @@ func ReplayFunctional(prog *svm.Program, log *replaylog.Log, cfg Config) (*Execu
 	if err != nil {
 		return nil, err
 	}
-	e.log = log
-	e.logPackets = log.Packets()
-	e.logValues = log.Values()
+	e.setReplayLog(log)
+	defer e.release()
 	if err := e.run(); err != nil {
 		return nil, err
 	}
 	return e.exec, nil
 }
 
+// setReplayLog installs the log and splits its record stream into the
+// per-kind cursors, reusing pooled scratch slices.
+func (e *engine) setReplayLog(log *replaylog.Log) {
+	e.log = log
+	e.recs = splitRecords(log.Records)
+	e.logPackets = e.recs.packets
+	e.logValues = e.recs.values
+}
+
+// release returns pooled scratch — the record-split buffers and the
+// platform — to their pools. The engine must not be used afterwards;
+// nothing an engine has returned to its caller references either.
+func (e *engine) release() {
+	if e.recs != nil {
+		e.logPackets, e.logValues = nil, nil
+		e.recs.release()
+		e.recs = nil
+	}
+	if e.plat != nil {
+		releasePlatform(e.plat)
+		e.plat = nil
+	}
+}
+
+// boundaryOutputs extracts the quiescence-boundary schedule (output
+// counts) from a log's checkpoints.
+func boundaryOutputs(log *replaylog.Log) []int64 {
+	if len(log.Checkpoints) == 0 {
+		return nil
+	}
+	out := make([]int64, len(log.Checkpoints))
+	for i := range log.Checkpoints {
+		out[i] = log.Checkpoints[i].Outputs
+	}
+	return out
+}
+
+// epochSeed derives the noise key for the quiescence boundary at the
+// given output count from a configuration seed (SplitMix64-style
+// finalizer). Play and replay key their own seeds, so replay noise
+// stays independent of play noise — the residual the paper measures —
+// while any two replays with the same configuration (full or resumed
+// from a checkpoint) derive identical epochs.
+func epochSeed(seed uint64, outputs int64) uint64 {
+	z := seed ^ (uint64(outputs)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 func newEngine(prog *svm.Program, cfg Config, mode Mode) (*engine, error) {
-	plat, err := hw.NewPlatform(cfg.Machine, cfg.Profile, cfg.Seed)
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	plat, err := acquirePlatform(&cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -315,6 +399,7 @@ func newEngine(prog *svm.Program, cfg Config, mode Mode) (*engine, error) {
 		SliceBudget: cfg.SliceBudget,
 		GCThreshold: cfg.GCThreshold,
 		MaxSteps:    cfg.MaxSteps,
+		Prepared:    cfg.Prepared,
 	})
 	if err != nil {
 		return nil, err
@@ -324,9 +409,17 @@ func newEngine(prog *svm.Program, cfg Config, mode Mode) (*engine, error) {
 }
 
 // run performs initialization & quiescence, executes the VM to
-// completion, and fills in the execution summary.
+// completion, and fills in the execution summary. A resumed engine
+// re-quiesces at its boundary instead of initializing from scratch —
+// the same epoch transition a full replay performs when it crosses
+// that boundary, so the timing state (and therefore every subsequent
+// output time offset) is identical between the two.
 func (e *engine) run() error {
-	e.plat.Initialize()
+	if e.resumed {
+		e.plat.Quiesce(epochSeed(e.cfg.Seed, e.startOutputs))
+	} else {
+		e.plat.Initialize()
+	}
 	if err := e.vm.Run(); err != nil {
 		return fmt.Errorf("core: %s: %w", e.mode, err)
 	}

@@ -196,6 +196,43 @@ func (e *engine) nativeSend(ctx *svm.NativeCtx) error {
 	e.lastSendPs = out.TimePs
 	e.event("packet.out")
 	ctx.Result = svm.IntV(int64(len(payload)))
+	if e.stopAfterOutputs > 0 && e.sendCount >= e.stopAfterOutputs {
+		// The audited window is fully reproduced; end the replay here
+		// instead of paying for the rest of the log.
+		ctx.VM.Halt(0)
+		return nil
+	}
+	return e.maybeBoundary(ctx, ctx.Result)
+}
+
+// maybeBoundary handles a quiescence boundary at the current output
+// count. During play with checkpointing enabled, boundaries fall at
+// multiples of the configured interval: the engine snapshots the
+// functional machine state into the log, then re-quiesces the
+// platform. During TDR replay, boundaries are wherever the log's
+// checkpoints say the recorder quiesced, and only the re-quiesce
+// happens, keyed by the replay configuration's own seed. Both sides
+// cross each boundary at the identical point of the instruction
+// stream (immediately after the same send), so the quiescence cost
+// cancels out of the timing comparison.
+func (e *engine) maybeBoundary(ctx *svm.NativeCtx, result svm.Value) error {
+	switch e.mode {
+	case ModePlay:
+		k := int64(e.cfg.CheckpointEveryOutputs)
+		if k <= 0 || e.sendCount%k != 0 {
+			return nil
+		}
+		if err := e.captureCheckpoint(ctx, result); err != nil {
+			return fmt.Errorf("checkpoint at output %d: %w", e.sendCount, err)
+		}
+		e.plat.Quiesce(epochSeed(e.cfg.Seed, e.sendCount))
+	case ModeReplayTDR:
+		if e.nextBoundary >= len(e.boundaries) || e.sendCount != e.boundaries[e.nextBoundary] {
+			return nil
+		}
+		e.nextBoundary++
+		e.plat.Quiesce(epochSeed(e.cfg.Seed, e.sendCount))
+	}
 	return nil
 }
 

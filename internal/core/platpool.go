@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sync"
+
+	"sanity/internal/hw"
+)
+
+// Platform pooling. hw.NewPlatform allocates the cache, TLB, and
+// stamp arrays — megabytes per call on a realistic machine model —
+// and an audit pipeline builds one platform per replayed job.
+// Platforms for the same (machine, profile) pair are therefore pooled
+// and re-keyed with hw.Platform.Reset, which reproduces the freshly
+// constructed state exactly (see its contract). Pools are keyed by
+// machine and profile name and every reuse re-checks the full specs
+// for equality, so a test that registers a divergent spec under a
+// colliding name gets a fresh platform rather than a wrong geometry.
+type platPoolKey struct {
+	machine string
+	profile string
+}
+
+var platPools sync.Map // platPoolKey -> *sync.Pool
+
+func platPoolFor(cfg *Config) *sync.Pool {
+	key := platPoolKey{machine: cfg.Machine.Name, profile: cfg.Profile.Name}
+	if v, ok := platPools.Load(key); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := platPools.LoadOrStore(key, &sync.Pool{})
+	return v.(*sync.Pool)
+}
+
+// acquirePlatform returns a pooled platform reset to (cfg.Machine,
+// cfg.Profile, cfg.Seed), or builds one.
+func acquirePlatform(cfg *Config) (*hw.Platform, error) {
+	pool := platPoolFor(cfg)
+	for {
+		p, _ := pool.Get().(*hw.Platform)
+		if p == nil {
+			return hw.NewPlatform(cfg.Machine, cfg.Profile, cfg.Seed)
+		}
+		if p.Spec != cfg.Machine || p.Profile != cfg.Profile {
+			// Name collision with a different spec: drop it and look on.
+			continue
+		}
+		p.Reset(cfg.Seed)
+		return p, nil
+	}
+}
+
+// releasePlatform returns an engine's platform to its pool. The
+// engine must be done with it — nothing an engine returns (Execution,
+// log) retains a platform reference.
+func releasePlatform(p *hw.Platform) {
+	if p == nil {
+		return
+	}
+	pool := platPoolFor(&Config{Machine: p.Spec, Profile: p.Profile})
+	pool.Put(p)
+}

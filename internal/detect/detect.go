@@ -295,6 +295,53 @@ func (d *TDR) ScoreDetail(tr *Trace) (*core.TimingComparison, error) {
 	return core.CompareCalibrated(tr.Play, replay, d.Calib)
 }
 
+// ScoreWindow is Score restricted to the IPD window [from, to): it
+// replays only the audited range (resuming from the log's last
+// checkpoint at or before it; logs without checkpoints fall back to
+// replaying from virtual time zero, still halting at the window's
+// end) and thresholds the window's maximum relative IPD deviation.
+func (d *TDR) ScoreWindow(tr *Trace, from, to int) (float64, error) {
+	cmp, err := d.ScoreDetailWindow(tr, from, to)
+	if err != nil {
+		return 0, err
+	}
+	if !cmp.OutputsMatch {
+		return FunctionalDivergenceScore, nil
+	}
+	return cmp.MaxRelIPDDev, nil
+}
+
+// ScoreDetailWindow runs the windowed replay and returns the window's
+// timing comparison. Its result is bit-identical to
+// ScoreDetailWindowFull for the same window — windowing changes the
+// cost of an audit, never its outcome.
+func (d *TDR) ScoreDetailWindow(tr *Trace, from, to int) (*core.TimingComparison, error) {
+	if tr.Log == nil || tr.Play == nil {
+		return nil, fmt.Errorf("detect: TDR detector needs the machine's log and observed execution")
+	}
+	replay, err := core.ReplayTDRWindow(d.Prog, tr.Log, d.Cfg, from, to)
+	if err != nil {
+		return nil, fmt.Errorf("detect: windowed replay failed: %w", err)
+	}
+	return core.CompareWindow(tr.Play, replay, from, to, d.Calib)
+}
+
+// ScoreDetailWindowFull is the reference semantics of a windowed
+// audit: a full replay from virtual time zero, compared over the
+// window only. The differential tests pin ScoreDetailWindow against
+// it; it is exported for diagnostics (e.g. confirming a suspicious
+// windowed verdict with an independent full replay).
+func (d *TDR) ScoreDetailWindowFull(tr *Trace, from, to int) (*core.TimingComparison, error) {
+	if tr.Log == nil || tr.Play == nil {
+		return nil, fmt.Errorf("detect: TDR detector needs the machine's log and observed execution")
+	}
+	replay, err := core.ReplayTDR(d.Prog, tr.Log, d.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("detect: replay failed: %w", err)
+	}
+	return core.CompareWindow(tr.Play, replay, from, to, d.Calib)
+}
+
 // Statistical builds the four statistical detectors trained on the
 // given legitimate traces, in the paper's order.
 func Statistical(training [][]int64) ([]Detector, error) {

@@ -192,3 +192,59 @@ func TestTDRConcurrentScore(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTDRScoreWindowDegenerateWindows: the detector-level windowed
+// score on degenerate ranges — empty window, a single IPD, a window
+// past end-of-log, a checkpoint landing exactly on the boundary —
+// always agrees with the full-replay reference and never errors on a
+// well-formed trace.
+func TestTDRScoreWindowDegenerateWindows(t *testing.T) {
+	const every = 6
+	tr, err := fixtures.PlayTraceCheckpointed(40, 777, 778, every, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := detect.NewTDR(fixtures.ServerProgram(), fixtures.ServerConfig(999))
+	n := len(tr.IPDs)
+	cases := []struct {
+		name     string
+		from, to int
+	}{
+		{"empty", every + 1, every + 1},
+		{"single IPD", every + 2, every + 3},
+		{"boundary-exact start", every, every + 4},
+		{"past end-of-log", n - 2, n + 40},
+		{"entirely past the end", n + 5, n + 9},
+		{"whole trace", 0, n},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := d.ScoreWindow(tr, tc.from, tc.to)
+			if err != nil {
+				t.Fatalf("ScoreWindow(%d,%d): %v", tc.from, tc.to, err)
+			}
+			ref, err := d.ScoreDetailWindowFull(tr, tc.from, tc.to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref.MaxRelIPDDev
+			if !ref.OutputsMatch {
+				want = detect.FunctionalDivergenceScore
+			}
+			if got != want {
+				t.Fatalf("windowed score %v != full-replay reference %v", got, want)
+			}
+			if tc.from >= tc.to || tc.from >= n {
+				if got != 0 {
+					t.Fatalf("degenerate window scored %v, want 0", got)
+				}
+			}
+		})
+	}
+	if _, err := d.ScoreWindow(tr, -2, 4); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	if _, err := d.ScoreWindow(&detect.Trace{IPDs: tr.IPDs}, 0, 4); err == nil {
+		t.Fatal("windowed score without log/play accepted")
+	}
+}

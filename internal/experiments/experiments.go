@@ -67,6 +67,12 @@ type Sizes struct {
 	CrossTraces     int   // labeled test traces per direction
 	CrossPackets    int   // packets per trace
 	CrossTrainSweep []int // calibration-training sizes to sweep
+
+	// Windowed-replay experiment.
+	ReplayWindowTraces  int   // labeled test traces
+	ReplayWindowPackets int   // packets per trace
+	ReplayWindowEvery   int   // checkpoint interval (outputs)
+	ReplayWindowSweep   []int // audited tail-window sizes (IPDs)
 }
 
 // DefaultSizes is the quick configuration used by tests and the
@@ -92,6 +98,11 @@ func DefaultSizes() Sizes {
 		CrossTraces:     16,
 		CrossPackets:    60,
 		CrossTrainSweep: []int{2, 4},
+
+		ReplayWindowTraces:  24,
+		ReplayWindowPackets: 96,
+		ReplayWindowEvery:   16,
+		ReplayWindowSweep:   []int{8, 16, 32},
 	}
 }
 
@@ -117,6 +128,11 @@ func FullSizes() Sizes {
 		CrossTraces:     48,
 		CrossPackets:    120,
 		CrossTrainSweep: []int{1, 2, 4, 8},
+
+		ReplayWindowTraces:  64,
+		ReplayWindowPackets: 400,
+		ReplayWindowEvery:   25,
+		ReplayWindowSweep:   []int{10, 25, 50, 100, 200},
 	}
 }
 

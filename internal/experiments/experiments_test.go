@@ -27,6 +27,11 @@ func tinySizes() Sizes {
 		CrossTraces:     8,
 		CrossPackets:    50,
 		CrossTrainSweep: []int{2, 3},
+
+		ReplayWindowTraces:  8,
+		ReplayWindowPackets: 60,
+		ReplayWindowEvery:   12,
+		ReplayWindowSweep:   []int{10},
 	}
 }
 
@@ -296,6 +301,40 @@ func TestAblationFullSanityBest(t *testing.T) {
 		t.Fatalf("only %d/%d ablations degraded accuracy (full=%.5f)", worse, len(rows)-1, full)
 	}
 	if FormatAblation(rows) == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+// TestReplayWindowSpeedsUpWithoutDisagreement: the windowed sweep
+// must beat the full-audit baseline on throughput while keeping the
+// verdicts it covers consistent — a windowed audit may only disagree
+// by missing a delay outside its window (covert -> undetected), never
+// by inventing one (benign traces stay clean).
+func TestReplayWindowSpeedsUpWithoutDisagreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a played corpus")
+	}
+	res, err := ReplayWindow(tinySizes(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want baseline + 1 window", len(res.Points))
+	}
+	base, win := res.Points[0], res.Points[1]
+	if base.WindowIPDs != 0 || win.WindowIPDs != 10 {
+		t.Fatalf("unexpected sweep shape: %+v", res.Points)
+	}
+	if win.Speedup <= 1.2 {
+		t.Fatalf("windowed audit speedup %.2fx; expected a clear win", win.Speedup)
+	}
+	if win.FalsePositives > base.FalsePositives {
+		t.Fatalf("windowing invented false positives: %d > %d", win.FalsePositives, base.FalsePositives)
+	}
+	if win.VerdictAgreement < 0.75 {
+		t.Fatalf("verdict agreement %.2f unexpectedly low for this channel mix", win.VerdictAgreement)
+	}
+	if FormatReplayWindow(res) == "" {
 		t.Fatal("empty rendering")
 	}
 }

@@ -34,7 +34,7 @@ func CalibrationTraces(program string, machine hw.MachineSpec, count, packets in
 	switch program {
 	case "nfsd":
 		play = func(think netsim.ThinkTimeModel, m hw.MachineSpec, packets int, ws, es uint64) (*detect.Trace, error) {
-			return playNFSTrace(think, m, packets, ws, es, nil)
+			return playNFSTrace(think, m, packets, ws, es, 0, nil)
 		}
 	case "echod":
 		play = func(think netsim.ThinkTimeModel, m hw.MachineSpec, packets int, ws, es uint64) (*detect.Trace, error) {

@@ -116,18 +116,33 @@ func PlayTrace(packets int, workloadSeed, engineSeed uint64, hook core.DelayHook
 // cross-machine scenarios record the same known-good server on
 // different hardware.
 func PlayTraceOn(machine hw.MachineSpec, packets int, workloadSeed, engineSeed uint64, hook core.DelayHook) (*detect.Trace, error) {
-	return playNFSTrace(netsim.DefaultThinkTime(), machine, packets, workloadSeed, engineSeed, hook)
+	return playNFSTrace(netsim.DefaultThinkTime(), machine, packets, workloadSeed, engineSeed, 0, hook)
+}
+
+// DefaultCheckpointEvery is the checkpoint interval (in sent packets)
+// the audit tooling records with: frequent enough that tail-window
+// audits skip most of a trace, rare enough that the snapshots stay a
+// small fraction of the log.
+const DefaultCheckpointEvery = 16
+
+// PlayTraceCheckpointed is PlayTrace with quiescence-boundary
+// checkpoints emitted every `every` outputs, enabling windowed
+// replay over the recorded trace.
+func PlayTraceCheckpointed(packets int, workloadSeed, engineSeed uint64, every int, hook core.DelayHook) (*detect.Trace, error) {
+	return playNFSTrace(netsim.DefaultThinkTime(), hw.Optiplex9020(), packets, workloadSeed, engineSeed, every, hook)
 }
 
 // playNFSTrace is the NFS recording recipe with every knob exposed:
-// client think-time model, machine type, workload/engine seeds, and
-// the optional covert hook.
-func playNFSTrace(think netsim.ThinkTimeModel, machine hw.MachineSpec, packets int, workloadSeed, engineSeed uint64, hook core.DelayHook) (*detect.Trace, error) {
+// client think-time model, machine type, workload/engine seeds, the
+// checkpoint interval (0 = no checkpoints), and the optional covert
+// hook.
+func playNFSTrace(think netsim.ThinkTimeModel, machine hw.MachineSpec, packets int, workloadSeed, engineSeed uint64, ckptEvery int, hook core.DelayHook) (*detect.Trace, error) {
 	w := nfs.ClientWorkload(packets, think, workloadSeed)
 	inputs := w.ToServerInputs(netsim.PaperPath(workloadSeed^0xABCD), 0)
 	cfg := ServerConfig(engineSeed)
 	cfg.Machine = machine
 	cfg.Hook = hook
+	cfg.CheckpointEveryOutputs = ckptEvery
 	exec, log, err := core.Play(nfs.ServerProgram(), inputs, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fixtures: play trace: %w", err)
@@ -227,6 +242,19 @@ func PlayedSet(sizes SetSizes, seed uint64) (*Set, error) {
 	return playedSetWith(sizes, seed, PlayTrace)
 }
 
+// PlayedSetCheckpointed is PlayedSet with every trace recorded under
+// checkpointing (quiescence boundaries each `every` outputs), the
+// corpus shape the windowed audit path and its benchmarks run
+// against. A non-positive interval selects DefaultCheckpointEvery.
+func PlayedSetCheckpointed(sizes SetSizes, every int, seed uint64) (*Set, error) {
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	return playedSetWith(sizes, seed, func(packets int, ws, es uint64, hook core.DelayHook) (*detect.Trace, error) {
+		return PlayTraceCheckpointed(packets, ws, es, every, hook)
+	})
+}
+
 // playFunc records one trace of some server under some machine type.
 type playFunc func(packets int, workloadSeed, engineSeed uint64, hook core.DelayHook) (*detect.Trace, error)
 
@@ -293,6 +321,31 @@ func scaleNeedle(channels []covert.Channel, packets int) {
 			n.Period = p
 		}
 	}
+}
+
+// RoundTripLogCheckpointed is RoundTripLog with a synthetic
+// checkpoint index attached — the v2 on-disk format's fuzz seed and
+// round-trip fixture. The state blobs are opaque at the replaylog
+// layer, so arbitrary bytes exercise the decoder fully.
+func RoundTripLogCheckpointed(seed uint64) *replaylog.Log {
+	l := RoundTripLog(seed)
+	rng := hw.NewRNG(seed ^ 0xC4E7)
+	n := int64(len(l.Records))
+	for i := int64(1); i <= 3; i++ {
+		cursor := i * n / 4
+		state := make([]byte, 16+rng.Int63n(64))
+		for j := range state {
+			state[j] = byte(rng.Uint64())
+		}
+		l.Checkpoints = append(l.Checkpoints, replaylog.Checkpoint{
+			Instr:      l.Records[cursor-1].Instr + 1,
+			Outputs:    i * 8,
+			Records:    cursor,
+			PlayCycles: (i * 8) * 1_000_000,
+			State:      state,
+		})
+	}
+	return l
 }
 
 // RoundTripLog is a seeded replay log exercising every record kind,

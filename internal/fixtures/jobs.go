@@ -58,6 +58,18 @@ func LabeledAuditBatch(traces, packets int, seed uint64) (*pipeline.Batch, error
 	return set.Batch(true, seed+777), nil
 }
 
+// CheckpointedAuditBatch is LabeledAuditBatch over a corpus recorded
+// with checkpointing: every trace carries quiescence-boundary
+// snapshots each `every` outputs (<=0 selects DefaultCheckpointEvery),
+// so the pipeline's windowed mode can resume replays mid-trace.
+func CheckpointedAuditBatch(traces, packets, every int, seed uint64) (*pipeline.Batch, error) {
+	set, err := PlayedSetCheckpointed(AuditSizes(traces, packets), every, seed)
+	if err != nil {
+		return nil, err
+	}
+	return set.Batch(true, seed+777), nil
+}
+
 // Batch converts the labeled set into a single-shard pipeline batch,
 // jobs in the set's (deterministic) order.
 func (s *Set) Batch(withTDR bool, seed uint64) *pipeline.Batch {

@@ -108,6 +108,12 @@ func (c *Cache) Flush() {
 	}
 }
 
+// ResetStats zeroes the hit/miss counters (Flush deliberately keeps
+// them; pooled-platform reuse must not).
+func (c *Cache) ResetStats() {
+	c.Hits, c.Misses = 0, 0
+}
+
 // EvictRandom invalidates n pseudo-randomly chosen lines. Interrupt
 // handlers displace part of the working set from the cache (§2.4);
 // the interrupt noise source uses this to model that displacement.
@@ -203,4 +209,9 @@ func (t *TLB) Flush() {
 		t.valid[i] = false
 		t.stamp[i] = 0
 	}
+}
+
+// ResetStats zeroes the hit/miss counters for pooled reuse.
+func (t *TLB) ResetStats() {
+	t.Hits, t.Misses = 0, 0
 }

@@ -205,19 +205,27 @@ type noiseState struct {
 }
 
 func newNoiseState(p NoiseProfile, rng *RNG, cyclesPerMs float64) *noiseState {
+	return newNoiseStateAt(p, rng, cyclesPerMs, 0)
+}
+
+// newNoiseStateAt schedules the noise point processes relative to the
+// clock value at, so a noise state rebuilt at a quiescence boundary
+// behaves identically whether the platform's absolute cycle count is
+// the original run's or a restored checkpoint's.
+func newNoiseStateAt(p NoiseProfile, rng *RNG, cyclesPerMs float64, at int64) *noiseState {
 	ns := &noiseState{profile: p, rng: rng, freqMilli: 1000}
 	if p.InterruptsEnabled && p.InterruptRate > 0 {
-		ns.nextInterruptCycle = int64(rng.Exp(cyclesPerMs / p.InterruptRate))
+		ns.nextInterruptCycle = at + int64(rng.Exp(cyclesPerMs/p.InterruptRate))
 	} else {
 		ns.nextInterruptCycle = -1
 	}
 	if p.PreemptionEnabled && p.PreemptionRate > 0 {
-		ns.nextPreemptionCycle = int64(rng.Exp(cyclesPerMs / p.PreemptionRate))
+		ns.nextPreemptionCycle = at + int64(rng.Exp(cyclesPerMs/p.PreemptionRate))
 	} else {
 		ns.nextPreemptionCycle = -1
 	}
 	if p.SCHeartbeatRate > 0 && p.SCHeartbeatCycles > 0 {
-		ns.nextHeartbeatCycle = int64(rng.Exp(cyclesPerMs / p.SCHeartbeatRate))
+		ns.nextHeartbeatCycle = at + int64(rng.Exp(cyclesPerMs/p.SCHeartbeatRate))
 	} else {
 		ns.nextHeartbeatCycle = -1
 	}
@@ -226,7 +234,7 @@ func newNoiseState(p NoiseProfile, rng *RNG, cyclesPerMs float64) *noiseState {
 		if spread > 0 {
 			ns.freqMilli = 1000 + rng.Int63n(spread+1)
 		}
-		ns.nextFreqUpdateCycle = int64(cyclesPerMs) // re-draw every ~1ms
+		ns.nextFreqUpdateCycle = at + int64(cyclesPerMs) // re-draw every ~1ms
 	} else {
 		ns.nextFreqUpdateCycle = -1
 	}

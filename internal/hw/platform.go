@@ -103,6 +103,90 @@ func (p *Platform) Initialize() {
 	p.addRawCycles(500_000) // quiescence period
 }
 
+// Reset returns a used platform to the exact state NewPlatform(Spec,
+// Profile, seed) constructs, without reallocating the cache, TLB, and
+// stamp arrays — several megabytes per platform on a realistic
+// machine model. The audit pipeline replays one log per job across a
+// worker pool; pooling platforms through Reset removes the dominant
+// per-job allocation.
+//
+// Equivalence with a fresh platform is exact: the derivation order of
+// the seeded generators (base rng, then the mapper's split, then the
+// noise state's split) mirrors NewPlatform; caches and TLB come back
+// empty with zeroed statistics. The only surviving difference is the
+// caches' internal LRU clock, which is compared only relatively and
+// therefore cannot alter any charge. The determinism test suite
+// (byte-identical verdict streams across runs and worker counts)
+// would catch any divergence, since pool hits vary run to run.
+func (p *Platform) Reset(seed uint64) {
+	rng := NewRNG(seed)
+	p.rng = rng
+	p.cycles = 0
+	p.dmaBoost = 1
+	p.InstrFetches, p.DataAccesses, p.IOReads = 0, 0, 0
+	for _, c := range []*Cache{p.l1i, p.l1d, p.l2, p.l3} {
+		c.Flush()
+		c.ResetStats()
+	}
+	p.tlb.Flush()
+	p.tlb.ResetStats()
+	p.mapper = NewPageMapper(p.Spec, !p.Profile.RandomFrames, rng.Split())
+	p.noise = newNoiseState(p.Profile, rng.Split(), p.Spec.ClockGHz*1e6)
+}
+
+// Quiesce performs an epoch boundary: the same initialization-and-
+// quiescence step as Initialize (§3.6), but re-keyed mid-run. The
+// caches and TLB are flushed, the page mapper is re-pinned from
+// scratch, and every noise process is rescheduled from a generator
+// derived from epochSeed, relative to the current clock; then the
+// fixed quiescence period is charged, during which the new epoch's
+// events may fire.
+//
+// The point of re-keying (rather than letting the old noise state
+// run on) is that the platform's entire timing state right after
+// Quiesce is a pure function of (spec, profile, epochSeed) — nothing
+// of the access history before the boundary survives except the
+// clock value, and the noise schedule is relative to the clock. A
+// replay that restores a checkpointed machine state at a boundary
+// and calls Quiesce with the same epochSeed therefore continues with
+// exactly the timing evolution a full replay has when it crosses the
+// same boundary. Play and replay call Quiesce at identical points
+// with seeds derived from their own configuration seeds, so the
+// boundary cost cancels out of all comparisons, exactly like
+// Initialize.
+//
+// Event and miss counters carry over, so NoiseReport still covers
+// the whole run.
+func (p *Platform) Quiesce(epochSeed uint64) {
+	p.l1i.Flush()
+	p.l1d.Flush()
+	p.l2.Flush()
+	p.l3.Flush()
+	p.tlb.Flush()
+	rng := NewRNG(epochSeed)
+	p.rng = rng.Split()
+	p.mapper = NewPageMapper(p.Spec, !p.Profile.RandomFrames, rng.Split())
+	old := p.noise
+	cyclesPerMs := p.Spec.ClockGHz * 1e6
+	p.noise = newNoiseStateAt(p.Profile, rng.Split(), cyclesPerMs, p.cycles)
+	p.noise.Interrupts = old.Interrupts
+	p.noise.Preemptions = old.Preemptions
+	p.noise.Heartbeats = old.Heartbeats
+	p.noise.StolenCycles = old.StolenCycles
+	p.addRawCycles(500_000) // quiescence period
+}
+
+// RestoreCycles forces the virtual clock, used when a replay resumes
+// from a checkpointed machine state so its absolute timestamps line
+// up with the recorded execution's. Timing behavior after a Quiesce
+// is scheduled relative to the clock, so the value itself never
+// feeds back into costs.
+func (p *Platform) RestoreCycles(c int64) { p.cycles = c }
+
+// DMAActive reports whether an SC DMA burst is marked in flight; it
+// is part of the machine state a checkpoint captures.
+func (p *Platform) DMAActive() bool { return p.dmaBoost != 1 }
+
 // Cycles returns the virtual cycle count so far.
 func (p *Platform) Cycles() int64 { return p.cycles }
 

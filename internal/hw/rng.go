@@ -68,6 +68,21 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0x5851f42d4c957f2d)
 }
 
+// State exposes the generator's single word of state, so an engine
+// snapshot can persist it.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state captured with State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
+// Skip advances the stream past n draws in O(1). SplitMix64's state
+// is a plain counter, which is what makes windowed replay able to
+// reconstruct "the generator after exactly n draws" without replaying
+// them.
+func (r *RNG) Skip(n uint64) {
+	r.state += n * 0x9e3779b97f4a7c15
+}
+
 // ln and sqrt wrap the math package so the rest of this file reads as
 // self-contained numeric code.
 func ln(x float64) float64   { return math.Log(x) }

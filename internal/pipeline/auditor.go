@@ -10,6 +10,12 @@ import (
 	"sanity/internal/svm"
 )
 
+// IPDWindow is an explicit audited IPD range [From, To) for one job
+// in windowed mode.
+type IPDWindow struct {
+	From, To int
+}
+
 // Trace is the detector-visible material of one job.
 type Trace = detect.Trace
 
@@ -51,10 +57,14 @@ type auditor struct {
 	tdr        *detect.TDR       // nil when the shard has no binary
 	tdrLimit   float64
 	statsLimit float64
+	tdrWindow  int  // >0: audit only the trailing window of IPDs
+	refWindow  bool // windowed scoring via full replay (differential tests)
 }
 
-// newAuditor trains a shard's detectors.
-func newAuditor(s *Shard, tdrThreshold, statThreshold float64) (*auditor, error) {
+// newAuditor trains a shard's detectors. The statistical detectors
+// are trained here, per batch; the TDR side comes from the per-shard
+// memo, built once per process for a given shard identity.
+func newAuditor(s *Shard, cfg Config) (*auditor, error) {
 	detectors, err := detect.Statistical(s.Training)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: shard %q training: %w", s.Key, err)
@@ -71,16 +81,46 @@ func newAuditor(s *Shard, tdrThreshold, statThreshold float64) (*auditor, error)
 			window = 20
 		}
 	}
-	a := &auditor{shard: s, detectors: detectors, tdrLimit: tdrThreshold + s.TDRSlack, statsLimit: statThreshold}
+	a := &auditor{
+		shard:      s,
+		detectors:  detectors,
+		tdrLimit:   cfg.TDRThreshold + s.TDRSlack,
+		statsLimit: cfg.StatThreshold,
+		tdrWindow:  cfg.WindowIPDs,
+		refWindow:  cfg.WindowViaFullReplay,
+	}
 	for i, d := range a.detectors {
 		if d.Name() == "regularity" && window > 0 {
 			a.detectors[i] = detect.NewRegularity(window)
 		}
 	}
 	if s.Prog != nil {
-		a.tdr = detect.NewCalibratedTDR(s.Prog, s.Cfg, s.TDRCalib)
+		if a.tdr, err = tdrForShard(s); err != nil {
+			return nil, fmt.Errorf("pipeline: shard %q: %w", s.Key, err)
+		}
 	}
 	return a, nil
+}
+
+// windowFor resolves the audited IPD range for one job. Windowing is
+// opt-in at the pipeline level (Config.WindowIPDs > 0): only then do
+// per-job overrides apply, else the trailing configured window; a
+// pipeline configured for whole-trace audits ignores Job.Window
+// entirely (ok == false), so stale overrides can never silently
+// shrink an audit's coverage.
+func (a *auditor) windowFor(job Job, tr *Trace) (from, to int, ok bool) {
+	if a.tdrWindow <= 0 {
+		return 0, 0, false
+	}
+	if job.Window != nil {
+		return job.Window.From, job.Window.To, true
+	}
+	n := len(tr.IPDs)
+	from = n - a.tdrWindow
+	if from < 0 {
+		from = 0
+	}
+	return from, n, true
 }
 
 // audit scores one job with every detector the trace supports and
@@ -111,7 +151,18 @@ func (a *auditor) audit(job Job, index int) Verdict {
 		v.Scores = append(v.Scores, Score{Detector: d.Name(), Value: s})
 	}
 	if a.tdr != nil && tr.Log != nil && tr.Play != nil {
-		cmp, err := a.tdr.ScoreDetail(tr)
+		var cmp *core.TimingComparison
+		var err error
+		if from, to, windowed := a.windowFor(job, tr); windowed {
+			if a.refWindow {
+				cmp, err = a.tdr.ScoreDetailWindowFull(tr, from, to)
+			} else {
+				cmp, err = a.tdr.ScoreDetailWindow(tr, from, to)
+			}
+			v.TDRWindowed = true
+		} else {
+			cmp, err = a.tdr.ScoreDetail(tr)
+		}
 		if err != nil {
 			errs = append(errs, fmt.Sprintf("%s: %v", a.tdr.Name(), err))
 		} else {

@@ -65,6 +65,11 @@ type Job struct {
 	// once. A load failure degrades to a per-job error verdict, not a
 	// batch failure. Load must be safe for concurrent use across jobs.
 	Load func() (*Trace, error)
+	// Window, when non-nil and the pipeline runs in windowed mode,
+	// overrides the audited IPD range for this job — e.g. the region a
+	// cheap statistical prefilter flagged. Nil selects the pipeline's
+	// trailing default window.
+	Window *IPDWindow
 }
 
 // Batch is one pipeline input: a set of shards and the jobs to audit

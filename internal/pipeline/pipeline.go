@@ -30,6 +30,23 @@ type Config struct {
 	// StatThreshold is the fallback threshold on the CCE detector's
 	// z-distance for traces that carry no replay log. Zero selects 3.
 	StatThreshold float64
+	// WindowIPDs, when positive, switches the TDR path to windowed
+	// replay: each job audits only its trailing WindowIPDs inter-packet
+	// delays (or the job's explicit Window override), resuming from the
+	// log's last checkpoint at or before the window. Logs without
+	// checkpoints fall back to full replay transparently. The windowed
+	// score is bit-identical to scoring the same window out of a full
+	// replay; it differs from the whole-trace score only in coverage.
+	// Zero audits the whole trace.
+	WindowIPDs int
+
+	// WindowViaFullReplay switches the windowed path to its reference
+	// semantics: a full replay from virtual time zero, scored over the
+	// same window. It exists for diagnostics and for the differential
+	// tests that prove windowed replay never changes a verdict — it
+	// pays full-replay cost for a windowed answer, so production
+	// audits leave it off.
+	WindowViaFullReplay bool
 }
 
 // withDefaults normalizes the configuration.
@@ -217,7 +234,7 @@ func (p *Pipeline) train(b *Batch) (map[string]*auditor, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			auditors[i], errs[i] = newAuditor(s, p.cfg.TDRThreshold, p.cfg.StatThreshold)
+			auditors[i], errs[i] = newAuditor(s, p.cfg)
 		}(i, b.Shards[k])
 	}
 	wg.Wait()

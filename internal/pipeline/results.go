@@ -33,6 +33,9 @@ type Verdict struct {
 	// TDRScore and TDR are only meaningful when it did.
 	TDRAudited bool
 	TDRScore   float64
+	// TDRWindowed reports that the TDR path audited only an IPD
+	// window (TDR.WindowFrom/WindowTo) rather than the whole trace.
+	TDRWindowed bool
 	// TDR is the full timing comparison behind the TDR score.
 	TDR *core.TimingComparison
 	// Suspicious is the binary verdict.
@@ -59,12 +62,16 @@ func (v Verdict) MarshalJSON() ([]byte, error) {
 		Scores     []Score `json:"scores"`
 		TDRAudited bool    `json:"tdrAudited"`
 		TDRScore   float64 `json:"tdrScore"`
+		TDRWindow  []int   `json:"tdrWindow,omitempty"`
 		Suspicious bool    `json:"suspicious"`
 		Err        string  `json:"err,omitempty"`
 	}{
 		Index: v.Index, ID: v.JobID, Shard: v.Shard, Label: v.Label.String(),
 		Scores: v.Scores, TDRAudited: v.TDRAudited, TDRScore: v.TDRScore,
 		Suspicious: v.Suspicious, Err: v.Err,
+	}
+	if v.TDRWindowed && v.TDR != nil {
+		out.TDRWindow = []int{v.TDR.WindowFrom, v.TDR.WindowTo}
 	}
 	return json.Marshal(out)
 }
@@ -123,6 +130,11 @@ func (r *Results) Canonical() []byte {
 	var sb strings.Builder
 	for _, v := range r.Verdicts {
 		fmt.Fprintf(&sb, "%d %s shard=%s label=%s suspicious=%t tdr=%t", v.Index, v.JobID, v.Shard, v.Label, v.Suspicious, v.TDRAudited)
+		if v.TDRWindowed && v.TDR != nil {
+			// Only windowed runs carry the range, so whole-trace runs
+			// keep their historical canonical encoding.
+			fmt.Fprintf(&sb, " window=[%d,%d)", v.TDR.WindowFrom, v.TDR.WindowTo)
+		}
 		for _, s := range v.Scores {
 			fmt.Fprintf(&sb, " %s=%.12g", s.Detector, s.Value)
 		}

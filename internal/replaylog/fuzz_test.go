@@ -154,10 +154,14 @@ func corrupt(valid []byte, f func([]byte)) []byte {
 func FuzzDecode(f *testing.F) {
 	for seed := uint64(1); seed <= 3; seed++ {
 		f.Add(encodeLog(f, fixtures.RoundTripLog(seed)))
+		f.Add(encodeLog(f, fixtures.RoundTripLogCheckpointed(seed)))
 	}
 	valid := encodeLog(f, fixtures.RoundTripLog(9))
 	f.Add(valid[:len(valid)/2])
+	ckpt := encodeLog(f, fixtures.RoundTripLogCheckpointed(9))
+	f.Add(ckpt[:len(ckpt)-7])
 	f.Add([]byte("SANLOG1\n"))
+	f.Add([]byte("SANLOG2\n"))
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		l, err := replaylog.Decode(bytes.NewReader(data))

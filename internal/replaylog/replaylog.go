@@ -39,6 +39,37 @@ type Record struct {
 	Payload []byte // for KindPacket
 }
 
+// Checkpoint is one quiescence-boundary snapshot emitted during play
+// (core.Play with checkpointing enabled): the machine's functional
+// state at the moment the boundary was crossed, plus the indexing an
+// auditor needs to resume a replay there. Boundaries double as
+// segment markers — Records is the cursor into the record stream, so
+// a windowed replay decodes and injects only the suffix.
+//
+// The State blob is opaque at this layer (the engine owns its
+// format). It is produced by the recorded machine, so an auditor
+// treats it exactly like the rest of the log: functional state to be
+// validated by replaying forward and comparing outputs — never a
+// source of timing, which is re-derived from the auditor's own
+// configuration at each boundary.
+type Checkpoint struct {
+	// Instr is the global instruction count at the boundary.
+	Instr int64
+	// Outputs is the number of packets the TC had sent when the
+	// boundary was crossed; a replay resumed here reproduces output
+	// timings from index Outputs on, hence IPDs from index Outputs on.
+	Outputs int64
+	// Records is the number of log records already consumed or
+	// written at the boundary — the segment cursor.
+	Records int64
+	// PlayCycles is the recorded machine's clock at the boundary, so
+	// resumed replays report absolute timestamps on the recorded
+	// timebase. It never feeds into post-boundary costs.
+	PlayCycles int64
+	// State is the serialized functional machine state.
+	State []byte
+}
+
 // Log is an append-only sequence of records plus identifying
 // metadata. The metadata binds a log to the software and machine type
 // it was recorded on, which the auditor must match during replay.
@@ -47,6 +78,11 @@ type Log struct {
 	Machine string
 	Profile string
 	Records []Record
+	// Checkpoints holds the quiescence-boundary snapshots in boundary
+	// order (monotone Instr/Outputs/Records). Empty for logs recorded
+	// without checkpointing — the decoder's fallback for old corpora —
+	// in which case only full replay is possible.
+	Checkpoints []Checkpoint
 }
 
 // New creates an empty log with the given identity.
@@ -73,6 +109,18 @@ func (l *Log) Equal(other *Log) bool {
 			return false
 		}
 		if !bytes.Equal(a.Payload, b.Payload) {
+			return false
+		}
+	}
+	if len(l.Checkpoints) != len(other.Checkpoints) {
+		return false
+	}
+	for i := range l.Checkpoints {
+		a, b := l.Checkpoints[i], other.Checkpoints[i]
+		if a.Instr != b.Instr || a.Outputs != b.Outputs || a.Records != b.Records || a.PlayCycles != b.PlayCycles {
+			return false
+		}
+		if !bytes.Equal(a.State, b.State) {
 			return false
 		}
 	}
@@ -107,6 +155,14 @@ func (l *Log) SizeBytes() int64 {
 			n += int64(len(r.Payload))
 		}
 	}
+	if len(l.Checkpoints) > 0 {
+		// v2 checkpoint section: count + per-checkpoint indexing and
+		// state-length prefix.
+		n += 8
+		for _, c := range l.Checkpoints {
+			n += 4*8 + 8 + int64(len(c.State))
+		}
+	}
 	return n
 }
 
@@ -133,12 +189,32 @@ func (l *Log) Stats() Stats {
 	return s
 }
 
-var magic = []byte("SANLOG1\n")
+// Format magics. Version 1 is the checkpoint-free format; version 2
+// appends a checkpoint section after the records. Encode emits v1
+// whenever the log carries no checkpoints, so corpora recorded
+// without checkpointing stay byte-identical to what older writers
+// produced, and Decode accepts both.
+var (
+	magic   = []byte("SANLOG1\n")
+	magicV2 = []byte("SANLOG2\n")
+)
+
+// maxCheckpoints and maxCheckpointState bound what a decoder will
+// accept, mirroring the record-count and payload guards: a hostile
+// checkpoint section cannot demand unbounded allocations.
+const (
+	maxCheckpoints     = 1 << 20
+	maxCheckpointState = 1 << 26
+)
 
 // Encode writes the log in its binary on-disk format.
 func (l *Log) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic); err != nil {
+	m := magic
+	if len(l.Checkpoints) > 0 {
+		m = magicV2
+	}
+	if _, err := bw.Write(m); err != nil {
 		return err
 	}
 	writeStr := func(s string) error {
@@ -185,6 +261,23 @@ func (l *Log) Encode(w io.Writer) error {
 			}
 		}
 	}
+	if len(l.Checkpoints) > 0 {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(l.Checkpoints)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		for _, c := range l.Checkpoints {
+			for _, v := range []int64{c.Instr, c.Outputs, c.Records, c.PlayCycles, int64(len(c.State))} {
+				binary.LittleEndian.PutUint64(buf[:], uint64(v))
+				if _, err := bw.Write(buf[:]); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.Write(c.State); err != nil {
+				return err
+			}
+		}
+	}
 	return bw.Flush()
 }
 
@@ -195,7 +288,13 @@ func Decode(r io.Reader) (*Log, error) {
 	if _, err := io.ReadFull(br, got); err != nil {
 		return nil, fmt.Errorf("replaylog: reading magic: %w", err)
 	}
-	if string(got) != string(magic) {
+	var version int
+	switch string(got) {
+	case string(magic):
+		version = 1
+	case string(magicV2):
+		version = 2
+	default:
 		return nil, fmt.Errorf("replaylog: bad magic %q", got)
 	}
 	readStr := func() (string, error) {
@@ -276,8 +375,14 @@ func Decode(r io.Reader) (*Log, error) {
 		}
 		l.Records = append(l.Records, rec)
 	}
-	// The record count is authoritative: anything after the last record
-	// is corruption (or a concatenated second log), not padding.
+	if version >= 2 {
+		if err := decodeCheckpoints(br, l); err != nil {
+			return nil, err
+		}
+	}
+	// The counts are authoritative: anything after the last record (or
+	// checkpoint) is corruption (or a concatenated second log), not
+	// padding.
 	if _, err := br.ReadByte(); err != io.EOF {
 		if err != nil {
 			return nil, fmt.Errorf("replaylog: after last record: %w", err)
@@ -285,6 +390,121 @@ func Decode(r io.Reader) (*Log, error) {
 		return nil, fmt.Errorf("replaylog: trailing garbage after record %d", count)
 	}
 	return l, nil
+}
+
+// decodeCheckpoints reads and validates the v2 checkpoint section.
+// The indexing invariants are enforced here — strictly increasing
+// boundaries with record cursors inside the record stream — so
+// everything downstream (Window, the replay engine) can trust a
+// decoded log's segment index structurally.
+func decodeCheckpoints(br *bufio.Reader, l *Log) error {
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return fmt.Errorf("replaylog: checkpoint count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(buf[:])
+	if count > maxCheckpoints {
+		return fmt.Errorf("replaylog: implausible checkpoint count %d", count)
+	}
+	capHint := count
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	l.Checkpoints = make([]Checkpoint, 0, capHint)
+	for i := uint64(0); i < count; i++ {
+		var c Checkpoint
+		var stateLen int64
+		for _, dst := range []*int64{&c.Instr, &c.Outputs, &c.Records, &c.PlayCycles, &stateLen} {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return fmt.Errorf("replaylog: checkpoint %d: %w", i, err)
+			}
+			*dst = int64(binary.LittleEndian.Uint64(buf[:]))
+		}
+		if c.Instr < 0 || c.Outputs < 0 || c.PlayCycles < 0 {
+			return fmt.Errorf("replaylog: checkpoint %d has negative index", i)
+		}
+		if c.Records < 0 || c.Records > int64(len(l.Records)) {
+			return fmt.Errorf("replaylog: checkpoint %d record cursor %d outside the %d-record stream", i, c.Records, len(l.Records))
+		}
+		if i > 0 {
+			prev := l.Checkpoints[i-1]
+			if c.Instr <= prev.Instr || c.Outputs <= prev.Outputs || c.Records < prev.Records {
+				return fmt.Errorf("replaylog: checkpoint %d is not past checkpoint %d (overlapping windows)", i, i-1)
+			}
+		}
+		if stateLen < 0 || stateLen > maxCheckpointState {
+			return fmt.Errorf("replaylog: checkpoint %d state of %d bytes", i, stateLen)
+		}
+		c.State = make([]byte, stateLen)
+		if _, err := io.ReadFull(br, c.State); err != nil {
+			return fmt.Errorf("replaylog: checkpoint %d state: %w", i, err)
+		}
+		l.Checkpoints = append(l.Checkpoints, c)
+	}
+	return nil
+}
+
+// LogWindow is the replay plan for an audited IPD range: where to
+// resume and what remains to inject.
+type LogWindow struct {
+	// Start is the checkpoint to restore, or nil when the window can
+	// only be reached by a full replay from virtual time zero (no
+	// checkpoint at or before it — including every log recorded
+	// before checkpointing existed).
+	Start *Checkpoint
+	// Suffix is a view of the log holding only the records after
+	// Start (the whole record stream when Start is nil). The record
+	// slice aliases the parent log; treat it as read-only.
+	Suffix *Log
+	// SkippedRandoms counts the KindRandom records before the resume
+	// point; the engine uses it to fast-forward its random source to
+	// the state a full replay would have at the boundary.
+	SkippedRandoms int64
+	// SkippedPackets counts the packet records before the resume
+	// point; the engine re-derives the input ring's cursor position
+	// from it. Both counts come from the same single prefix scan.
+	SkippedPackets int64
+}
+
+// Window plans a replay of the IPD range [fromIPD, toIPD): it selects
+// the last checkpoint at or before the output that opens the window
+// (IPD i spans outputs i and i+1, so a checkpoint is usable when its
+// Outputs count is <= fromIPD) and slices the record stream there.
+// Decode has already validated the checkpoint index, so Window only
+// rejects nonsensical ranges.
+func (l *Log) Window(fromIPD, toIPD int) (*LogWindow, error) {
+	if fromIPD < 0 || toIPD < fromIPD {
+		return nil, fmt.Errorf("replaylog: invalid IPD window [%d, %d)", fromIPD, toIPD)
+	}
+	w := &LogWindow{Suffix: l}
+	best := -1
+	for i := range l.Checkpoints {
+		if l.Checkpoints[i].Outputs <= int64(fromIPD) {
+			best = i
+		} else {
+			break
+		}
+	}
+	if best < 0 {
+		return w, nil
+	}
+	c := &l.Checkpoints[best]
+	w.Start = c
+	w.Suffix = &Log{
+		Program: l.Program,
+		Machine: l.Machine,
+		Profile: l.Profile,
+		Records: l.Records[c.Records:],
+	}
+	for _, r := range l.Records[:c.Records] {
+		switch r.Kind {
+		case KindRandom:
+			w.SkippedRandoms++
+		case KindPacket:
+			w.SkippedPackets++
+		}
+	}
+	return w, nil
 }
 
 // Packets returns only the packet records, in order.

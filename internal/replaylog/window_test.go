@@ -1,0 +1,226 @@
+package replaylog_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"sanity/internal/fixtures"
+	"sanity/internal/replaylog"
+)
+
+// TestCheckpointRoundTrip: the v2 format (records + checkpoint
+// section) survives encode/decode bit-exactly, and a checkpoint-free
+// log still encodes as v1 so old corpora stay byte-stable.
+func TestCheckpointRoundTrip(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		l := fixtures.RoundTripLogCheckpointed(seed)
+		data := encodeLog(t, l)
+		if !bytes.HasPrefix(data, []byte("SANLOG2\n")) {
+			t.Fatalf("seed %d: checkpointed log did not encode as v2", seed)
+		}
+		got, err := replaylog.Decode(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if !got.Equal(l) {
+			t.Fatalf("seed %d: round trip lost checkpoints", seed)
+		}
+		if got.SizeBytes() != l.SizeBytes() {
+			t.Fatalf("seed %d: size drifted: %d -> %d", seed, l.SizeBytes(), got.SizeBytes())
+		}
+	}
+	plain := encodeLog(t, fixtures.RoundTripLog(1))
+	if !bytes.HasPrefix(plain, []byte("SANLOG1\n")) {
+		t.Fatal("checkpoint-free log stopped encoding as v1")
+	}
+}
+
+// TestEqualNoticesCheckpointMutations extends the Equal matrix to the
+// checkpoint index.
+func TestEqualNoticesCheckpointMutations(t *testing.T) {
+	base := func() *replaylog.Log { return fixtures.RoundTripLogCheckpointed(3) }
+	mutations := map[string]func(l *replaylog.Log){
+		"drop":    func(l *replaylog.Log) { l.Checkpoints = l.Checkpoints[:len(l.Checkpoints)-1] },
+		"instr":   func(l *replaylog.Log) { l.Checkpoints[0].Instr++ },
+		"outputs": func(l *replaylog.Log) { l.Checkpoints[1].Outputs++ },
+		"records": func(l *replaylog.Log) { l.Checkpoints[1].Records-- },
+		"cycles":  func(l *replaylog.Log) { l.Checkpoints[2].PlayCycles++ },
+		"state":   func(l *replaylog.Log) { l.Checkpoints[0].State[0] ^= 0xFF },
+	}
+	for name, mutate := range mutations {
+		l := base()
+		mutate(l)
+		if l.Equal(base()) {
+			t.Errorf("checkpoint %s mutation went unnoticed", name)
+		}
+	}
+}
+
+// TestWindowSelection pins the segment-index query: which checkpoint
+// a window resumes from, how the record stream is sliced, and the
+// skipped-randoms count the engine fast-forwards with.
+func TestWindowSelection(t *testing.T) {
+	l := fixtures.RoundTripLogCheckpointed(5) // checkpoints at outputs 8, 16, 24
+	countKind := func(recs []replaylog.Record, k replaylog.Kind) int64 {
+		var n int64
+		for _, r := range recs {
+			if r.Kind == k {
+				n++
+			}
+		}
+		return n
+	}
+	cases := []struct {
+		name       string
+		from, to   int
+		wantCkpt   int // index into l.Checkpoints, -1 = none
+	}{
+		{"before first checkpoint", 0, 5, -1},
+		{"just short of first", 7, 9, -1},
+		{"exactly on a boundary", 8, 12, 0},
+		{"between boundaries", 17, 20, 1},
+		{"far past the last", 500, 600, 2},
+		{"empty window", 16, 16, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := l.Window(tc.from, tc.to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantCkpt < 0 {
+				if w.Start != nil {
+					t.Fatalf("expected full-replay fallback, got checkpoint at outputs %d", w.Start.Outputs)
+				}
+				if len(w.Suffix.Records) != len(l.Records) {
+					t.Fatalf("fallback window sliced the record stream")
+				}
+				return
+			}
+			want := &l.Checkpoints[tc.wantCkpt]
+			if w.Start != want {
+				t.Fatalf("resumed from the wrong checkpoint: got %+v want outputs=%d", w.Start, want.Outputs)
+			}
+			if got, want := int64(len(w.Suffix.Records)), int64(len(l.Records))-want.Records; got != want {
+				t.Fatalf("suffix holds %d records, want %d", got, want)
+			}
+			if w.Suffix.Program != l.Program || w.Suffix.Machine != l.Machine || w.Suffix.Profile != l.Profile {
+				t.Fatal("suffix lost the log identity")
+			}
+			if got, want := w.SkippedRandoms, countKind(l.Records[:want.Records], replaylog.KindRandom); got != want {
+				t.Fatalf("SkippedRandoms = %d, want %d", got, want)
+			}
+			if got, want := w.SkippedPackets, countKind(l.Records[:want.Records], replaylog.KindPacket); got != want {
+				t.Fatalf("SkippedPackets = %d, want %d", got, want)
+			}
+		})
+	}
+	if _, err := l.Window(-1, 4); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	if _, err := l.Window(9, 3); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+}
+
+// TestDecodeRejectsMalformedCheckpoints: overlapping boundaries,
+// out-of-range record cursors, oversized state claims, and trailing
+// garbage after the checkpoint section must all fail with errors.
+func TestDecodeRejectsMalformedCheckpoints(t *testing.T) {
+	mutate := func(f func(l *replaylog.Log)) []byte {
+		l := fixtures.RoundTripLogCheckpointed(7)
+		f(l)
+		var buf bytes.Buffer
+		if err := l.Encode(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return buf.Bytes()
+	}
+	cases := map[string][]byte{
+		"overlapping outputs": mutate(func(l *replaylog.Log) {
+			l.Checkpoints[1].Outputs = l.Checkpoints[0].Outputs
+		}),
+		"non-monotone instr": mutate(func(l *replaylog.Log) {
+			l.Checkpoints[2].Instr = l.Checkpoints[0].Instr
+		}),
+		"record cursor past stream": mutate(func(l *replaylog.Log) {
+			l.Checkpoints[2].Records = int64(len(l.Records)) + 9
+		}),
+		"negative outputs": mutate(func(l *replaylog.Log) {
+			l.Checkpoints[0].Outputs = -3
+		}),
+		"trailing garbage": append(mutate(func(*replaylog.Log) {}), 0xAB),
+	}
+	// A state-length claim far past the actual bytes.
+	huge := mutate(func(*replaylog.Log) {})
+	lenOff := bytes.LastIndex(huge, fixtures.RoundTripLogCheckpointed(7).Checkpoints[2].State)
+	if lenOff > 8 {
+		binary.LittleEndian.PutUint64(huge[lenOff-8:], 1<<40)
+		cases["huge state length"] = huge
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := replaylog.Decode(bytes.NewReader(data)); err == nil {
+				t.Fatal("malformed checkpoint section accepted")
+			}
+		})
+	}
+}
+
+// FuzzWindow fuzzes the segment-index path end to end: any input
+// that decodes must answer arbitrary Window queries without panics,
+// and every answer must satisfy the plan's invariants (suffix is a
+// tail of the records, the checkpoint really is at-or-before the
+// window, skipped randoms within range).
+func FuzzWindow(f *testing.F) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		var buf bytes.Buffer
+		if err := fixtures.RoundTripLogCheckpointed(seed).Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes(), 4, 20)
+	}
+	var plain bytes.Buffer
+	if err := fixtures.RoundTripLog(4).Encode(&plain); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes(), 0, 1)
+	f.Add([]byte("SANLOG2\n"), 0, 100)
+	f.Fuzz(func(t *testing.T, data []byte, from, to int) {
+		l, err := replaylog.Decode(bytes.NewReader(data))
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "replaylog:") && !isIOError(err) {
+				t.Fatalf("unwrapped error: %v", err)
+			}
+			return
+		}
+		w, err := l.Window(from, to)
+		if err != nil {
+			if from >= 0 && to >= from {
+				t.Fatalf("valid window [%d,%d) rejected: %v", from, to, err)
+			}
+			return
+		}
+		if w.Start == nil {
+			if len(w.Suffix.Records) != len(l.Records) {
+				t.Fatal("fallback plan sliced the records")
+			}
+			if w.SkippedRandoms != 0 {
+				t.Fatal("fallback plan skipped randoms")
+			}
+			return
+		}
+		if w.Start.Outputs > int64(from) {
+			t.Fatalf("checkpoint at outputs %d is past the window start %d", w.Start.Outputs, from)
+		}
+		if got, want := int64(len(w.Suffix.Records)), int64(len(l.Records))-w.Start.Records; got != want {
+			t.Fatalf("suffix length %d, want %d", got, want)
+		}
+		if w.SkippedRandoms < 0 || w.SkippedPackets < 0 ||
+			w.SkippedRandoms+w.SkippedPackets > w.Start.Records {
+			t.Fatalf("skipped counts %d+%d outside [0,%d]", w.SkippedRandoms, w.SkippedPackets, w.Start.Records)
+		}
+	})
+}

@@ -284,6 +284,70 @@ func (t *TS) SCDrain() []TSRecord {
 // Pending returns the number of queued records.
 func (t *TS) Pending() int { return t.r.count }
 
+// RingState is a serializable snapshot of one ring's contents and
+// cursors, captured at a checkpoint boundary and restored when a
+// windowed replay resumes mid-stream (an input the SC pushed before
+// the boundary may still be queued, unconsumed, across it).
+type RingState struct {
+	Head, Tail, Count int
+	Slots             [][]int64 // len == capacity; nil entries are empty slots
+}
+
+// snapshot copies the ring's state. There is deliberately no inverse:
+// a resumed replay never installs play-side ring *contents* (pending
+// inputs are re-injected from the log at their recorded instruction
+// counts); it only re-derives the cursors via AlignResume. The
+// snapshot travels in checkpoints as recorded-state evidence.
+func (r *ring) snapshot() RingState {
+	st := RingState{Head: r.head, Tail: r.tail, Count: r.count, Slots: make([][]int64, len(r.slots))}
+	for i, s := range r.slots {
+		if s != nil {
+			st.Slots[i] = append([]int64(nil), s...)
+		}
+	}
+	return st
+}
+
+// State snapshots the S-T buffer.
+func (s *ST) State() RingState { return s.r.snapshot() }
+
+// State snapshots the T-S buffer.
+func (t *TS) State() RingState { return t.r.snapshot() }
+
+// AlignResume positions a fresh S-T buffer as it stands during replay
+// after consumed entries have been pushed and consumed: only the
+// sentinel remains, at the slot the cursor has ring-advanced to.
+// Cursor positions matter beyond bookkeeping — the TC charges its
+// buffer traffic at slot-dependent virtual addresses, so a resumed
+// replay must touch the same addresses a full replay does.
+func (s *ST) AlignResume(consumed int64) {
+	r := s.r
+	n := len(r.slots)
+	for i := range r.slots {
+		r.slots[i] = nil
+	}
+	idx := int(consumed % int64(n))
+	r.slots[idx] = []int64{InfTimestamp, 0}
+	r.head = idx
+	r.tail = (idx + 1) % n
+	r.count = 1
+}
+
+// AlignResume positions a fresh T-S buffer as it stands during replay
+// after drained entries (outputs and events) have passed through:
+// empty, with the cursors ring-advanced past them.
+func (t *TS) AlignResume(drained int64) {
+	r := t.r
+	n := len(r.slots)
+	for i := range r.slots {
+		r.slots[i] = nil
+	}
+	idx := int(drained % int64(n))
+	r.head = idx
+	r.tail = idx
+	r.count = 0
+}
+
 // packBytes packs b little-endian into words.
 func packBytes(words []int64, b []byte) {
 	for i, c := range b {

@@ -50,7 +50,15 @@ const (
 )
 
 // Version is the container format version this package writes.
-const Version = 1
+// Version 2 containers may carry checkpointed replay logs (the
+// SANLOG2 encoding with quiescence-boundary snapshots) in their 'L'
+// section; the frame layout is unchanged. Readers accept version 1
+// containers too — their logs simply carry no checkpoints, so audits
+// over old corpora fall back to full replay.
+const Version = 2
+
+// minVersion is the oldest container version readers accept.
+const minVersion = 1
 
 const (
 	// chunkSize bounds the payload of frames the Writer emits, so
@@ -74,12 +82,24 @@ type Writer struct {
 	closed bool
 }
 
-// NewWriter writes the container header and returns the frame writer.
+// NewWriter writes the container header at the current Version and
+// returns the frame writer. WriteTrace downgrades to v1 when nothing
+// in the trace needs v2 (see NewWriterVersion), so checkpoint-free
+// corpora stay readable by pre-v2 auditors.
 func NewWriter(w io.Writer) (*Writer, error) {
+	return NewWriterVersion(w, Version)
+}
+
+// NewWriterVersion writes the container header at an explicit
+// version. Only versions this package can itself read are accepted.
+func NewWriterVersion(w io.Writer, version byte) (*Writer, error) {
+	if version < minVersion || version > Version {
+		return nil, fmt.Errorf("store: cannot write container version %d (supported %d..%d)", version, minVersion, Version)
+	}
 	if _, err := w.Write(containerMagic); err != nil {
 		return nil, fmt.Errorf("store: writing magic: %w", err)
 	}
-	if _, err := w.Write([]byte{Version}); err != nil {
+	if _, err := w.Write([]byte{version}); err != nil {
 		return nil, fmt.Errorf("store: writing version: %w", err)
 	}
 	return &Writer{w: w, buf: make([]byte, 0, chunkSize)}, nil
@@ -191,8 +211,8 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(hdr[:len(containerMagic)]) != string(containerMagic) {
 		return nil, fmt.Errorf("store: bad container magic %q", hdr[:len(containerMagic)])
 	}
-	if v := hdr[len(containerMagic)]; v != Version {
-		return nil, fmt.Errorf("store: unsupported container version %d (want %d)", v, Version)
+	if v := hdr[len(containerMagic)]; v < minVersion || v > Version {
+		return nil, fmt.Errorf("store: unsupported container version %d (want %d..%d)", v, minVersion, Version)
 	}
 	return &Reader{r: r}, nil
 }

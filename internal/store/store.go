@@ -68,14 +68,20 @@ func Create(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, tracesDir), 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	s := &Store{dir: dir, manifest: Manifest{Version: Version}}
+	// A fresh corpus starts at the oldest format and is upgraded by
+	// content: admitting a checkpointed trace bumps the manifest (and
+	// that trace's container) to v2, so corpora that never use v2
+	// features remain readable by pre-v2 auditors.
+	s := &Store{dir: dir, manifest: Manifest{Version: minVersion}}
 	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
 		return Open(dir)
 	}
 	return s, nil
 }
 
-// Open loads an existing store's manifest.
+// Open loads an existing store's manifest. Every version this
+// package can read is accepted — v1 corpora (recorded before
+// checkpointing existed) audit through the full-replay fallback.
 func Open(dir string) (*Store, error) {
 	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
@@ -85,10 +91,23 @@ func Open(dir string) (*Store, error) {
 	if err := json.Unmarshal(b, &m); err != nil {
 		return nil, fmt.Errorf("store: parsing manifest: %w", err)
 	}
-	if m.Version != Version {
-		return nil, fmt.Errorf("store: manifest version %d, want %d", m.Version, Version)
+	if m.Version < minVersion || m.Version > Version {
+		return nil, fmt.Errorf("store: manifest version %d, want %d..%d", m.Version, minVersion, Version)
 	}
 	return &Store{dir: dir, manifest: m}, nil
+}
+
+// noteTrace upgrades the manifest version when admitted content
+// needs it (a checkpointed log makes the corpus v2).
+func (s *Store) noteTrace(tr *detect.Trace) {
+	if tr == nil || tr.Log == nil || len(tr.Log.Checkpoints) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.manifest.Version < 2 {
+		s.manifest.Version = 2
+	}
+	s.mu.Unlock()
 }
 
 // Dir returns the corpus directory.
@@ -317,6 +336,7 @@ func (s *Store) put(meta Meta, tr *detect.Trace) (Meta, error) {
 		return full, err
 	}
 	s.commit(e)
+	s.noteTrace(tr)
 	return full, nil
 }
 
@@ -363,6 +383,7 @@ func (s *Store) PutContainer(r io.Reader) (Meta, error) {
 		return full, err
 	}
 	s.commit(e)
+	s.noteTrace(tr)
 	return full, nil
 }
 

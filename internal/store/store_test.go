@@ -397,3 +397,77 @@ func TestPutContainerValidates(t *testing.T) {
 		t.Fatal("admitted container missing from the manifest")
 	}
 }
+
+// TestManifestVersionFollowsContent: corpora are stamped by what they
+// contain. Checkpoint-free corpora stay at manifest (and container)
+// v1 — readable by pre-checkpointing auditors — while admitting one
+// checkpointed trace upgrades the manifest to v2; and Open accepts
+// the whole readable version range, so legacy corpora keep auditing
+// through the full-replay fallback.
+func TestManifestVersionFollowsContent(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := store.ShardMeta{Key: "nfsd/optiplex9020/sanity", Program: "nfsd", Machine: "optiplex9020", Profile: "sanity"}
+	if err := st.AddShard(shard); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(testMeta(), fullTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	readVersion := func() int {
+		b, err := os.ReadFile(filepath.Join(dir, store.ManifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m struct {
+			Version int `json:"version"`
+		}
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatal(err)
+		}
+		return m.Version
+	}
+	if v := readVersion(); v != 1 {
+		t.Fatalf("checkpoint-free corpus stamped manifest v%d, want 1", v)
+	}
+	// A legacy (v1) manifest must open and audit-load normally.
+	reopened, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("legacy-version corpus rejected: %v", err)
+	}
+	if _, _, err := reopened.LoadTrace(reopened.Entries()[0].File); err != nil {
+		t.Fatal(err)
+	}
+	// Admitting a checkpointed trace upgrades the manifest.
+	ck := fullTrace()
+	ck.Log = fixtures.RoundTripLogCheckpointed(11)
+	meta := testMeta()
+	meta.ID = "covert-ck"
+	if err := reopened.Put(meta, ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := reopened.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v := readVersion(); v != 2 {
+		t.Fatalf("checkpointed corpus stamped manifest v%d, want 2", v)
+	}
+	if _, err := store.Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Versions beyond what this package reads are still refused.
+	b, _ := os.ReadFile(filepath.Join(dir, store.ManifestName))
+	b = bytes.Replace(b, []byte(`"version": 2`), []byte(`"version": 9`), 1)
+	if err := os.WriteFile(filepath.Join(dir, store.ManifestName), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Open(dir); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future manifest version accepted: %v", err)
+	}
+}

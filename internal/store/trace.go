@@ -127,7 +127,14 @@ func WriteTrace(w io.Writer, meta Meta, tr *detect.Trace) error {
 	if err := meta.validate(); err != nil {
 		return err
 	}
-	fw, err := NewWriter(w)
+	// A container is only v2 when it actually carries v2 content (a
+	// checkpointed log); everything else stays v1 so that pre-v2
+	// readers keep accepting corpora that never needed the bump.
+	version := byte(1)
+	if tr.Log != nil && len(tr.Log.Checkpoints) > 0 {
+		version = 2
+	}
+	fw, err := NewWriterVersion(w, version)
 	if err != nil {
 		return err
 	}

@@ -52,6 +52,34 @@ type Config struct {
 	GCThreshold int64
 	// MaxSteps aborts runaway programs (0 = no limit).
 	MaxSteps int64
+	// Prepared, when non-nil and built for the same program, lets New
+	// skip bytecode verification and the code-layout computation —
+	// the per-program immutable setup an audit pipeline pays once per
+	// shard instead of once per replay.
+	Prepared *Prepared
+}
+
+// Prepared is the immutable per-program state New derives before any
+// execution: the verification result and the virtual code layout.
+// One Prepared may back any number of concurrent VMs.
+type Prepared struct {
+	prog      *Program
+	codeBases []int64
+}
+
+// Prepare verifies the program and computes its code layout once, for
+// reuse across VMs via Config.Prepared.
+func Prepare(prog *Program) (*Prepared, error) {
+	if err := Verify(prog); err != nil {
+		return nil, err
+	}
+	codeBases := make([]int64, len(prog.Funcs))
+	addr := codeSpaceBase
+	for i, f := range prog.Funcs {
+		codeBases[i] = addr
+		addr += alignUp(int64(len(f.Code))*InstrBytes, 4096)
+	}
+	return &Prepared{prog: prog, codeBases: codeBases}, nil
 }
 
 // DefaultSliceBudget mirrors the paper's fixed per-thread instruction
@@ -103,8 +131,15 @@ func New(prog *Program, natives map[string]NativeFunc, cfg Config) (*VM, error) 
 	if prog.Funcs[mainIdx].NumParams != 0 {
 		return nil, fmt.Errorf("svm: main must take no parameters")
 	}
-	if err := Verify(prog); err != nil {
-		return nil, err
+	prepared := cfg.Prepared
+	if prepared != nil && prepared.prog != prog {
+		return nil, fmt.Errorf("svm: Prepared was built for program %q, not %q", prepared.prog.Name, prog.Name)
+	}
+	if prepared == nil {
+		var err error
+		if prepared, err = Prepare(prog); err != nil {
+			return nil, err
+		}
 	}
 	slice := cfg.SliceBudget
 	if slice <= 0 {
@@ -123,17 +158,13 @@ func New(prog *Program, natives map[string]NativeFunc, cfg Config) (*VM, error) 
 		SliceBudget: slice,
 		maxSteps:    cfg.MaxSteps,
 	}
-	// Assign code addresses: each function page-aligned so programs
-	// have stable, layout-independent fetch behavior. The table lives
-	// on the VM, not the Program: programs are shared read-only across
-	// concurrently replaying engines (the audit pipeline runs one
-	// worker pool over one binary), so New must not write to prog.
-	vm.codeBases = make([]int64, len(prog.Funcs))
-	addr := codeSpaceBase
-	for i, f := range prog.Funcs {
-		vm.codeBases[i] = addr
-		addr += alignUp(int64(len(f.Code))*InstrBytes, 4096)
-	}
+	// Code addresses: each function page-aligned so programs have
+	// stable, layout-independent fetch behavior. The table comes from
+	// the Prepared state, not the Program: programs are shared
+	// read-only across concurrently replaying engines (the audit
+	// pipeline runs one worker pool over one binary), so New must not
+	// write to prog. The slice itself is shared read-only too.
+	vm.codeBases = prepared.codeBases
 	// Intern string constants as byte arrays; this happens before
 	// execution, so addresses are deterministic.
 	vm.strRefs = make([]Ref, len(prog.StrPool))
@@ -172,6 +203,15 @@ func (vm *VM) Threads() []*Thread { return vm.threads }
 
 // Halted reports whether the VM has stopped.
 func (vm *VM) Halted() bool { return vm.halted }
+
+// Halt stops the VM with the given exit code. Engines use it to end
+// a windowed replay as soon as the audited range has been
+// reproduced; the current instruction (typically the native call
+// invoking Halt) still completes.
+func (vm *VM) Halt(code int64) {
+	vm.halted = true
+	vm.ExitCode = code
+}
 
 // StringRef returns the heap handle of interned string constant i.
 func (vm *VM) StringRef(i int) Ref { return vm.strRefs[i] }
