@@ -1,7 +1,9 @@
 // Command tdraudit runs the concurrent multi-trace audit pipeline.
-// Besides the original in-memory mode, it speaks the persistent trace
-// store and the ingest protocol, so the play side and the audit side
-// can run as separate processes (or separate machines):
+// Every auditing mode drives the same sanity.Auditor session API:
+// declarative options build a reusable auditor, Plan resolves shards,
+// calibration, and per-trace windows, and Run streams verdicts under
+// a cancellable context (Ctrl-C ends a run cleanly with the partial,
+// in-order verdict stream).
 //
 //	tdraudit                            # in-memory corpus, all CPUs
 //	tdraudit -traces 240 -workers 4     # fixed pool
@@ -9,12 +11,15 @@
 //	tdraudit -compare                   # also run 1 worker, report speedup
 //
 //	tdraudit record -dir corpus         # record a labeled corpus to disk
+//	tdraudit record -dir corpus -checkpoint-every auto   # autotuned interval
 //	tdraudit record -dir corpus -hetero # two shards: nfsd/T and echod/T'
 //	tdraudit serve -addr :7070 -dir spool      # audit-side ingest server
 //	tdraudit send -addr host:7070 -dir corpus  # ship a corpus to a server
 //	tdraudit audit-dir -dir spool -json        # audit a spooled corpus
 //	tdraudit audit-dir -dir spool -window 16   # windowed replay: audit each
 //	                                           # trace's trailing 16 IPDs only
+//	tdraudit audit-dir -dir spool -window auto # CCE prefilter picks each
+//	                                           # trace's audited range
 //
 // Cross-machine audits (the paper's §5.2 cloud-verification setting:
 // the corpus was recorded on a machine type the auditor does not own):
@@ -24,12 +29,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
+	"time"
 
+	"sanity/internal/audit"
 	"sanity/internal/calib"
 	"sanity/internal/fixtures"
 	"sanity/internal/hw"
@@ -61,13 +72,27 @@ func main() {
 	inMemoryMain(os.Args[1:])
 }
 
-// auditFlags are the pipeline knobs shared by every auditing mode.
+// interruptible returns a context canceled by the first Ctrl-C, so a
+// long audit ends with its partial, in-order verdict stream instead
+// of dying mid-write. The signal registration is dropped as soon as
+// the context dies, so a second Ctrl-C (say, during the drain of an
+// in-flight replay) kills the process as usual.
+func interruptible() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}
+
+// auditFlags are the auditor knobs shared by every auditing mode.
 type auditFlags struct {
 	workers, batch, queue *int
 	threshold             *float64
 	stream, jsonOut       *bool
 	compare               *bool
-	window                *int
+	window                *string
 }
 
 func addAuditFlags(fs *flag.FlagSet) *auditFlags {
@@ -79,19 +104,79 @@ func addAuditFlags(fs *flag.FlagSet) *auditFlags {
 		stream:    fs.Bool("stream", false, "print each verdict as it is emitted"),
 		jsonOut:   fs.Bool("json", false, "emit verdicts and the summary as JSON lines"),
 		compare:   fs.Bool("compare", false, "also run with 1 worker and report the speedup"),
-		window: fs.Int("window", 0, "audit only each trace's trailing N inter-packet delays via windowed replay "+
-			"(traces recorded with checkpoints resume mid-log; others fall back to full replay; 0 = whole trace)"),
+		window: fs.String("window", "full", "replay-window policy: 'full' audits whole traces; an integer N audits "+
+			"each trace's trailing N inter-packet delays; 'auto' (or 'auto:N') lets the CCE prefilter pick each "+
+			"trace's audited N-IPD range, falling back to full coverage where nothing stands out "+
+			"(traces recorded with checkpoints resume mid-log; others fall back to full replay)"),
 	}
 }
 
-func (a *auditFlags) config() pipeline.Config {
-	return pipeline.Config{
-		Workers:      *a.workers,
-		BatchSize:    *a.batch,
-		QueueDepth:   *a.queue,
-		TDRThreshold: *a.threshold,
-		WindowIPDs:   *a.window,
+// parseWindow maps the -window flag onto a window policy.
+func parseWindow(s string) (audit.Window, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "" || s == "full" || s == "0":
+		return audit.WindowFull(), nil
+	case s == "auto":
+		return audit.WindowAuto(0), nil
+	case strings.HasPrefix(s, "auto:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "auto:"))
+		if err != nil || n <= 0 {
+			return audit.Window{}, fmt.Errorf("bad -window %q: auto:N needs a positive IPD count", s)
+		}
+		return audit.WindowAuto(n), nil
+	default:
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return audit.Window{}, fmt.Errorf("bad -window %q: want 'full', an IPD count, or 'auto[:N]'", s)
+		}
+		if n == 0 {
+			return audit.WindowFull(), nil
+		}
+		return audit.WindowTrailing(n), nil
 	}
+}
+
+// options renders the shared flags as auditor options.
+func (a *auditFlags) options() ([]audit.Option, error) {
+	w, err := parseWindow(*a.window)
+	if err != nil {
+		return nil, err
+	}
+	return []audit.Option{
+		audit.WithRegistry(fixtures.KnownGood),
+		audit.WithWorkers(*a.workers),
+		audit.WithBatchSize(*a.batch),
+		audit.WithQueueDepth(*a.queue),
+		audit.WithThresholds(*a.threshold, 0),
+		audit.WithWindow(w),
+	}, nil
+}
+
+// parseCheckpointEvery maps the -checkpoint-every flag: an interval,
+// 0 for none, or "auto" to pick one from trace-length statistics —
+// the existing corpus's manifest when appending (st non-nil), the
+// planned packet count for a fresh recording.
+func parseCheckpointEvery(s string, st *store.Store, packets int) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "auto" {
+		var lengths []int
+		if st != nil {
+			lengths = st.TraceLengths()
+		}
+		if len(lengths) == 0 {
+			lengths = []int{packets}
+		}
+		every := store.AutoCheckpointInterval(lengths)
+		fmt.Fprintf(os.Stderr, "checkpoint-every auto: %d outputs (median of %d trace lengths)\n",
+			every, len(lengths))
+		return every, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad -checkpoint-every %q: want an interval, 0, or 'auto'", s)
+	}
+	return n, nil
 }
 
 func inMemoryMain(args []string) {
@@ -99,23 +184,26 @@ func inMemoryMain(args []string) {
 	traces := fs.Int("traces", 120, "total test traces (half benign, half covert)")
 	packets := fs.Int("packets", 60, "packets per trace")
 	seed := fs.Uint64("seed", 42, "base noise seed")
-	ckptEvery := fs.Int("checkpoint-every", fixtures.DefaultCheckpointEvery,
-		"emit a replay checkpoint every N sent packets while recording (0 = none; enables -window)")
+	ckptEvery := fs.String("checkpoint-every", strconv.Itoa(fixtures.DefaultCheckpointEvery),
+		"emit a replay checkpoint every N sent packets while recording (0 = none, auto = from trace-length stats; enables -window)")
 	af := addAuditFlags(fs)
 	fs.Parse(args)
 
+	every, err := parseCheckpointEvery(*ckptEvery, nil, *packets)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Fprintf(os.Stderr, "recording %d traces of %d packets (plus training traces)...\n", *traces, *packets)
 	var b *pipeline.Batch
-	var err error
-	if *ckptEvery > 0 {
-		b, err = fixtures.CheckpointedAuditBatch(*traces, *packets, *ckptEvery, *seed)
+	if every > 0 {
+		b, err = fixtures.CheckpointedAuditBatch(*traces, *packets, every, *seed)
 	} else {
 		b, err = fixtures.LabeledAuditBatch(*traces, *packets, *seed)
 	}
 	if err != nil {
 		fatal(err)
 	}
-	runAudit(b, af)
+	runAudit(audit.FromBatch(b), af)
 }
 
 func recordMain(args []string) {
@@ -125,8 +213,9 @@ func recordMain(args []string) {
 	packets := fs.Int("packets", 60, "packets per trace")
 	seed := fs.Uint64("seed", 42, "base noise seed")
 	hetero := fs.Bool("hetero", false, "record two shards: the NFS server on T and the echo server on T'")
-	ckptEvery := fs.Int("checkpoint-every", fixtures.DefaultCheckpointEvery,
-		"emit a replay checkpoint every N sent packets (0 = none; checkpointed corpora support audit-dir -window)")
+	ckptEvery := fs.String("checkpoint-every", strconv.Itoa(fixtures.DefaultCheckpointEvery),
+		"emit a replay checkpoint every N sent packets (0 = none, auto = from the corpus's trace-length stats; "+
+			"checkpointed corpora support audit-dir -window)")
 	fs.Parse(args)
 	if *dir == "" {
 		fatal(fmt.Errorf("record: -dir is required"))
@@ -150,12 +239,15 @@ func recordMain(args []string) {
 			fatal(err)
 		}
 	} else {
+		every, err := parseCheckpointEvery(*ckptEvery, st, *packets)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Fprintf(os.Stderr, "recording %d traces of %d packets (checkpoint every %d packets)...\n",
-			*traces, *packets, *ckptEvery)
+			*traces, *packets, every)
 		var set *fixtures.Set
-		var err error
-		if *ckptEvery > 0 {
-			set, err = fixtures.PlayedSetCheckpointed(sizes, *ckptEvery, *seed)
+		if every > 0 {
+			set, err = fixtures.PlayedSetCheckpointed(sizes, every, *seed)
 		} else {
 			set, err = fixtures.PlayedSet(sizes, *seed)
 		}
@@ -175,6 +267,8 @@ func serveMain(args []string) {
 	addr := fs.String("addr", ":7070", "listen address")
 	dir := fs.String("dir", "", "spool directory for uploaded corpora (required)")
 	secret := fs.String("secret", "", "shared secret clients must present with AUTH (empty = open server)")
+	maxTraces := fs.Int("max-traces-per-conn", 0, "per-connection trace quota (0 = unlimited)")
+	maxBytes := fs.Int64("max-bytes-per-conn", 0, "per-connection payload-byte quota (0 = unlimited)")
 	fs.Parse(args)
 	if *dir == "" {
 		fatal(fmt.Errorf("serve: -dir is required"))
@@ -183,7 +277,11 @@ func serveMain(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := ingest.ListenOpts(*addr, st, ingest.Options{Secret: *secret})
+	srv, err := ingest.ListenOpts(*addr, st, ingest.Options{
+		Secret:           *secret,
+		MaxTracesPerConn: *maxTraces,
+		MaxBytesPerConn:  *maxBytes,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -228,31 +326,35 @@ func auditDirMain(args []string) {
 	if *dir == "" {
 		fatal(fmt.Errorf("audit-dir: -dir is required"))
 	}
-	st, err := store.Open(*dir)
+	opts, err := af.crossOptions(*cross, *auditorName, *dir)
 	if err != nil {
 		fatal(err)
 	}
-	resolve := fixtures.Resolver
-	if *cross {
-		auditor, err := hw.MachineByName(*auditorName)
-		if err != nil {
-			fatal(err)
-		}
-		models, err := calib.Load(st.Dir())
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "cross-machine mode: auditing as %s with %d calibration model(s)\n",
-			auditor.Name, len(models.Models))
-		resolve = fixtures.CalibratedResolver(auditor, models)
-	}
-	b, err := pipeline.BatchFromStore(st, resolve)
+	runAuditOpts(audit.Dir(*dir), af, opts)
+}
+
+// crossOptions renders the shared flags plus the cross-machine mode:
+// the auditor's machine substituted per shard, calibrated through the
+// corpus's calib.json artifact.
+func (a *auditFlags) crossOptions(cross bool, auditorName, dir string) ([]audit.Option, error) {
+	opts, err := a.options()
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "loaded %d jobs across %d shards from %s\n",
-		len(b.Jobs), len(b.Shards), st.Dir())
-	runAudit(b, af)
+	if !cross {
+		return opts, nil
+	}
+	auditor, err := hw.MachineByName(auditorName)
+	if err != nil {
+		return nil, err
+	}
+	models, err := calib.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "cross-machine mode: auditing as %s with %d calibration model(s)\n",
+		auditor.Name, len(models.Models))
+	return append(opts, audit.WithAuditorMachine(auditor), audit.WithCalibration(models)), nil
 }
 
 // calibrateMain fits time-dilation models for every shard of a corpus
@@ -320,20 +422,48 @@ func calibrateMain(args []string) {
 	fmt.Printf("wrote %d model(s) to %s\n", len(models.Models), st.Dir()+"/"+calib.FileName)
 }
 
-// runAudit drives one pipeline run (plus the optional 1-worker
-// comparison) with the shared output formats.
-func runAudit(b *pipeline.Batch, af *auditFlags) {
-	cfg := af.config()
-	p := pipeline.New(cfg)
-	fmt.Fprintf(os.Stderr, "auditing %d traces on %s (GOMAXPROCS %d)...\n",
-		len(b.Jobs), p, runtime.GOMAXPROCS(0))
-
-	s, err := p.Go(b)
+// runAudit plans and runs one audit over src with the shared flags.
+func runAudit(src audit.Source, af *auditFlags) {
+	opts, err := af.options()
 	if err != nil {
 		fatal(err)
 	}
+	runAuditOpts(src, af, opts)
+}
+
+// runAuditOpts drives one Auditor session (plus the optional 1-worker
+// comparison) with the shared output formats. Interrupting a run
+// keeps the verdicts already streamed and reports the cancellation.
+func runAuditOpts(src audit.Source, af *auditFlags, opts []audit.Option) {
+	ctx, cancel := interruptible()
+	defer cancel()
+
+	auditor, err := audit.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := auditor.Plan(ctx, src)
+	if err != nil {
+		fatal(err)
+	}
+	info := plan.Info()
+	fmt.Fprintf(os.Stderr, "auditing %d traces across %d shards, window=%s, %d workers (GOMAXPROCS %d)...\n",
+		info.Jobs, info.Shards, info.Window.Mode, auditor.Workers(), runtime.GOMAXPROCS(0))
+	if info.Window.Mode == audit.ModeAuto && info.TotalIPDs > 0 {
+		fmt.Fprintf(os.Stderr, "auto windows: narrowed %d/%d traces, replaying %.0f%% of IPDs\n",
+			info.Narrowed, info.Jobs, 100*float64(info.AuditIPDs)/float64(info.TotalIPDs))
+	}
+
 	enc := json.NewEncoder(os.Stdout)
-	for v := range s.Verdicts {
+	var verdicts []pipeline.Verdict
+	var runErr error
+	start := time.Now()
+	for v, err := range plan.Run(ctx) {
+		if err != nil {
+			runErr = err
+			break
+		}
+		verdicts = append(verdicts, v)
 		switch {
 		case *af.jsonOut && *af.stream:
 			if err := enc.Encode(v); err != nil {
@@ -343,7 +473,10 @@ func runAudit(b *pipeline.Batch, af *auditFlags) {
 			printVerdict(v)
 		}
 	}
-	r := s.Wait()
+	r := pipeline.Collect(verdicts, auditor.Workers(), *af.batch, time.Since(start).Nanoseconds())
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "audit ended early: %v\n", runErr)
+	}
 	if *af.jsonOut {
 		if !*af.stream {
 			for _, v := range r.Verdicts {
@@ -360,19 +493,28 @@ func runAudit(b *pipeline.Batch, af *auditFlags) {
 	} else {
 		fmt.Print(r.Format())
 	}
+	if runErr != nil {
+		os.Exit(1)
+	}
 
-	if *af.compare && p.Workers() > 1 {
+	if *af.compare && auditor.Workers() > 1 {
 		fmt.Fprintf(os.Stderr, "re-auditing with 1 worker for comparison...\n")
-		cfg1 := cfg
-		cfg1.Workers = 1
-		r1, err := pipeline.New(cfg1).Run(b)
+		one, err := audit.New(append(append([]audit.Option(nil), opts...), audit.WithWorkers(1))...)
+		if err != nil {
+			fatal(err)
+		}
+		plan1, err := one.Plan(ctx, src)
+		if err != nil {
+			fatal(err)
+		}
+		r1, err := plan1.RunAll(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprint(os.Stderr, r1.Format())
 		if r1.Metrics.ThroughputPerSec > 0 {
 			fmt.Fprintf(os.Stderr, "speedup with %d workers: %.2fx\n",
-				r.Metrics.Workers, r.Metrics.ThroughputPerSec/r1.Metrics.ThroughputPerSec)
+				auditor.Workers(), r.Metrics.ThroughputPerSec/r1.Metrics.ThroughputPerSec)
 		}
 		if string(r.Canonical()) != string(r1.Canonical()) {
 			fatal(fmt.Errorf("verdicts diverged between worker counts — determinism violation"))

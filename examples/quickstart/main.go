@@ -1,11 +1,13 @@
 // Quickstart: record an execution with Sanity, replay it with time
-// determinism, and verify that both the outputs and their timing are
-// reproduced.
+// determinism, verify that both the outputs and their timing are
+// reproduced — then audit a batch of recordings for covert timing
+// channels through the sanity.Auditor session API.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -112,4 +114,95 @@ func main() {
 	fmt.Printf("\nfunctional replay (XenTT-style) for comparison:\n")
 	fmt.Printf("  outputs still match: %v, but max IPD deviation is %.1f%%\n",
 		fcmp.OutputsMatch, fcmp.MaxRelIPDDev*100)
+
+	// --- Audit: batches of recordings through the Auditor API. ---
+	//
+	// One Auditor is built from declarative options and reused; Plan
+	// resolves a source of traces (here an in-memory batch; a corpus
+	// directory via sanity.CorpusDir works the same) and Run streams
+	// verdicts in submission order under a cancellable context.
+	audit(prog)
+}
+
+// audit records a small labeled batch — benign runs of the quickstart
+// server plus one compromised run that stalls every fourth reply —
+// and audits it with the session API.
+func audit(prog *sanity.Program) {
+	const packets = 24
+	inputs := func(seed int64) []sanity.InputEvent {
+		evs := make([]sanity.InputEvent, packets)
+		// A bursty-ish schedule: arrivals accumulate gaps of 2 ms with
+		// a 7 ms pause every third packet, phase-shifted per seed so
+		// every run is a distinct workload.
+		arrival := int64(1_000_000_000)
+		for i := range evs {
+			evs[i] = sanity.InputEvent{ArrivalPs: arrival, Payload: []byte{byte(i), byte(seed)}}
+			gap := int64(2_000_000_000)
+			if (int64(i)+seed)%3 == 0 {
+				gap = 7_000_000_000
+			}
+			arrival += gap
+		}
+		return evs
+	}
+	play := func(seed uint64, hook sanity.DelayHook) (*sanity.Execution, *sanity.Log) {
+		cfg := sanity.DefaultConfig(seed)
+		cfg.Hook = hook
+		exec, lg, err := sanity.Play(prog, inputs(int64(seed)), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return exec, lg
+	}
+	// The covert hook: a compromised server leaks a bit by stalling
+	// every fourth response 4 ms — invisible in content, visible to TDR.
+	covert := func(ctx sanity.DelayCtx) int64 {
+		if ctx.PacketIndex%4 != 0 {
+			return 0
+		}
+		return 4_000_000_000 / ctx.PsPerCycle
+	}
+
+	batch := &sanity.AuditBatch{}
+	var training [][]int64
+	for seed := uint64(21); seed <= 23; seed++ {
+		exec, _ := play(seed, nil)
+		training = append(training, exec.OutputIPDs())
+	}
+	batch.AddShard(&sanity.AuditShard{
+		Key: "quickstart", Prog: prog, Cfg: sanity.DefaultConfig(99), Training: training,
+	})
+	for seed := uint64(31); seed <= 33; seed++ {
+		exec, lg := play(seed, nil)
+		batch.Append(sanity.AuditJob{
+			ID: fmt.Sprintf("benign-%d", seed), Shard: "quickstart", Label: sanity.AuditLabelBenign,
+			Trace: &sanity.Trace{IPDs: exec.OutputIPDs(), Log: lg, Play: exec},
+		})
+	}
+	exec, lg := play(77, covert)
+	batch.Append(sanity.AuditJob{
+		ID: "compromised", Shard: "quickstart", Label: sanity.AuditLabelCovert,
+		Trace: &sanity.Trace{IPDs: exec.OutputIPDs(), Log: lg, Play: exec},
+	})
+
+	auditor, err := sanity.NewAuditor(sanity.WithWorkers(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	plan, err := auditor.Plan(ctx, sanity.BatchSource(batch))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\naudit (%d traces, %d shard):\n", plan.Info().Jobs, plan.Info().Shards)
+	for v, err := range plan.Run(ctx) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		mark := "  ok       "
+		if v.Suspicious {
+			mark = "  SUSPECT  "
+		}
+		fmt.Printf("%s%-12s tdr-dev %7.4f%%\n", mark, v.JobID, v.TDRScore*100)
+	}
 }

@@ -1,0 +1,216 @@
+package audit_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"sanity/internal/audit"
+	"sanity/internal/detect"
+	"sanity/internal/fixtures"
+	"sanity/internal/pipeline"
+)
+
+// gatedBatch builds a statistical-only batch of n jobs where every
+// job past `free` blocks in its loader until gate closes — the
+// deterministic way to catch a run mid-batch.
+func gatedBatch(t *testing.T, n, free int, gate <-chan struct{}) *pipeline.Batch {
+	t.Helper()
+	b := &pipeline.Batch{}
+	b.AddShard(&pipeline.Shard{
+		Key:      "synthetic",
+		Training: fixtures.SyntheticTraining(4, 120, 11),
+	})
+	for i := 0; i < n; i++ {
+		i := i
+		b.Append(pipeline.Job{
+			ID:    fmt.Sprintf("job-%d", i),
+			Shard: "synthetic",
+			Label: pipeline.LabelBenign,
+			Load: func() (*detect.Trace, error) {
+				if i >= free {
+					<-gate
+				}
+				return &detect.Trace{IPDs: fixtures.SyntheticIPDs(120, 100+uint64(i))}, nil
+			},
+		})
+	}
+	return b
+}
+
+// assertOrderedPrefix fails unless verdicts are exactly indices
+// 0..len-1 in order — cancellation truncates the stream, it never
+// reorders or punches holes in it.
+func assertOrderedPrefix(t *testing.T, verdicts []pipeline.Verdict) {
+	t.Helper()
+	for i, v := range verdicts {
+		if v.Index != i {
+			t.Fatalf("verdict %d has index %d — stream is not an ordered prefix", i, v.Index)
+		}
+	}
+}
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (with slack for runtime housekeeping), or fails.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCancelMidBatch: canceling the run context mid-batch yields the
+// partial, in-order verdicts, a final error matching both ErrCanceled
+// and context.Canceled, and leaves no goroutine behind.
+func TestCancelMidBatch(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	const total, free = 40, 6
+	gate := make(chan struct{})
+	b := gatedBatch(t, total, free, gate)
+
+	a, err := audit.New(audit.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := a.Plan(context.Background(), audit.FromBatch(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var verdicts []pipeline.Verdict
+	var runErr error
+	for v, err := range plan.Run(ctx) {
+		if err != nil {
+			runErr = err
+			break
+		}
+		verdicts = append(verdicts, v)
+		if len(verdicts) == free {
+			cancel()
+			close(gate) // release the workers blocked in Load
+		}
+	}
+	cancel()
+	if !errors.Is(runErr, audit.ErrCanceled) {
+		t.Fatalf("run error = %v, want ErrCanceled", runErr)
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("run error = %v, want to match context.Canceled too", runErr)
+	}
+	var ce *pipeline.CanceledError
+	if !errors.As(runErr, &ce) || ce.Emitted != len(verdicts) {
+		t.Fatalf("errors.As lost the emitted count: %v (got %d verdicts)", runErr, len(verdicts))
+	}
+	if len(verdicts) < free || len(verdicts) >= total {
+		t.Fatalf("emitted %d verdicts, want a partial stream of >= %d", len(verdicts), free)
+	}
+	assertOrderedPrefix(t, verdicts)
+	waitForGoroutines(t, baseline)
+}
+
+// TestBreakOutOfRun: abandoning the iterator (break) cancels the run
+// and reclaims every pipeline goroutine before the loop returns.
+func TestBreakOutOfRun(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	gate := make(chan struct{})
+	close(gate) // nothing blocks; we abandon voluntarily
+	b := gatedBatch(t, 40, 40, gate)
+
+	a, err := audit.New(audit.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := a.Plan(context.Background(), audit.FromBatch(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for v, err := range plan.Run(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Index != seen {
+			t.Fatalf("verdict index %d, want %d", v.Index, seen)
+		}
+		seen++
+		if seen == 5 {
+			break
+		}
+	}
+	if seen != 5 {
+		t.Fatalf("consumed %d verdicts before breaking, want 5", seen)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestPreCanceledContext: a context canceled before the run starts
+// fails fast with the typed error and emits nothing.
+func TestPreCanceledContext(t *testing.T) {
+	gate := make(chan struct{})
+	close(gate)
+	b := gatedBatch(t, 8, 8, gate)
+	a, err := audit.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := a.Plan(context.Background(), audit.FromBatch(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := plan.RunAll(ctx)
+	if !errors.Is(err, audit.ErrCanceled) {
+		t.Fatalf("pre-canceled run error = %v, want ErrCanceled", err)
+	}
+	if r != nil && len(r.Verdicts) != 0 {
+		t.Fatalf("pre-canceled run emitted %d verdicts", len(r.Verdicts))
+	}
+
+	// Plan itself also honors a dead context for store sources.
+	_, err = a.Plan(ctx, audit.FromBatch(b))
+	if !errors.Is(err, audit.ErrCanceled) {
+		t.Fatalf("pre-canceled plan error = %v, want ErrCanceled", err)
+	}
+}
+
+// TestCompleteRunNoError: an uncanceled run ends with no error and a
+// complete stream — the cancellation machinery must be invisible on
+// the happy path.
+func TestCompleteRunNoError(t *testing.T) {
+	gate := make(chan struct{})
+	close(gate)
+	b := gatedBatch(t, 12, 12, gate)
+	a, err := audit.New(audit.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := a.Plan(context.Background(), audit.FromBatch(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verdicts []pipeline.Verdict
+	for v, err := range plan.Run(context.Background()) {
+		if err != nil {
+			t.Fatalf("unexpected stream error: %v", err)
+		}
+		verdicts = append(verdicts, v)
+	}
+	if len(verdicts) != 12 {
+		t.Fatalf("complete run emitted %d/12 verdicts", len(verdicts))
+	}
+	assertOrderedPrefix(t, verdicts)
+}

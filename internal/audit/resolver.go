@@ -1,0 +1,82 @@
+package audit
+
+import (
+	"fmt"
+
+	"sanity/internal/calib"
+	"sanity/internal/core"
+	"sanity/internal/hw"
+	"sanity/internal/pipeline"
+	"sanity/internal/store"
+	"sanity/internal/svm"
+)
+
+// Registry maps a program name onto the auditor's own known-good
+// material: the trusted binary and the canonical replay configuration
+// (machine, profile, file store) for that program. A corpus only
+// *names* programs — binaries and environments are code the auditor
+// already has, never data it accepts from a recording (paper §5.3).
+// A program the registry does not carry must fail with an error
+// matching the caller's unknown-program sentinel (the fixture
+// registry returns fixtures.ErrUnknownShard).
+type Registry func(program string, seed uint64) (*svm.Program, core.Config, error)
+
+// ResolverFrom builds the same-machine shard resolver over a
+// registry: the stored shard's program resolves to the known-good
+// binary, and the corpus must agree with the registry about the
+// machine and profile names — a mismatch is refused here, not
+// discovered as a replay failure later. This is the one resolution
+// path every audit mode shares; the calibrated variant only changes
+// how a machine mismatch is bridged.
+func ResolverFrom(reg Registry) pipeline.ShardResolver {
+	return func(m store.ShardMeta) (pipeline.Resolved, error) {
+		prog, cfg, err := reg(m.Program, m.Seed)
+		if err != nil {
+			return pipeline.Resolved{}, err
+		}
+		if cfg.Machine.Name != m.Machine {
+			return pipeline.Resolved{}, fmt.Errorf("audit: shard %q wants machine %q, registry has %q for %s", m.Key, m.Machine, cfg.Machine.Name, m.Program)
+		}
+		if cfg.Profile.Name != m.Profile {
+			return pipeline.Resolved{}, profileMismatch(m)
+		}
+		return pipeline.Resolved{Prog: prog, Cfg: cfg}, nil
+	}
+}
+
+// CalibratedResolverFrom builds the cross-machine resolver over a
+// registry: the auditor owns machines of type `auditor` only, and
+// models carries the fitted time-dilation calibrations. Shards
+// recorded on the auditor's own machine type resolve as usual; shards
+// recorded on a different type resolve to the auditor's machine plus
+// the pair's fitted scale and slack — and refuse, with the typed
+// calib.ErrNoModel, any pair that was never calibrated, so an
+// uncalibrated cross-machine audit can never produce silent garbage
+// verdicts. A nil models set behaves as an empty one: every
+// cross-machine pair is refused.
+func CalibratedResolverFrom(reg Registry, auditor hw.MachineSpec, models *calib.Set) pipeline.ShardResolver {
+	return func(m store.ShardMeta) (pipeline.Resolved, error) {
+		prog, cfg, err := reg(m.Program, m.Seed)
+		if err != nil {
+			return pipeline.Resolved{}, err
+		}
+		if cfg.Profile.Name != m.Profile {
+			return pipeline.Resolved{}, profileMismatch(m)
+		}
+		cfg.Machine = auditor
+		if m.Machine == auditor.Name {
+			return pipeline.Resolved{Prog: prog, Cfg: cfg}, nil
+		}
+		mod := models.Lookup(m.Program, m.Machine, auditor.Name)
+		if mod == nil {
+			return pipeline.Resolved{}, &calib.NoModelError{Program: m.Program, Recorded: m.Machine, Auditor: auditor.Name}
+		}
+		return pipeline.Resolved{Prog: prog, Cfg: cfg, TDRCalib: mod.Calibration(), TDRSlack: mod.Slack()}, nil
+	}
+}
+
+// profileMismatch is the shared refusal for a corpus that names a
+// noise profile the registry's configuration does not run.
+func profileMismatch(m store.ShardMeta) error {
+	return fmt.Errorf("audit: shard %q wants profile %q, which is not the registry's profile for %s", m.Key, m.Profile, m.Program)
+}

@@ -1,0 +1,72 @@
+package audit
+
+import (
+	"context"
+	"fmt"
+
+	"sanity/internal/pipeline"
+	"sanity/internal/store"
+)
+
+// Source is where an audit's traces come from. The three shipped
+// sources — an in-memory batch, an open store, a corpus directory —
+// cover every mode the tooling had grown separately; a custom Source
+// can stream jobs from anywhere that can express them as a pipeline
+// batch.
+type Source interface {
+	// Batch materializes the population to audit: shards (with their
+	// training material) and jobs in submission order. resolve maps
+	// stored shard metadata onto the auditor's known-good material;
+	// sources that already carry their binaries may ignore it. Batch
+	// must honor ctx: a canceled context aborts the (potentially
+	// disk-heavy) materialization with an error matching ErrCanceled.
+	Batch(ctx context.Context, resolve pipeline.ShardResolver) (*pipeline.Batch, error)
+}
+
+// batchSource adapts an in-memory batch.
+type batchSource struct{ b *pipeline.Batch }
+
+// FromBatch audits an in-memory batch as-is: its shards already carry
+// binaries, configurations, and training material, so the auditor's
+// registry and calibration options do not apply to it.
+func FromBatch(b *pipeline.Batch) Source { return batchSource{b} }
+
+func (s batchSource) Batch(ctx context.Context, _ pipeline.ShardResolver) (*pipeline.Batch, error) {
+	if s.b == nil {
+		return nil, fmt.Errorf("audit: nil batch")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &pipeline.CanceledError{Cause: context.Cause(ctx)}
+	}
+	return s.b, nil
+}
+
+// storeSource adapts an open persistent store.
+type storeSource struct{ st *store.Store }
+
+// FromStore audits a persistent corpus through an already-open store.
+// Shard metadata resolves through the auditor's registry; test traces
+// stream from disk as they are audited.
+func FromStore(st *store.Store) Source { return storeSource{st} }
+
+func (s storeSource) Batch(ctx context.Context, resolve pipeline.ShardResolver) (*pipeline.Batch, error) {
+	if s.st == nil {
+		return nil, fmt.Errorf("audit: nil store")
+	}
+	return pipeline.BatchFromStoreContext(ctx, s.st, resolve)
+}
+
+// dirSource opens a corpus directory lazily, at plan time.
+type dirSource struct{ dir string }
+
+// Dir audits the persistent corpus in a directory, opening its
+// manifest at plan time — the one-liner for "audit this spool".
+func Dir(dir string) Source { return dirSource{dir} }
+
+func (s dirSource) Batch(ctx context.Context, resolve pipeline.ShardResolver) (*pipeline.Batch, error) {
+	st, err := store.Open(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.BatchFromStoreContext(ctx, st, resolve)
+}

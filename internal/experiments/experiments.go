@@ -69,10 +69,11 @@ type Sizes struct {
 	CrossTrainSweep []int // calibration-training sizes to sweep
 
 	// Windowed-replay experiment.
-	ReplayWindowTraces  int   // labeled test traces
-	ReplayWindowPackets int   // packets per trace
-	ReplayWindowEvery   int   // checkpoint interval (outputs)
-	ReplayWindowSweep   []int // audited tail-window sizes (IPDs)
+	ReplayWindowTraces   int   // labeled test traces
+	ReplayWindowPackets  int   // packets per trace
+	ReplayWindowEvery    int   // checkpoint interval (outputs)
+	ReplayWindowSweep    []int // audited tail-window sizes (IPDs)
+	ReplayWindowAutoIPDs int   // auto-selection arm's window size (IPDs)
 }
 
 // DefaultSizes is the quick configuration used by tests and the
@@ -99,10 +100,11 @@ func DefaultSizes() Sizes {
 		CrossPackets:    60,
 		CrossTrainSweep: []int{2, 4},
 
-		ReplayWindowTraces:  24,
-		ReplayWindowPackets: 96,
-		ReplayWindowEvery:   16,
-		ReplayWindowSweep:   []int{8, 16, 32},
+		ReplayWindowTraces:   24,
+		ReplayWindowPackets:  96,
+		ReplayWindowEvery:    16,
+		ReplayWindowSweep:    []int{8, 16, 32},
+		ReplayWindowAutoIPDs: 32,
 	}
 }
 
@@ -129,10 +131,11 @@ func FullSizes() Sizes {
 		CrossPackets:    120,
 		CrossTrainSweep: []int{1, 2, 4, 8},
 
-		ReplayWindowTraces:  64,
-		ReplayWindowPackets: 400,
-		ReplayWindowEvery:   25,
-		ReplayWindowSweep:   []int{10, 25, 50, 100, 200},
+		ReplayWindowTraces:   64,
+		ReplayWindowPackets:  400,
+		ReplayWindowEvery:    25,
+		ReplayWindowSweep:    []int{10, 25, 50, 100, 200},
+		ReplayWindowAutoIPDs: 100,
 	}
 }
 

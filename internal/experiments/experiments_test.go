@@ -28,10 +28,11 @@ func tinySizes() Sizes {
 		CrossPackets:    50,
 		CrossTrainSweep: []int{2, 3},
 
-		ReplayWindowTraces:  8,
-		ReplayWindowPackets: 60,
-		ReplayWindowEvery:   12,
-		ReplayWindowSweep:   []int{10},
+		ReplayWindowTraces:   8,
+		ReplayWindowPackets:  60,
+		ReplayWindowEvery:    12,
+		ReplayWindowSweep:    []int{10},
+		ReplayWindowAutoIPDs: 24,
 	}
 }
 
@@ -318,11 +319,11 @@ func TestReplayWindowSpeedsUpWithoutDisagreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Points) != 2 {
-		t.Fatalf("points = %d, want baseline + 1 window", len(res.Points))
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want baseline + 1 window + auto arm", len(res.Points))
 	}
-	base, win := res.Points[0], res.Points[1]
-	if base.WindowIPDs != 0 || win.WindowIPDs != 10 {
+	base, win, auto := res.Points[0], res.Points[1], res.Points[2]
+	if base.WindowIPDs != 0 || win.WindowIPDs != 10 || !auto.Auto {
 		t.Fatalf("unexpected sweep shape: %+v", res.Points)
 	}
 	if win.Speedup <= 1.2 {
@@ -333,6 +334,21 @@ func TestReplayWindowSpeedsUpWithoutDisagreement(t *testing.T) {
 	}
 	if win.VerdictAgreement < 0.75 {
 		t.Fatalf("verdict agreement %.2f unexpectedly low for this channel mix", win.VerdictAgreement)
+	}
+	// The auto arm's contract is stronger than the trailing sweep's:
+	// it narrows only where the prefilter localizes the anomaly, so it
+	// must agree with the full audit on every trace — covert traces
+	// included — while replaying fewer IPDs overall.
+	if auto.VerdictAgreement != 1 || auto.CovertAgreement != 1 {
+		t.Fatalf("auto arm disagreement: verdicts %.2f covert %.2f\n%s",
+			auto.VerdictAgreement, auto.CovertAgreement, FormatReplayWindow(res))
+	}
+	if auto.CoverageFrac >= 1 || auto.Narrowed == 0 {
+		t.Fatalf("auto arm replayed %.0f%% of IPDs (narrowed %d traces); expected a real reduction\n%s",
+			auto.CoverageFrac*100, auto.Narrowed, FormatReplayWindow(res))
+	}
+	if auto.FalsePositives != base.FalsePositives {
+		t.Fatalf("auto windowing changed false positives: %d vs %d", auto.FalsePositives, base.FalsePositives)
 	}
 	if FormatReplayWindow(res) == "" {
 		t.Fatal("empty rendering")

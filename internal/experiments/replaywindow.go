@@ -1,32 +1,46 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"sanity/internal/audit"
 	"sanity/internal/fixtures"
 	"sanity/internal/pipeline"
 )
 
-// ReplayWindowPoint is one audited-window size against the full-audit
-// baseline over the same checkpointed corpus.
+// ReplayWindowPoint is one audited-window policy against the
+// full-audit baseline over the same checkpointed corpus.
 type ReplayWindowPoint struct {
-	// WindowIPDs is the trailing IPD window each trace was audited
-	// over; 0 marks the full-audit baseline row.
+	// WindowIPDs is the IPD window each trace was audited over; 0
+	// marks the full-audit baseline row.
 	WindowIPDs int
+	// Auto marks the auto-selection arm: the window is not a fixed
+	// trailing range but the per-trace region the CCE prefilter
+	// flagged, with whole-trace fallback when nothing stood out.
+	Auto bool
 
 	TracesPerSec float64
 	// Speedup is TracesPerSec over the full-audit baseline's.
 	Speedup float64
 
 	// VerdictAgreement is the fraction of traces whose binary verdict
-	// matches the full audit's. Windowing changes *coverage* (a
-	// delay outside the window is invisible by construction), never
-	// the correctness of what is covered, so agreement measures how
-	// representative a trailing window is of the whole trace for this
-	// channel mix.
+	// matches the full audit's; CovertAgreement restricts it to the
+	// covert-labeled traces — the population windowing could hurt.
+	// Trailing windows change *coverage* (a delay outside the window
+	// is invisible by construction); the auto arm narrows only where
+	// the statistics localize the anomaly and must therefore hold
+	// CovertAgreement at 1.0.
 	VerdictAgreement float64
+	CovertAgreement  float64
+
+	// Narrowed counts traces the auto prefilter narrowed; CoverageFrac
+	// is the fraction of all IPDs the TDR path replayed (1.0 for the
+	// baseline; the auto arm's measure of "fewer IPDs").
+	Narrowed     int
+	CoverageFrac float64
 
 	TruePositives  int
 	FalsePositives int
@@ -39,16 +53,19 @@ type ReplayWindowResult struct {
 	Traces          int
 	Packets         int
 	CheckpointEvery int
+	AutoWindowIPDs  int
 	Points          []ReplayWindowPoint
 }
 
 // ReplayWindow measures what checkpointed logs buy the audit hot
 // path: one labeled corpus is recorded with quiescence-boundary
-// checkpoints, then audited in full and with progressively narrower
-// trailing windows. Every windowed audit resumes each trace's replay
-// from the last checkpoint before its window and halts at the
-// window's end, so the per-trace replay cost shrinks from the whole
-// log to roughly window + checkpoint-interval outputs.
+// checkpoints, then audited in full, with progressively narrower
+// trailing windows, and through the auto-selection arm, where the
+// CCE-over-sliding-windows prefilter picks each trace's audited
+// range. Every windowed audit resumes each trace's replay from the
+// last checkpoint before its window and halts at the window's end,
+// so the per-trace replay cost shrinks from the whole log to roughly
+// window + checkpoint-interval outputs.
 func ReplayWindow(sizes Sizes, baseSeed uint64) (*ReplayWindowResult, error) {
 	batch, err := fixtures.CheckpointedAuditBatch(
 		sizes.ReplayWindowTraces, sizes.ReplayWindowPackets, sizes.ReplayWindowEvery, baseSeed)
@@ -59,6 +76,7 @@ func ReplayWindow(sizes Sizes, baseSeed uint64) (*ReplayWindowResult, error) {
 		Traces:          len(batch.Jobs),
 		Packets:         sizes.ReplayWindowPackets,
 		CheckpointEvery: sizes.ReplayWindowEvery,
+		AutoWindowIPDs:  sizes.ReplayWindowAutoIPDs,
 	}
 
 	run := func(window int) (*pipeline.Results, float64, error) {
@@ -80,7 +98,9 @@ func ReplayWindow(sizes Sizes, baseSeed uint64) (*ReplayWindowResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: replaywindow full audit: %w", err)
 	}
-	res.Points = append(res.Points, pointFrom(0, full, full, fullTps, fullTps))
+	base := pointFrom(0, full, full, fullTps, fullTps)
+	base.CoverageFrac = 1
+	res.Points = append(res.Points, base)
 
 	for _, w := range sizes.ReplayWindowSweep {
 		r, tps, err := run(w)
@@ -89,6 +109,35 @@ func ReplayWindow(sizes Sizes, baseSeed uint64) (*ReplayWindowResult, error) {
 		}
 		res.Points = append(res.Points, pointFrom(w, r, full, tps, fullTps))
 	}
+
+	// The auto-selection arm: plan (prefilter included in the timed
+	// cost — it is part of what an auto audit spends) and run.
+	auditor, err := audit.New(audit.WithWindow(audit.WindowAuto(sizes.ReplayWindowAutoIPDs)))
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	plan, err := auditor.Plan(context.Background(), audit.FromBatch(batch))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: replaywindow auto plan: %w", err)
+	}
+	r, err := plan.RunAll(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: replaywindow auto audit: %w", err)
+	}
+	elapsed := time.Since(start).Seconds()
+	tps := 0.0
+	if elapsed > 0 {
+		tps = float64(len(r.Verdicts)) / elapsed
+	}
+	p := pointFrom(sizes.ReplayWindowAutoIPDs, r, full, tps, fullTps)
+	p.Auto = true
+	info := plan.Info()
+	p.Narrowed = info.Narrowed
+	if info.TotalIPDs > 0 {
+		p.CoverageFrac = float64(info.AuditIPDs) / float64(info.TotalIPDs)
+	}
+	res.Points = append(res.Points, p)
 	return res, nil
 }
 
@@ -104,14 +153,24 @@ func pointFrom(window int, r, full *pipeline.Results, tps, fullTps float64) Repl
 	if fullTps > 0 {
 		p.Speedup = tps / fullTps
 	}
-	agree := 0
+	agree, covertAgree, covert := 0, 0, 0
 	for i := range r.Verdicts {
-		if r.Verdicts[i].Suspicious == full.Verdicts[i].Suspicious {
+		same := r.Verdicts[i].Suspicious == full.Verdicts[i].Suspicious
+		if same {
 			agree++
+		}
+		if full.Verdicts[i].Label == pipeline.LabelCovert {
+			covert++
+			if same {
+				covertAgree++
+			}
 		}
 	}
 	if n := len(r.Verdicts); n > 0 {
 		p.VerdictAgreement = float64(agree) / float64(n)
+	}
+	if covert > 0 {
+		p.CovertAgreement = float64(covertAgree) / float64(covert)
 	}
 	return p
 }
@@ -121,15 +180,23 @@ func FormatReplayWindow(r *ReplayWindowResult) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Windowed replay: %d traces x %d packets, checkpoints every %d outputs\n",
 		r.Traces, r.Packets, r.CheckpointEvery)
-	sb.WriteString("  window   traces/s   speedup   agree   TP  FP  TN  FN\n")
+	sb.WriteString("  window   traces/s   speedup   agree   covert-agree   TP  FP  TN  FN\n")
 	for _, p := range r.Points {
 		label := fmt.Sprintf("%6d", p.WindowIPDs)
 		if p.WindowIPDs == 0 {
 			label = "  full"
 		}
-		fmt.Fprintf(&sb, "  %s  %9.2f  %7.2fx  %5.1f%%  %3d %3d %3d %3d\n",
-			label, p.TracesPerSec, p.Speedup, p.VerdictAgreement*100,
+		if p.Auto {
+			label = fmt.Sprintf("auto%2d", p.WindowIPDs)
+		}
+		fmt.Fprintf(&sb, "  %s  %9.2f  %7.2fx  %5.1f%%  %12.1f%%  %3d %3d %3d %3d",
+			label, p.TracesPerSec, p.Speedup, p.VerdictAgreement*100, p.CovertAgreement*100,
 			p.TruePositives, p.FalsePositives, p.TrueNegatives, p.FalseNegatives)
+		if p.Auto {
+			fmt.Fprintf(&sb, "  (narrowed %d/%d traces, %.0f%% of IPDs replayed)",
+				p.Narrowed, r.Traces, p.CoverageFrac*100)
+		}
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sanity/internal/audit"
 	"sanity/internal/calib"
 	"sanity/internal/core"
 	"sanity/internal/detect"
@@ -146,8 +147,19 @@ func knownGood(program string, seed uint64) (*svm.Program, core.Config, error) {
 	return nil, core.Config{}, &UnknownShardError{Program: program}
 }
 
-// Resolver is the fixture registry's pipeline.ShardResolver: it maps
-// the program named by a stored shard onto the known-good binary and
+// KnownGood is the fixture registry in the audit package's Registry
+// shape: the trusted binaries and canonical replay configurations for
+// the programs the test corpora record (nfsd, echod). It is the
+// registry behind Resolver, CalibratedResolver, sanity.NewAuditor and
+// cmd/tdraudit. An unknown program fails with the typed
+// ErrUnknownShard.
+func KnownGood(program string, seed uint64) (*svm.Program, core.Config, error) {
+	return knownGood(program, seed)
+}
+
+// Resolver is the fixture registry's pipeline.ShardResolver: the one
+// resolution path of audit.ResolverFrom over KnownGood. It maps the
+// program named by a stored shard onto the known-good binary and
 // rebuilds the replay configuration for the named machine type, then
 // cross-checks that the corpus and the registry agree on the machine
 // and profile names. The auditor never loads binaries or file stores
@@ -155,45 +167,17 @@ func knownGood(program string, seed uint64) (*svm.Program, core.Config, error) {
 // auditor's own known-good material (paper §5.3). An unknown program
 // fails with ErrUnknownShard; a machine mismatch is a distinct error,
 // bridged only by CalibratedResolver.
-func Resolver(m store.ShardMeta) (pipeline.Resolved, error) {
-	prog, cfg, err := knownGood(m.Program, m.Seed)
-	if err != nil {
-		return pipeline.Resolved{}, err
-	}
-	if cfg.Machine.Name != m.Machine {
-		return pipeline.Resolved{}, fmt.Errorf("fixtures: shard %q wants machine %q, registry has %q for %s", m.Key, m.Machine, cfg.Machine.Name, m.Program)
-	}
-	if cfg.Profile.Name != m.Profile {
-		return pipeline.Resolved{}, fmt.Errorf("fixtures: shard %q wants profile %q, registry has %q for %s", m.Key, m.Profile, cfg.Profile.Name, m.Program)
-	}
-	return pipeline.Resolved{Prog: prog, Cfg: cfg}, nil
-}
+var Resolver = audit.ResolverFrom(KnownGood)
 
-// CalibratedResolver is the cross-machine audit mode's resolver: the
-// auditor owns machines of type `auditor` only, and models carries the
-// fitted time-dilation calibrations. Shards recorded on the auditor's
-// own machine type resolve as usual; shards recorded on a different
-// type resolve to the auditor's machine plus the pair's fitted
-// scale/slack — and refuse, with calib.ErrNoModel, any pair that was
-// never calibrated, so an uncalibrated audit can never produce silent
+// CalibratedResolver is the cross-machine audit mode's resolver
+// (audit.CalibratedResolverFrom over KnownGood): the auditor owns
+// machines of type `auditor` only, and models carries the fitted
+// time-dilation calibrations. Shards recorded on the auditor's own
+// machine type resolve as usual; shards recorded on a different type
+// resolve to the auditor's machine plus the pair's fitted scale/slack
+// — and refuse, with calib.ErrNoModel, any pair that was never
+// calibrated, so an uncalibrated audit can never produce silent
 // garbage verdicts.
 func CalibratedResolver(auditor hw.MachineSpec, models *calib.Set) pipeline.ShardResolver {
-	return func(m store.ShardMeta) (pipeline.Resolved, error) {
-		prog, cfg, err := knownGood(m.Program, m.Seed)
-		if err != nil {
-			return pipeline.Resolved{}, err
-		}
-		if cfg.Profile.Name != m.Profile {
-			return pipeline.Resolved{}, fmt.Errorf("fixtures: shard %q wants profile %q, registry has %q for %s", m.Key, m.Profile, cfg.Profile.Name, m.Program)
-		}
-		cfg.Machine = auditor
-		if m.Machine == auditor.Name {
-			return pipeline.Resolved{Prog: prog, Cfg: cfg}, nil
-		}
-		mod := models.Lookup(m.Program, m.Machine, auditor.Name)
-		if mod == nil {
-			return pipeline.Resolved{}, &calib.NoModelError{Program: m.Program, Recorded: m.Machine, Auditor: auditor.Name}
-		}
-		return pipeline.Resolved{Prog: prog, Cfg: cfg, TDRCalib: mod.Calibration(), TDRSlack: mod.Slack()}, nil
-	}
+	return audit.CalibratedResolverFrom(KnownGood, auditor, models)
 }

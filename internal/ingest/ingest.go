@@ -24,12 +24,20 @@
 // missing token earns exactly one ERR line and a closed connection,
 // so an unauthenticated peer can neither fill the spool nor probe the
 // validator.
+//
+// Per-connection quotas (Options.MaxTracesPerConn, MaxBytesPerConn)
+// bound what any one session may upload: the trace budget counts
+// every PUT attempt, the byte budget is charged against declared
+// payload sizes before a byte is read, and exceeding either earns
+// exactly one "ERR quota ..." line and a closed connection — the
+// typed ErrQuota on the client side.
 package ingest
 
 import (
 	"bufio"
 	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -59,7 +67,43 @@ type Options struct {
 	// networks, tests), and treats a client's AUTH as a no-op so a
 	// token-configured client can still talk to an open server.
 	Secret string
+	// MaxTracesPerConn caps how many traces one connection may PUT
+	// (accepted or rejected — a validator probe spends quota too).
+	// Exceeding it earns a single "ERR quota ..." reply and a closed
+	// connection. Zero means unlimited.
+	MaxTracesPerConn int
+	// MaxBytesPerConn caps the total payload bytes (SHARD and PUT
+	// declarations combined) one connection may upload. The check
+	// runs against the declared size before any payload byte is read,
+	// so an over-quota upload is refused without spooling it.
+	// Exceeding it earns a single "ERR quota ..." reply and a closed
+	// connection. Zero means unlimited.
+	MaxBytesPerConn int64
 }
+
+// ErrQuota is the sentinel matched by errors.Is when the server
+// closed a session for exceeding a per-connection quota — the typed
+// form the "ERR quota ..." protocol reply takes on the client side.
+var ErrQuota = errors.New("ingest: per-connection quota exceeded")
+
+// QuotaError is the typed form of ErrQuota: which quota tripped, as
+// reported by the server's ERR line. It unwraps to ErrQuota.
+type QuotaError struct {
+	// Detail is the server's reason ("traces: ...", "bytes: ...").
+	Detail string
+}
+
+// Error implements error.
+func (e *QuotaError) Error() string {
+	return "ingest: per-connection quota exceeded: " + e.Detail
+}
+
+// Unwrap makes errors.Is(err, ErrQuota) hold.
+func (e *QuotaError) Unwrap() error { return ErrQuota }
+
+// quotaPrefix marks a quota refusal on the wire; clients map it back
+// to the typed QuotaError.
+const quotaPrefix = "ERR quota "
 
 // Server accepts framed log uploads and spools them into a store.
 type Server struct {
@@ -175,6 +219,30 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	fmt.Fprintf(conn, "OK %s\n", Banner)
 	authed := s.opts.Secret == ""
+	// Per-connection quota accounting: payload bytes are charged
+	// against the declared size before they are read, traces against
+	// every PUT attempt. A refusal must still keep the protocol's
+	// one-reply-per-command shape readable by the client: the ERR
+	// line goes out first, then the declared payload is drained (the
+	// client writes it before reading any reply, so closing with
+	// unread bytes in the socket would turn the reply into a broken
+	// pipe or an RST) — mirroring the rejected-container path. The
+	// payload is never spooled or validated, only discarded.
+	var usedBytes int64
+	usedTraces := 0
+	refuseQuota := func(br *bufio.Reader, n int64, format string, args ...any) {
+		fmt.Fprintf(conn, quotaPrefix+format+"\n", args...)
+		io.CopyN(io.Discard, br, n)
+	}
+	chargeBytes := func(br *bufio.Reader, n int64) bool {
+		if s.opts.MaxBytesPerConn > 0 && usedBytes+n > s.opts.MaxBytesPerConn {
+			refuseQuota(br, n, "bytes: payload of %d would exceed the connection's %d-byte budget (%d used)",
+				n, s.opts.MaxBytesPerConn, usedBytes)
+			return false
+		}
+		usedBytes += n
+		return true
+	}
 	for {
 		line, err := readLine(br)
 		if err != nil {
@@ -205,6 +273,9 @@ func (s *Server) handle(conn net.Conn) {
 				fmt.Fprint(conn, errLine(err))
 				return
 			}
+			if !chargeBytes(br, n) {
+				return
+			}
 			buf := make([]byte, n)
 			if _, err := io.ReadFull(br, buf); err != nil {
 				return
@@ -223,6 +294,15 @@ func (s *Server) handle(conn net.Conn) {
 			n, err := parseSize(arg, maxContainer)
 			if err != nil {
 				fmt.Fprint(conn, errLine(err))
+				return
+			}
+			if s.opts.MaxTracesPerConn > 0 && usedTraces >= s.opts.MaxTracesPerConn {
+				refuseQuota(br, n, "traces: connection already uploaded its %d-trace budget",
+					s.opts.MaxTracesPerConn)
+				return
+			}
+			usedTraces++
+			if !chargeBytes(br, n) {
 				return
 			}
 			lr := io.LimitReader(br, n)
@@ -326,6 +406,9 @@ func PushAuth(addr string, st *store.Store, secret string) (*PushResult, error) 
 		if err != nil {
 			return nil, fmt.Errorf("ingest: shard %s: %w", sh.Key, err)
 		}
+		if qe := quotaReply(reply); qe != nil {
+			return res, fmt.Errorf("ingest: shard %s: %w", sh.Key, qe)
+		}
 		if !strings.HasPrefix(reply, "OK") {
 			return nil, fmt.Errorf("ingest: shard %s rejected: %s", sh.Key, reply)
 		}
@@ -369,6 +452,21 @@ func pushOne(conn net.Conn, br *bufio.Reader, st *store.Store, e store.Entry, re
 		res.Accepted++
 		return nil
 	}
+	// A quota refusal closes the session: surface it as the typed
+	// error instead of a per-trace rejection, so callers can tell "the
+	// server rejected this trace" from "the server cut us off".
+	if qe := quotaReply(reply); qe != nil {
+		return fmt.Errorf("ingest: upload %s: %w", e.ID, qe)
+	}
 	res.Rejected = append(res.Rejected, e.ID+": "+strings.TrimPrefix(reply, "ERR "))
+	return nil
+}
+
+// quotaReply maps a server "ERR quota ..." line onto the typed
+// QuotaError, or nil for any other reply.
+func quotaReply(reply string) *QuotaError {
+	if detail, ok := strings.CutPrefix(reply, quotaPrefix); ok {
+		return &QuotaError{Detail: detail}
+	}
 	return nil
 }

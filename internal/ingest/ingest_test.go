@@ -3,6 +3,7 @@ package ingest_test
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -263,6 +264,150 @@ func TestAuth(t *testing.T) {
 	// Only the authenticated session's traces made it into the spool.
 	if got := len(spool.Entries()); got != len(src.Entries()) {
 		t.Fatalf("spool holds %d traces, want %d", got, len(src.Entries()))
+	}
+}
+
+// startServerOpts is startServer with explicit server options.
+func startServerOpts(t testing.TB, dir string, opts ingest.Options) (*ingest.Server, *store.Store) {
+	t.Helper()
+	spool, err := store.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ingest.ListenOpts("127.0.0.1:0", spool, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, spool
+}
+
+// TestQuotaMaxTraces: a connection may PUT at most MaxTracesPerConn
+// traces; the next PUT earns the typed quota refusal and a closed
+// connection, with exactly the budgeted traces admitted.
+func TestQuotaMaxTraces(t *testing.T) {
+	src := exportSynthetic(t, filepath.Join(t.TempDir(), "src"))
+	srv, spool := startServerOpts(t, filepath.Join(t.TempDir(), "spool"),
+		ingest.Options{MaxTracesPerConn: 2})
+
+	_, err := ingest.Push(srv.Addr().String(), src)
+	if !errors.Is(err, ingest.ErrQuota) {
+		t.Fatalf("over-budget push error = %v, want ErrQuota", err)
+	}
+	var qe *ingest.QuotaError
+	if !errors.As(err, &qe) || !strings.Contains(qe.Detail, "traces") {
+		t.Fatalf("errors.As lost the quota detail: %v", err)
+	}
+	if got := len(spool.Entries()); got != 2 {
+		t.Fatalf("spool admitted %d traces, want exactly the 2-trace budget", got)
+	}
+}
+
+// TestQuotaMaxBytes: the byte budget is charged against the declared
+// payload size before any byte is read, so an over-quota container is
+// refused without being spooled.
+func TestQuotaMaxBytes(t *testing.T) {
+	src := exportSynthetic(t, filepath.Join(t.TempDir(), "src"))
+	// The shard JSON fits; the first ~2KB trace container does not.
+	srv, spool := startServerOpts(t, filepath.Join(t.TempDir(), "spool"),
+		ingest.Options{MaxBytesPerConn: 1024})
+
+	_, err := ingest.Push(srv.Addr().String(), src)
+	if !errors.Is(err, ingest.ErrQuota) {
+		t.Fatalf("over-budget push error = %v, want ErrQuota", err)
+	}
+	var qe *ingest.QuotaError
+	if !errors.As(err, &qe) || !strings.Contains(qe.Detail, "bytes") {
+		t.Fatalf("errors.As lost the quota detail: %v", err)
+	}
+	if got := len(spool.Entries()); got != 0 {
+		t.Fatalf("spool admitted %d traces despite the byte quota", got)
+	}
+}
+
+// TestQuotaProtocolRaw pins the wire behavior: exceeding a quota
+// earns exactly one "ERR quota" line and a closed connection, and the
+// budget is per connection — a fresh session starts from zero.
+func TestQuotaProtocolRaw(t *testing.T) {
+	srv, _ := startServerOpts(t, filepath.Join(t.TempDir(), "spool"),
+		ingest.Options{MaxTracesPerConn: 1})
+	addr := srv.Addr().String()
+
+	session := func() (net.Conn, *bufio.Reader) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		br := bufio.NewReader(conn)
+		fmt.Fprintf(conn, "%s\n", ingest.Banner)
+		if _, err := br.ReadString('\n'); err != nil {
+			t.Fatal(err)
+		}
+		return conn, br
+	}
+	spendBudget := func(conn net.Conn, br *bufio.Reader) {
+		t.Helper()
+		// A junk PUT spends a trace slot (rejected, connection lives).
+		junk := bytes.Repeat([]byte{0xEE}, 16)
+		fmt.Fprintf(conn, "PUT %d\n", len(junk))
+		conn.Write(junk)
+		if line, err := br.ReadString('\n'); err != nil || !strings.HasPrefix(line, "ERR") {
+			t.Fatalf("junk PUT reply %q err=%v", line, err)
+		}
+	}
+
+	conn, br := session()
+	spendBudget(conn, br)
+	fmt.Fprintf(conn, "PUT 16\n")
+	conn.Write(bytes.Repeat([]byte{0xEE}, 16)) // the refusal drains the declared payload
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "ERR quota") {
+		t.Fatalf("over-budget PUT reply %q err=%v, want ERR quota", line, err)
+	}
+	// The server hung up: the next read sees EOF, not another reply.
+	if extra, err := br.ReadString('\n'); err == nil {
+		t.Fatalf("connection still open after quota refusal, read %q", extra)
+	}
+
+	// A fresh connection gets a fresh budget.
+	conn2, br2 := session()
+	spendBudget(conn2, br2)
+	fmt.Fprintf(conn2, "DONE\n")
+	if line, err := br2.ReadString('\n'); err != nil || !strings.HasPrefix(line, "BYE") {
+		t.Fatalf("fresh session close reply %q err=%v", line, err)
+	}
+}
+
+// TestQuotaLargePayloadStillGetsReply: a refused PUT's payload is
+// drained before the connection closes, so the typed quota reply
+// survives even when the declared payload is far larger than any
+// socket buffer (the client writes the whole container before it
+// reads a reply).
+func TestQuotaLargePayloadStillGetsReply(t *testing.T) {
+	srv, _ := startServerOpts(t, filepath.Join(t.TempDir(), "spool"),
+		ingest.Options{MaxBytesPerConn: 1024})
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "%s\n", ingest.Banner)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	const size = 4 << 20 // well past any default socket buffer
+	fmt.Fprintf(conn, "PUT %d\n", size)
+	payload := bytes.Repeat([]byte{0xAB}, 64<<10)
+	for sent := 0; sent < size; sent += len(payload) {
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatalf("payload write failed at %d bytes: %v — server closed without draining", sent, err)
+		}
+	}
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "ERR quota") {
+		t.Fatalf("reply %q err=%v, want ERR quota", line, err)
 	}
 }
 

@@ -65,6 +65,12 @@ type Job struct {
 	// once. A load failure degrades to a per-job error verdict, not a
 	// batch failure. Load must be safe for concurrent use across jobs.
 	Load func() (*Trace, error)
+	// LoadIPDs, optionally set alongside Load, materializes only the
+	// job's inter-packet delays, skipping the (much larger) log and
+	// execution sections. Statistical prefilters — the audit planner's
+	// window selection — use it so planning a corpus never decodes a
+	// replay log. Optional; when nil, a prefilter falls back to Load.
+	LoadIPDs func() ([]int64, error)
 	// Window, when non-nil and the pipeline runs in windowed mode,
 	// overrides the audited IPD range for this job — e.g. the region a
 	// cheap statistical prefilter flagged. Nil selects the pipeline's
@@ -91,14 +97,16 @@ func (b *Batch) AddShard(s *Shard) {
 // Append adds a job.
 func (b *Batch) Append(j Job) { b.Jobs = append(b.Jobs, j) }
 
-// validate checks shard references before any worker starts.
+// validate checks shard references before any worker starts. Failures
+// are typed: errors.Is(err, ErrInvalidBatch) holds and errors.As
+// recovers the offending job through *BatchError.
 func (b *Batch) validate() error {
 	for i, j := range b.Jobs {
 		if j.Trace == nil && j.Load == nil {
-			return fmt.Errorf("pipeline: job %d (%q) has no trace and no loader", i, j.ID)
+			return &BatchError{Index: i, JobID: j.ID, Reason: "has no trace and no loader"}
 		}
 		if _, ok := b.Shards[j.Shard]; !ok {
-			return fmt.Errorf("pipeline: job %d (%q) references unknown shard %q", i, j.ID, j.Shard)
+			return &BatchError{Index: i, JobID: j.ID, Reason: fmt.Sprintf("references unknown shard %q", j.Shard)}
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -105,6 +106,7 @@ type Stream struct {
 
 	done    chan struct{}
 	results *Results
+	err     error
 }
 
 // Wait drains the verdict stream and returns the completed results.
@@ -115,13 +117,34 @@ func (s *Stream) Wait() *Results {
 	return s.results
 }
 
+// Err reports how the run ended: nil for a complete stream, a
+// CanceledError (matching ErrCanceled and the context cause via
+// errors.Is) when the run's context was canceled mid-batch. Valid
+// only after Wait returns or the Verdicts channel is closed.
+func (s *Stream) Err() error {
+	select {
+	case <-s.done:
+		return s.err
+	default:
+		return nil
+	}
+}
+
 // Run audits a batch to completion and returns the results.
 func (p *Pipeline) Run(b *Batch) (*Results, error) {
-	s, err := p.Go(b)
+	return p.RunContext(context.Background(), b)
+}
+
+// RunContext is Run under a context. On cancellation it returns the
+// partial results — the ordered prefix of the verdict stream — along
+// with a CanceledError.
+func (p *Pipeline) RunContext(ctx context.Context, b *Batch) (*Results, error) {
+	s, err := p.GoContext(ctx, b)
 	if err != nil {
 		return nil, err
 	}
-	return s.Wait(), nil
+	r := s.Wait()
+	return r, s.Err()
 }
 
 // Go starts auditing a batch and returns the verdict stream. Shard
@@ -129,11 +152,23 @@ func (p *Pipeline) Run(b *Batch) (*Results, error) {
 // benign traces, a bad binary) fails fast instead of surfacing
 // mid-stream.
 func (p *Pipeline) Go(b *Batch) (*Stream, error) {
+	return p.GoContext(context.Background(), b)
+}
+
+// GoContext is Go under a context, the cancellable form every other
+// entry point is a shim over. Cancellation is honored at every layer:
+// the scheduler stops dispatching chunks, each worker abandons its
+// queue (finishing at most the job it is on, so a verdict is never
+// half-built), and the collector closes the stream after emitting the
+// ordered prefix of verdicts that completed. The stream then reports
+// a CanceledError through Err. Verdicts already emitted are exactly
+// what a complete run would have emitted for those jobs.
+func (p *Pipeline) GoContext(ctx context.Context, b *Batch) (*Stream, error) {
 	if err := b.validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	auditors, err := p.train(b)
+	auditors, err := p.train(ctx, b)
 	if err != nil {
 		return nil, err
 	}
@@ -154,14 +189,24 @@ func (p *Pipeline) Go(b *Batch) (*Stream, error) {
 	runahead := (p.cfg.QueueDepth + p.cfg.Workers) * p.cfg.BatchSize
 	emitted := make(chan int, len(b.Jobs)+1)
 	go func() {
+		// The scheduler owns closing `in`: on cancellation it stops
+		// feeding and closes, so workers always see end-of-queue.
+		defer close(in)
 		watermark := 0
 		for _, c := range chunks {
 			for c.jobs[0].idx >= watermark+runahead {
-				watermark = <-emitted
+				select {
+				case watermark = <-emitted:
+				case <-ctx.Done():
+					return
+				}
 			}
-			in <- c
+			select {
+			case in <- c:
+			case <-ctx.Done():
+				return
+			}
 		}
-		close(in)
 	}()
 
 	var wg sync.WaitGroup
@@ -172,6 +217,12 @@ func (p *Pipeline) Go(b *Batch) (*Stream, error) {
 			for c := range in {
 				a := auditors[c.shard]
 				for _, ij := range c.jobs {
+					// Checked per job, not per chunk: a canceled run
+					// stops paying for replays as soon as the job in
+					// flight finishes.
+					if ctx.Err() != nil {
+						return
+					}
 					t0 := time.Now()
 					v := a.audit(ij.job, ij.idx)
 					v.latencyNs = time.Since(t0).Nanoseconds()
@@ -189,7 +240,9 @@ func (p *Pipeline) Go(b *Batch) (*Stream, error) {
 	s := &Stream{Verdicts: public, done: make(chan struct{}), results: &Results{}}
 	go func() {
 		// Reorder buffer: workers finish in any interleaving; verdicts
-		// leave in submission order.
+		// leave in submission order. On cancellation, verdicts past the
+		// first gap are dropped with their jobs — the emitted stream is
+		// always a prefix.
 		pending := make(map[int]Verdict)
 		next := 0
 		for v := range out {
@@ -207,9 +260,17 @@ func (p *Pipeline) Go(b *Batch) (*Stream, error) {
 			// Non-blocking by construction: capacity covers every job.
 			emitted <- next
 		}
+		if next < len(b.Jobs) {
+			if cause := context.Cause(ctx); cause != nil {
+				s.err = &CanceledError{Emitted: next, Cause: cause}
+			}
+		}
 		s.results.finish(time.Since(start).Nanoseconds(), p.cfg.Workers, p.cfg.BatchSize)
-		close(public)
+		// done closes before the verdict channel: a consumer that
+		// drains Verdicts may call Err immediately after, and must
+		// never observe a truncated stream as a nil error.
 		close(s.done)
+		close(public)
 	}()
 	return s, nil
 }
@@ -217,8 +278,9 @@ func (p *Pipeline) Go(b *Batch) (*Stream, error) {
 // train builds every shard's auditor, in parallel across shards (CCE
 // training and binary setup dominate batch startup for small
 // batches). Shards are processed in sorted-key order so error
-// reporting is deterministic.
-func (p *Pipeline) train(b *Batch) (map[string]*auditor, error) {
+// reporting is deterministic. A canceled context stops scheduling
+// further shards and fails the run before any verdict streams.
+func (p *Pipeline) train(ctx context.Context, b *Batch) (map[string]*auditor, error) {
 	keys := make([]string, 0, len(b.Shards))
 	for k := range b.Shards {
 		keys = append(keys, k)
@@ -234,6 +296,10 @@ func (p *Pipeline) train(b *Batch) (map[string]*auditor, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = &CanceledError{Cause: context.Cause(ctx)}
+				return
+			}
 			auditors[i], errs[i] = newAuditor(s, p.cfg)
 		}(i, b.Shards[k])
 	}

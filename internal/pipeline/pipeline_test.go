@@ -2,6 +2,8 @@ package pipeline_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -217,5 +219,30 @@ func TestMultiShard(t *testing.T) {
 	base := run(t, b, pipeline.Config{Workers: 1, BatchSize: 1}).Canonical()
 	if got := r.Canonical(); !bytes.Equal(base, got) {
 		t.Fatalf("multi-shard run not deterministic:\n%s\nvs\n%s", base, got)
+	}
+}
+
+// TestStreamErrAfterVerdictsClose pins the Err contract a canceled
+// run's direct consumer relies on: once the Verdicts channel closes,
+// Err immediately reports the truncation — never a nil that would
+// pass a partial stream off as complete.
+func TestStreamErrAfterVerdictsClose(t *testing.T) {
+	b := syntheticBatch()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := pipeline.New(pipeline.Config{Workers: 2}).GoContext(ctx, b)
+	if err != nil {
+		// Pre-canceled contexts may also fail at training time; that is
+		// an equally typed refusal.
+		if !errors.Is(err, pipeline.ErrCanceled) {
+			t.Fatalf("GoContext error = %v, want ErrCanceled", err)
+		}
+		return
+	}
+	for range s.Verdicts {
+	}
+	// No Wait(): the channel just closed, and Err must already be set.
+	if err := s.Err(); !errors.Is(err, pipeline.ErrCanceled) {
+		t.Fatalf("Err after Verdicts close = %v, want ErrCanceled", err)
 	}
 }

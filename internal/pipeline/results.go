@@ -146,6 +146,20 @@ func (r *Results) Canonical() []byte {
 	return []byte(sb.String())
 }
 
+// Collect folds an already-ordered verdict stream into Results,
+// recomputing the aggregate metrics — the bridge for consumers that
+// drained a plan's verdict iterator themselves and still want the
+// summary shape. elapsedNs is the caller-measured wall-clock time of
+// the run (0 leaves throughput unset).
+func Collect(verdicts []Verdict, workers, batchSize int, elapsedNs int64) *Results {
+	r := &Results{}
+	for _, v := range verdicts {
+		r.add(v)
+	}
+	r.finish(elapsedNs, workers, batchSize)
+	return r
+}
+
 // collect folds the verdict stream into Results, assuming verdicts
 // arrive already reordered (the collector goroutine guarantees it).
 func (r *Results) add(v Verdict) {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"sanity/internal/core"
@@ -58,12 +59,23 @@ func ParseLabel(s string) Label {
 // appear in manifest order, so verdicts over a store round-trip are
 // byte-identical to auditing the same corpus in memory.
 func BatchFromStore(st *store.Store, resolve ShardResolver) (*Batch, error) {
+	return BatchFromStoreContext(context.Background(), st, resolve)
+}
+
+// BatchFromStoreContext is BatchFromStore under a context: the
+// training-trace reads — the store loader's up-front disk work — stop
+// between containers when the context is canceled, returning a
+// CanceledError instead of a half-built batch.
+func BatchFromStoreContext(ctx context.Context, st *store.Store, resolve ShardResolver) (*Batch, error) {
 	shards := st.Shards()
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("pipeline: store %s has no shards", st.Dir())
 	}
 	b := &Batch{}
 	for _, sm := range shards {
+		if err := ctx.Err(); err != nil {
+			return nil, &CanceledError{Cause: context.Cause(ctx)}
+		}
 		training, err := st.TrainingIPDs(sm.Key)
 		if err != nil {
 			return nil, err
@@ -96,6 +108,9 @@ func BatchFromStore(st *store.Store, resolve ShardResolver) (*Batch, error) {
 			Load: func() (*Trace, error) {
 				_, tr, err := st.LoadTrace(file)
 				return tr, err
+			},
+			LoadIPDs: func() ([]int64, error) {
+				return st.LoadIPDs(file)
 			},
 		})
 	}

@@ -234,6 +234,26 @@ func CCE(symbols []int, q, maxM int) float64 {
 	return best
 }
 
+// SlidingCCE computes the corrected conditional entropy over every
+// window of `window` symbols, advanced by `step`: result[i] is
+// CCE(symbols[i*step : i*step+window], q, maxM). The final partial
+// window is dropped — a shorter window has a systematically different
+// entropy level and would need its own baseline. This is the audit
+// planner's prefilter primitive: a cheap scan that localizes where in
+// a trace the symbol sequence is most (ab)normal before any replay is
+// paid for.
+func SlidingCCE(symbols []int, q, maxM, window, step int) []float64 {
+	if window <= 0 || step <= 0 || len(symbols) < window {
+		return nil
+	}
+	n := (len(symbols)-window)/step + 1
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = CCE(symbols[i*step:i*step+window], q, maxM)
+	}
+	return out
+}
+
 // ROCPoint is one point of a receiver operating characteristic.
 type ROCPoint struct {
 	FPR float64

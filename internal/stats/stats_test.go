@@ -151,6 +151,56 @@ func TestCCERegularVsRandom(t *testing.T) {
 	}
 }
 
+func TestSlidingCCELocalizesRegularity(t *testing.T) {
+	// A random sequence with a strictly periodic middle section: the
+	// sliding scan must bottom out on the windows covering it.
+	r := hw.NewRNG(11)
+	symbols := make([]int, 600)
+	for i := range symbols {
+		symbols[i] = int(r.Int63n(4))
+	}
+	for i := 200; i < 400; i++ {
+		symbols[i] = i % 2
+	}
+	const window, step = 100, 50
+	scan := SlidingCCE(symbols, 4, 6, window, step)
+	if want := (len(symbols)-window)/step + 1; len(scan) != want {
+		t.Fatalf("scan has %d windows, want %d", len(scan), want)
+	}
+	lo := 0
+	for i, v := range scan {
+		if v < scan[lo] {
+			lo = i
+		}
+	}
+	from := lo * step
+	if from < 150 || from > 300 {
+		t.Fatalf("lowest-entropy window starts at %d, want inside the regular section [200,400): %v", from, scan)
+	}
+	// The fully-regular window is decisively below the random ones.
+	if scan[lo] > 0.3 {
+		t.Fatalf("regular window CCE %v, want near 0", scan[lo])
+	}
+}
+
+func TestSlidingCCEDegenerate(t *testing.T) {
+	if got := SlidingCCE([]int{1, 2, 3}, 4, 6, 5, 1); got != nil {
+		t.Fatalf("short input scan = %v, want nil", got)
+	}
+	if got := SlidingCCE([]int{1, 2, 3}, 4, 6, 0, 1); got != nil {
+		t.Fatalf("zero window scan = %v, want nil", got)
+	}
+	if got := SlidingCCE([]int{1, 2, 3}, 4, 6, 2, 0); got != nil {
+		t.Fatalf("zero step scan = %v, want nil", got)
+	}
+	// An exact fit yields exactly one window, equal to the whole-slice CCE.
+	s := []int{0, 1, 0, 1, 0, 1}
+	got := SlidingCCE(s, 4, 3, len(s), 1)
+	if len(got) != 1 || got[0] != CCE(s, 4, 3) {
+		t.Fatalf("exact-fit scan = %v, want one whole-slice CCE", got)
+	}
+}
+
 func TestROCPerfectDetector(t *testing.T) {
 	pos := []float64{10, 11, 12}
 	neg := []float64{1, 2, 3}

@@ -1,0 +1,64 @@
+package store
+
+import (
+	"math"
+	"sort"
+)
+
+// Checkpoint-interval autotuning bounds. The floor keeps a checkpoint
+// from landing on nearly every output of a short trace (each snapshot
+// costs a quiescence boundary at play time and container bytes
+// forever); the ceiling keeps at least a few resume points in any
+// trace long enough to be worth windowing.
+const (
+	MinCheckpointInterval = 4
+	MaxCheckpointInterval = 256
+)
+
+// AutoCheckpointInterval picks a checkpoint interval (in sent
+// packets) from a population of trace lengths (packets per trace).
+//
+// The trade it balances: a windowed audit resumes from the last
+// checkpoint at or before its window, so it replays interval/2 wasted
+// outputs on average — cost proportional to the interval — while the
+// recording pays one quiescence boundary and one state snapshot per
+// interval — cost proportional to n/interval. The total is minimized
+// at interval ~ sqrt(n); the factor sqrt(2) weights a stored snapshot
+// as roughly two replayed outputs, which matches the measured
+// snapshot sizes of the NFS fixture corpus. The median length decides
+// for a mixed population, so a few very long traces cannot starve the
+// typical trace of resume points.
+func AutoCheckpointInterval(lengths []int) int {
+	usable := make([]int, 0, len(lengths))
+	for _, n := range lengths {
+		if n > 0 {
+			usable = append(usable, n)
+		}
+	}
+	if len(usable) == 0 {
+		return MinCheckpointInterval
+	}
+	sort.Ints(usable)
+	median := usable[len(usable)/2]
+	interval := int(math.Round(math.Sqrt(2 * float64(median))))
+	if interval < MinCheckpointInterval {
+		interval = MinCheckpointInterval
+	}
+	if interval > MaxCheckpointInterval {
+		interval = MaxCheckpointInterval
+	}
+	return interval
+}
+
+// TraceLengths returns the IPD count of every admitted trace in the
+// manifest, in admission order — the trace-length statistics behind
+// checkpoint-interval autotuning (`tdraudit record -checkpoint-every
+// auto` over an existing corpus).
+func (s *Store) TraceLengths() []int {
+	entries := s.Entries()
+	out := make([]int, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.IPDs)
+	}
+	return out
+}

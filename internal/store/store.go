@@ -405,6 +405,20 @@ func (s *Store) LoadTrace(rel string) (Meta, *detect.Trace, error) {
 	return ReadTrace(f)
 }
 
+// LoadIPDs decodes only a trace's inter-packet delays by its
+// manifest-relative path, skipping the log and execution sections.
+// This is the prefilter fast path: statistical window selection over
+// a corpus reads every trace's delays without ever decoding a log.
+func (s *Store) LoadIPDs(rel string) ([]int64, error) {
+	f, err := s.OpenTrace(rel)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	_, ipds, err := ReadIPDs(f)
+	return ipds, err
+}
+
 // TrainingIPDs loads the IPDs of every training trace of a shard, in
 // manifest order, reading only the metadata and IPD sections of each
 // container.

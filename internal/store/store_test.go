@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -469,5 +470,68 @@ func TestManifestVersionFollowsContent(t *testing.T) {
 	}
 	if _, err := store.Open(dir); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("future manifest version accepted: %v", err)
+	}
+}
+
+// TestAutoCheckpointInterval pins the autotuning heuristic: interval
+// ~ sqrt(2n) of the median trace length, clamped to the supported
+// range, robust to outliers and degenerate inputs.
+func TestAutoCheckpointInterval(t *testing.T) {
+	cases := []struct {
+		name    string
+		lengths []int
+		want    int
+	}{
+		{"empty population defaults to the floor", nil, store.MinCheckpointInterval},
+		{"only nonpositive lengths default to the floor", []int{0, -3}, store.MinCheckpointInterval},
+		{"short traces clamp to the floor", []int{4, 5, 6}, store.MinCheckpointInterval},
+		{"the tooling's default corpus shape", []int{60, 60, 60}, 11},   // sqrt(120) ~ 10.95
+		{"paper-scale traces", []int{400, 400, 400}, 28},                // sqrt(800) ~ 28.3
+		{"median decides, not the mean", []int{60, 60, 60, 100000}, 11}, // one huge outlier
+		{"zero-length traces are ignored", []int{0, 60, 60, 0}, 11},     //
+		{"very long traces clamp to the ceiling", []int{10_000_000}, store.MaxCheckpointInterval},
+	}
+	for _, c := range cases {
+		if got := store.AutoCheckpointInterval(c.lengths); got != c.want {
+			t.Errorf("%s: AutoCheckpointInterval(%v) = %d, want %d", c.name, c.lengths, got, c.want)
+		}
+	}
+	// Monotone-ish sanity: longer traces never pick a smaller interval.
+	prev := 0
+	for n := 1; n <= 4096; n *= 2 {
+		got := store.AutoCheckpointInterval([]int{n})
+		if got < prev {
+			t.Fatalf("interval shrank from %d to %d as traces grew to %d packets", prev, got, n)
+		}
+		prev = got
+	}
+}
+
+// TestTraceLengths: the manifest carries each trace's IPD count, so
+// length statistics never re-read a container.
+func TestTraceLengths(t *testing.T) {
+	st, err := store.Create(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddShard(store.ShardMeta{Key: "s", Program: "p", Machine: "m", Profile: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range []int{5, 9, 3} {
+		tr := &detect.Trace{IPDs: make([]int64, n)}
+		meta := store.Meta{ID: fmt.Sprintf("t%d", i), Shard: "s", Role: store.RoleTest, Label: store.LabelUnknown}
+		if err := st.Put(meta, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := st.TraceLengths()
+	want := []int{5, 9, 3}
+	if len(got) != len(want) {
+		t.Fatalf("TraceLengths = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TraceLengths = %v, want %v", got, want)
+		}
 	}
 }

@@ -33,9 +33,14 @@
 package sanity
 
 import (
+	"context"
+
 	"sanity/internal/asm"
+	"sanity/internal/audit"
+	"sanity/internal/calib"
 	"sanity/internal/core"
 	"sanity/internal/detect"
+	"sanity/internal/fixtures"
 	"sanity/internal/hw"
 	"sanity/internal/pipeline"
 	"sanity/internal/replaylog"
@@ -197,11 +202,196 @@ const (
 	AuditLabelCovert  = pipeline.LabelCovert
 )
 
-// AuditPipeline is a reusable audit pipeline; one pipeline may run
-// many batches, sequentially or concurrently.
+// AuditPipeline is the legacy audit entry point, kept as a thin shim
+// over the Auditor path: its Run/Go methods delegate to the same
+// context-aware pipeline core that Auditor plans drive, with a
+// background context.
+//
+// Migration: replace
+//
+//	p := sanity.NewAuditPipeline(sanity.AuditConfig{Workers: 8, WindowIPDs: 16})
+//	results, err := p.Run(batch)
+//
+// with
+//
+//	a, _ := sanity.NewAuditor(sanity.WithWorkers(8), sanity.WithWindow(sanity.WindowTrailing(16)))
+//	plan, err := a.Plan(ctx, sanity.BatchSource(batch))
+//	results, err := plan.RunAll(ctx)
+//
+// and gain cancellation, streaming iteration (plan.Run), declarative
+// cross-machine calibration, and automatic window selection.
 type AuditPipeline = pipeline.Pipeline
 
-// NewAuditPipeline builds a concurrent audit pipeline.
+// NewAuditPipeline builds a concurrent audit pipeline. New code
+// should use NewAuditor; see AuditPipeline for the migration shape.
 func NewAuditPipeline(cfg AuditConfig) *AuditPipeline {
 	return pipeline.New(cfg)
 }
+
+// ---- Auditor sessions ----
+//
+// The Auditor is the one coherent audit surface: built once from
+// declarative options, it plans and runs audits over any trace
+// source. Windowing, calibration, and storage are properties of the
+// plan — not separate code paths — and runs stream verdicts under
+// real context cancellation.
+//
+//	auditor, _ := sanity.NewAuditor(
+//	    sanity.WithWorkers(8),
+//	    sanity.WithWindow(sanity.WindowAuto(0)),
+//	)
+//	plan, _ := auditor.Plan(ctx, sanity.CorpusDir("spool"))
+//	for v, err := range plan.Run(ctx) {
+//	    if err != nil { ... }       // e.g. ErrAuditCanceled
+//	    fmt.Println(v.JobID, v.Suspicious)
+//	}
+
+// Auditor is a reusable audit session configuration; see NewAuditor.
+type Auditor = audit.Auditor
+
+// AuditorOption configures an Auditor (WithWorkers, WithWindow, ...).
+type AuditorOption = audit.Option
+
+// AuditPlan is a resolved audit: shards mapped onto known-good
+// binaries, calibration applied, windows selected. Run streams
+// verdicts; RunAll collects them.
+type AuditPlan = audit.Plan
+
+// AuditPlanInfo summarizes a plan before any replay runs.
+type AuditPlanInfo = audit.PlanInfo
+
+// AuditSource is where a plan's traces come from (CorpusDir,
+// BatchSource, or a custom implementation).
+type AuditSource = audit.Source
+
+// AuditProgress is one planning/auditing milestone, delivered to the
+// WithProgress callback.
+type AuditProgress = audit.Progress
+
+// AuditWindowSpec is a plan's replay-window policy; build one with
+// WindowFull, WindowTrailing, or WindowAuto.
+type AuditWindowSpec = audit.Window
+
+// AuditIPDWindow is an explicit audited IPD range [From, To).
+type AuditIPDWindow = pipeline.IPDWindow
+
+// CalibrationSet is the auditor's fitted time-dilation models, the
+// unit calib.json artifacts persist; see LoadCalibrations.
+type CalibrationSet = calib.Set
+
+// NewAuditor builds an audit session over the library's known-good
+// program registry (the NFS and echo servers of the fixture corpora).
+// Options declare everything the old flag soup wired by hand: worker
+// pool (WithWorkers), thresholds (WithThresholds), replay windowing
+// (WithWindow), cross-machine calibration (WithAuditorMachine +
+// WithCalibration), a default corpus (WithStore), and progress
+// reporting (WithProgress).
+func NewAuditor(opts ...AuditorOption) (*Auditor, error) {
+	return audit.New(append([]audit.Option{audit.WithRegistry(fixtures.KnownGood)}, opts...)...)
+}
+
+// WithWorkers sets the audit worker-pool size (0 = GOMAXPROCS).
+func WithWorkers(n int) AuditorOption { return audit.WithWorkers(n) }
+
+// WithBatchSize sets the per-chunk job count of the scheduler.
+func WithBatchSize(n int) AuditorOption { return audit.WithBatchSize(n) }
+
+// WithQueueDepth bounds the scheduler's chunk queue (0 = 2x workers).
+func WithQueueDepth(n int) AuditorOption { return audit.WithQueueDepth(n) }
+
+// WithThresholds sets the TDR and statistical suspicion thresholds
+// (0 keeps either default: 0.05 and 3).
+func WithThresholds(tdr, stat float64) AuditorOption { return audit.WithThresholds(tdr, stat) }
+
+// WithWindow sets the plan's replay-window policy.
+func WithWindow(w AuditWindowSpec) AuditorOption { return audit.WithWindow(w) }
+
+// WithAuditorMachine declares the machine type the auditor owns,
+// enabling cross-machine audits through the calibration set.
+func WithAuditorMachine(m MachineSpec) AuditorOption { return audit.WithAuditorMachine(m) }
+
+// WithCalibration supplies fitted time-dilation models for
+// cross-machine resolution.
+func WithCalibration(set *CalibrationSet) AuditorOption { return audit.WithCalibration(set) }
+
+// WithProgress installs a (cheap, synchronous) progress callback.
+func WithProgress(fn func(AuditProgress)) AuditorOption { return audit.WithProgress(fn) }
+
+// WithStore sets the default corpus directory audited by
+// Plan(ctx, nil).
+func WithStore(dir string) AuditorOption { return audit.WithStore(dir) }
+
+// WindowFull audits every trace whole (the default).
+func WindowFull() AuditWindowSpec { return audit.WindowFull() }
+
+// WindowTrailing audits each trace's trailing n IPDs via windowed
+// replay; n <= 0 selects WindowFull, matching the legacy
+// Config.WindowIPDs zero meaning.
+func WindowTrailing(n int) AuditWindowSpec { return audit.WindowTrailing(n) }
+
+// WindowAuto audits the n-IPD range the CCE prefilter flags as most
+// suspicious per trace; traces with no statistical anomaly keep
+// whole-trace coverage. n <= 0 selects the default window size.
+func WindowAuto(n int) AuditWindowSpec { return audit.WindowAuto(n) }
+
+// CorpusDir audits the persistent corpus recorded or spooled in a
+// directory (`tdraudit record` / `tdraudit serve` output).
+func CorpusDir(dir string) AuditSource { return audit.Dir(dir) }
+
+// BatchSource audits an in-memory batch that already carries its
+// shards' binaries and training material.
+func BatchSource(b *AuditBatch) AuditSource { return audit.FromBatch(b) }
+
+// LoadCalibrations reads a corpus directory's calib.json artifact; a
+// missing artifact loads as an empty set, so audits needing a pair
+// fail with the typed ErrNoModel naming the fix.
+func LoadCalibrations(dir string) (*CalibrationSet, error) { return calib.Load(dir) }
+
+// SelectAuditWindow runs the CCE-over-sliding-windows prefilter
+// directly: train on a shard's benign traces, flag the most
+// suspicious size-IPD range of one trace. ok is false when nothing
+// stands out (audit the whole trace); the error matches ErrNoWindow
+// when selection cannot run at all.
+func SelectAuditWindow(training [][]int64, ipds []int64, size int) (w AuditIPDWindow, ok bool, err error) {
+	return audit.SelectWindow(training, ipds, size)
+}
+
+// MachineByName resolves a machine-type name ("optiplex9020",
+// "slower-t-prime") — the form machine types travel as in corpus
+// metadata and calibration artifacts.
+func MachineByName(name string) (MachineSpec, error) { return hw.MachineByName(name) }
+
+// AuditBatchFromDir loads a recorded corpus directory into an audit
+// batch against the library's known-good registry — the
+// store-to-pipeline bridge for callers that want the batch itself.
+// ctx cancels the underlying training-trace reads.
+func AuditBatchFromDir(ctx context.Context, dir string) (*AuditBatch, error) {
+	return audit.Dir(dir).Batch(ctx, fixtures.Resolver)
+}
+
+// ---- Typed audit failures ----
+//
+// Every refusal an audit can produce is errors.Is-matchable through
+// these sentinels, and errors.As recovers the typed detail structs.
+
+// ErrAuditCanceled matches a run canceled through its context before
+// every verdict was emitted (typed detail: pipeline CanceledError —
+// errors.Is against context.Canceled also holds).
+var ErrAuditCanceled = audit.ErrCanceled
+
+// ErrNoWindow matches a window selection that cannot run at all (no
+// benign baseline, no usable window size).
+var ErrNoWindow = audit.ErrNoWindow
+
+// ErrNoModel matches a cross-machine audit refused because the
+// machine pair was never calibrated.
+var ErrNoModel = calib.ErrNoModel
+
+// ErrUnknownShard matches a corpus naming a program the known-good
+// registry does not carry.
+var ErrUnknownShard = fixtures.ErrUnknownShard
+
+// ErrInvalidBatch matches a batch that cannot be audited as
+// submitted (a job without trace material or with a dangling shard
+// reference).
+var ErrInvalidBatch = pipeline.ErrInvalidBatch
