@@ -1,0 +1,136 @@
+// Command tdrauditd is the audit service: one long-running process
+// that accepts recorded corpora over the ingest protocol, audits each
+// trace as it lands (statistical detectors plus time-deterministic
+// replay against the known-good registry), and serves the verdicts —
+// the paper's cloud-verification scenario run as a daemon instead of
+// one-shot tdraudit invocations.
+//
+//	tdrauditd -dir spool                        # ingest :7070, http :7071
+//	tdrauditd -dir spool -secret s3cret         # authenticated ingest
+//	tdrauditd -dir spool -window auto -workers 8
+//
+// Push work to it with `tdraudit send -addr host:7070 -dir corpus`;
+// read results back over HTTP:
+//
+//	GET /verdicts            NDJSON verdict log (add ?follow=1 to tail)
+//	GET /corpora             spool status: traces by audit state
+//	GET /metrics             Prometheus text format
+//
+// SIGTERM (or Ctrl-C) shuts down in order: the ingest listener closes,
+// the in-flight audit plan is canceled — its ordered verdict prefix is
+// kept, unfinished traces stay claimed for the next start to reclaim —
+// HTTP drains, and the manifest is flushed. A restarted daemon never
+// re-audits a trace that already has a verdict.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"sanity/internal/audit"
+	"sanity/internal/daemon"
+	"sanity/internal/fixtures"
+	"sanity/internal/ingest"
+)
+
+func main() {
+	fs := flag.NewFlagSet("tdrauditd", flag.ExitOnError)
+	dir := fs.String("dir", "", "spool/store directory the daemon owns (required; created if missing)")
+	ingestAddr := fs.String("ingest", ":7070", "ingest listen address ('' disables the listener)")
+	httpAddr := fs.String("http", ":7071", "HTTP listen address for /verdicts, /corpora, /metrics ('' disables)")
+	secret := fs.String("secret", "", "shared secret ingest clients must present with AUTH (empty = open)")
+	idle := fs.Duration("idle-timeout", 2*time.Minute, "cut ingest connections that make no progress for this long (0 = never)")
+	maxTraces := fs.Int("max-traces-per-conn", 0, "per-connection trace quota (0 = unlimited)")
+	maxBytes := fs.Int64("max-bytes-per-conn", 0, "per-connection payload-byte quota (0 = unlimited)")
+	workers := fs.Int("workers", 0, "audit workers (0 = GOMAXPROCS)")
+	threshold := fs.Float64("threshold", 0.05, "TDR suspicion threshold (max relative IPD deviation)")
+	window := fs.String("window", "full", "replay-window policy: 'full', an IPD count N, or 'auto[:N]'")
+	poll := fs.Duration("poll", 2*time.Second, "spool sweep interval between ingest notifications")
+	fs.Parse(os.Args[1:])
+	if *dir == "" {
+		fatal(fmt.Errorf("-dir is required"))
+	}
+
+	w, err := parseWindow(*window)
+	if err != nil {
+		fatal(err)
+	}
+	auditor, err := audit.New(
+		audit.WithRegistry(fixtures.KnownGood),
+		audit.WithWorkers(*workers),
+		audit.WithThresholds(*threshold, 0),
+		audit.WithWindow(w),
+	)
+	if err != nil {
+		fatal(err)
+	}
+
+	d, err := daemon.New(daemon.Config{
+		Dir:        *dir,
+		Auditor:    auditor,
+		IngestAddr: *ingestAddr,
+		HTTPAddr:   *httpAddr,
+		Ingest: ingest.Options{
+			Secret:           *secret,
+			MaxTracesPerConn: *maxTraces,
+			MaxBytesPerConn:  *maxBytes,
+			IdleTimeout:      *idle,
+		},
+		Poll: *poll,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// SIGTERM/Ctrl-C triggers the ordered shutdown; a second signal
+	// kills the process the usual way (the registration drops once the
+	// context dies).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := d.Run(ctx); err != nil {
+		fatal(err)
+	}
+}
+
+// parseWindow maps the -window flag onto a window policy (same
+// grammar as tdraudit).
+func parseWindow(s string) (audit.Window, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "" || s == "full" || s == "0":
+		return audit.WindowFull(), nil
+	case s == "auto":
+		return audit.WindowAuto(0), nil
+	case strings.HasPrefix(s, "auto:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "auto:"))
+		if err != nil || n <= 0 {
+			return audit.Window{}, fmt.Errorf("bad -window %q: auto:N needs a positive IPD count", s)
+		}
+		return audit.WindowAuto(n), nil
+	default:
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return audit.Window{}, fmt.Errorf("bad -window %q: want 'full', an IPD count, or 'auto[:N]'", s)
+		}
+		if n == 0 {
+			return audit.WindowFull(), nil
+		}
+		return audit.WindowTrailing(n), nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tdrauditd: %v\n", err)
+	os.Exit(1)
+}

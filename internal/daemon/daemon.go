@@ -1,0 +1,382 @@
+// Package daemon is the audit-as-a-service deployment of the TDR
+// auditor: the paper's cloud-verification story (§5.2) — and the
+// audit-service framing of Aviram et al. and Determinating — as one
+// long-running process instead of one-shot CLI invocations.
+//
+// A Daemon owns a spool directory (a store corpus), embeds an ingest
+// server that fills it over TCP, and watches it: every trace that
+// lands is claimed in the manifest (pending → claimed → audited, so a
+// restarted or second daemon never audits a trace twice), audited
+// through a sanity Auditor plan, and its verdict recorded and served.
+// The HTTP surface exposes the verdict stream (GET /verdicts,
+// NDJSON), corpus status (GET /corpora), and Prometheus-format
+// metrics (GET /metrics).
+//
+// Shutdown is ordered: close ingest (no new corpora), cancel the
+// in-flight audit plan (the pipeline yields its ordered verdict
+// prefix and reclaims every goroutine — PR 5's cancellation machinery
+// exercised for real), then drain HTTP and flush the manifest.
+// Traces still claimed when the process dies are demoted back to
+// pending at the next startup and audited then.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"sanity/internal/audit"
+	"sanity/internal/ingest"
+	"sanity/internal/pipeline"
+	"sanity/internal/store"
+)
+
+// Config wires a Daemon.
+type Config struct {
+	// Dir is the spool/store directory the daemon owns (created if
+	// missing). Required.
+	Dir string
+	// Auditor audits every claimed corpus. Required; build it with
+	// audit.New (or sanity.NewAuditor) — workers, thresholds, window
+	// policy, and cross-machine calibration are all its options.
+	Auditor *audit.Auditor
+	// IngestAddr is the TCP address the embedded ingest server listens
+	// on (e.g. ":7070", "127.0.0.1:0"). Empty runs no ingest listener:
+	// the daemon only audits what the spool already holds or what
+	// lands through other means.
+	IngestAddr string
+	// HTTPAddr is the HTTP surface's listen address (e.g. ":7071").
+	// Empty runs no HTTP server.
+	HTTPAddr string
+	// Ingest tunes the embedded ingest server (secret, quotas, idle
+	// timeout). Its OnDone is owned by the daemon and must be nil.
+	Ingest ingest.Options
+	// Poll is how often the watcher sweeps the spool for pending
+	// traces even without an ingest completion notification (a corpus
+	// admitted mid-session, a previous daemon's reclaimed claims).
+	// Zero selects 2s.
+	Poll time.Duration
+	// VerdictRetention bounds how many verdicts GET /verdicts can
+	// replay from memory; the oldest are dropped past it. Metrics
+	// counters are lifetime and unaffected. Zero selects 4096.
+	VerdictRetention int
+	// Logf sinks the daemon's operational log lines. Nil selects
+	// log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Daemon is a running audit service; build one with New, drive it
+// with Run (or Start + Stop).
+type Daemon struct {
+	cfg     Config
+	st      *store.Store
+	auditor *audit.Auditor
+	logf    func(string, ...any)
+
+	met  *metrics
+	vlog *verdictLog
+	wake chan struct{}
+
+	ing     *ingest.Server
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	auditCtx    context.Context
+	cancelAudit context.CancelFunc
+	watchDone   chan struct{}
+
+	started  bool
+	stopOnce sync.Once
+	stopErr  error
+}
+
+// New opens (or creates) the spool store and assembles a daemon.
+// Claims left behind by a previous process are demoted back to
+// pending here, so interrupted audits resume at the next sweep —
+// while audited traces stay audited, never re-run.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("daemon: Config.Dir is required")
+	}
+	if cfg.Auditor == nil {
+		return nil, fmt.Errorf("daemon: Config.Auditor is required")
+	}
+	if cfg.Ingest.OnDone != nil {
+		return nil, fmt.Errorf("daemon: Config.Ingest.OnDone is owned by the daemon")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 2 * time.Second
+	}
+	if cfg.VerdictRetention <= 0 {
+		cfg.VerdictRetention = 4096
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	st, err := store.Create(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:       cfg,
+		st:        st,
+		auditor:   cfg.Auditor,
+		logf:      cfg.Logf,
+		met:       newMetrics(),
+		vlog:      newVerdictLog(cfg.VerdictRetention),
+		wake:      make(chan struct{}, 1),
+		watchDone: make(chan struct{}),
+	}
+	if n := st.ReclaimStale(); n > 0 {
+		d.logf("tdrauditd: reclaimed %d trace(s) claimed by a previous run", n)
+	}
+	return d, nil
+}
+
+// Store exposes the daemon's spool store (tests, embedding callers).
+func (d *Daemon) Store() *store.Store { return d.st }
+
+// IngestAddr is the bound address of the embedded ingest server, nil
+// when none is configured. Valid after Start.
+func (d *Daemon) IngestAddr() net.Addr {
+	if d.ing == nil {
+		return nil
+	}
+	return d.ing.Addr()
+}
+
+// HTTPAddr is the bound address of the HTTP surface, nil when none is
+// configured. Valid after Start.
+func (d *Daemon) HTTPAddr() net.Addr {
+	if d.httpLn == nil {
+		return nil
+	}
+	return d.httpLn.Addr()
+}
+
+// Start binds the listeners and launches the watcher. It returns as
+// soon as the daemon is serving; pair it with Stop.
+func (d *Daemon) Start() error {
+	if d.started {
+		return fmt.Errorf("daemon: already started")
+	}
+	d.started = true
+	if d.cfg.IngestAddr != "" {
+		opts := d.cfg.Ingest
+		opts.OnDone = d.notify
+		srv, err := ingest.ListenOpts(d.cfg.IngestAddr, d.st, opts)
+		if err != nil {
+			return err
+		}
+		d.ing = srv
+		d.logf("tdrauditd: ingest listening on %s", srv.Addr())
+	}
+	if d.cfg.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", d.cfg.HTTPAddr)
+		if err != nil {
+			if d.ing != nil {
+				d.ing.Close()
+			}
+			return fmt.Errorf("daemon: http listen %s: %w", d.cfg.HTTPAddr, err)
+		}
+		d.httpLn = ln
+		d.httpSrv = &http.Server{Handler: d.httpHandler()}
+		go d.httpSrv.Serve(ln)
+		d.logf("tdrauditd: http listening on %s", ln.Addr())
+	}
+	d.auditCtx, d.cancelAudit = context.WithCancel(context.Background())
+	go d.watch(d.auditCtx)
+	return nil
+}
+
+// Run starts the daemon and serves until ctx is canceled (SIGTERM in
+// cmd/tdrauditd), then performs the ordered shutdown and returns its
+// result.
+func (d *Daemon) Run(ctx context.Context) error {
+	if err := d.Start(); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	return d.Stop()
+}
+
+// Stop shuts the daemon down in order: stop ingest (no new corpora
+// land, in-flight uploads are cut), cancel the in-flight audit plan
+// (its ordered verdict prefix is recorded, the pipeline's goroutines
+// are reclaimed), release verdict followers, drain HTTP, and flush
+// the manifest so claimed/audited states persist. Safe to call
+// repeatedly and concurrently; every call returns the same result
+// after shutdown has fully completed.
+func (d *Daemon) Stop() error {
+	d.stopOnce.Do(func() {
+		var errs []error
+		if d.ing != nil {
+			if err := d.ing.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if d.cancelAudit != nil {
+			d.cancelAudit()
+			<-d.watchDone
+		}
+		d.vlog.close()
+		if d.httpSrv != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := d.httpSrv.Shutdown(sctx); err != nil {
+				errs = append(errs, err)
+			}
+			cancel()
+		}
+		if err := d.st.Flush(); err != nil {
+			errs = append(errs, err)
+		}
+		d.stopErr = errors.Join(errs...)
+	})
+	return d.stopErr
+}
+
+// notify wakes the watcher without blocking the ingest handler that
+// delivered the completion.
+func (d *Daemon) notify() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// watch is the daemon's main loop: sweep whatever is already pending,
+// then sleep until an ingest session completes, the poll interval
+// elapses, or the daemon stops.
+func (d *Daemon) watch(ctx context.Context) {
+	defer close(d.watchDone)
+	ticker := time.NewTicker(d.cfg.Poll)
+	defer ticker.Stop()
+	for {
+		d.sweep(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-d.wake:
+		case <-ticker.C:
+		}
+	}
+}
+
+// sweep claims every pending test trace and audits the claimed set as
+// one plan. Traces whose containers cannot even be opened are marked
+// failed (logged, skipped — a corrupt upload must never crash or
+// wedge the service); the rest stream through the auditor, each
+// verdict recorded in the log, the metrics, and the manifest.
+func (d *Daemon) sweep(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
+	claimed := d.st.ClaimPending()
+	if len(claimed) == 0 {
+		return
+	}
+	claimedAt := time.Now()
+	// Persist the claims before auditing: a crash from here on leaves
+	// "claimed" states on disk for the next startup to reclaim.
+	if err := d.st.Flush(); err != nil {
+		d.logf("tdrauditd: persisting claims: %v", err)
+	}
+
+	// Quarantine containers that cannot be read at all, so one corrupt
+	// landing cannot poison the whole sweep's plan.
+	good := claimed[:0]
+	for _, e := range claimed {
+		if _, err := d.st.LoadIPDs(e.File); err != nil {
+			d.logf("tdrauditd: skipping corrupt container %s (%s/%s): %v", e.File, e.Shard, e.ID, err)
+			d.failTrace(e)
+			continue
+		}
+		good = append(good, e)
+	}
+	if len(good) == 0 {
+		d.flushQuietly()
+		return
+	}
+	d.logf("tdrauditd: auditing %d claimed trace(s)", len(good))
+
+	// Verdicts name (shard, job ID); map them back to container files
+	// for the manifest's audit state.
+	files := make(map[string]string, len(good))
+	for _, e := range good {
+		files[e.Shard+"\x00"+e.ID] = e.File
+	}
+
+	plan, err := d.auditor.Plan(ctx, claimedSource{st: d.st, entries: good})
+	if err != nil {
+		if errors.Is(err, audit.ErrCanceled) || ctx.Err() != nil {
+			return // claims stay; the next startup reclaims them
+		}
+		// A plan that cannot resolve (unknown program, uncalibrated
+		// machine pair, unreadable training material) fails every
+		// trace it covered: terminal, logged, never retried in a loop.
+		d.logf("tdrauditd: planning failed, marking %d trace(s) failed: %v", len(good), err)
+		d.met.planFailure()
+		for _, e := range good {
+			d.failTrace(e)
+		}
+		d.flushQuietly()
+		return
+	}
+
+	canceled := false
+	for v, err := range plan.Run(ctx) {
+		if err != nil {
+			if errors.Is(err, audit.ErrCanceled) {
+				canceled = true
+			} else {
+				d.logf("tdrauditd: audit run: %v", err)
+			}
+			break
+		}
+		d.vlog.append(v)
+		d.met.observe(v, time.Since(claimedAt))
+		if file, ok := files[v.Shard+"\x00"+v.JobID]; ok {
+			if err := d.st.SetAuditState(file, store.AuditAudited); err != nil {
+				d.logf("tdrauditd: recording verdict for %s: %v", v.JobID, err)
+			}
+		}
+	}
+	if canceled {
+		d.logf("tdrauditd: audit canceled mid-plan; verdict prefix recorded, unfinished claims will be reclaimed")
+	}
+	d.flushQuietly()
+}
+
+// failTrace marks one claimed trace terminally failed.
+func (d *Daemon) failTrace(e store.Entry) {
+	d.met.corrupt()
+	if err := d.st.SetAuditState(e.File, store.AuditFailed); err != nil {
+		d.logf("tdrauditd: marking %s failed: %v", e.File, err)
+	}
+}
+
+// flushQuietly persists the manifest, logging (not propagating) any
+// failure — the daemon keeps serving on a transient disk error.
+func (d *Daemon) flushQuietly() {
+	if err := d.st.Flush(); err != nil {
+		d.logf("tdrauditd: flushing manifest: %v", err)
+	}
+}
+
+// claimedSource is the audit.Source over one sweep's claimed entries:
+// the auditor resolves and trains only the shards those entries
+// reference.
+type claimedSource struct {
+	st      *store.Store
+	entries []store.Entry
+}
+
+// Batch implements audit.Source.
+func (s claimedSource) Batch(ctx context.Context, resolve pipeline.ShardResolver) (*pipeline.Batch, error) {
+	return pipeline.BatchFromEntries(ctx, s.st, s.entries, resolve)
+}

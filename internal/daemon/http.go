@@ -1,0 +1,171 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"sanity/internal/ingest"
+	"sanity/internal/pipeline"
+)
+
+// verdictLog is the daemon's in-memory verdict history plus a
+// broadcast for followers. Appends never block on slow readers: each
+// append closes the current update channel and installs a fresh one,
+// so every follower wakes, snapshots what it has not yet sent, and
+// goes back to waiting — the goroutine-free follow pattern.
+type verdictLog struct {
+	mu       sync.Mutex
+	verdicts []pipeline.Verdict
+	// dropped counts verdicts rotated out of the retention window, so
+	// follower offsets stay stable across rotation.
+	dropped int
+	limit   int
+	updated chan struct{}
+	closed  bool
+}
+
+func newVerdictLog(limit int) *verdictLog {
+	return &verdictLog{limit: limit, updated: make(chan struct{})}
+}
+
+// append records a verdict and wakes every follower.
+func (l *verdictLog) append(v pipeline.Verdict) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.verdicts = append(l.verdicts, v)
+	if len(l.verdicts) > l.limit {
+		n := len(l.verdicts) - l.limit
+		l.verdicts = append([]pipeline.Verdict(nil), l.verdicts[n:]...)
+		l.dropped += n
+	}
+	close(l.updated)
+	l.updated = make(chan struct{})
+}
+
+// close wakes every follower one last time; snapshots after close
+// report done, so /verdicts?follow=1 streams terminate during
+// shutdown instead of outliving the daemon.
+func (l *verdictLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.updated)
+	l.updated = make(chan struct{})
+}
+
+// snapshot returns the verdicts at absolute offset from onward, the
+// next offset to resume from, a channel that closes on the next
+// append, and whether the log has closed. Offsets before the
+// retention window are clamped forward.
+func (l *verdictLog) snapshot(from int) (vs []pipeline.Verdict, next int, updated <-chan struct{}, done bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.dropped {
+		from = l.dropped
+	}
+	if i := from - l.dropped; i < len(l.verdicts) {
+		vs = append([]pipeline.Verdict(nil), l.verdicts[i:]...)
+	}
+	return vs, from + len(vs), l.updated, l.closed
+}
+
+// httpHandler assembles the daemon's HTTP surface.
+func (d *Daemon) httpHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /verdicts", d.handleVerdicts)
+	mux.HandleFunc("GET /corpora", d.handleCorpora)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	return mux
+}
+
+// handleVerdicts streams the verdict log as NDJSON — one verdict per
+// line in audit order, the same deterministic encoding tdraudit -json
+// emits. With ?follow=1 the response stays open and new verdicts are
+// flushed as they land, until the client disconnects or the daemon
+// shuts down.
+func (d *Daemon) handleVerdicts(w http.ResponseWriter, r *http.Request) {
+	follow := r.URL.Query().Get("follow") == "1"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	from := 0
+	for {
+		vs, next, updated, done := d.vlog.snapshot(from)
+		for _, v := range vs {
+			if err := enc.Encode(v); err != nil {
+				return
+			}
+		}
+		from = next
+		if len(vs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if !follow || done {
+			return
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// corpusStatus is one /corpora response.
+type corpusStatus struct {
+	Dir     string         `json:"dir"`
+	Shards  int            `json:"shards"`
+	Traces  int            `json:"traces"`
+	States  map[string]int `json:"states"`
+	Ingest  *ingest.Stats  `json:"ingest,omitempty"`
+	Audited uint64         `json:"audited"`
+}
+
+// handleCorpora reports the spool's audit-state census as JSON.
+func (d *Daemon) handleCorpora(w http.ResponseWriter, r *http.Request) {
+	states := d.st.AuditStates()
+	labeled := make(map[string]int, len(states))
+	total := 0
+	for k, n := range states {
+		labeled[stateLabel(k)] = n
+		total += n
+	}
+	d.met.mu.Lock()
+	audited := d.met.audited
+	d.met.mu.Unlock()
+	out := corpusStatus{
+		Dir:     d.st.Dir(),
+		Shards:  len(d.st.Shards()),
+		Traces:  total,
+		States:  labeled,
+		Audited: audited,
+	}
+	if d.ing != nil {
+		s := d.ing.Stats()
+		out.Ingest = &s
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		http.Error(w, fmt.Sprintf("encoding status: %v", err), http.StatusInternalServerError)
+	}
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var ing ingest.Stats
+	if d.ing != nil {
+		ing = d.ing.Stats()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, d.met.render(d.st.AuditStates(), ing))
+}

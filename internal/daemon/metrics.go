@@ -1,0 +1,129 @@
+package daemon
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"sanity/internal/ingest"
+	"sanity/internal/pipeline"
+	"sanity/internal/stats"
+	"sanity/internal/store"
+)
+
+// metrics is the daemon's lifetime instrumentation, rendered in
+// Prometheus text exposition format on GET /metrics. Hand-rolled — no
+// client library dependency — because the surface is a handful of
+// counters and two latency quantiles.
+type metrics struct {
+	mu sync.Mutex
+
+	audited      uint64 // traces that produced a verdict
+	suspicious   uint64
+	clean        uint64
+	errored      uint64 // verdicts carrying a detector error
+	corruptN     uint64 // claimed traces failed before auditing
+	planFailures uint64
+
+	// latencies holds claim→verdict wall times (seconds) for the
+	// quantile gauges, bounded so a long-lived daemon's scrape cost
+	// stays flat; the recent window is what an operator wants anyway.
+	latencies []float64
+}
+
+const latencyWindow = 4096
+
+func newMetrics() *metrics {
+	return &metrics{}
+}
+
+// observe records one verdict and its claim→verdict latency.
+func (m *metrics) observe(v pipeline.Verdict, lat time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.audited++
+	switch {
+	case v.Err != "":
+		m.errored++
+	case v.Suspicious:
+		m.suspicious++
+	default:
+		m.clean++
+	}
+	if len(m.latencies) >= latencyWindow {
+		m.latencies = m.latencies[1:]
+	}
+	m.latencies = append(m.latencies, lat.Seconds())
+}
+
+// corrupt records a claimed trace that failed before auditing.
+func (m *metrics) corrupt() {
+	m.mu.Lock()
+	m.corruptN++
+	m.mu.Unlock()
+}
+
+// planFailure records a sweep whose plan could not be built.
+func (m *metrics) planFailure() {
+	m.mu.Lock()
+	m.planFailures++
+	m.mu.Unlock()
+}
+
+// stateLabel maps the store's audit-state constants ("" = pending)
+// onto Prometheus label values.
+func stateLabel(state string) string {
+	if state == store.AuditPending {
+		return "pending"
+	}
+	return state
+}
+
+// render emits the Prometheus text format. states is the store's
+// audit-state census (keyed by the store constants), ing the embedded
+// ingest server's counters (zero when no listener is configured).
+func (m *metrics) render(states map[string]int, ing ingest.Stats) string {
+	m.mu.Lock()
+	audited, susp, clean, errored := m.audited, m.suspicious, m.clean, m.errored
+	corruptN, planFail := m.corruptN, m.planFailures
+	lat := append([]float64(nil), m.latencies...)
+	m.mu.Unlock()
+
+	var sb strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("tdrauditd_traces_audited_total", "Traces that produced a verdict.", audited)
+
+	fmt.Fprintf(&sb, "# HELP tdrauditd_verdicts_total Verdicts by outcome.\n# TYPE tdrauditd_verdicts_total counter\n")
+	fmt.Fprintf(&sb, "tdrauditd_verdicts_total{outcome=\"suspicious\"} %d\n", susp)
+	fmt.Fprintf(&sb, "tdrauditd_verdicts_total{outcome=\"clean\"} %d\n", clean)
+	fmt.Fprintf(&sb, "tdrauditd_verdicts_total{outcome=\"error\"} %d\n", errored)
+
+	counter("tdrauditd_traces_corrupt_total", "Claimed traces failed before auditing (unreadable container).", corruptN)
+	counter("tdrauditd_plan_failures_total", "Sweeps whose audit plan could not be built.", planFail)
+
+	fmt.Fprintf(&sb, "# HELP tdrauditd_audit_latency_seconds Claim-to-verdict latency quantiles over the recent window.\n# TYPE tdrauditd_audit_latency_seconds summary\n")
+	p50, p99 := 0.0, 0.0
+	if len(lat) > 0 {
+		p50 = stats.Percentile(lat, 0.5)
+		p99 = stats.Percentile(lat, 0.99)
+	}
+	fmt.Fprintf(&sb, "tdrauditd_audit_latency_seconds{quantile=\"0.5\"} %g\n", p50)
+	fmt.Fprintf(&sb, "tdrauditd_audit_latency_seconds{quantile=\"0.99\"} %g\n", p99)
+
+	queue := states[store.AuditPending] + states[store.AuditClaimed]
+	fmt.Fprintf(&sb, "# HELP tdrauditd_queue_depth Test traces awaiting a verdict (pending + claimed).\n# TYPE tdrauditd_queue_depth gauge\ntdrauditd_queue_depth %d\n", queue)
+
+	fmt.Fprintf(&sb, "# HELP tdrauditd_store_traces Admitted test traces by audit state.\n# TYPE tdrauditd_store_traces gauge\n")
+	for _, state := range []string{store.AuditPending, store.AuditClaimed, store.AuditAudited, store.AuditFailed} {
+		fmt.Fprintf(&sb, "tdrauditd_store_traces{state=%q} %d\n", stateLabel(state), states[state])
+	}
+
+	counter("tdrauditd_ingest_connections_total", "Ingest connections accepted.", ing.Conns)
+	counter("tdrauditd_ingest_bytes_total", "Payload bytes accepted over ingest.", ing.Bytes)
+	counter("tdrauditd_ingest_quota_rejections_total", "Ingest sessions or traces refused over quota.", ing.QuotaRejections)
+	counter("tdrauditd_ingest_idle_timeouts_total", "Ingest connections cut for lack of progress.", ing.IdleTimeouts)
+	return sb.String()
+}

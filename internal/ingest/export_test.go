@@ -1,0 +1,5 @@
+package ingest
+
+// ErrorFromReply exposes the client-side reply mapping to the
+// external test package: which ERR lines become typed session errors.
+var ErrorFromReply = sessionError

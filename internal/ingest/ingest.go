@@ -44,6 +44,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sanity/internal/store"
 )
@@ -79,6 +81,36 @@ type Options struct {
 	// Exceeding it earns a single "ERR quota ..." reply and a closed
 	// connection. Zero means unlimited.
 	MaxBytesPerConn int64
+	// IdleTimeout bounds how long a connection may sit without
+	// progressing: the deadline is refreshed before every read (each
+	// protocol line, each payload chunk) and every reply write, so a
+	// slow-but-moving upload never trips it while a half-open or
+	// stalled client — which would otherwise pin a handler goroutine
+	// and a quota slot for the life of the process — earns a single
+	// "ERR idle-timeout ..." reply and a closed connection (the typed
+	// ErrIdleTimeout on the client side). Zero disables the timeout
+	// (trusted networks, tests); long-running daemons should set it.
+	IdleTimeout time.Duration
+	// OnDone, when non-nil, is called after a session's DONE command
+	// has flushed the manifest — the "a corpus landed" notification a
+	// watching daemon audits on. It runs synchronously on the handler
+	// goroutine and must be cheap and non-blocking.
+	OnDone func()
+}
+
+// Stats is a snapshot of a server's lifetime counters.
+type Stats struct {
+	// Conns counts accepted connections.
+	Conns uint64
+	// Bytes counts accepted payload bytes: declared SHARD and PUT
+	// sizes actually admitted to the byte budget (refused payloads are
+	// drained but not counted).
+	Bytes uint64
+	// QuotaRejections counts sessions cut off for exceeding a
+	// per-connection quota.
+	QuotaRejections uint64
+	// IdleTimeouts counts sessions cut off by Options.IdleTimeout.
+	IdleTimeouts uint64
 }
 
 // ErrQuota is the sentinel matched by errors.Is when the server
@@ -105,6 +137,29 @@ func (e *QuotaError) Unwrap() error { return ErrQuota }
 // to the typed QuotaError.
 const quotaPrefix = "ERR quota "
 
+// ErrIdleTimeout is the sentinel matched by errors.Is when the server
+// cut a session off for idling past Options.IdleTimeout — the typed
+// form of the "ERR idle-timeout ..." protocol reply.
+var ErrIdleTimeout = errors.New("ingest: connection idle timeout")
+
+// IdleTimeoutError is the typed form of ErrIdleTimeout, carrying the
+// server's reason line. It unwraps to ErrIdleTimeout.
+type IdleTimeoutError struct {
+	// Detail is the server's reason ("no progress for 2m0s").
+	Detail string
+}
+
+// Error implements error.
+func (e *IdleTimeoutError) Error() string {
+	return "ingest: connection idle timeout: " + e.Detail
+}
+
+// Unwrap makes errors.Is(err, ErrIdleTimeout) hold.
+func (e *IdleTimeoutError) Unwrap() error { return ErrIdleTimeout }
+
+// timeoutPrefix marks an idle-timeout refusal on the wire.
+const timeoutPrefix = "ERR idle-timeout "
+
 // Server accepts framed log uploads and spools them into a store.
 type Server struct {
 	st   *store.Store
@@ -115,6 +170,14 @@ type Server struct {
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+
+	conns64   atomic.Uint64
+	bytes64   atomic.Uint64
+	quota64   atomic.Uint64
+	timeout64 atomic.Uint64
 }
 
 // Listen starts an ingest server on addr (e.g. ":7070" or
@@ -148,22 +211,37 @@ func ServeOpts(ln net.Listener, st *store.Store, opts Options) *Server {
 // Addr returns the bound address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops accepting, closes live connections, waits for handlers,
-// and flushes the manifest.
+// Stats snapshots the server's lifetime counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Conns:           s.conns64.Load(),
+		Bytes:           s.bytes64.Load(),
+		QuotaRejections: s.quota64.Load(),
+		IdleTimeouts:    s.timeout64.Load(),
+	}
+}
+
+// Close stops accepting, closes live connections, waits for handlers
+// AND the accept loop, and flushes the manifest. It is safe to call
+// from any number of goroutines: every call — not just the first —
+// returns only after the shutdown has fully completed, so "Close
+// returned" always means "no handler goroutine is left and the
+// manifest is on disk". (The first version returned early from
+// repeated calls, which let a daemon's ordered shutdown race its own
+// ingest teardown.)
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		for c := range s.conns {
+			c.Close()
+		}
 		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	s.ln.Close()
-	s.wg.Wait()
-	return s.st.Flush()
+		s.ln.Close()
+		s.wg.Wait()
+		s.closeErr = s.st.Flush()
+	})
+	return s.closeErr
 }
 
 func (s *Server) acceptLoop() {
@@ -173,6 +251,13 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		// On some platforms Accept can hand back a connection that was
+		// already queued when Close ran ln.Close() — or this goroutine
+		// can sit here, conn in hand, while Close walks the conns map.
+		// Either way the conn is not yet in the map, so Close cannot
+		// have closed it: re-checking the closed flag under the same
+		// lock Close takes guarantees every accepted connection is
+		// either registered (and thus closed by Close) or closed here.
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -182,6 +267,7 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.conns64.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
@@ -190,6 +276,36 @@ func (s *Server) acceptLoop() {
 			s.mu.Unlock()
 		}()
 	}
+}
+
+// idleConn enforces Options.IdleTimeout as a progress bound: the
+// deadline is pushed forward before every Read and Write, so any
+// moving transfer lives on while a stalled one fails with a timeout
+// at most IdleTimeout after its last progress. A zero timeout leaves
+// the connection deadline-free.
+type idleConn struct {
+	net.Conn
+	d time.Duration
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	if c.d > 0 {
+		c.Conn.SetReadDeadline(time.Now().Add(c.d))
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *idleConn) Write(p []byte) (int, error) {
+	if c.d > 0 {
+		c.Conn.SetWriteDeadline(time.Now().Add(c.d))
+	}
+	return c.Conn.Write(p)
+}
+
+// isTimeout reports whether an error is a connection deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // oneline folds any newlines out of text destined for a reply line,
@@ -209,11 +325,31 @@ func errLine(err error) string {
 	return "ERR " + oneline(err.Error()) + "\n"
 }
 
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+// bail ends a session after a fatal read failure. An idle-timeout
+// expiry earns the one typed ERR line the protocol promises (the
+// reply write refreshes the write deadline, so it goes out even
+// though the read side just expired); any other failure — peer gone,
+// connection closed by Close — ends the session silently as before.
+func (s *Server) bail(conn net.Conn, err error) {
+	if isTimeout(err) {
+		s.timeout64.Add(1)
+		fmt.Fprintf(conn, timeoutPrefix+"no progress for %s\n", s.opts.IdleTimeout)
+	}
+}
+
+func (s *Server) handle(raw net.Conn) {
+	defer raw.Close()
+	// Every read and reply goes through the idle-deadline wrapper: a
+	// protocol line, a payload chunk, a reply write each push the
+	// deadline forward, so only a genuinely stalled peer trips it.
+	conn := &idleConn{Conn: raw, d: s.opts.IdleTimeout}
 	br := bufio.NewReader(conn)
 	line, err := readLine(br)
 	if err != nil || line != Banner {
+		if err != nil && isTimeout(err) {
+			s.bail(conn, err)
+			return
+		}
 		fmt.Fprintf(conn, "ERR expected banner %s\n", Banner)
 		return
 	}
@@ -231,6 +367,7 @@ func (s *Server) handle(conn net.Conn) {
 	var usedBytes int64
 	usedTraces := 0
 	refuseQuota := func(br *bufio.Reader, n int64, format string, args ...any) {
+		s.quota64.Add(1)
 		fmt.Fprintf(conn, quotaPrefix+format+"\n", args...)
 		io.CopyN(io.Discard, br, n)
 	}
@@ -241,11 +378,13 @@ func (s *Server) handle(conn net.Conn) {
 			return false
 		}
 		usedBytes += n
+		s.bytes64.Add(uint64(n))
 		return true
 	}
 	for {
 		line, err := readLine(br)
 		if err != nil {
+			s.bail(conn, err)
 			return
 		}
 		cmd, arg, _ := strings.Cut(line, " ")
@@ -278,6 +417,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			buf := make([]byte, n)
 			if _, err := io.ReadFull(br, buf); err != nil {
+				s.bail(conn, err)
 				return
 			}
 			var m store.ShardMeta
@@ -310,6 +450,7 @@ func (s *Server) handle(conn net.Conn) {
 			// Always drain the declared payload so a rejected container
 			// does not desynchronize the command stream.
 			if _, err := io.Copy(io.Discard, lr); err != nil {
+				s.bail(conn, err)
 				return
 			}
 			if perr != nil {
@@ -323,6 +464,9 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			fmt.Fprintf(conn, "BYE %d\n", len(s.st.Entries()))
+			if s.opts.OnDone != nil {
+				s.opts.OnDone()
+			}
 			return
 		default:
 			fmt.Fprintf(conn, "ERR unknown command %q\n", cmd)
@@ -406,8 +550,8 @@ func PushAuth(addr string, st *store.Store, secret string) (*PushResult, error) 
 		if err != nil {
 			return nil, fmt.Errorf("ingest: shard %s: %w", sh.Key, err)
 		}
-		if qe := quotaReply(reply); qe != nil {
-			return res, fmt.Errorf("ingest: shard %s: %w", sh.Key, qe)
+		if se := sessionError(reply); se != nil {
+			return res, fmt.Errorf("ingest: shard %s: %w", sh.Key, se)
 		}
 		if !strings.HasPrefix(reply, "OK") {
 			return nil, fmt.Errorf("ingest: shard %s rejected: %s", sh.Key, reply)
@@ -452,11 +596,12 @@ func pushOne(conn net.Conn, br *bufio.Reader, st *store.Store, e store.Entry, re
 		res.Accepted++
 		return nil
 	}
-	// A quota refusal closes the session: surface it as the typed
-	// error instead of a per-trace rejection, so callers can tell "the
-	// server rejected this trace" from "the server cut us off".
-	if qe := quotaReply(reply); qe != nil {
-		return fmt.Errorf("ingest: upload %s: %w", e.ID, qe)
+	// A quota or idle-timeout refusal closes the session: surface it
+	// as the typed error instead of a per-trace rejection, so callers
+	// can tell "the server rejected this trace" from "the server cut
+	// us off".
+	if se := sessionError(reply); se != nil {
+		return fmt.Errorf("ingest: upload %s: %w", e.ID, se)
 	}
 	res.Rejected = append(res.Rejected, e.ID+": "+strings.TrimPrefix(reply, "ERR "))
 	return nil
@@ -467,6 +612,19 @@ func pushOne(conn net.Conn, br *bufio.Reader, st *store.Store, e store.Entry, re
 func quotaReply(reply string) *QuotaError {
 	if detail, ok := strings.CutPrefix(reply, quotaPrefix); ok {
 		return &QuotaError{Detail: detail}
+	}
+	return nil
+}
+
+// sessionError maps a server reply that ends the whole session —
+// quota exceeded, idle timeout — onto its typed error, or nil for a
+// per-trace rejection or success.
+func sessionError(reply string) error {
+	if qe := quotaReply(reply); qe != nil {
+		return qe
+	}
+	if detail, ok := strings.CutPrefix(reply, timeoutPrefix); ok {
+		return &IdleTimeoutError{Detail: detail}
 	}
 	return nil
 }

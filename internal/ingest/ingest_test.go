@@ -5,12 +5,15 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sanity/internal/fixtures"
 	"sanity/internal/ingest"
@@ -518,5 +521,188 @@ func TestStoreIngestAuditRoundTrip(t *testing.T) {
 			t.Fatalf("store round trip diverged at workers=%d:\n--- in-memory\n%s--- store\n%s",
 				cfg.Workers, base.Canonical(), got.Canonical())
 		}
+	}
+}
+
+// TestIdleClientTimedOut: a client that connects and goes silent must
+// not pin a handler goroutine (and its quota slot) forever. With
+// IdleTimeout set, the server answers the stall with exactly one
+// typed "ERR idle-timeout ..." line and closes the connection — in
+// both the mid-command and mid-payload positions.
+func TestIdleClientTimedOut(t *testing.T) {
+	const idle = 150 * time.Millisecond
+	srv, _ := startServerOpts(t, filepath.Join(t.TempDir(), "spool"),
+		ingest.Options{IdleTimeout: idle})
+
+	t.Run("silent after banner", func(t *testing.T) {
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		fmt.Fprintf(conn, "%s\n", ingest.Banner)
+		br := bufio.NewReader(conn)
+		if reply, err := br.ReadString('\n'); err != nil || !strings.HasPrefix(reply, "OK") {
+			t.Fatalf("banner reply %q err=%v", reply, err)
+		}
+		// Go silent: the server must give up on its own.
+		start := time.Now()
+		rest, _ := io.ReadAll(br)
+		if got := string(rest); !strings.Contains(got, "ERR idle-timeout") {
+			t.Fatalf("silent connection ended with %q, want an idle-timeout ERR", got)
+		}
+		if waited := time.Since(start); waited > 10*idle {
+			t.Fatalf("server took %v to cut a silent client off (timeout %v)", waited, idle)
+		}
+	})
+
+	t.Run("stalled mid payload", func(t *testing.T) {
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		fmt.Fprintf(conn, "%s\n", ingest.Banner)
+		br := bufio.NewReader(conn)
+		if reply, err := br.ReadString('\n'); err != nil || !strings.HasPrefix(reply, "OK") {
+			t.Fatalf("banner reply %q err=%v", reply, err)
+		}
+		// Declare a payload, send half of it, stall.
+		fmt.Fprintf(conn, "PUT 1000\n")
+		conn.Write(bytes.Repeat([]byte{0xAB}, 500))
+		rest, _ := io.ReadAll(br)
+		if got := string(rest); !strings.Contains(got, "ERR idle-timeout") {
+			t.Fatalf("stalled upload ended with %q, want an idle-timeout ERR", got)
+		}
+	})
+
+	t.Run("slow but moving upload survives", func(t *testing.T) {
+		// Each chunk arrives well inside the idle window but the whole
+		// transfer takes several windows: progress must keep it alive.
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		fmt.Fprintf(conn, "%s\n", ingest.Banner)
+		br := bufio.NewReader(conn)
+		if reply, err := br.ReadString('\n'); err != nil || !strings.HasPrefix(reply, "OK") {
+			t.Fatalf("banner reply %q err=%v", reply, err)
+		}
+		const total = 600
+		fmt.Fprintf(conn, "PUT %d\n", total)
+		for sent := 0; sent < total; sent += 100 {
+			if _, err := conn.Write(bytes.Repeat([]byte{0xCD}, 100)); err != nil {
+				t.Fatalf("write at %d bytes: %v", sent, err)
+			}
+			time.Sleep(idle / 3)
+		}
+		// The junk payload is rejected per-trace — but over a live
+		// connection, which is the point.
+		reply, err := br.ReadString('\n')
+		if err != nil || !strings.HasPrefix(reply, "ERR") || strings.Contains(reply, "idle-timeout") {
+			t.Fatalf("slow upload got %q err=%v, want a per-trace ERR, not a timeout", reply, err)
+		}
+		fmt.Fprintf(conn, "DONE\n")
+		if reply, err := br.ReadString('\n'); err != nil || !strings.HasPrefix(reply, "BYE") {
+			t.Fatalf("DONE reply %q err=%v", reply, err)
+		}
+	})
+
+	if s := srv.Stats(); s.IdleTimeouts != 2 {
+		t.Fatalf("Stats.IdleTimeouts = %d, want 2", s.IdleTimeouts)
+	}
+}
+
+// TestIdleTimeoutTypedOnClient: the wire-level timeout refusal maps
+// onto the typed ErrIdleTimeout on the client side, the way quota
+// refusals map onto ErrQuota.
+func TestIdleTimeoutTypedOnClient(t *testing.T) {
+	if se := ingest.ErrorFromReply("ERR idle-timeout no progress for 2m0s"); !errors.Is(se, ingest.ErrIdleTimeout) {
+		t.Fatalf("timeout reply did not map to ErrIdleTimeout: %v", se)
+	}
+	var te *ingest.IdleTimeoutError
+	if se := ingest.ErrorFromReply("ERR idle-timeout no progress for 2m0s"); !errors.As(se, &te) || te.Detail != "no progress for 2m0s" {
+		t.Fatalf("typed detail lost: %v", se)
+	}
+	if se := ingest.ErrorFromReply("ERR something else"); se != nil {
+		t.Fatalf("unrelated ERR mapped to a session error: %v", se)
+	}
+	if se := ingest.ErrorFromReply("ERR quota traces: over budget"); !errors.Is(se, ingest.ErrQuota) {
+		t.Fatalf("quota reply did not map to ErrQuota: %v", se)
+	}
+}
+
+// TestServerCloseIdempotentAndConcurrent: every Close call — first,
+// repeated, concurrent — returns only after shutdown has fully
+// completed, and a connection accepted while Close runs is closed,
+// never leaked. Run under -race, this is the close/accept
+// interleaving audit.
+func TestServerCloseIdempotentAndConcurrent(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		spool, err := store.Create(filepath.Join(t.TempDir(), fmt.Sprintf("spool-%d", round)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ingest.Listen("127.0.0.1:0", spool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := srv.Addr().String()
+
+		// Dialers hammer the listener while Close races them.
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					conn, err := net.Dial("tcp", addr)
+					if err != nil {
+						return // listener closed
+					}
+					fmt.Fprintf(conn, "%s\n", ingest.Banner)
+					br := bufio.NewReader(conn)
+					br.ReadString('\n')
+					conn.Close()
+				}
+			}()
+		}
+
+		// Several goroutines close concurrently; each must observe the
+		// fully-shut-down server when its call returns.
+		var closers sync.WaitGroup
+		for i := 0; i < 3; i++ {
+			closers.Add(1)
+			go func() {
+				defer closers.Done()
+				if err := srv.Close(); err != nil {
+					t.Errorf("Close: %v", err)
+				}
+			}()
+		}
+		closers.Wait()
+		// After any Close returns, the manifest must be on disk.
+		if _, err := store.Open(spool.Dir()); err != nil {
+			t.Fatalf("round %d: manifest not flushed when Close returned: %v", round, err)
+		}
+		close(stop)
+		wg.Wait()
+	}
+	// No handler, accept-loop, or dialer goroutines may survive.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
 	}
 }

@@ -100,19 +100,71 @@ func BatchFromStoreContext(ctx context.Context, st *store.Store, resolve ShardRe
 		if _, ok := b.Shards[e.Shard]; !ok {
 			return nil, fmt.Errorf("pipeline: trace %q references unregistered shard %q", e.ID, e.Shard)
 		}
-		file := e.File
-		b.Append(Job{
-			ID:    e.ID,
-			Shard: e.Shard,
-			Label: ParseLabel(e.Label),
-			Load: func() (*Trace, error) {
-				_, tr, err := st.LoadTrace(file)
-				return tr, err
-			},
-			LoadIPDs: func() ([]int64, error) {
-				return st.LoadIPDs(file)
-			},
-		})
+		b.Append(storeJob(st, e))
+	}
+	return b, nil
+}
+
+// storeJob renders one manifest entry as a lazily-loaded audit job.
+func storeJob(st *store.Store, e store.Entry) Job {
+	file := e.File
+	return Job{
+		ID:    e.ID,
+		Shard: e.Shard,
+		Label: ParseLabel(e.Label),
+		Load: func() (*Trace, error) {
+			_, tr, err := st.LoadTrace(file)
+			return tr, err
+		},
+		LoadIPDs: func() ([]int64, error) {
+			return st.LoadIPDs(file)
+		},
+	}
+}
+
+// BatchFromEntries builds a batch over an explicit subset of a
+// store's manifest entries — the audit daemon's claim path: it claims
+// pending traces, then audits exactly those, in the given order.
+// Unlike BatchFromStoreContext, only the shards the entries actually
+// reference are resolved and trained, so a sweep over two new traces
+// never re-reads every shard's training material. Non-test entries
+// are skipped.
+func BatchFromEntries(ctx context.Context, st *store.Store, entries []store.Entry, resolve ShardResolver) (*Batch, error) {
+	shardMeta := make(map[string]store.ShardMeta)
+	for _, sm := range st.Shards() {
+		shardMeta[sm.Key] = sm
+	}
+	b := &Batch{}
+	for _, e := range entries {
+		if e.Role != store.RoleTest {
+			continue
+		}
+		if _, ok := b.Shards[e.Shard]; !ok {
+			if err := ctx.Err(); err != nil {
+				return nil, &CanceledError{Cause: context.Cause(ctx)}
+			}
+			sm, ok := shardMeta[e.Shard]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: trace %q references unregistered shard %q", e.ID, e.Shard)
+			}
+			training, err := st.TrainingIPDs(sm.Key)
+			if err != nil {
+				return nil, err
+			}
+			sh := &Shard{Key: sm.Key, Training: training}
+			if resolve != nil {
+				r, err := resolve(sm)
+				if err != nil {
+					return nil, fmt.Errorf("pipeline: resolving shard %q: %w", sm.Key, err)
+				}
+				sh.Prog = r.Prog
+				sh.Cfg = r.Cfg
+				sh.TDRCalib = r.TDRCalib
+				sh.TDRSlack = r.TDRSlack
+			}
+			b.AddShard(sh)
+		}
+		b.Append(storeJob(st, e))
 	}
 	return b, nil
 }

@@ -33,10 +33,34 @@ type ShardMeta struct {
 	Seed    uint64 `json:"seed"`
 }
 
+// Audit states a manifest entry moves through. The zero value
+// (AuditPending) is what every entry starts as — and what every
+// pre-daemon manifest decodes to, so old corpora need no migration:
+// their traces simply look unaudited.
+const (
+	// AuditPending marks a trace no auditor has picked up.
+	AuditPending = ""
+	// AuditClaimed marks a trace an auditor has taken but not yet
+	// finished — in-flight work. A claim that outlives its daemon
+	// (crash, SIGKILL) is demoted back to pending by ReclaimStale.
+	AuditClaimed = "claimed"
+	// AuditAudited marks a trace with a delivered verdict. Terminal:
+	// a restarted or second daemon never re-audits it.
+	AuditAudited = "audited"
+	// AuditFailed marks a trace whose container could not be audited
+	// at all (corrupt on disk, unresolvable shard). Terminal, so a
+	// poisoned container cannot wedge a daemon into a retry loop.
+	AuditFailed = "failed"
+)
+
 // Entry is one manifest line: a trace container and its metadata.
 type Entry struct {
 	// File is the container path relative to the store directory.
 	File string `json:"file"`
+	// Audit is the entry's audit state (AuditPending/Claimed/
+	// Audited/Failed); omitted from JSON while pending, so manifests
+	// written before audit state existed round-trip unchanged.
+	Audit string `json:"audit,omitempty"`
 	Meta
 }
 
@@ -161,6 +185,93 @@ func (s *Store) admittedLocked() []Entry {
 	return out
 }
 
+// ClaimPending atomically transitions every fully admitted, pending
+// test trace to AuditClaimed and returns the claimed entries (with
+// their new state) in manifest order. A trace is claimed exactly once:
+// a second call — or a second daemon sharing this Store — gets only
+// traces admitted since. Training traces are never claimed; they are
+// baseline material, not audit subjects. The claim lives in the
+// in-memory manifest until Flush persists it.
+func (s *Store) ClaimPending() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Entry
+	for i := range s.manifest.Traces {
+		e := &s.manifest.Traces[i]
+		if _, busy := s.pending[e.File]; busy {
+			continue
+		}
+		if e.Role != RoleTest || e.Audit != AuditPending {
+			continue
+		}
+		e.Audit = AuditClaimed
+		out = append(out, *e)
+	}
+	return out
+}
+
+// SetAuditState records a trace's audit state by its manifest-relative
+// container path and rewrites the sidecar so the on-disk twin agrees.
+// The state must be one of the Audit* constants; the entry must exist.
+func (s *Store) SetAuditState(file, state string) error {
+	switch state {
+	case AuditPending, AuditClaimed, AuditAudited, AuditFailed:
+	default:
+		return fmt.Errorf("store: unknown audit state %q", state)
+	}
+	s.mu.Lock()
+	var entry *Entry
+	for i := range s.manifest.Traces {
+		if s.manifest.Traces[i].File == file {
+			s.manifest.Traces[i].Audit = state
+			entry = &s.manifest.Traces[i]
+			break
+		}
+	}
+	var snapshot Entry
+	if entry != nil {
+		snapshot = *entry
+	}
+	s.mu.Unlock()
+	if entry == nil {
+		return fmt.Errorf("store: no trace with container %q", file)
+	}
+	return s.writeSidecar(snapshot)
+}
+
+// ReclaimStale demotes every claimed trace back to pending and
+// returns how many it demoted. A daemon calls it once at startup:
+// claims that survived in the manifest belong to a previous process
+// that died mid-audit, and its unfinished traces should be audited
+// again — while audited and failed entries stay terminal.
+func (s *Store) ReclaimStale() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for i := range s.manifest.Traces {
+		if s.manifest.Traces[i].Audit == AuditClaimed {
+			s.manifest.Traces[i].Audit = AuditPending
+			n++
+		}
+	}
+	return n
+}
+
+// AuditStates counts the admitted test traces by audit state, keyed
+// by the Audit* constants ("" for pending) — the daemon's queue-depth
+// and corpus-status source.
+func (s *Store) AuditStates() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int)
+	for _, e := range s.admittedLocked() {
+		if e.Role == RoleTest {
+			out[e.Audit]++
+		}
+	}
+	return out
+}
+
 // fileName derives a container file name unique within the store from
 // the trace's shard, role and ID.
 func fileName(m Meta) string {
@@ -266,13 +377,28 @@ func (s *Store) atomicWrite(dest string, write func(io.Writer) error) error {
 	return nil
 }
 
-// writeSidecar writes a reserved entry's human-readable JSON twin.
+// sidecarDoc is the sidecar's JSON shape: the trace metadata plus the
+// entry's audit state (omitted while pending, so sidecars written
+// before audit state existed are byte-identical to today's).
+type sidecarDoc struct {
+	Meta
+	Audit string `json:"audit,omitempty"`
+}
+
+// writeSidecar writes an entry's human-readable JSON twin. It goes
+// through atomicWrite — the sidecar is rewritten on every audit-state
+// change, and the daemon's watcher (or any operator tooling) may be
+// reading it at that moment; a direct os.WriteFile would let such a
+// reader observe a truncated document.
 func (s *Store) writeSidecar(e Entry) error {
-	side, err := json.MarshalIndent(e.Meta, "", "  ")
+	side, err := json.MarshalIndent(sidecarDoc{Meta: e.Meta, Audit: e.Audit}, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(s.dir, e.File)+".json", append(side, '\n'), 0o644); err != nil {
+	if err := s.atomicWrite(e.File+".json", func(w io.Writer) error {
+		_, err := w.Write(append(side, '\n'))
+		return err
+	}); err != nil {
 		return fmt.Errorf("store: writing sidecar: %w", err)
 	}
 	return nil

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"sanity/internal/core"
@@ -533,5 +534,138 @@ func TestTraceLengths(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("TraceLengths = %v, want %v", got, want)
 		}
+	}
+}
+
+// auditStateCorpus builds a small corpus: one training trace plus n
+// IPD-only test traces under one shard.
+func auditStateCorpus(t *testing.T, dir string, n int) *store.Store {
+	t.Helper()
+	st, err := store.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := store.ShardMeta{Key: "s", Program: "nfsd", Machine: "optiplex9020", Profile: "sanity", Seed: 1}
+	if err := st.AddShard(shard); err != nil {
+		t.Fatal(err)
+	}
+	train := store.Meta{ID: "train-0", Shard: "s", Role: store.RoleTraining, Label: store.LabelBenign}
+	if err := st.Put(train, &detect.Trace{IPDs: []int64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		meta := store.Meta{ID: fmt.Sprintf("t-%d", i), Shard: "s", Role: store.RoleTest, Label: store.LabelUnknown}
+		if err := st.Put(meta, &detect.Trace{IPDs: []int64{10, 20, 30}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestAuditStateLifecycle: pending test traces are claimed exactly
+// once, terminal states persist across Flush/Open, and ReclaimStale
+// demotes only in-flight claims.
+func TestAuditStateLifecycle(t *testing.T) {
+	st := auditStateCorpus(t, t.TempDir(), 3)
+
+	claimed := st.ClaimPending()
+	if len(claimed) != 3 {
+		t.Fatalf("claimed %d traces, want 3 (training must not be claimed)", len(claimed))
+	}
+	for _, e := range claimed {
+		if e.Audit != store.AuditClaimed || e.Role != store.RoleTest {
+			t.Fatalf("claimed entry in wrong state: %+v", e)
+		}
+	}
+	if again := st.ClaimPending(); len(again) != 0 {
+		t.Fatalf("second claim got %d traces, want 0", len(again))
+	}
+
+	// One audited, one failed, one stays claimed (simulating a crash).
+	if err := st.SetAuditState(claimed[0].File, store.AuditAudited); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetAuditState(claimed[1].File, store.AuditFailed); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetAuditState(claimed[2].File, "bogus"); err == nil {
+		t.Fatal("unknown audit state accepted")
+	}
+	if err := st.SetAuditState("no/such.trace", store.AuditAudited); err == nil {
+		t.Fatal("unknown container accepted")
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := store.Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := re.AuditStates()
+	if states[store.AuditAudited] != 1 || states[store.AuditFailed] != 1 || states[store.AuditClaimed] != 1 {
+		t.Fatalf("persisted states wrong: %v", states)
+	}
+	// The restarted daemon reclaims the stale claim; terminal states
+	// stay terminal, so nothing is ever double-audited.
+	if n := re.ReclaimStale(); n != 1 {
+		t.Fatalf("ReclaimStale demoted %d, want 1", n)
+	}
+	reclaimed := re.ClaimPending()
+	if len(reclaimed) != 1 || reclaimed[0].File != claimed[2].File {
+		t.Fatalf("reclaim got %+v, want the crashed trace only", reclaimed)
+	}
+	// The audited trace's sidecar records its state.
+	side, err := os.ReadFile(filepath.Join(re.Dir(), claimed[0].File+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(side), `"audit": "audited"`) {
+		t.Fatalf("sidecar does not record audit state: %s", side)
+	}
+}
+
+// TestSidecarAtomicUnderConcurrentReads hammers audit-state changes
+// (each of which rewrites the sidecar) against a reader re-reading
+// the same sidecar: every read must observe a complete, parseable
+// JSON document. Before sidecars went through atomicWrite, a direct
+// os.WriteFile here let the reader catch truncated documents.
+func TestSidecarAtomicUnderConcurrentReads(t *testing.T) {
+	st := auditStateCorpus(t, t.TempDir(), 1)
+	claimed := st.ClaimPending()
+	if len(claimed) != 1 {
+		t.Fatalf("claimed %d, want 1", len(claimed))
+	}
+	side := filepath.Join(st.Dir(), claimed[0].File+".json")
+
+	var stop atomic.Bool
+	done := make(chan struct{})
+	var readerErr error
+	go func() {
+		defer close(done)
+		for i := 0; !stop.Load(); i++ {
+			b, err := os.ReadFile(side)
+			if err != nil {
+				readerErr = fmt.Errorf("read %d: %v", i, err)
+				return
+			}
+			var doc map[string]any
+			if err := json.Unmarshal(b, &doc); err != nil {
+				readerErr = fmt.Errorf("read %d: torn sidecar (%v): %q", i, err, b)
+				return
+			}
+		}
+	}()
+
+	states := []string{store.AuditAudited, store.AuditClaimed, store.AuditFailed, store.AuditClaimed}
+	for i := 0; i < 400; i++ {
+		if err := st.SetAuditState(claimed[0].File, states[i%len(states)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	<-done
+	if readerErr != nil {
+		t.Fatal(readerErr)
 	}
 }

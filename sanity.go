@@ -39,9 +39,11 @@ import (
 	"sanity/internal/audit"
 	"sanity/internal/calib"
 	"sanity/internal/core"
+	"sanity/internal/daemon"
 	"sanity/internal/detect"
 	"sanity/internal/fixtures"
 	"sanity/internal/hw"
+	"sanity/internal/ingest"
 	"sanity/internal/pipeline"
 	"sanity/internal/replaylog"
 	"sanity/internal/svm"
@@ -368,6 +370,48 @@ func MachineByName(name string) (MachineSpec, error) { return hw.MachineByName(n
 func AuditBatchFromDir(ctx context.Context, dir string) (*AuditBatch, error) {
 	return audit.Dir(dir).Batch(ctx, fixtures.Resolver)
 }
+
+// ---- Audit daemon ----
+//
+// The daemon is the library's audit-as-a-service deployment: one
+// process owning a spool directory, ingesting corpora over TCP, and
+// auditing every trace as it lands. Verdicts stream over HTTP as
+// NDJSON, metrics in Prometheus text format; manifest audit states
+// (pending → claimed → audited/failed) make restarts and concurrent
+// daemons safe — a trace is never audited twice.
+//
+//	auditor, _ := sanity.NewAuditor(sanity.WithWorkers(8))
+//	d, _ := sanity.NewAuditDaemon(sanity.DaemonConfig{
+//	    Dir:        "spool",
+//	    Auditor:    auditor,
+//	    IngestAddr: ":7070",
+//	    HTTPAddr:   ":7071",
+//	})
+//	err := d.Run(ctx) // serves until ctx dies, then drains in order
+
+// AuditDaemon is a running audit service; see NewAuditDaemon.
+type AuditDaemon = daemon.Daemon
+
+// DaemonConfig wires an AuditDaemon: the spool directory it owns, the
+// Auditor that scores claimed traces, the ingest/HTTP listen
+// addresses, and the ingest tuning (secret, quotas, idle timeout).
+type DaemonConfig = daemon.Config
+
+// IngestOptions tunes an ingest listener: shared secret, per-
+// connection quotas, and the idle timeout that cuts stalled uploads.
+type IngestOptions = ingest.Options
+
+// NewAuditDaemon opens (or creates) the spool store, reclaims claims
+// left by a crashed predecessor, and assembles the daemon; Start/Stop
+// or Run serve it.
+func NewAuditDaemon(cfg DaemonConfig) (*AuditDaemon, error) {
+	return daemon.New(cfg)
+}
+
+// ErrIngestIdleTimeout matches a push cut server-side for lack of
+// progress (the ingest idle timeout); the typed detail is
+// ingest.IdleTimeoutError.
+var ErrIngestIdleTimeout = ingest.ErrIdleTimeout
 
 // ---- Typed audit failures ----
 //
