@@ -20,6 +20,8 @@
 //	                                           # trace's trailing 16 IPDs only
 //	tdraudit audit-dir -dir spool -window auto # CCE prefilter picks each
 //	                                           # trace's audited range
+//	tdraudit audit-dir -dir spool -trace out.json  # span tree for chrome://tracing
+//	tdraudit audit-dir -dir spool -json -explain   # verdicts with evidence trails
 //
 // Cross-machine audits (the paper's §5.2 cloud-verification setting:
 // the corpus was recorded on a machine type the auditor does not own):
@@ -45,6 +47,7 @@ import (
 	"sanity/internal/fixtures"
 	"sanity/internal/hw"
 	"sanity/internal/ingest"
+	"sanity/internal/obs"
 	"sanity/internal/pipeline"
 	"sanity/internal/store"
 )
@@ -93,6 +96,8 @@ type auditFlags struct {
 	stream, jsonOut       *bool
 	compare               *bool
 	window                *string
+	trace                 *string
+	explain               *bool
 }
 
 func addAuditFlags(fs *flag.FlagSet) *auditFlags {
@@ -108,6 +113,10 @@ func addAuditFlags(fs *flag.FlagSet) *auditFlags {
 			"each trace's trailing N inter-packet delays; 'auto' (or 'auto:N') lets the CCE prefilter pick each "+
 			"trace's audited N-IPD range, falling back to full coverage where nothing stands out "+
 			"(traces recorded with checkpoints resume mid-log; others fall back to full replay)"),
+		trace: fs.String("trace", "", "write the audit's span tree as Chrome trace_event JSON to this file "+
+			"(open in chrome://tracing or Perfetto; '' disables tracing)"),
+		explain: fs.Bool("explain", false, "attach an evidence trail to each verdict: selected window and why, "+
+			"per-window CCE z-scores, TDR deviation summary (visible with -json)"),
 	}
 }
 
@@ -143,14 +152,18 @@ func (a *auditFlags) options() ([]audit.Option, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []audit.Option{
+	opts := []audit.Option{
 		audit.WithRegistry(fixtures.KnownGood),
 		audit.WithWorkers(*a.workers),
 		audit.WithBatchSize(*a.batch),
 		audit.WithQueueDepth(*a.queue),
 		audit.WithThresholds(*a.threshold, 0),
 		audit.WithWindow(w),
-	}, nil
+	}
+	if *a.explain {
+		opts = append(opts, audit.WithExplain())
+	}
+	return opts, nil
 }
 
 // parseCheckpointEvery maps the -checkpoint-every flag: an interval,
@@ -438,6 +451,20 @@ func runAuditOpts(src audit.Source, af *auditFlags, opts []audit.Option) {
 	ctx, cancel := interruptible()
 	defer cancel()
 
+	// -trace: collect the funnel's span tree and write it as Chrome
+	// trace_event JSON once the audit (and any -compare rerun) ends.
+	var tracer *obs.Tracer
+	if *af.trace != "" {
+		tracer = obs.NewTracer()
+		o := obs.NewObserver(tracer, nil)
+		ctx = o.Context(ctx)
+		defer func() {
+			if err := writeTraceFile(*af.trace, tracer); err != nil {
+				fmt.Fprintf(os.Stderr, "tdraudit: writing trace: %v\n", err)
+			}
+		}()
+	}
+
 	auditor, err := audit.New(opts...)
 	if err != nil {
 		fatal(err)
@@ -494,6 +521,10 @@ func runAuditOpts(src audit.Source, af *auditFlags, opts []audit.Option) {
 		fmt.Print(r.Format())
 	}
 	if runErr != nil {
+		// os.Exit skips deferred writers; flush the trace first.
+		if err := writeTraceFile(*af.trace, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "tdraudit: writing trace: %v\n", err)
+		}
 		os.Exit(1)
 	}
 
@@ -521,6 +552,32 @@ func runAuditOpts(src audit.Source, af *auditFlags, opts []audit.Option) {
 		}
 		fmt.Fprintln(os.Stderr, "verdicts identical across worker counts: true")
 	}
+}
+
+// writeTraceFile drains the tracer into path as Chrome trace_event
+// JSON. A nil tracer or an already-drained (empty) tracer is a no-op,
+// so the explicit pre-exit flush and the deferred flush compose.
+func writeTraceFile(path string, tracer *obs.Tracer) error {
+	if tracer == nil || path == "" {
+		return nil
+	}
+	spans := tracer.Drain()
+	if len(spans) == 0 {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d spans to %s (open in chrome://tracing)\n", len(spans), path)
+	return nil
 }
 
 func printVerdict(v pipeline.Verdict) {

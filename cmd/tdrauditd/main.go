@@ -8,6 +8,8 @@
 //	tdrauditd -dir spool                        # ingest :7070, http :7071
 //	tdrauditd -dir spool -secret s3cret         # authenticated ingest
 //	tdrauditd -dir spool -window auto -workers 8
+//	tdrauditd -dir spool -trace-dir traces      # per-sweep Chrome traces
+//	tdrauditd -dir spool -debug-addr :6060      # opt-in pprof
 //
 // Push work to it with `tdraudit send -addr host:7070 -dir corpus`;
 // read results back over HTTP:
@@ -53,6 +55,8 @@ func main() {
 	threshold := fs.Float64("threshold", 0.05, "TDR suspicion threshold (max relative IPD deviation)")
 	window := fs.String("window", "full", "replay-window policy: 'full', an IPD count N, or 'auto[:N]'")
 	poll := fs.Duration("poll", 2*time.Second, "spool sweep interval between ingest notifications")
+	traceDir := fs.String("trace-dir", "", "write per-sweep Chrome trace_event JSON and spans.ndjson here ('' disables tracing)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address ('' disables; never exposed on -http)")
 	fs.Parse(os.Args[1:])
 	if *dir == "" {
 		fatal(fmt.Errorf("-dir is required"))
@@ -67,6 +71,7 @@ func main() {
 		audit.WithWorkers(*workers),
 		audit.WithThresholds(*threshold, 0),
 		audit.WithWindow(w),
+		audit.WithExplain(),
 	)
 	if err != nil {
 		fatal(err)
@@ -83,7 +88,9 @@ func main() {
 			MaxBytesPerConn:  *maxBytes,
 			IdleTimeout:      *idle,
 		},
-		Poll: *poll,
+		Poll:      *poll,
+		TraceDir:  *traceDir,
+		DebugAddr: *debugAddr,
 	})
 	if err != nil {
 		fatal(err)

@@ -60,6 +60,7 @@ type Auditor struct {
 	models     *calib.Set
 	progress   func(Progress)
 	storeDir   string
+	explain    bool
 }
 
 // Option configures an Auditor.
@@ -124,6 +125,14 @@ func WithProgress(fn func(Progress)) Option { return func(a *Auditor) { a.progre
 // one spool directory configures it once.
 func WithStore(dir string) Option { return func(a *Auditor) { a.storeDir = dir } }
 
+// WithExplain attaches the evidence trail to every verdict
+// (Verdict.Explain): which window was audited and why, the window
+// selector's per-window CCE z-scores under auto windowing, and the
+// TDR deviation summary. Scores, decisions, and the canonical verdict
+// encoding are unaffected — explain is additive evidence, not a
+// different audit.
+func WithExplain() Option { return func(a *Auditor) { a.explain = true } }
+
 // New builds an Auditor from its options.
 func New(opts ...Option) (*Auditor, error) {
 	a := &Auditor{window: WindowFull()}
@@ -158,6 +167,7 @@ func (a *Auditor) pipelineConfig() pipeline.Config {
 		QueueDepth:    a.queueDepth,
 		TDRThreshold:  a.tdrLimit,
 		StatThreshold: a.statLimit,
+		Explain:       a.explain,
 	}
 	if a.window.Mode != ModeFull {
 		cfg.WindowIPDs = a.window.IPDs

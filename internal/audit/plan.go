@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"iter"
 
+	"sanity/internal/obs"
 	"sanity/internal/pipeline"
 )
 
@@ -56,7 +57,9 @@ func (a *Auditor) Plan(ctx context.Context, src Source) (*Plan, error) {
 		}
 		src = Dir(a.storeDir)
 	}
-	b, err := src.Batch(ctx, a.shardResolver())
+	rctx, resolveSpan := obs.StartSpan(ctx, obs.StageResolve)
+	b, err := src.Batch(rctx, a.shardResolver())
+	resolveSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +71,10 @@ func (a *Auditor) Plan(ctx context.Context, src Source) (*Plan, error) {
 	}
 	a.report(Progress{Stage: "resolve", Done: len(b.Shards), Total: len(b.Shards)})
 	if a.window.Mode == ModeAuto {
-		if err := p.selectWindows(ctx); err != nil {
+		sctx, selectSpan := obs.StartSpan(ctx, obs.StageSelect)
+		err := p.selectWindows(sctx)
+		selectSpan.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -119,17 +125,45 @@ func (p *Plan) selectWindows(ctx context.Context) error {
 		}
 		full := pipeline.IPDWindow{From: 0, To: len(ipds)}
 		job.Window = &full
+		var ex *pipeline.Explain
+		if p.auditor.explain {
+			ex = &pipeline.Explain{WindowMode: "auto"}
+			job.Explain = ex
+		}
 		if sel := selectors[job.Shard]; sel != nil {
-			if w, ok := sel.Select(ipds); ok {
+			scan := sel.Scan(ipds)
+			if ex != nil {
+				ex.Windows = scan
+			}
+			if w, bestZ, ok := pickWindow(scan); ok {
 				job.Window = &w
 				p.info.Narrowed++
+				if ex != nil {
+					ex.SelectedZ = signedZ(scan, w, bestZ)
+					ex.WindowReason = fmt.Sprintf("CCE prefilter: window [%d,%d) sits |z|=%.2f from the benign baseline (threshold %.1f)", w.From, w.To, bestZ, decisiveZ)
+				}
+			} else if ex != nil {
+				ex.WindowReason = fmt.Sprintf("no window's CCE cleared |z| >= %.1f; audited whole", decisiveZ)
 			}
+		} else if ex != nil {
+			ex.WindowReason = "shard has no learnable benign baseline; audited whole"
 		}
 		p.info.AuditIPDs += int64(job.Window.To - job.Window.From)
 		p.info.TotalIPDs += int64(len(ipds))
 		p.auditor.report(Progress{Stage: "select", Done: i + 1, Total: len(p.batch.Jobs)})
 	}
 	return nil
+}
+
+// signedZ recovers the selected window's signed z-score from the
+// scan (pickWindow works in absolute values).
+func signedZ(scan []pipeline.WindowScore, w pipeline.IPDWindow, abs float64) float64 {
+	for _, ws := range scan {
+		if ws.From == w.From && ws.To == w.To {
+			return ws.Z
+		}
+	}
+	return abs
 }
 
 // jobIPDs fetches a job's delays as cheaply as the job allows: the

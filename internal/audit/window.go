@@ -160,26 +160,46 @@ func (s *Selector) symbols(ipds []int64) []int {
 // discount — exactly the traces an adversary crafts to look benign
 // keep their full-coverage audit.
 func (s *Selector) Select(ipds []int64) (w pipeline.IPDWindow, ok bool) {
+	w, _, ok = pickWindow(s.Scan(ipds))
+	return w, ok
+}
+
+// Scan runs the prefilter's sliding-CCE pass over one trace and
+// returns every candidate window with its signed z-score against the
+// benign baseline — the raw evidence Select condenses into a single
+// choice, exported for explain mode. A trace shorter than one window
+// yields no candidates.
+func (s *Selector) Scan(ipds []int64) []pipeline.WindowScore {
 	if len(ipds) <= s.size {
-		return pipeline.IPDWindow{}, false
+		return nil
 	}
 	scan := stats.SlidingCCE(s.symbols(ipds), selectQ, selectMaxM, s.size, s.step)
-	best, bestZ := -1, 0.0
+	out := make([]pipeline.WindowScore, len(scan))
 	for i, v := range scan {
-		z := v - s.mu
+		from := i * s.step
+		out[i] = pipeline.WindowScore{From: from, To: from + s.size, Z: (v - s.mu) / s.sd}
+	}
+	return out
+}
+
+// pickWindow applies Select's decision rule to a scan: the window
+// with the largest |z|, earliest on ties (strict >), and only when
+// that |z| clears decisiveZ.
+func pickWindow(scan []pipeline.WindowScore) (w pipeline.IPDWindow, bestZ float64, ok bool) {
+	best := -1
+	for i, ws := range scan {
+		z := ws.Z
 		if z < 0 {
 			z = -z
 		}
-		z /= s.sd
 		if z > bestZ {
 			best, bestZ = i, z
 		}
 	}
 	if best < 0 || bestZ < decisiveZ {
-		return pipeline.IPDWindow{}, false
+		return pipeline.IPDWindow{}, bestZ, false
 	}
-	from := best * s.step
-	return pipeline.IPDWindow{From: from, To: from + s.size}, true
+	return pipeline.IPDWindow{From: scan[best].From, To: scan[best].To}, bestZ, true
 }
 
 // SelectWindow is the one-shot form of the prefilter: train a

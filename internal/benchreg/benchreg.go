@@ -19,7 +19,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
+
+	"sanity/internal/obs"
 )
 
 // Measurement is one benchmark's result.
@@ -43,8 +46,15 @@ type Derived struct {
 	MemoSpeedup float64 `json:"memoSpeedup"`
 }
 
+// SchemaVersion is the report format this harness writes. Version 2
+// added the per-stage latency/alloc breakdown (Stages); version-1
+// baselines (no schema field) still load and gate — Check never reads
+// Stages.
+const SchemaVersion = 2
+
 // Report is one harness run.
 type Report struct {
+	Schema     int                    `json:"schema,omitempty"`
 	Date       string                 `json:"date"`
 	GoOS       string                 `json:"goos"`
 	GoArch     string                 `json:"goarch"`
@@ -53,6 +63,12 @@ type Report struct {
 	Seed       uint64                 `json:"seed"`
 	Benchmarks map[string]Measurement `json:"benchmarks"`
 	Derived    Derived                `json:"derived"`
+	// Stages decomposes an un-timed instrumented pass of each audit
+	// benchmark by funnel stage: benchmark name -> stage name ->
+	// count/total-seconds/total-alloc. Informational (never gated);
+	// measured outside the testing.Benchmark loops so the probes cannot
+	// perturb the gated numbers.
+	Stages map[string]map[string]obs.StageSummary `json:"stages,omitempty"`
 }
 
 // Benchmark names.
@@ -77,6 +93,7 @@ const (
 // NewReport stamps an empty report with the environment.
 func NewReport(short bool, seed uint64) *Report {
 	return &Report{
+		Schema:     SchemaVersion,
 		Date:       time.Now().Format("2006-01-02"),
 		GoOS:       runtime.GOOS,
 		GoArch:     runtime.GOARCH,
@@ -196,5 +213,22 @@ func (r *Report) Format() string {
 	}
 	out += fmt.Sprintf("  windowed-replay speedup: %.2fx   shard-memo speedup: %.2fx\n",
 		r.Derived.WindowedSpeedup, r.Derived.MemoSpeedup)
+	for _, name := range []string{BenchAuditFull, BenchAuditWindowed} {
+		stages, ok := r.Stages[name]
+		if !ok || len(stages) == 0 {
+			continue
+		}
+		out += fmt.Sprintf("  %s by stage (1 instrumented pass):\n", name)
+		names := make([]string, 0, len(stages))
+		for s := range stages {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		for _, s := range names {
+			sum := stages[s]
+			out += fmt.Sprintf("    %-12s %4d spans  %10.3f ms  %12.0f B\n",
+				s, sum.Count, sum.TotalSeconds*1e3, sum.TotalAllocBytes)
+		}
+	}
 	return out
 }

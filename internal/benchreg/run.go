@@ -1,6 +1,7 @@
 package benchreg
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"sanity/internal/asm"
 	"sanity/internal/fixtures"
 	"sanity/internal/nfs"
+	"sanity/internal/obs"
 	"sanity/internal/pipeline"
 	"sanity/internal/store"
 	"sanity/internal/svm"
@@ -134,7 +136,34 @@ func Run(short bool, seed uint64) (*Report, error) {
 	if auditErr != nil {
 		return nil, fmt.Errorf("benchreg: audit failed during measurement: %w", auditErr)
 	}
+
+	// Per-stage breakdown: one instrumented pass of each audit
+	// benchmark AFTER the gated measurements, so the observer's probes
+	// never run inside a testing.Benchmark loop. Workers:1 makes the
+	// process-wide alloc deltas exact per stage.
+	report.Stages = make(map[string]map[string]obs.StageSummary)
+	stagePass := func(name string, cfg pipeline.Config) error {
+		reg := obs.NewRegistry()
+		sm := obs.NewStageMetrics(reg)
+		ctx := obs.NewObserver(nil, sm).Context(context.Background())
+		cfg.Workers = 1
+		r, err := pipeline.New(cfg).RunContext(ctx, batch)
+		if err == nil && r.Metrics.Errors > 0 {
+			err = fmt.Errorf("%d of %d audits errored", r.Metrics.Errors, r.Metrics.Traces)
+		}
+		if err != nil {
+			return fmt.Errorf("benchreg: instrumented %s pass: %w", name, err)
+		}
+		report.Stages[name] = sm.Snapshot()
+		return nil
+	}
+	if err := stagePass(BenchAuditFull, pipeline.Config{}); err != nil {
+		return nil, err
+	}
+	if err := stagePass(BenchAuditWindowed, pipeline.Config{WindowIPDs: scale.Window}); err != nil {
+		return nil, err
+	}
+
 	report.Finalize()
 	return report, nil
 }
-

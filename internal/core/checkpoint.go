@@ -23,11 +23,13 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 
 	"sanity/internal/hw"
+	"sanity/internal/obs"
 	"sanity/internal/replaylog"
 	"sanity/internal/ringbuf"
 	"sanity/internal/svm"
@@ -148,6 +150,14 @@ func decodeRing(r *bytes.Reader) (ringbuf.RingState, error) {
 // property the differential tests pin — so windowing can never change
 // a verdict relative to scoring the same window out of a full replay.
 func ReplayTDRWindow(prog *svm.Program, log *replaylog.Log, cfg Config, fromIPD, toIPD int) (*Execution, error) {
+	return ReplayTDRWindowCtx(context.Background(), prog, log, cfg, fromIPD, toIPD)
+}
+
+// ReplayTDRWindowCtx is ReplayTDRWindow with context-carried
+// observability: with an obs.Observer on the context, the checkpoint
+// restore and the bounded replay each become a span ("restore",
+// "replay"), decomposing windowed-audit cost.
+func ReplayTDRWindowCtx(ctx context.Context, prog *svm.Program, log *replaylog.Log, cfg Config, fromIPD, toIPD int) (*Execution, error) {
 	if log.Program != prog.Name {
 		return nil, fmt.Errorf("core: log was recorded for program %q, not %q", log.Program, prog.Name)
 	}
@@ -173,11 +183,19 @@ func ReplayTDRWindow(prog *svm.Program, log *replaylog.Log, cfg Config, fromIPD,
 	if win.Start == nil {
 		e.setReplayLog(log)
 		e.boundaries = boundaryOutputs(log)
-	} else if err := e.resumeAt(log, win); err != nil {
-		return nil, fmt.Errorf("core: restoring checkpoint at output %d: %w", win.Start.Outputs, err)
+	} else {
+		_, sp := obs.StartSpan(ctx, obs.StageRestore)
+		err := e.resumeAt(log, win)
+		sp.End()
+		if err != nil {
+			return nil, fmt.Errorf("core: restoring checkpoint at output %d: %w", win.Start.Outputs, err)
+		}
 	}
-	if err := e.run(); err != nil {
-		return nil, err
+	_, sp := obs.StartSpan(ctx, obs.StageReplay)
+	runErr := e.run()
+	sp.End()
+	if runErr != nil {
+		return nil, runErr
 	}
 	return e.exec, nil
 }

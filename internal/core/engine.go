@@ -22,9 +22,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sanity/internal/hw"
+	"sanity/internal/obs"
 	"sanity/internal/replaylog"
 	"sanity/internal/ringbuf"
 	"sanity/internal/svm"
@@ -270,6 +272,14 @@ func Play(prog *svm.Program, inputs []InputEvent, cfg Config) (*Execution, *repl
 // configuration seed, so the boundary cost cancels out of the
 // comparison exactly like initialization does.
 func ReplayTDR(prog *svm.Program, log *replaylog.Log, cfg Config) (*Execution, error) {
+	return ReplayTDRCtx(context.Background(), prog, log, cfg)
+}
+
+// ReplayTDRCtx is ReplayTDR with context-carried observability: when
+// the context holds an obs.Observer, the replay loop is recorded as a
+// "replay" span with wall time and allocation delta. The replay
+// itself is unaffected — the context is read once, never polled.
+func ReplayTDRCtx(ctx context.Context, prog *svm.Program, log *replaylog.Log, cfg Config) (*Execution, error) {
 	if log.Program != prog.Name {
 		return nil, fmt.Errorf("core: log was recorded for program %q, not %q", log.Program, prog.Name)
 	}
@@ -280,7 +290,10 @@ func ReplayTDR(prog *svm.Program, log *replaylog.Log, cfg Config) (*Execution, e
 	e.setReplayLog(log)
 	e.boundaries = boundaryOutputs(log)
 	defer e.release()
-	if err := e.run(); err != nil {
+	_, sp := obs.StartSpan(ctx, obs.StageReplay)
+	err = e.run()
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return e.exec, nil

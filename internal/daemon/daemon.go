@@ -27,11 +27,15 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"sanity/internal/audit"
 	"sanity/internal/ingest"
+	"sanity/internal/obs"
 	"sanity/internal/pipeline"
 	"sanity/internal/store"
 )
@@ -68,6 +72,20 @@ type Config struct {
 	// Logf sinks the daemon's operational log lines. Nil selects
 	// log.Printf.
 	Logf func(format string, args ...any)
+	// TraceDir, when non-empty, turns span tracing on: after each
+	// sweep the collected spans (ingest admissions, claim, resolve,
+	// select, and the full per-trace replay timeline) are written to
+	// TraceDir as one Chrome trace_event JSON file per sweep
+	// (sweep-NNNN.trace.json, openable in chrome://tracing or
+	// Perfetto) and appended to spans.ndjson. The directory is
+	// created if missing. Empty disables tracing; stage metrics stay
+	// on either way.
+	TraceDir string
+	// DebugAddr, when non-empty, serves net/http/pprof under
+	// /debug/pprof/ on its own listener — heap and CPU profiles of
+	// the live daemon, deliberately separate from the public HTTP
+	// surface. Empty (the default) serves no profiler.
+	DebugAddr string
 }
 
 // Daemon is a running audit service; build one with New, drive it
@@ -78,13 +96,21 @@ type Daemon struct {
 	auditor *audit.Auditor
 	logf    func(string, ...any)
 
-	met  *metrics
-	vlog *verdictLog
-	wake chan struct{}
+	met    *metrics
+	obs    *obs.Observer
+	tracer *obs.Tracer
+	vlog   *verdictLog
+	wake   chan struct{}
 
-	ing     *ingest.Server
-	httpLn  net.Listener
-	httpSrv *http.Server
+	// traceSeq numbers the per-sweep trace files; only the watch
+	// goroutine (and Stop, after it exits) touches it.
+	traceSeq int
+
+	ing      *ingest.Server
+	httpLn   net.Listener
+	httpSrv  *http.Server
+	debugLn  net.Listener
+	debugSrv *http.Server
 
 	auditCtx    context.Context
 	cancelAudit context.CancelFunc
@@ -132,6 +158,18 @@ func New(cfg Config) (*Daemon, error) {
 		wake:      make(chan struct{}, 1),
 		watchDone: make(chan struct{}),
 	}
+	d.registerFuncMetrics()
+	if cfg.TraceDir != "" {
+		if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("daemon: creating trace dir: %w", err)
+		}
+		d.tracer = obs.NewTracer()
+	}
+	// The observer is always on for a daemon: stage metrics are part
+	// of /metrics, and the tracer half is nil unless TraceDir asked
+	// for span export.
+	d.obs = obs.NewObserver(d.tracer, d.met.stages)
+	d.st.SetObserver(d.obs)
 	if n := st.ReclaimStale(); n > 0 {
 		d.logf("tdrauditd: reclaimed %d trace(s) claimed by a previous run", n)
 	}
@@ -159,6 +197,15 @@ func (d *Daemon) HTTPAddr() net.Addr {
 	return d.httpLn.Addr()
 }
 
+// DebugAddr is the bound address of the opt-in pprof listener, nil
+// when none is configured. Valid after Start.
+func (d *Daemon) DebugAddr() net.Addr {
+	if d.debugLn == nil {
+		return nil
+	}
+	return d.debugLn.Addr()
+}
+
 // Start binds the listeners and launches the watcher. It returns as
 // soon as the daemon is serving; pair it with Stop.
 func (d *Daemon) Start() error {
@@ -169,6 +216,7 @@ func (d *Daemon) Start() error {
 	if d.cfg.IngestAddr != "" {
 		opts := d.cfg.Ingest
 		opts.OnDone = d.notify
+		opts.Obs = d.obs
 		srv, err := ingest.ListenOpts(d.cfg.IngestAddr, d.st, opts)
 		if err != nil {
 			return err
@@ -188,6 +236,22 @@ func (d *Daemon) Start() error {
 		d.httpSrv = &http.Server{Handler: d.httpHandler()}
 		go d.httpSrv.Serve(ln)
 		d.logf("tdrauditd: http listening on %s", ln.Addr())
+	}
+	if d.cfg.DebugAddr != "" {
+		ln, err := net.Listen("tcp", d.cfg.DebugAddr)
+		if err != nil {
+			if d.ing != nil {
+				d.ing.Close()
+			}
+			if d.httpSrv != nil {
+				d.httpSrv.Close()
+			}
+			return fmt.Errorf("daemon: debug listen %s: %w", d.cfg.DebugAddr, err)
+		}
+		d.debugLn = ln
+		d.debugSrv = &http.Server{Handler: debugHandler()}
+		go d.debugSrv.Serve(ln)
+		d.logf("tdrauditd: pprof listening on %s/debug/pprof/", ln.Addr())
 	}
 	d.auditCtx, d.cancelAudit = context.WithCancel(context.Background())
 	go d.watch(d.auditCtx)
@@ -224,10 +288,21 @@ func (d *Daemon) Stop() error {
 			d.cancelAudit()
 			<-d.watchDone
 		}
+		// Residual spans (e.g. ingest admissions after the last sweep)
+		// still get exported; the watcher is gone, so this is the only
+		// flusher left.
+		d.flushTrace()
 		d.vlog.close()
 		if d.httpSrv != nil {
 			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			if err := d.httpSrv.Shutdown(sctx); err != nil {
+				errs = append(errs, err)
+			}
+			cancel()
+		}
+		if d.debugSrv != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := d.debugSrv.Shutdown(sctx); err != nil {
 				errs = append(errs, err)
 			}
 			cancel()
@@ -280,10 +355,21 @@ func (d *Daemon) sweep(ctx context.Context) {
 	if len(claimed) == 0 {
 		return
 	}
+	// Export the sweep's spans once it finishes; the defer is
+	// registered before the sweep span's End so the span is closed by
+	// the time the flush drains the tracer (LIFO).
+	defer d.flushTrace()
+	ctx = d.obs.Context(ctx)
+	ctx, sweepSpan := obs.StartSpan(ctx, obs.StageSweep)
+	defer sweepSpan.End()
+	sweepSpan.Attr("claimed", fmt.Sprint(len(claimed)))
 	claimedAt := time.Now()
 	// Persist the claims before auditing: a crash from here on leaves
 	// "claimed" states on disk for the next startup to reclaim.
-	if err := d.st.Flush(); err != nil {
+	_, claimSpan := obs.StartSpan(ctx, obs.StageClaim)
+	err := d.st.Flush()
+	claimSpan.End()
+	if err != nil {
 		d.logf("tdrauditd: persisting claims: %v", err)
 	}
 
@@ -352,6 +438,44 @@ func (d *Daemon) sweep(ctx context.Context) {
 	d.flushQuietly()
 }
 
+// flushTrace drains the tracer into the trace directory: one Chrome
+// trace_event JSON file per sweep plus an append-only NDJSON log.
+// Export failures are logged, never fatal — observability must not
+// take the service down. No-op when tracing is off.
+func (d *Daemon) flushTrace() {
+	if d.tracer == nil {
+		return
+	}
+	spans := d.tracer.Drain()
+	if len(spans) == 0 {
+		return
+	}
+	d.traceSeq++
+	name := filepath.Join(d.cfg.TraceDir, fmt.Sprintf("sweep-%04d.trace.json", d.traceSeq))
+	f, err := os.Create(name)
+	if err != nil {
+		d.logf("tdrauditd: writing trace file: %v", err)
+	} else {
+		if err := obs.WriteChromeTrace(f, spans); err != nil {
+			d.logf("tdrauditd: writing trace file %s: %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			d.logf("tdrauditd: closing trace file %s: %v", name, err)
+		}
+	}
+	nd, err := os.OpenFile(filepath.Join(d.cfg.TraceDir, "spans.ndjson"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		d.logf("tdrauditd: appending span log: %v", err)
+		return
+	}
+	if err := obs.WriteNDJSON(nd, spans); err != nil {
+		d.logf("tdrauditd: appending span log: %v", err)
+	}
+	if err := nd.Close(); err != nil {
+		d.logf("tdrauditd: closing span log: %v", err)
+	}
+}
+
 // failTrace marks one claimed trace terminally failed.
 func (d *Daemon) failTrace(e store.Entry) {
 	d.met.corrupt()
@@ -366,6 +490,21 @@ func (d *Daemon) flushQuietly() {
 	if err := d.st.Flush(); err != nil {
 		d.logf("tdrauditd: flushing manifest: %v", err)
 	}
+}
+
+// debugHandler builds the pprof mux: index, cmdline, profile, symbol,
+// and trace under /debug/pprof/ (named profiles — heap, goroutine,
+// block, mutex — come through the index handler). A dedicated mux, so
+// opting into the profiler never touches http.DefaultServeMux or the
+// public surface.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // claimedSource is the audit.Source over one sweep's claimed entries:

@@ -90,9 +90,13 @@ func (d *Daemon) httpHandler() http.Handler {
 // line in audit order, the same deterministic encoding tdraudit -json
 // emits. With ?follow=1 the response stays open and new verdicts are
 // flushed as they land, until the client disconnects or the daemon
-// shuts down.
+// shuts down. With ?explain=1 each line carries the verdict's
+// evidence trail (requires the auditor to run with WithExplain);
+// without it the explain detail is stripped, keeping the default
+// stream's shape stable for existing consumers.
 func (d *Daemon) handleVerdicts(w http.ResponseWriter, r *http.Request) {
 	follow := r.URL.Query().Get("follow") == "1"
+	explain := r.URL.Query().Get("explain") == "1"
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
@@ -100,6 +104,9 @@ func (d *Daemon) handleVerdicts(w http.ResponseWriter, r *http.Request) {
 	for {
 		vs, next, updated, done := d.vlog.snapshot(from)
 		for _, v := range vs {
+			if !explain {
+				v.Explain = nil
+			}
 			if err := enc.Encode(v); err != nil {
 				return
 			}
@@ -138,9 +145,7 @@ func (d *Daemon) handleCorpora(w http.ResponseWriter, r *http.Request) {
 		labeled[stateLabel(k)] = n
 		total += n
 	}
-	d.met.mu.Lock()
-	audited := d.met.audited
-	d.met.mu.Unlock()
+	audited := d.met.audited.Value()
 	out := corpusStatus{
 		Dir:     d.st.Dir(),
 		Shards:  len(d.st.Shards()),
@@ -160,12 +165,13 @@ func (d *Daemon) handleCorpora(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleMetrics renders the Prometheus text exposition.
+// handleMetrics renders the shared registry in Prometheus text
+// exposition format: daemon counters, the claim-to-verdict latency
+// histogram, the per-stage latency/alloc histograms, and the
+// scrape-time manifest/ingest families.
 func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var ing ingest.Stats
-	if d.ing != nil {
-		ing = d.ing.Stats()
-	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprint(w, d.met.render(d.st.AuditStates(), ing))
+	if err := d.met.reg.WritePrometheus(w); err != nil {
+		d.logf("tdrauditd: rendering /metrics: %v", err)
+	}
 }

@@ -1,75 +1,73 @@
 package daemon
 
 import (
-	"fmt"
-	"strings"
-	"sync"
 	"time"
 
 	"sanity/internal/ingest"
+	"sanity/internal/obs"
 	"sanity/internal/pipeline"
-	"sanity/internal/stats"
 	"sanity/internal/store"
 )
 
-// metrics is the daemon's lifetime instrumentation, rendered in
-// Prometheus text exposition format on GET /metrics. Hand-rolled — no
-// client library dependency — because the surface is a handful of
-// counters and two latency quantiles.
+// latencyBuckets spans claim-to-verdict wall times from fast windowed
+// audits to multi-minute full-replay sweeps.
+var latencyBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// metrics is the daemon's lifetime instrumentation over the shared
+// obs registry: the daemon-level counters, the claim-to-verdict
+// latency histogram, and the per-stage latency/alloc histograms the
+// funnel's spans feed. GET /metrics renders the registry; the same
+// registry backs scrape-time func metrics for state owned elsewhere
+// (manifest census, ingest counters).
 type metrics struct {
-	mu sync.Mutex
+	reg    *obs.Registry
+	stages *obs.StageMetrics
 
-	audited      uint64 // traces that produced a verdict
-	suspicious   uint64
-	clean        uint64
-	errored      uint64 // verdicts carrying a detector error
-	corruptN     uint64 // claimed traces failed before auditing
-	planFailures uint64
-
-	// latencies holds claim→verdict wall times (seconds) for the
-	// quantile gauges, bounded so a long-lived daemon's scrape cost
-	// stays flat; the recent window is what an operator wants anyway.
-	latencies []float64
+	audited  *obs.Counter
+	verdicts *obs.CounterVec
+	corruptC *obs.Counter
+	planFail *obs.Counter
+	latency  *obs.Histogram
 }
 
-const latencyWindow = 4096
-
 func newMetrics() *metrics {
-	return &metrics{}
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:      reg,
+		stages:   obs.NewStageMetrics(reg),
+		audited:  reg.Counter("tdrauditd_traces_audited_total", "Traces that produced a verdict."),
+		verdicts: reg.CounterVec("tdrauditd_verdicts_total", "Verdicts by outcome.", "outcome"),
+		corruptC: reg.Counter("tdrauditd_traces_corrupt_total", "Claimed traces failed before auditing (unreadable container)."),
+		planFail: reg.Counter("tdrauditd_plan_failures_total", "Sweeps whose audit plan could not be built."),
+		latency:  reg.Histogram("tdrauditd_audit_latency_seconds", "Claim-to-verdict latency.", latencyBuckets),
+	}
+	// Pre-create every outcome so a scrape always shows all three
+	// series, zeros included.
+	m.verdicts.With("suspicious")
+	m.verdicts.With("clean")
+	m.verdicts.With("error")
+	return m
 }
 
 // observe records one verdict and its claim→verdict latency.
 func (m *metrics) observe(v pipeline.Verdict, lat time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.audited++
+	m.audited.Inc()
 	switch {
 	case v.Err != "":
-		m.errored++
+		m.verdicts.With("error").Inc()
 	case v.Suspicious:
-		m.suspicious++
+		m.verdicts.With("suspicious").Inc()
 	default:
-		m.clean++
+		m.verdicts.With("clean").Inc()
 	}
-	if len(m.latencies) >= latencyWindow {
-		m.latencies = m.latencies[1:]
-	}
-	m.latencies = append(m.latencies, lat.Seconds())
+	m.latency.Observe(lat.Seconds())
 }
 
 // corrupt records a claimed trace that failed before auditing.
-func (m *metrics) corrupt() {
-	m.mu.Lock()
-	m.corruptN++
-	m.mu.Unlock()
-}
+func (m *metrics) corrupt() { m.corruptC.Inc() }
 
 // planFailure records a sweep whose plan could not be built.
-func (m *metrics) planFailure() {
-	m.mu.Lock()
-	m.planFailures++
-	m.mu.Unlock()
-}
+func (m *metrics) planFailure() { m.planFail.Inc() }
 
 // stateLabel maps the store's audit-state constants ("" = pending)
 // onto Prometheus label values.
@@ -80,50 +78,40 @@ func stateLabel(state string) string {
 	return state
 }
 
-// render emits the Prometheus text format. states is the store's
-// audit-state census (keyed by the store constants), ing the embedded
-// ingest server's counters (zero when no listener is configured).
-func (m *metrics) render(states map[string]int, ing ingest.Stats) string {
-	m.mu.Lock()
-	audited, susp, clean, errored := m.audited, m.suspicious, m.clean, m.errored
-	corruptN, planFail := m.corruptN, m.planFailures
-	lat := append([]float64(nil), m.latencies...)
-	m.mu.Unlock()
-
-	var sb strings.Builder
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+// registerFuncMetrics adds the scrape-time families whose truth lives
+// outside the metrics struct: the manifest's audit-state census and
+// the embedded ingest server's counters. Closures read the daemon at
+// scrape time (d.ing is nil until Start — and forever, with no ingest
+// listener — so they report zero until it exists).
+func (d *Daemon) registerFuncMetrics() {
+	reg := d.met.reg
+	reg.GaugeFunc("tdrauditd_queue_depth", "Test traces awaiting a verdict (pending + claimed).", func() float64 {
+		states := d.st.AuditStates()
+		return float64(states[store.AuditPending] + states[store.AuditClaimed])
+	})
+	auditStates := []string{store.AuditPending, store.AuditClaimed, store.AuditAudited, store.AuditFailed}
+	reg.Func("tdrauditd_store_traces", "Admitted test traces by audit state.", "gauge", []string{"state"}, func() []obs.Sample {
+		states := d.st.AuditStates()
+		out := make([]obs.Sample, 0, len(auditStates))
+		for _, st := range auditStates {
+			out = append(out, obs.Sample{LabelValues: []string{stateLabel(st)}, Value: float64(states[st])})
+		}
+		return out
+	})
+	ingCounter := func(name, help string, get func(ingest.Stats) uint64) {
+		reg.CounterFunc(name, help, func() float64 {
+			if d.ing == nil {
+				return 0
+			}
+			return float64(get(d.ing.Stats()))
+		})
 	}
-	counter("tdrauditd_traces_audited_total", "Traces that produced a verdict.", audited)
-
-	fmt.Fprintf(&sb, "# HELP tdrauditd_verdicts_total Verdicts by outcome.\n# TYPE tdrauditd_verdicts_total counter\n")
-	fmt.Fprintf(&sb, "tdrauditd_verdicts_total{outcome=\"suspicious\"} %d\n", susp)
-	fmt.Fprintf(&sb, "tdrauditd_verdicts_total{outcome=\"clean\"} %d\n", clean)
-	fmt.Fprintf(&sb, "tdrauditd_verdicts_total{outcome=\"error\"} %d\n", errored)
-
-	counter("tdrauditd_traces_corrupt_total", "Claimed traces failed before auditing (unreadable container).", corruptN)
-	counter("tdrauditd_plan_failures_total", "Sweeps whose audit plan could not be built.", planFail)
-
-	fmt.Fprintf(&sb, "# HELP tdrauditd_audit_latency_seconds Claim-to-verdict latency quantiles over the recent window.\n# TYPE tdrauditd_audit_latency_seconds summary\n")
-	p50, p99 := 0.0, 0.0
-	if len(lat) > 0 {
-		p50 = stats.Percentile(lat, 0.5)
-		p99 = stats.Percentile(lat, 0.99)
-	}
-	fmt.Fprintf(&sb, "tdrauditd_audit_latency_seconds{quantile=\"0.5\"} %g\n", p50)
-	fmt.Fprintf(&sb, "tdrauditd_audit_latency_seconds{quantile=\"0.99\"} %g\n", p99)
-
-	queue := states[store.AuditPending] + states[store.AuditClaimed]
-	fmt.Fprintf(&sb, "# HELP tdrauditd_queue_depth Test traces awaiting a verdict (pending + claimed).\n# TYPE tdrauditd_queue_depth gauge\ntdrauditd_queue_depth %d\n", queue)
-
-	fmt.Fprintf(&sb, "# HELP tdrauditd_store_traces Admitted test traces by audit state.\n# TYPE tdrauditd_store_traces gauge\n")
-	for _, state := range []string{store.AuditPending, store.AuditClaimed, store.AuditAudited, store.AuditFailed} {
-		fmt.Fprintf(&sb, "tdrauditd_store_traces{state=%q} %d\n", stateLabel(state), states[state])
-	}
-
-	counter("tdrauditd_ingest_connections_total", "Ingest connections accepted.", ing.Conns)
-	counter("tdrauditd_ingest_bytes_total", "Payload bytes accepted over ingest.", ing.Bytes)
-	counter("tdrauditd_ingest_quota_rejections_total", "Ingest sessions or traces refused over quota.", ing.QuotaRejections)
-	counter("tdrauditd_ingest_idle_timeouts_total", "Ingest connections cut for lack of progress.", ing.IdleTimeouts)
-	return sb.String()
+	ingCounter("tdrauditd_ingest_connections_total", "Ingest connections accepted.",
+		func(s ingest.Stats) uint64 { return s.Conns })
+	ingCounter("tdrauditd_ingest_bytes_total", "Payload bytes accepted over ingest.",
+		func(s ingest.Stats) uint64 { return s.Bytes })
+	ingCounter("tdrauditd_ingest_quota_rejections_total", "Ingest sessions or traces refused over quota.",
+		func(s ingest.Stats) uint64 { return s.QuotaRejections })
+	ingCounter("tdrauditd_ingest_idle_timeouts_total", "Ingest connections cut for lack of progress.",
+		func(s ingest.Stats) uint64 { return s.IdleTimeouts })
 }

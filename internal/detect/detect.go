@@ -10,9 +10,11 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 
 	"sanity/internal/core"
+	"sanity/internal/obs"
 	"sanity/internal/replaylog"
 	"sanity/internal/stats"
 	"sanity/internal/svm"
@@ -285,14 +287,24 @@ func (d *TDR) Score(tr *Trace) (float64, error) {
 // — the material an audit pipeline reports alongside the scalar
 // verdict. Safe to call from multiple goroutines.
 func (d *TDR) ScoreDetail(tr *Trace) (*core.TimingComparison, error) {
+	return d.ScoreDetailCtx(context.Background(), tr)
+}
+
+// ScoreDetailCtx is ScoreDetail with context-carried observability:
+// an obs.Observer on the context records "replay" and "compare" spans
+// around the two halves of the audit.
+func (d *TDR) ScoreDetailCtx(ctx context.Context, tr *Trace) (*core.TimingComparison, error) {
 	if tr.Log == nil || tr.Play == nil {
 		return nil, fmt.Errorf("detect: TDR detector needs the machine's log and observed execution")
 	}
-	replay, err := core.ReplayTDR(d.Prog, tr.Log, d.Cfg)
+	replay, err := core.ReplayTDRCtx(ctx, d.Prog, tr.Log, d.Cfg)
 	if err != nil {
 		return nil, fmt.Errorf("detect: replay failed: %w", err)
 	}
-	return core.CompareCalibrated(tr.Play, replay, d.Calib)
+	_, sp := obs.StartSpan(ctx, obs.StageCompare)
+	cmp, err := core.CompareCalibrated(tr.Play, replay, d.Calib)
+	sp.End()
+	return cmp, err
 }
 
 // ScoreWindow is Score restricted to the IPD window [from, to): it
@@ -316,14 +328,23 @@ func (d *TDR) ScoreWindow(tr *Trace, from, to int) (float64, error) {
 // ScoreDetailWindowFull for the same window — windowing changes the
 // cost of an audit, never its outcome.
 func (d *TDR) ScoreDetailWindow(tr *Trace, from, to int) (*core.TimingComparison, error) {
+	return d.ScoreDetailWindowCtx(context.Background(), tr, from, to)
+}
+
+// ScoreDetailWindowCtx is ScoreDetailWindow with context-carried
+// observability ("restore"/"replay"/"compare" spans).
+func (d *TDR) ScoreDetailWindowCtx(ctx context.Context, tr *Trace, from, to int) (*core.TimingComparison, error) {
 	if tr.Log == nil || tr.Play == nil {
 		return nil, fmt.Errorf("detect: TDR detector needs the machine's log and observed execution")
 	}
-	replay, err := core.ReplayTDRWindow(d.Prog, tr.Log, d.Cfg, from, to)
+	replay, err := core.ReplayTDRWindowCtx(ctx, d.Prog, tr.Log, d.Cfg, from, to)
 	if err != nil {
 		return nil, fmt.Errorf("detect: windowed replay failed: %w", err)
 	}
-	return core.CompareWindow(tr.Play, replay, from, to, d.Calib)
+	_, sp := obs.StartSpan(ctx, obs.StageCompare)
+	cmp, err := core.CompareWindow(tr.Play, replay, from, to, d.Calib)
+	sp.End()
+	return cmp, err
 }
 
 // ScoreDetailWindowFull is the reference semantics of a windowed
@@ -332,14 +353,23 @@ func (d *TDR) ScoreDetailWindow(tr *Trace, from, to int) (*core.TimingComparison
 // it; it is exported for diagnostics (e.g. confirming a suspicious
 // windowed verdict with an independent full replay).
 func (d *TDR) ScoreDetailWindowFull(tr *Trace, from, to int) (*core.TimingComparison, error) {
+	return d.ScoreDetailWindowFullCtx(context.Background(), tr, from, to)
+}
+
+// ScoreDetailWindowFullCtx is ScoreDetailWindowFull with
+// context-carried observability ("replay"/"compare" spans).
+func (d *TDR) ScoreDetailWindowFullCtx(ctx context.Context, tr *Trace, from, to int) (*core.TimingComparison, error) {
 	if tr.Log == nil || tr.Play == nil {
 		return nil, fmt.Errorf("detect: TDR detector needs the machine's log and observed execution")
 	}
-	replay, err := core.ReplayTDR(d.Prog, tr.Log, d.Cfg)
+	replay, err := core.ReplayTDRCtx(ctx, d.Prog, tr.Log, d.Cfg)
 	if err != nil {
 		return nil, fmt.Errorf("detect: replay failed: %w", err)
 	}
-	return core.CompareWindow(tr.Play, replay, from, to, d.Calib)
+	_, sp := obs.StartSpan(ctx, obs.StageCompare)
+	cmp, err := core.CompareWindow(tr.Play, replay, from, to, d.Calib)
+	sp.End()
+	return cmp, err
 }
 
 // Statistical builds the four statistical detectors trained on the

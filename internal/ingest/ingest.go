@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sanity/internal/obs"
 	"sanity/internal/store"
 )
 
@@ -96,6 +97,11 @@ type Options struct {
 	// watching daemon audits on. It runs synchronously on the handler
 	// goroutine and must be cheap and non-blocking.
 	OnDone func()
+	// Obs, when non-nil, records each accepted container as an
+	// "ingest" span (with the admitted trace's ID and shard) and each
+	// session DONE as an instant event. Owned by the embedding
+	// daemon; nil disables.
+	Obs *obs.Observer
 }
 
 // Stats is a snapshot of a server's lifetime counters.
@@ -446,17 +452,24 @@ func (s *Server) handle(raw net.Conn) {
 				return
 			}
 			lr := io.LimitReader(br, n)
+			sp := s.opts.Obs.StartRoot(obs.StageIngest)
 			meta, perr := s.st.PutContainer(lr)
 			// Always drain the declared payload so a rejected container
 			// does not desynchronize the command stream.
 			if _, err := io.Copy(io.Discard, lr); err != nil {
+				sp.End()
 				s.bail(conn, err)
 				return
 			}
 			if perr != nil {
+				sp.Attr("rejected", "true")
+				sp.End()
 				fmt.Fprint(conn, errLine(perr))
 				continue
 			}
+			sp.Attr("id", meta.ID)
+			sp.Attr("shard", meta.Shard)
+			sp.End()
 			fmt.Fprintf(conn, "OK %s\n", oneline(meta.ID))
 		case "DONE":
 			if err := s.st.Flush(); err != nil {
@@ -464,6 +477,7 @@ func (s *Server) handle(raw net.Conn) {
 				return
 			}
 			fmt.Fprintf(conn, "BYE %d\n", len(s.st.Entries()))
+			s.opts.Obs.Event("ingest.done")
 			if s.opts.OnDone != nil {
 				s.opts.OnDone()
 			}

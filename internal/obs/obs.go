@@ -1,0 +1,225 @@
+// Package obs is the library's one telemetry spine: a lightweight
+// span tracer, a typed Prometheus-exposition metrics registry, and
+// per-stage profiling hooks, shared by ingest, store, pipeline, and
+// daemon. It depends on the standard library only, so every internal
+// package — core, detect, store — can import it without cycles.
+//
+// The design constraint is the disabled path: audits run with
+// observability off by default, and the bench-regression gate compares
+// them against pre-instrumentation baselines, so an un-observed
+// StartSpan must cost one context lookup and a nil check — no
+// allocation, no clock read, no atomic. Everything on a *Span, a
+// StageTimer, or an *Observer is therefore safe (and free) on a nil
+// receiver.
+//
+// Usage: build an Observer from a Tracer (span records) and/or
+// StageMetrics (latency + allocated-bytes histograms over a Registry),
+// attach it to a context with Observer.Context, and thread that
+// context through the funnel. Instrumented code calls
+//
+//	ctx, span := obs.StartSpan(ctx, obs.StageReplay)
+//	defer span.End()
+//
+// and never checks whether observability is on.
+package obs
+
+import (
+	"context"
+	runtimemetrics "runtime/metrics"
+	"time"
+)
+
+// Observer bundles the two sinks instrumentation writes to: a Tracer
+// collecting span records and StageMetrics feeding the shared
+// registry's per-stage histograms. Either may be nil; a nil *Observer
+// disables everything.
+type Observer struct {
+	tracer *Tracer
+	stages *StageMetrics
+}
+
+// NewObserver builds an observer over a tracer and/or stage metrics
+// (either may be nil).
+func NewObserver(tracer *Tracer, stages *StageMetrics) *Observer {
+	return &Observer{tracer: tracer, stages: stages}
+}
+
+// Tracer exposes the observer's tracer, nil when tracing is off.
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// ctxKey keys the observer and the current span on a context.
+type ctxKey int
+
+const (
+	observerKey ctxKey = iota
+	spanKey
+)
+
+// Context attaches the observer to a context; instrumented code down
+// the call chain picks it up through StartSpan. A nil observer
+// returns ctx unchanged, keeping the disabled path free of context
+// layers.
+func (o *Observer) Context(ctx context.Context) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, observerKey, o)
+}
+
+// FromContext recovers the observer attached by Context, nil when the
+// context carries none.
+func FromContext(ctx context.Context) *Observer {
+	o, _ := ctx.Value(observerKey).(*Observer)
+	return o
+}
+
+// StartSpan opens a span named after a funnel stage. When the context
+// carries no observer it returns (ctx, nil) after a single context
+// lookup, and every method on the nil span is a no-op — the
+// disabled-path contract the bench gate rests on. The returned
+// context carries the span, so nested StartSpan calls build the
+// parent/child tree.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	o, _ := ctx.Value(observerKey).(*Observer)
+	if o == nil {
+		return ctx, nil
+	}
+	var parent, root uint64
+	if p, _ := ctx.Value(spanKey).(*Span); p != nil {
+		parent, root = p.id, p.root
+	}
+	s := o.newSpan(name, parent, root)
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// StartRoot opens a parentless span outside any context chain — the
+// entry point for code that has no context to thread (the ingest
+// session loop). Nil-safe.
+func (o *Observer) StartRoot(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.newSpan(name, 0, 0)
+}
+
+// Event records an instant event (a point in time, no duration) —
+// e.g. an ingest session's DONE. Nil-safe; events only reach the
+// tracer, never the stage histograms.
+func (o *Observer) Event(name string) {
+	if o == nil || o.tracer == nil {
+		return
+	}
+	o.tracer.record(SpanRecord{
+		ID:      o.tracer.nextID(),
+		Name:    name,
+		Start:   time.Now(),
+		Instant: true,
+	})
+}
+
+func (o *Observer) newSpan(name string, parent, root uint64) *Span {
+	s := &Span{o: o, name: name}
+	if o.tracer != nil {
+		s.id = o.tracer.nextID()
+	}
+	if root == 0 {
+		root = s.id
+	}
+	s.parent, s.root = parent, root
+	s.allocStart = heapAllocBytes()
+	s.start = time.Now()
+	return s
+}
+
+// Span is one timed region of the audit funnel. All methods are
+// no-ops on a nil receiver, so instrumented code never branches on
+// whether observability is enabled.
+type Span struct {
+	o          *Observer
+	id         uint64
+	parent     uint64
+	root       uint64
+	name       string
+	start      time.Time
+	allocStart uint64
+	attrs      []Attr
+}
+
+// Attr annotates the span with a key/value pair. Nil-safe.
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span: wall time and the heap-allocation delta since
+// StartSpan are recorded into the tracer and the stage histograms.
+// The allocation delta is process-wide (runtime/metrics
+// /gc/heap/allocs:bytes), so it is exact for single-worker runs and
+// an upper bound when other goroutines allocate concurrently.
+// Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	alloc := int64(heapAllocBytes() - s.allocStart)
+	if s.o.stages != nil {
+		s.o.stages.Observe(s.name, dur, alloc)
+	}
+	if s.o.tracer != nil {
+		s.o.tracer.record(SpanRecord{
+			ID:     s.id,
+			Parent: s.parent,
+			Root:   s.root,
+			Name:   s.name,
+			Start:  s.start,
+			Dur:    dur,
+			Alloc:  alloc,
+			Attrs:  s.attrs,
+		})
+	}
+}
+
+// StageTimer is the metrics-only sibling of a Span: it feeds the
+// stage histograms without producing a trace record, for call sites
+// (store decode) that run outside any span tree and would otherwise
+// litter the trace with orphans. The zero value is a no-op.
+type StageTimer struct {
+	stages *StageMetrics
+	name   string
+	start  time.Time
+	alloc  uint64
+}
+
+// Stage starts a metrics-only stage timer. Nil-safe: with no observer
+// or no stage metrics it returns the zero timer, whose End is free.
+func (o *Observer) Stage(name string) StageTimer {
+	if o == nil || o.stages == nil {
+		return StageTimer{}
+	}
+	return StageTimer{stages: o.stages, name: name, start: time.Now(), alloc: heapAllocBytes()}
+}
+
+// End records the stage's wall time and allocation delta.
+func (t StageTimer) End() {
+	if t.stages == nil {
+		return
+	}
+	t.stages.Observe(t.name, time.Since(t.start), int64(heapAllocBytes()-t.alloc))
+}
+
+// heapAllocBytes reads the cumulative heap allocation counter — the
+// cheap (no stop-the-world) runtime/metrics sample behind per-span
+// alloc attribution.
+func heapAllocBytes() uint64 {
+	sample := []runtimemetrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	runtimemetrics.Read(sample)
+	return sample[0].Value.Uint64()
+}

@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format 0.0.4. Registration is strict — a duplicate name
+// panics at startup, where it is a programming error, rather than
+// silently merging at scrape time.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+// family is one metric family: a name, help, and type plus either
+// static children (counters/gauges/histograms keyed by label values)
+// or a scrape-time sample function.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	buckets []float64
+
+	mu       sync.Mutex
+	children map[string]any
+	keys     []string
+
+	fn func() []Sample
+}
+
+// Sample is one scrape-time value from a Func metric.
+type Sample struct {
+	LabelValues []string
+	Value       float64
+}
+
+func (r *Registry) register(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric registration %q", f.name))
+	}
+	r.fams[f.name] = f
+	return f
+}
+
+// Counter is a monotonically increasing value with an atomic hot
+// path.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down, stored as atomic float
+// bits.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the value (CAS loop; safe under concurrency).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets; Observe is
+// atomic (one counter add plus a CAS float sum), no locks.
+type Histogram struct {
+	upper []float64
+	// counts has len(upper)+1 entries; the last is the overflow
+	// (+Inf) bucket. Rendered cumulatively at scrape time.
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Prometheus buckets are inclusive upper bounds (v <= le), which
+	// is exactly what SearchFloat64s's insertion point gives for the
+	// first upper >= v.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// labelSep joins label values into a child key; 0xff cannot appear in
+// valid UTF-8 label text, so the join is unambiguous.
+const labelSep = "\xff"
+
+func (f *family) child(lvs []string, make func() any) any {
+	if len(lvs) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(lvs)))
+	}
+	key := strings.Join(lvs, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := make()
+	f.children[key] = c
+	f.keys = append(f.keys, key)
+	return c
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(&family{name: name, help: help, typ: "counter", children: map[string]any{}})
+	return f.child(nil, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(&family{name: name, help: help, typ: "gauge", children: map[string]any{}})
+	return f.child(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers and returns an unlabeled histogram with the
+// given upper bucket bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(&family{name: name, help: help, typ: "histogram", buckets: buckets, children: map[string]any{}})
+	return f.child(nil, func() any { return newHistogram(buckets) }).(*Histogram)
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(&family{name: name, help: help, typ: "counter", labels: labels, children: map[string]any{}})}
+}
+
+// With returns (creating if needed) the child for the label values.
+func (v *CounterVec) With(lvs ...string) *Counter {
+	return v.f.child(lvs, func() any { return &Counter{} }).(*Counter)
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(&family{name: name, help: help, typ: "histogram", buckets: buckets, labels: labels, children: map[string]any{}})}
+}
+
+// With returns (creating if needed) the child for the label values.
+func (v *HistogramVec) With(lvs ...string) *Histogram {
+	return v.f.child(lvs, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// Each visits every child histogram with its label values.
+func (v *HistogramVec) Each(fn func(labelValues []string, h *Histogram)) {
+	v.f.mu.Lock()
+	keys := append([]string(nil), v.f.keys...)
+	children := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		children[i] = v.f.children[k].(*Histogram)
+	}
+	v.f.mu.Unlock()
+	for i, k := range keys {
+		var lvs []string
+		if k != "" || len(v.f.labels) > 0 {
+			lvs = strings.Split(k, labelSep)
+		}
+		fn(lvs, children[i])
+	}
+}
+
+// Func registers a family whose samples are produced at scrape time —
+// for values owned elsewhere (queue depth from the manifest, ingest
+// counters from the server).
+func (r *Registry) Func(name, help, typ string, labels []string, fn func() []Sample) {
+	r.register(&family{name: name, help: help, typ: typ, labels: labels, fn: fn})
+}
+
+// CounterFunc registers an unlabeled scrape-time counter.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.Func(name, help, "counter", nil, func() []Sample { return []Sample{{Value: fn()}} })
+}
+
+// GaugeFunc registers an unlabeled scrape-time gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.Func(name, help, "gauge", nil, func() []Sample { return []Sample{{Value: fn()}} })
+}
+
+// WritePrometheus renders every family in text exposition format
+// 0.0.4, families sorted by name, label values escaped per the spec.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		if f.fn != nil {
+			for _, s := range f.fn() {
+				writeSample(&b, f.name, f.labels, s.LabelValues, s.Value)
+			}
+			continue
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.keys...)
+		children := make([]any, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		idx := make([]int, len(keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool { return keys[idx[i]] < keys[idx[j]] })
+		for _, i := range idx {
+			var lvs []string
+			if keys[i] != "" || len(f.labels) > 0 {
+				lvs = strings.Split(keys[i], labelSep)
+			}
+			switch c := children[i].(type) {
+			case *Counter:
+				writeSample(&b, f.name, f.labels, lvs, float64(c.Value()))
+			case *Gauge:
+				writeSample(&b, f.name, f.labels, lvs, c.Value())
+			case *Histogram:
+				writeHistogram(&b, f.name, f.labels, lvs, c)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogram(b *strings.Builder, name string, labels, lvs []string, h *Histogram) {
+	bucketLabels := append(append([]string{}, labels...), "le")
+	var cum uint64
+	for i, upper := range h.upper {
+		cum += h.counts[i].Load()
+		writeSample(b, name+"_bucket", bucketLabels, append(append([]string{}, lvs...), formatFloat(upper)), float64(cum))
+	}
+	cum += h.counts[len(h.upper)].Load()
+	writeSample(b, name+"_bucket", bucketLabels, append(append([]string{}, lvs...), "+Inf"), float64(cum))
+	writeSample(b, name+"_sum", labels, lvs, h.Sum())
+	writeSample(b, name+"_count", labels, lvs, float64(h.Count()))
+}
+
+func writeSample(b *strings.Builder, name string, labels, lvs []string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(lvs[i]))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExpositionRoundTrip renders a registry holding every metric
+// kind — including label values that need escaping — and parses the
+// output back, asserting names, types, help, labels, and values all
+// survive.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "A counter.")
+	c.Add(7)
+	g := r.Gauge("test_depth", "A gauge.")
+	g.Set(3.5)
+	cv := r.CounterVec("test_labeled_total", "A labeled counter.", "outcome")
+	cv.With("clean").Add(2)
+	cv.With(`we"ird\label` + "\nvalue").Inc()
+	h := r.Histogram("test_seconds", "A histogram.", []float64{0.1, 1, 10})
+	h.Observe(0.1) // le is inclusive: lands in the 0.1 bucket
+	h.Observe(0.5)
+	h.Observe(100) // overflow
+	r.GaugeFunc("test_func", "A func gauge.", func() float64 { return 42 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := b.String()
+
+	fams, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, text)
+	}
+
+	want := map[string]string{
+		"test_total":         "counter",
+		"test_depth":         "gauge",
+		"test_labeled_total": "counter",
+		"test_seconds":       "histogram",
+		"test_func":          "gauge",
+	}
+	for name, typ := range want {
+		f := fams[name]
+		if f == nil {
+			t.Fatalf("family %q missing from scrape:\n%s", name, text)
+		}
+		if f.Type != typ {
+			t.Errorf("family %q: type %q, want %q", name, f.Type, typ)
+		}
+		if f.Help == "" {
+			t.Errorf("family %q: no help text", name)
+		}
+	}
+
+	if got := fams["test_total"].Samples[0].Value; got != 7 {
+		t.Errorf("test_total = %v, want 7", got)
+	}
+	if got := fams["test_depth"].Samples[0].Value; got != 3.5 {
+		t.Errorf("test_depth = %v, want 3.5", got)
+	}
+	if got := fams["test_func"].Samples[0].Value; got != 42 {
+		t.Errorf("test_func = %v, want 42", got)
+	}
+
+	// The escaped label value must round-trip byte-identically.
+	weird := `we"ird\label` + "\nvalue"
+	found := false
+	for _, s := range fams["test_labeled_total"].Samples {
+		if s.Labels["outcome"] == weird {
+			found = true
+			if s.Value != 1 {
+				t.Errorf("weird-labeled counter = %v, want 1", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("escaped label value did not round-trip:\n%s", text)
+	}
+
+	// Histogram: cumulative buckets, inclusive le, +Inf, sum, count.
+	buckets := map[string]float64{}
+	var sum, count float64
+	for _, s := range fams["test_seconds"].Samples {
+		switch s.Name {
+		case "test_seconds_bucket":
+			buckets[s.Labels["le"]] = s.Value
+		case "test_seconds_sum":
+			sum = s.Value
+		case "test_seconds_count":
+			count = s.Value
+		}
+	}
+	for le, want := range map[string]float64{"0.1": 1, "1": 2, "10": 2, "+Inf": 3} {
+		if buckets[le] != want {
+			t.Errorf("bucket le=%s = %v, want %v", le, buckets[le], want)
+		}
+	}
+	if math.Abs(sum-100.6) > 1e-9 {
+		t.Errorf("sum = %v, want 100.6", sum)
+	}
+	if count != 3 {
+		t.Errorf("count = %v, want 3", count)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "second")
+}
+
+func TestUnlabeledRenderFormat(t *testing.T) {
+	// The daemon tests (and the CI smoke's awk) match the exact
+	// "name value" form for unlabeled metrics — pin it.
+	r := NewRegistry()
+	r.Counter("tdrauditd_traces_audited_total", "Traces that produced a verdict.")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "tdrauditd_traces_audited_total 0\n") {
+		t.Errorf("unlabeled counter not rendered as 'name value':\n%s", b.String())
+	}
+}
+
+func TestHistogramVecEach(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("stage_seconds", "h", []float64{1}, "stage")
+	hv.With("replay").Observe(0.5)
+	hv.With("compare").Observe(2)
+	seen := map[string]uint64{}
+	hv.Each(func(lvs []string, h *Histogram) {
+		if len(lvs) != 1 {
+			t.Fatalf("label values = %v", lvs)
+		}
+		seen[lvs[0]] = h.Count()
+	})
+	if seen["replay"] != 1 || seen["compare"] != 1 {
+		t.Errorf("Each saw %v", seen)
+	}
+}

@@ -1,12 +1,14 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"sanity/internal/core"
 	"sanity/internal/detect"
+	"sanity/internal/obs"
 	"sanity/internal/svm"
 )
 
@@ -59,6 +61,7 @@ type auditor struct {
 	statsLimit float64
 	tdrWindow  int  // >0: audit only the trailing window of IPDs
 	refWindow  bool // windowed scoring via full replay (differential tests)
+	explain    bool // attach the evidence trail to each verdict
 }
 
 // newAuditor trains a shard's detectors. The statistical detectors
@@ -88,6 +91,7 @@ func newAuditor(s *Shard, cfg Config) (*auditor, error) {
 		statsLimit: cfg.StatThreshold,
 		tdrWindow:  cfg.WindowIPDs,
 		refWindow:  cfg.WindowViaFullReplay,
+		explain:    cfg.Explain,
 	}
 	for i, d := range a.detectors {
 		if d.Name() == "regularity" && window > 0 {
@@ -127,11 +131,18 @@ func (a *auditor) windowFor(job Job, tr *Trace) (from, to int, ok bool) {
 // renders the verdict. Per-detector failures (e.g. a trace too short
 // for the regularity test) degrade the verdict instead of failing the
 // batch.
-func (a *auditor) audit(job Job, index int) Verdict {
+func (a *auditor) audit(ctx context.Context, job Job, index int) Verdict {
+	ctx, root := obs.StartSpan(ctx, obs.StageTrace)
+	root.Attr("job", job.ID)
+	root.Attr("shard", job.Shard)
+	defer root.End()
+
 	v := Verdict{JobID: job.ID, Index: index, Shard: job.Shard, Label: job.Label}
 	tr := job.Trace
 	if tr == nil {
+		_, sp := obs.StartSpan(ctx, obs.StageLoad)
 		loaded, err := job.Load()
+		sp.End()
 		if err == nil && loaded == nil {
 			err = fmt.Errorf("loader returned no trace")
 		}
@@ -142,6 +153,7 @@ func (a *auditor) audit(job Job, index int) Verdict {
 		tr = loaded
 	}
 	var errs []string
+	_, statSpan := obs.StartSpan(ctx, obs.StageStat)
 	for _, d := range a.detectors {
 		s, err := d.Score(tr)
 		if err != nil {
@@ -150,19 +162,23 @@ func (a *auditor) audit(job Job, index int) Verdict {
 		}
 		v.Scores = append(v.Scores, Score{Detector: d.Name(), Value: s})
 	}
+	statSpan.End()
+	from, to, windowed := a.windowFor(job, tr)
 	if a.tdr != nil && tr.Log != nil && tr.Play != nil {
+		tctx, tdrSpan := obs.StartSpan(ctx, obs.StageTDR)
 		var cmp *core.TimingComparison
 		var err error
-		if from, to, windowed := a.windowFor(job, tr); windowed {
+		if windowed {
 			if a.refWindow {
-				cmp, err = a.tdr.ScoreDetailWindowFull(tr, from, to)
+				cmp, err = a.tdr.ScoreDetailWindowFullCtx(tctx, tr, from, to)
 			} else {
-				cmp, err = a.tdr.ScoreDetailWindow(tr, from, to)
+				cmp, err = a.tdr.ScoreDetailWindowCtx(tctx, tr, from, to)
 			}
 			v.TDRWindowed = true
 		} else {
-			cmp, err = a.tdr.ScoreDetail(tr)
+			cmp, err = a.tdr.ScoreDetailCtx(tctx, tr)
 		}
+		tdrSpan.End()
 		if err != nil {
 			errs = append(errs, fmt.Sprintf("%s: %v", a.tdr.Name(), err))
 		} else {
@@ -176,12 +192,44 @@ func (a *auditor) audit(job Job, index int) Verdict {
 			v.TDRAudited = true
 		}
 	}
+	_, verdictSpan := obs.StartSpan(ctx, obs.StageVerdict)
 	sort.Slice(v.Scores, func(i, j int) bool { return v.Scores[i].Detector < v.Scores[j].Detector })
 	v.Suspicious = a.decide(&v)
 	if len(errs) > 0 {
 		v.Err = strings.Join(errs, "; ")
 	}
+	if a.explain {
+		a.fillExplain(&v, job, from, to, windowed)
+	}
+	verdictSpan.End()
 	return v
+}
+
+// fillExplain attaches the evidence trail: the audited window and the
+// policy behind it (seeded by the plan in auto mode), plus the TDR
+// deviation summary located under the same slack the threshold used.
+func (a *auditor) fillExplain(v *Verdict, job Job, from, to int, windowed bool) {
+	ex := job.Explain.clone()
+	if windowed {
+		ex.Window = &IPDWindow{From: from, To: to}
+	}
+	if ex.WindowMode == "" {
+		if windowed {
+			ex.WindowMode = "trailing"
+			ex.WindowReason = fmt.Sprintf("trailing %d IPDs (pipeline window policy)", a.tdrWindow)
+		} else {
+			ex.WindowMode = "full"
+			ex.WindowReason = "whole trace audited (no window policy)"
+		}
+	}
+	if v.TDR != nil {
+		slack := int64(0)
+		if a.tdr != nil {
+			slack = a.tdr.Calib.AbsSlackPs
+		}
+		ex.TDR = tdrExplain(v.TDR, slack)
+	}
+	v.Explain = ex
 }
 
 // decide renders the binary verdict. When the TDR path ran, it alone

@@ -76,6 +76,11 @@ type Job struct {
 	// cheap statistical prefilter flagged. Nil selects the pipeline's
 	// trailing default window.
 	Window *IPDWindow
+	// Explain, when the pipeline runs with Config.Explain, seeds the
+	// verdict's evidence trail — the audit planner stores the window
+	// scan that chose (or declined) this job's window here. Ignored
+	// when explain mode is off.
+	Explain *Explain
 }
 
 // Batch is one pipeline input: a set of shards and the jobs to audit

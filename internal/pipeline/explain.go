@@ -1,0 +1,80 @@
+package pipeline
+
+import "sanity/internal/core"
+
+// WindowScore is one candidate window from the auto-selection scan:
+// the CCE z-score of the IPD range [From, To) against the shard's
+// benign baseline. Sign is kept (suspicion is |Z|) so the evidence
+// shows which direction the entropy moved.
+type WindowScore struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Z    float64 `json:"z"`
+}
+
+// TDRExplain summarizes the timing comparison behind a TDR verdict:
+// the deviation statistics the threshold was applied to and the
+// single worst inter-packet delay (absolute index into the trace), so
+// a flagged trace points at where to look.
+type TDRExplain struct {
+	MaxRelIPDDev  float64 `json:"maxRelIPDDev"`
+	MeanRelIPDDev float64 `json:"meanRelIPDDev"`
+	WorstIPD      int     `json:"worstIPD"`
+	OutputsMatch  bool    `json:"outputsMatch"`
+}
+
+// Explain is the optional evidence trail attached to a Verdict when
+// explain mode is on: which window was audited and why, the
+// per-window z-scores the selector saw, and the TDR deviation
+// summary. It never participates in Canonical() — explainability is
+// additive, determinism contracts are untouched.
+type Explain struct {
+	// WindowMode names the policy that chose the audited range:
+	// "full", "trailing", or "auto".
+	WindowMode string `json:"windowMode,omitempty"`
+	// Window is the audited IPD range, when the audit was windowed.
+	Window *IPDWindow `json:"window,omitempty"`
+	// WindowReason says in words why this range was audited.
+	WindowReason string `json:"windowReason,omitempty"`
+	// Windows holds the selector's per-window CCE z-scores (auto mode
+	// only) — the scan that picked (or declined to pick) a window.
+	Windows []WindowScore `json:"windows,omitempty"`
+	// SelectedZ is the winning window's z-score in auto mode.
+	SelectedZ float64 `json:"selectedZ,omitempty"`
+	// TDR summarizes the replay comparison when the TDR path ran.
+	TDR *TDRExplain `json:"tdr,omitempty"`
+}
+
+// clone deep-copies the explain seed so per-verdict fills never
+// mutate plan-owned state shared across reruns.
+func (e *Explain) clone() *Explain {
+	if e == nil {
+		return &Explain{}
+	}
+	cp := *e
+	if e.Window != nil {
+		w := *e.Window
+		cp.Window = &w
+	}
+	cp.Windows = append([]WindowScore(nil), e.Windows...)
+	return &cp
+}
+
+// tdrExplain condenses a timing comparison into the verdict evidence,
+// locating the worst IPD under the same slack the threshold used.
+func tdrExplain(cmp *core.TimingComparison, absSlackPs int64) *TDRExplain {
+	ex := &TDRExplain{
+		MaxRelIPDDev:  cmp.MaxRelIPDDev,
+		MeanRelIPDDev: cmp.MeanRelIPDDev,
+		OutputsMatch:  cmp.OutputsMatch,
+		WorstIPD:      -1,
+	}
+	worst := -1.0
+	for i, pair := range cmp.IPDs {
+		if d := pair.RelDevSlack(absSlackPs); d > worst {
+			worst = d
+			ex.WorstIPD = cmp.WindowFrom + i
+		}
+	}
+	return ex
+}

@@ -48,6 +48,13 @@ type Config struct {
 	// pays full-replay cost for a windowed answer, so production
 	// audits leave it off.
 	WindowViaFullReplay bool
+
+	// Explain attaches the evidence trail (Verdict.Explain) to every
+	// verdict: the audited window and the policy that chose it, the
+	// selector's per-window z-scores when a plan seeded them, and the
+	// TDR deviation summary. It never changes scores, decisions, or
+	// the canonical encoding.
+	Explain bool
 }
 
 // withDefaults normalizes the configuration.
@@ -224,7 +231,7 @@ func (p *Pipeline) GoContext(ctx context.Context, b *Batch) (*Stream, error) {
 						return
 					}
 					t0 := time.Now()
-					v := a.audit(ij.job, ij.idx)
+					v := a.audit(ctx, ij.job, ij.idx)
 					v.latencyNs = time.Since(t0).Nanoseconds()
 					out <- v
 				}

@@ -42,6 +42,11 @@ type Verdict struct {
 	Suspicious bool
 	// Err collects per-detector failures ("" when all ran clean).
 	Err string
+	// Explain is the optional evidence trail (Config.Explain): why
+	// this window, what the selector scanned, where the timing
+	// deviated. Nil when explain mode is off; excluded from
+	// Canonical(), so determinism contracts are unaffected.
+	Explain *Explain
 
 	// latencyNs is the wall-clock audit time of this job. It feeds the
 	// latency percentiles but stays out of the canonical encoding: it
@@ -55,20 +60,21 @@ type Verdict struct {
 // comparison is reduced to the fields a downstream consumer acts on.
 func (v Verdict) MarshalJSON() ([]byte, error) {
 	out := struct {
-		Index      int     `json:"index"`
-		ID         string  `json:"id"`
-		Shard      string  `json:"shard"`
-		Label      string  `json:"label"`
-		Scores     []Score `json:"scores"`
-		TDRAudited bool    `json:"tdrAudited"`
-		TDRScore   float64 `json:"tdrScore"`
-		TDRWindow  []int   `json:"tdrWindow,omitempty"`
-		Suspicious bool    `json:"suspicious"`
-		Err        string  `json:"err,omitempty"`
+		Index      int      `json:"index"`
+		ID         string   `json:"id"`
+		Shard      string   `json:"shard"`
+		Label      string   `json:"label"`
+		Scores     []Score  `json:"scores"`
+		TDRAudited bool     `json:"tdrAudited"`
+		TDRScore   float64  `json:"tdrScore"`
+		TDRWindow  []int    `json:"tdrWindow,omitempty"`
+		Suspicious bool     `json:"suspicious"`
+		Err        string   `json:"err,omitempty"`
+		Explain    *Explain `json:"explain,omitempty"`
 	}{
 		Index: v.Index, ID: v.JobID, Shard: v.Shard, Label: v.Label.String(),
 		Scores: v.Scores, TDRAudited: v.TDRAudited, TDRScore: v.TDRScore,
-		Suspicious: v.Suspicious, Err: v.Err,
+		Suspicious: v.Suspicious, Err: v.Err, Explain: v.Explain,
 	}
 	if v.TDRWindowed && v.TDR != nil {
 		out.TDRWindow = []int{v.TDR.WindowFrom, v.TDR.WindowTo}

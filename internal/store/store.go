@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"sanity/internal/detect"
+	"sanity/internal/obs"
 )
 
 // ManifestName is the directory-level index file.
@@ -77,6 +78,11 @@ type Manifest struct {
 type Store struct {
 	dir string
 
+	// obs, when set, feeds the shared stage histograms on container
+	// decodes ("store.decode"). Set it with SetObserver before any
+	// concurrent use; nil-safe throughout.
+	obs *obs.Observer
+
 	mu       sync.Mutex
 	manifest Manifest
 	// pending marks reserved entries whose container is still being
@@ -84,6 +90,11 @@ type Store struct {
 	// a concurrent Flush can never persist an entry without a file.
 	pending map[string]struct{}
 }
+
+// SetObserver attaches an observability sink: container decodes are
+// timed into the per-stage histograms. Call before concurrent use of
+// the store (the embedding daemon does, right after Create).
+func (s *Store) SetObserver(o *obs.Observer) { s.obs = o }
 
 // Create opens dir as a store, creating it (and its traces
 // subdirectory) if needed. An existing manifest is loaded, so Create
@@ -523,6 +534,8 @@ func (s *Store) OpenTrace(rel string) (*os.File, error) {
 
 // LoadTrace decodes a full trace by its manifest-relative path.
 func (s *Store) LoadTrace(rel string) (Meta, *detect.Trace, error) {
+	t := s.obs.Stage(obs.StageStoreDecode)
+	defer t.End()
 	f, err := s.OpenTrace(rel)
 	if err != nil {
 		return Meta{}, nil, err
@@ -536,6 +549,8 @@ func (s *Store) LoadTrace(rel string) (Meta, *detect.Trace, error) {
 // This is the prefilter fast path: statistical window selection over
 // a corpus reads every trace's delays without ever decoding a log.
 func (s *Store) LoadIPDs(rel string) ([]int64, error) {
+	t := s.obs.Stage(obs.StageStoreDecode)
+	defer t.End()
 	f, err := s.OpenTrace(rel)
 	if err != nil {
 		return nil, err

@@ -34,6 +34,7 @@ package sanity
 
 import (
 	"context"
+	"io"
 
 	"sanity/internal/asm"
 	"sanity/internal/audit"
@@ -44,6 +45,7 @@ import (
 	"sanity/internal/fixtures"
 	"sanity/internal/hw"
 	"sanity/internal/ingest"
+	"sanity/internal/obs"
 	"sanity/internal/pipeline"
 	"sanity/internal/replaylog"
 	"sanity/internal/svm"
@@ -323,6 +325,14 @@ func WithProgress(fn func(AuditProgress)) AuditorOption { return audit.WithProgr
 // Plan(ctx, nil).
 func WithStore(dir string) AuditorOption { return audit.WithStore(dir) }
 
+// WithExplain attaches an evidence trail to every verdict: the
+// selected replay window and why it was chosen, the CCE z-score per
+// scanned window, and a summary of the TDR deviation that decided the
+// call. Explain data never changes scores, decisions, or the
+// canonical verdict encoding — AuditResults.Canonical() is
+// byte-identical with or without it.
+func WithExplain() AuditorOption { return audit.WithExplain() }
+
 // WindowFull audits every trace whole (the default).
 func WindowFull() AuditWindowSpec { return audit.WindowFull() }
 
@@ -412,6 +422,73 @@ func NewAuditDaemon(cfg DaemonConfig) (*AuditDaemon, error) {
 // progress (the ingest idle timeout); the typed detail is
 // ingest.IdleTimeoutError.
 var ErrIngestIdleTimeout = ingest.ErrIdleTimeout
+
+// ---- Observability ----
+//
+// The audit funnel is instrumented end to end: ingest DONE, manifest
+// claim, shard resolution, window selection, checkpoint restore,
+// replay, compare, and verdict each run under a span carrying wall
+// time and an allocated-bytes delta. An Observer placed on the
+// context (Observer.Context) switches the instrumentation on; without
+// one, every probe is a nil check and the funnel's behavior and
+// output are unchanged.
+//
+//	reg := sanity.NewMetricsRegistry()
+//	tr := sanity.NewTracer()
+//	o := sanity.NewObserver(tr, sanity.NewStageMetrics(reg))
+//	plan, _ := auditor.Plan(o.Context(ctx), nil)
+//	... run the plan ...
+//	sanity.WriteChromeTrace(f, tr.Drain()) // open in chrome://tracing
+
+// MetricsRegistry is a process-local registry of typed metrics
+// (counters, gauges, histograms) rendered in Prometheus text
+// exposition format via WritePrometheus.
+type MetricsRegistry = obs.Registry
+
+// Tracer collects the spans the instrumented funnel emits.
+type Tracer = obs.Tracer
+
+// Observer bundles a Tracer and per-stage metrics; place it on a
+// context with Observer.Context to instrument everything downstream.
+type Observer = obs.Observer
+
+// SpanRecord is one finished span: identity, tree links, wall time,
+// and allocated-bytes attribution.
+type SpanRecord = obs.SpanRecord
+
+// StageMetrics are the per-stage latency and allocated-bytes
+// histograms (sanity_stage_seconds, sanity_stage_alloc_bytes).
+type StageMetrics = obs.StageMetrics
+
+// AuditExplain is a verdict's evidence trail (see WithExplain).
+type AuditExplain = pipeline.Explain
+
+// AuditWindowScore is one scanned window's CCE z-score.
+type AuditWindowScore = pipeline.WindowScore
+
+// AuditTDRExplain summarizes the TDR timing deviation behind a
+// verdict.
+type AuditTDRExplain = pipeline.TDRExplain
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer returns an empty span collector.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewStageMetrics registers the per-stage histograms on reg.
+func NewStageMetrics(reg *MetricsRegistry) *StageMetrics { return obs.NewStageMetrics(reg) }
+
+// NewObserver bundles a tracer and stage metrics; either may be nil
+// to collect only the other.
+func NewObserver(tr *Tracer, stages *StageMetrics) *Observer { return obs.NewObserver(tr, stages) }
+
+// WriteChromeTrace writes spans as Chrome trace_event JSON, openable
+// in chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error { return obs.WriteChromeTrace(w, spans) }
+
+// WriteTraceNDJSON writes spans as NDJSON, one SpanRecord per line.
+func WriteTraceNDJSON(w io.Writer, spans []SpanRecord) error { return obs.WriteNDJSON(w, spans) }
 
 // ---- Typed audit failures ----
 //
