@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"sanity/internal/core"
@@ -20,6 +21,7 @@ import (
 	"sanity/internal/hw"
 	"sanity/internal/netsim"
 	"sanity/internal/nfs"
+	"sanity/internal/obs"
 )
 
 func main() {
@@ -145,7 +147,9 @@ func main() {
 	}
 }
 
+var logger = slog.New(obs.NewLogHandler(os.Stderr, obs.LogOptions{}))
+
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "covertdetect: %v\n", err)
+	logger.Error("covertdetect failed", "err", err)
 	os.Exit(1)
 }

@@ -11,11 +11,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"sanity/internal/asm"
 	"sanity/internal/core"
 	"sanity/internal/hw"
+	"sanity/internal/obs"
 	"sanity/internal/replaylog"
 )
 
@@ -33,7 +35,7 @@ func main() {
 	)
 	flag.Parse()
 	if *programPath == "" {
-		fmt.Fprintln(os.Stderr, "sanity: -program is required")
+		logger.Error("-program is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -136,7 +138,9 @@ func main() {
 	}
 }
 
+var logger = slog.New(obs.NewLogHandler(os.Stderr, obs.LogOptions{}))
+
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "sanity: %v\n", err)
+	logger.Error("sanity failed", "err", err)
 	os.Exit(1)
 }

@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	"sanity/internal/audit"
+	"sanity/internal/benchreg"
 	"sanity/internal/calib"
 	"sanity/internal/fixtures"
 	"sanity/internal/hw"
@@ -51,6 +53,25 @@ import (
 	"sanity/internal/pipeline"
 	"sanity/internal/store"
 )
+
+// logger carries every diagnostic and progress line; stdout stays
+// reserved for verdicts, summaries, and reports. addLogFlags replaces
+// it per subcommand once -log-format/-log-level are parsed.
+var logger = slog.New(obs.NewLogHandler(os.Stderr, obs.LogOptions{}))
+
+// addLogFlags registers the shared -log-format/-log-level flags;
+// call the returned func after fs.Parse to install the logger.
+func addLogFlags(fs *flag.FlagSet) func() {
+	format := fs.String("log-format", "text", "log output format: 'text' or 'json'")
+	level := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	return func() {
+		lvl, err := obs.ParseLogLevel(*level)
+		if err != nil {
+			fatal(err)
+		}
+		logger = slog.New(obs.NewLogHandler(os.Stderr, obs.LogOptions{Format: *format, Level: lvl}))
+	}
+}
 
 func main() {
 	if len(os.Args) > 1 {
@@ -69,6 +90,9 @@ func main() {
 			return
 		case "calibrate":
 			calibrateMain(os.Args[2:])
+			return
+		case "obs":
+			obsMain(os.Args[2:])
 			return
 		}
 	}
@@ -181,8 +205,7 @@ func parseCheckpointEvery(s string, st *store.Store, packets int) (int, error) {
 			lengths = []int{packets}
 		}
 		every := store.AutoCheckpointInterval(lengths)
-		fmt.Fprintf(os.Stderr, "checkpoint-every auto: %d outputs (median of %d trace lengths)\n",
-			every, len(lengths))
+		logger.Info("checkpoint-every autotuned", "every", every, "traceLengths", len(lengths))
 		return every, nil
 	}
 	n, err := strconv.Atoi(s)
@@ -200,13 +223,15 @@ func inMemoryMain(args []string) {
 	ckptEvery := fs.String("checkpoint-every", strconv.Itoa(fixtures.DefaultCheckpointEvery),
 		"emit a replay checkpoint every N sent packets while recording (0 = none, auto = from trace-length stats; enables -window)")
 	af := addAuditFlags(fs)
+	applyLog := addLogFlags(fs)
 	fs.Parse(args)
+	applyLog()
 
 	every, err := parseCheckpointEvery(*ckptEvery, nil, *packets)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "recording %d traces of %d packets (plus training traces)...\n", *traces, *packets)
+	logger.Info("recording in-memory corpus", "traces", *traces, "packets", *packets)
 	var b *pipeline.Batch
 	if every > 0 {
 		b, err = fixtures.CheckpointedAuditBatch(*traces, *packets, every, *seed)
@@ -229,7 +254,9 @@ func recordMain(args []string) {
 	ckptEvery := fs.String("checkpoint-every", strconv.Itoa(fixtures.DefaultCheckpointEvery),
 		"emit a replay checkpoint every N sent packets (0 = none, auto = from the corpus's trace-length stats; "+
 			"checkpointed corpora support audit-dir -window)")
+	applyLog := addLogFlags(fs)
 	fs.Parse(args)
+	applyLog()
 	if *dir == "" {
 		fatal(fmt.Errorf("record: -dir is required"))
 	}
@@ -243,7 +270,7 @@ func recordMain(args []string) {
 		// The heterogeneous recipe predates checkpointing and stays
 		// uncheckpointed; windowed audits over it fall back to full
 		// replay per trace.
-		fmt.Fprintf(os.Stderr, "recording two heterogeneous populations (%d+ traces each)...\n", *traces)
+		logger.Info("recording heterogeneous populations", "tracesPerShard", *traces)
 		nfsSet, echoSet, err := fixtures.HeterogeneousSets(sizes, *seed)
 		if err != nil {
 			fatal(err)
@@ -256,8 +283,7 @@ func recordMain(args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "recording %d traces of %d packets (checkpoint every %d packets)...\n",
-			*traces, *packets, every)
+		logger.Info("recording corpus", "traces", *traces, "packets", *packets, "checkpointEvery", every)
 		var set *fixtures.Set
 		if every > 0 {
 			set, err = fixtures.PlayedSetCheckpointed(sizes, every, *seed)
@@ -282,7 +308,9 @@ func serveMain(args []string) {
 	secret := fs.String("secret", "", "shared secret clients must present with AUTH (empty = open server)")
 	maxTraces := fs.Int("max-traces-per-conn", 0, "per-connection trace quota (0 = unlimited)")
 	maxBytes := fs.Int64("max-bytes-per-conn", 0, "per-connection payload-byte quota (0 = unlimited)")
+	applyLog := addLogFlags(fs)
 	fs.Parse(args)
+	applyLog()
 	if *dir == "" {
 		fatal(fmt.Errorf("serve: -dir is required"))
 	}
@@ -294,11 +322,12 @@ func serveMain(args []string) {
 		Secret:           *secret,
 		MaxTracesPerConn: *maxTraces,
 		MaxBytesPerConn:  *maxBytes,
+		Log:              logger.With("component", "ingest"),
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "ingest server listening on %s, spooling to %s\n", srv.Addr(), st.Dir())
+	logger.Info("ingest server listening", "addr", srv.Addr().String(), "spool", st.Dir())
 	select {} // serve until killed; the manifest is flushed per session
 }
 
@@ -307,7 +336,9 @@ func sendMain(args []string) {
 	addr := fs.String("addr", "localhost:7070", "ingest server address")
 	dir := fs.String("dir", "", "corpus directory to upload (required)")
 	secret := fs.String("secret", "", "shared secret to present with AUTH (empty = none)")
+	applyLog := addLogFlags(fs)
 	fs.Parse(args)
+	applyLog()
 	if *dir == "" {
 		fatal(fmt.Errorf("send: -dir is required"))
 	}
@@ -322,7 +353,7 @@ func sendMain(args []string) {
 	fmt.Printf("pushed %d shards, %d traces accepted, %d rejected\n",
 		res.Shards, res.Accepted, len(res.Rejected))
 	for _, r := range res.Rejected {
-		fmt.Fprintf(os.Stderr, "rejected %s\n", r)
+		logger.Warn("trace rejected by server", "reason", r)
 	}
 	if len(res.Rejected) > 0 {
 		os.Exit(1)
@@ -335,7 +366,9 @@ func auditDirMain(args []string) {
 	cross := fs.Bool("cross-machine", false, "audit shards recorded on other machine types through the corpus's calibration artifact")
 	auditorName := fs.String("auditor", hw.Optiplex9020().Name, "the machine type the auditor owns (with -cross-machine)")
 	af := addAuditFlags(fs)
+	applyLog := addLogFlags(fs)
 	fs.Parse(args)
+	applyLog()
 	if *dir == "" {
 		fatal(fmt.Errorf("audit-dir: -dir is required"))
 	}
@@ -365,8 +398,7 @@ func (a *auditFlags) crossOptions(cross bool, auditorName, dir string) ([]audit.
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "cross-machine mode: auditing as %s with %d calibration model(s)\n",
-		auditor.Name, len(models.Models))
+	logger.Info("cross-machine mode", "auditor", auditor.Name, "models", len(models.Models))
 	return append(opts, audit.WithAuditorMachine(auditor), audit.WithCalibration(models)), nil
 }
 
@@ -381,7 +413,9 @@ func calibrateMain(args []string) {
 	train := fs.Int("train", 4, "known-good training traces per machine pair")
 	packets := fs.Int("packets", 60, "packets per training trace")
 	seed := fs.Uint64("seed", 42, "training-trace seed")
+	applyLog := addLogFlags(fs)
 	fs.Parse(args)
+	applyLog()
 	if *dir == "" {
 		fatal(fmt.Errorf("calibrate: -dir is required"))
 	}
@@ -413,8 +447,8 @@ func calibrateMain(args []string) {
 		if err != nil {
 			fatal(fmt.Errorf("calibrate: shard %q: %w", sm.Key, err))
 		}
-		fmt.Fprintf(os.Stderr, "calibrating %s: %s -> %s (%d training traces x %d packets)...\n",
-			sm.Program, recorded.Name, auditor.Name, *train, *packets)
+		logger.Info("calibrating machine pair", "program", sm.Program,
+			"recorded", recorded.Name, "auditor", auditor.Name, "train", *train, "packets", *packets)
 		mod, err := fixtures.CalibratePair(sm.Program, recorded, auditor, *train, *packets, *seed)
 		if err != nil {
 			fatal(err)
@@ -460,7 +494,7 @@ func runAuditOpts(src audit.Source, af *auditFlags, opts []audit.Option) {
 		ctx = o.Context(ctx)
 		defer func() {
 			if err := writeTraceFile(*af.trace, tracer); err != nil {
-				fmt.Fprintf(os.Stderr, "tdraudit: writing trace: %v\n", err)
+				logger.Error("writing trace failed", "path", *af.trace, "err", err)
 			}
 		}()
 	}
@@ -474,11 +508,11 @@ func runAuditOpts(src audit.Source, af *auditFlags, opts []audit.Option) {
 		fatal(err)
 	}
 	info := plan.Info()
-	fmt.Fprintf(os.Stderr, "auditing %d traces across %d shards, window=%s, %d workers (GOMAXPROCS %d)...\n",
-		info.Jobs, info.Shards, info.Window.Mode, auditor.Workers(), runtime.GOMAXPROCS(0))
+	logger.Info("auditing", "traces", info.Jobs, "shards", info.Shards,
+		"window", info.Window.Mode.String(), "workers", auditor.Workers(), "gomaxprocs", runtime.GOMAXPROCS(0))
 	if info.Window.Mode == audit.ModeAuto && info.TotalIPDs > 0 {
-		fmt.Fprintf(os.Stderr, "auto windows: narrowed %d/%d traces, replaying %.0f%% of IPDs\n",
-			info.Narrowed, info.Jobs, 100*float64(info.AuditIPDs)/float64(info.TotalIPDs))
+		logger.Info("auto windows selected", "narrowed", info.Narrowed, "traces", info.Jobs,
+			"replayedIPDPct", 100*float64(info.AuditIPDs)/float64(info.TotalIPDs))
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -502,7 +536,7 @@ func runAuditOpts(src audit.Source, af *auditFlags, opts []audit.Option) {
 	}
 	r := pipeline.Collect(verdicts, auditor.Workers(), *af.batch, time.Since(start).Nanoseconds())
 	if runErr != nil {
-		fmt.Fprintf(os.Stderr, "audit ended early: %v\n", runErr)
+		logger.Error("audit ended early", "err", runErr)
 	}
 	if *af.jsonOut {
 		if !*af.stream {
@@ -523,13 +557,13 @@ func runAuditOpts(src audit.Source, af *auditFlags, opts []audit.Option) {
 	if runErr != nil {
 		// os.Exit skips deferred writers; flush the trace first.
 		if err := writeTraceFile(*af.trace, tracer); err != nil {
-			fmt.Fprintf(os.Stderr, "tdraudit: writing trace: %v\n", err)
+			logger.Error("writing trace failed", "path", *af.trace, "err", err)
 		}
 		os.Exit(1)
 	}
 
 	if *af.compare && auditor.Workers() > 1 {
-		fmt.Fprintf(os.Stderr, "re-auditing with 1 worker for comparison...\n")
+		logger.Info("re-auditing with 1 worker for comparison")
 		one, err := audit.New(append(append([]audit.Option(nil), opts...), audit.WithWorkers(1))...)
 		if err != nil {
 			fatal(err)
@@ -544,13 +578,13 @@ func runAuditOpts(src audit.Source, af *auditFlags, opts []audit.Option) {
 		}
 		fmt.Fprint(os.Stderr, r1.Format())
 		if r1.Metrics.ThroughputPerSec > 0 {
-			fmt.Fprintf(os.Stderr, "speedup with %d workers: %.2fx\n",
-				auditor.Workers(), r.Metrics.ThroughputPerSec/r1.Metrics.ThroughputPerSec)
+			logger.Info("parallel speedup measured", "workers", auditor.Workers(),
+				"speedup", r.Metrics.ThroughputPerSec/r1.Metrics.ThroughputPerSec)
 		}
 		if string(r.Canonical()) != string(r1.Canonical()) {
 			fatal(fmt.Errorf("verdicts diverged between worker counts — determinism violation"))
 		}
-		fmt.Fprintln(os.Stderr, "verdicts identical across worker counts: true")
+		logger.Info("verdicts identical across worker counts")
 	}
 }
 
@@ -576,7 +610,7 @@ func writeTraceFile(path string, tracer *obs.Tracer) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d spans to %s (open in chrome://tracing)\n", len(spans), path)
+	logger.Info("wrote trace", "spans", len(spans), "path", path)
 	return nil
 }
 
@@ -597,6 +631,75 @@ func printVerdict(v pipeline.Verdict) {
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "tdraudit: %v\n", err)
+	logger.Error("tdraudit failed", "err", err)
 	os.Exit(1)
+}
+
+// obsMain dispatches the offline observability tools.
+func obsMain(args []string) {
+	if len(args) > 0 && args[0] == "report" {
+		obsReportMain(args[1:])
+		return
+	}
+	fatal(fmt.Errorf("obs: unknown subcommand %q (want 'report')", strings.Join(args, " ")))
+}
+
+// obsReportMain is the offline funnel analyzer: it reads persisted
+// span records (one spans.ndjson, or a trace dir with its rotated
+// generations) and renders the audit funnel per stage — counts,
+// p50/p99 wall, alloc, critical-path share — optionally diffed
+// against a BENCH_*.json baseline's per-stage decomposition.
+//
+//	tdraudit obs report -spans spool-traces/
+//	tdraudit obs report -spans spool-traces/spans.ndjson -json
+//	tdraudit obs report -spans spool-traces/ -baseline BENCH_2026-08-08.json
+func obsReportMain(args []string) {
+	fs := flag.NewFlagSet("tdraudit obs report", flag.ExitOnError)
+	spans := fs.String("spans", "", "spans.ndjson file, or a trace dir holding it plus rotated generations (required)")
+	baseline := fs.String("baseline", "", "BENCH_*.json report to diff the per-stage means against ('' = no diff)")
+	bench := fs.String("bench", benchreg.BenchAuditWindowed, "which benchmark's stage decomposition to diff against (with -baseline)")
+	jsonOut := fs.Bool("json", false, "emit the funnel report as JSON instead of a table")
+	applyLog := addLogFlags(fs)
+	fs.Parse(args)
+	applyLog()
+	if *spans == "" {
+		fatal(fmt.Errorf("obs report: -spans is required"))
+	}
+
+	recs, err := obs.ReadSpanFiles(*spans)
+	if err != nil {
+		fatal(err)
+	}
+	if len(recs) == 0 {
+		fatal(fmt.Errorf("obs report: no span records under %s", *spans))
+	}
+	rep := obs.BuildFunnelReport(recs)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(rep.Format())
+	}
+	if *baseline == "" {
+		return
+	}
+
+	base, err := benchreg.Load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	if len(base.Stages) == 0 {
+		logger.Warn("baseline has no per-stage decomposition (schema 1); regenerate it with tdrbench bench -out",
+			"baseline", *baseline)
+		return
+	}
+	stages, ok := base.Stages[*bench]
+	if !ok {
+		fatal(fmt.Errorf("obs report: baseline %s has no stage decomposition for benchmark %q", *baseline, *bench))
+	}
+	fmt.Printf("\nper-stage delta vs %s (%s, %s):\n", *baseline, *bench, base.Date)
+	fmt.Print(obs.FormatStageDeltas(obs.DiffStageSummaries(stages, rep.Summaries(), benchreg.Tolerance)))
 }

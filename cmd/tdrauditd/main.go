@@ -14,9 +14,13 @@
 // Push work to it with `tdraudit send -addr host:7070 -dir corpus`;
 // read results back over HTTP:
 //
-//	GET /verdicts            NDJSON verdict log (add ?follow=1 to tail)
-//	GET /corpora             spool status: traces by audit state
-//	GET /metrics             Prometheus text format
+//	GET /verdicts                 NDJSON verdict log (add ?follow=1 to tail)
+//	GET /corpora                  spool status: traces by audit state
+//	GET /metrics                  Prometheus text format
+//	GET /healthz                  liveness (always 200 while serving)
+//	GET /readyz                   readiness (503 before first sweep / while draining)
+//	GET /logz?n=100               newest structured log records, NDJSON
+//	GET /traces/{id}/timeline     one trace's audit life: state, verdict, spans
 //
 // SIGTERM (or Ctrl-C) shuts down in order: the ingest listener closes,
 // the in-flight audit plan is canceled — its ordered verdict prefix is
@@ -29,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -40,7 +45,12 @@ import (
 	"sanity/internal/daemon"
 	"sanity/internal/fixtures"
 	"sanity/internal/ingest"
+	"sanity/internal/obs"
 )
+
+// logger is the process-wide structured logger; main replaces it once
+// the -log-* flags are parsed.
+var logger = slog.New(obs.NewLogHandler(os.Stderr, obs.LogOptions{}))
 
 func main() {
 	fs := flag.NewFlagSet("tdrauditd", flag.ExitOnError)
@@ -56,8 +66,21 @@ func main() {
 	window := fs.String("window", "full", "replay-window policy: 'full', an IPD count N, or 'auto[:N]'")
 	poll := fs.Duration("poll", 2*time.Second, "spool sweep interval between ingest notifications")
 	traceDir := fs.String("trace-dir", "", "write per-sweep Chrome trace_event JSON and spans.ndjson here ('' disables tracing)")
+	traceMaxBytes := fs.Int64("trace-max-bytes", obs.DefaultSpanLogMaxBytes, "rotate spans.ndjson when the active file exceeds this size")
+	traceKeep := fs.Int("trace-keep", obs.DefaultSpanLogMaxFiles, "rotated spans.ndjson generations to keep")
+	traceSample := fs.Int("trace-sample", 1, "keep 1 in N span trees in the persisted trace (1 = all; /metrics and timelines always see everything)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address ('' disables; never exposed on -http)")
+	logFormat := fs.String("log-format", "text", "log output format: 'text' or 'json'")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	logRing := fs.Int("log-ring", obs.DefaultLogRingLines, "log records retained in memory for GET /logz")
+	drainGrace := fs.Duration("drain-grace", 0, "hold /readyz at 503 this long before shutdown teardown, letting load balancers shift traffic")
 	fs.Parse(os.Args[1:])
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger = slog.New(obs.NewLogHandler(os.Stderr, obs.LogOptions{Format: *logFormat, Level: level}))
 	if *dir == "" {
 		fatal(fmt.Errorf("-dir is required"))
 	}
@@ -88,9 +111,15 @@ func main() {
 			MaxBytesPerConn:  *maxBytes,
 			IdleTimeout:      *idle,
 		},
-		Poll:      *poll,
-		TraceDir:  *traceDir,
-		DebugAddr: *debugAddr,
+		Poll:             *poll,
+		TraceDir:         *traceDir,
+		TraceRotateBytes: *traceMaxBytes,
+		TraceRotateFiles: *traceKeep,
+		TraceSample:      *traceSample,
+		DebugAddr:        *debugAddr,
+		Logger:           logger,
+		LogRingSize:      *logRing,
+		DrainGrace:       *drainGrace,
 	})
 	if err != nil {
 		fatal(err)
@@ -138,6 +167,6 @@ func parseWindow(s string) (audit.Window, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "tdrauditd: %v\n", err)
+	logger.Error("tdrauditd failed", "err", err)
 	os.Exit(1)
 }

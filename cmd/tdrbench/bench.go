@@ -20,13 +20,14 @@ func benchMain(args []string) {
 	check := fs.String("check", "", "baseline BENCH json to gate against")
 	short := fs.Bool("short", false, "CI-sized corpus (baselines only gate allocations at matching scale)")
 	seed := fs.Uint64("seed", 42, "corpus seed")
+	applyLog := addLogFlags(fs)
 	fs.Parse(args)
+	applyLog()
 
-	fmt.Fprintf(os.Stderr, "measuring audit hot path (short=%v)...\n", *short)
+	logger.Info("measuring audit hot path", "short", *short)
 	report, err := benchreg.Run(*short, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdrbench bench: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Print(report.Format())
 
@@ -36,29 +37,30 @@ func benchMain(args []string) {
 			path = report.DefaultFileName()
 		}
 		if err := report.Write(path); err != nil {
-			fmt.Fprintf(os.Stderr, "tdrbench bench: writing %s: %v\n", path, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("writing %s: %w", path, err))
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		logger.Info("wrote bench report", "path", path)
 	}
 
 	var baseline *benchreg.Report
 	if *check != "" {
 		baseline, err = benchreg.Load(*check)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tdrbench bench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 	violations := benchreg.Check(baseline, report)
 	if len(violations) > 0 {
 		for _, v := range violations {
-			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
+			logger.Error("bench regression", "violation", v)
 		}
 		os.Exit(1)
 	}
 	if baseline != nil {
-		fmt.Fprintf(os.Stderr, "within %0.f%% of baseline %s (and above the %.1fx windowed floor)\n",
-			benchreg.Tolerance*100, *check, benchreg.MinWindowedSpeedup)
+		// Informational per-stage breakdown: which stage moved when the
+		// gated aggregates shift (a note when the baseline is schema 1).
+		fmt.Print(benchreg.FormatStageDelta(baseline, report))
+		logger.Info("bench gate passed", "baseline", *check,
+			"tolerancePct", benchreg.Tolerance*100, "windowedFloor", benchreg.MinWindowedSpeedup)
 	}
 }

@@ -14,17 +14,42 @@
 // baseline:
 //
 //	tdrbench bench -json
-//	tdrbench bench -json -short -check BENCH_2026-07-29.json
+//	tdrbench bench -json -short -check BENCH_2026-08-08.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"sanity/internal/experiments"
+	"sanity/internal/obs"
 )
+
+// logger carries progress and diagnostics; stdout stays reserved for
+// the rendered tables and figures.
+var logger = slog.New(obs.NewLogHandler(os.Stderr, obs.LogOptions{}))
+
+// addLogFlags registers -log-format/-log-level; the returned func
+// installs the logger after fs.Parse.
+func addLogFlags(fs *flag.FlagSet) func() {
+	format := fs.String("log-format", "text", "log output format: 'text' or 'json'")
+	level := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	return func() {
+		lvl, err := obs.ParseLogLevel(*level)
+		if err != nil {
+			fatal(err)
+		}
+		logger = slog.New(obs.NewLogHandler(os.Stderr, obs.LogOptions{Format: *format, Level: lvl}))
+	}
+}
+
+func fatal(err error) {
+	logger.Error("tdrbench failed", "err", err)
+	os.Exit(1)
+}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
@@ -49,8 +74,7 @@ func main() {
 		t0 := time.Now()
 		out, err := f()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tdrbench: %s: %v\n", name, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		fmt.Println(out)
 		fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))

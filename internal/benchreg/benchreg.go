@@ -232,3 +232,32 @@ func (r *Report) Format() string {
 	}
 	return out
 }
+
+// FormatStageDelta renders the per-stage funnel deltas between two
+// reports, one table per audit benchmark both reports decomposed.
+// Informational, never gated: the per-stage numbers come from one
+// instrumented pass, too noisy to fail CI on, but exactly what a
+// human wants when the gated aggregate regresses. Returns a note
+// instead of a table when the baseline predates the per-stage schema.
+func FormatStageDelta(baseline, current *Report) string {
+	if baseline == nil || len(baseline.Stages) == 0 {
+		return "per-stage delta: baseline has no stage breakdown (schema 1); regenerate it with tdrbench bench -out to enable\n"
+	}
+	var out string
+	for _, name := range []string{BenchAuditFull, BenchAuditWindowed} {
+		base, cur := baseline.Stages[name], current.Stages[name]
+		if len(base) == 0 || len(cur) == 0 {
+			continue
+		}
+		deltas := obs.DiffStageSummaries(base, cur, Tolerance)
+		if len(deltas) == 0 {
+			continue
+		}
+		out += fmt.Sprintf("%s per-stage delta vs baseline %s:\n", name, baseline.Date)
+		out += obs.FormatStageDeltas(deltas)
+	}
+	if out == "" {
+		return "per-stage delta: no benchmark decomposed by both reports\n"
+	}
+	return out
+}

@@ -1,6 +1,8 @@
 package benchreg
 
 import (
+	"sanity/internal/obs"
+
 	"path/filepath"
 	"strings"
 	"testing"
@@ -91,5 +93,41 @@ func TestCheckMissingDerived(t *testing.T) {
 	v := Check(nil, empty)
 	if len(v) != 1 || !strings.Contains(v[0], "floor") {
 		t.Fatalf("empty report: %v", v)
+	}
+}
+
+func TestFormatStageDelta(t *testing.T) {
+	cur := report(3.0, 10, true, 1000)
+	cur.Stages = map[string]map[string]obs.StageSummary{
+		BenchAuditWindowed: {
+			obs.StageReplay: {Count: 10, TotalSeconds: 2.0, TotalAllocBytes: 1 << 20},
+			obs.StageStat:   {Count: 10, TotalSeconds: 0.1, TotalAllocBytes: 1 << 16},
+		},
+	}
+
+	// Schema-1 baseline (no Stages): a note, not a table, not a panic.
+	if got := FormatStageDelta(report(3.0, 10, true, 1000), cur); !strings.Contains(got, "schema 1") {
+		t.Fatalf("schema-1 baseline did not degrade to a note: %q", got)
+	}
+	if got := FormatStageDelta(nil, cur); !strings.Contains(got, "schema 1") {
+		t.Fatalf("nil baseline did not degrade to a note: %q", got)
+	}
+
+	base := report(3.0, 10, true, 1000)
+	base.Stages = map[string]map[string]obs.StageSummary{
+		BenchAuditWindowed: {
+			obs.StageReplay: {Count: 10, TotalSeconds: 1.0, TotalAllocBytes: 1 << 20},
+			obs.StageStat:   {Count: 10, TotalSeconds: 0.1, TotalAllocBytes: 1 << 16},
+		},
+	}
+	got := FormatStageDelta(base, cur)
+	if !strings.Contains(got, BenchAuditWindowed) || !strings.Contains(got, obs.StageReplay) {
+		t.Fatalf("delta table missing benchmark/stage rows:\n%s", got)
+	}
+	if !strings.Contains(got, "REGRESSED(wall)") {
+		t.Fatalf("2x replay wall growth not marked regressed:\n%s", got)
+	}
+	if strings.Contains(got, BenchAuditFull) {
+		t.Fatalf("benchmark absent from both reports still rendered:\n%s", got)
 	}
 }

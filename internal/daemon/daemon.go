@@ -24,13 +24,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sanity/internal/audit"
@@ -69,18 +70,54 @@ type Config struct {
 	// replay from memory; the oldest are dropped past it. Metrics
 	// counters are lifetime and unaffected. Zero selects 4096.
 	VerdictRetention int
-	// Logf sinks the daemon's operational log lines. Nil selects
-	// log.Printf.
+	// Logger sinks the daemon's operational log as structured slog
+	// records; build one over obs.NewLogHandler for span-correlated
+	// JSON/text output. When nil (and Logf is nil too) the daemon
+	// logs text to stderr at Info, prefixed with a per-daemon
+	// "daemon" attr so two daemons in one process stay
+	// distinguishable. Whatever the sink, records are correlated
+	// (trace/span/stage attrs under instrumented contexts) and teed
+	// into the /logz ring.
+	Logger *slog.Logger
+	// Logf is the legacy printf-style sink, kept as a migration shim:
+	// when set (and Logger is nil) records render as "msg key=value"
+	// lines through it. Deprecated: use Logger.
 	Logf func(format string, args ...any)
+	// LogRingSize bounds the in-memory log ring behind GET /logz?n=
+	// (records, not bytes). Zero selects obs.DefaultLogRingLines.
+	LogRingSize int
 	// TraceDir, when non-empty, turns span tracing on: after each
 	// sweep the collected spans (ingest admissions, claim, resolve,
 	// select, and the full per-trace replay timeline) are written to
 	// TraceDir as one Chrome trace_event JSON file per sweep
 	// (sweep-NNNN.trace.json, openable in chrome://tracing or
-	// Perfetto) and appended to spans.ndjson. The directory is
-	// created if missing. Empty disables tracing; stage metrics stay
-	// on either way.
+	// Perfetto) and appended to a rotated spans.ndjson log. The
+	// directory is created if missing. Empty disables tracing; stage
+	// metrics stay on either way.
 	TraceDir string
+	// TraceRotateBytes caps the active spans.ndjson before it rotates
+	// to a spans-NNNNNN.ndjson generation (fsync-then-rename, so a
+	// crash never tears a rotated file). Zero selects
+	// obs.DefaultSpanLogMaxBytes.
+	TraceRotateBytes int64
+	// TraceRotateFiles bounds how many rotated generations are kept.
+	// Zero selects obs.DefaultSpanLogMaxFiles.
+	TraceRotateFiles int
+	// TraceSample exports 1 in N span trees to TraceDir (whole trees,
+	// so sampled traces stay complete) — always-on production tracing
+	// without unbounded volume. 0 or 1 exports everything. Stage
+	// metrics and the timeline index always see every span.
+	TraceSample int
+	// TimelineTraces / TimelineSpansPerTrace bound the in-memory
+	// per-trace span index behind GET /traces/{id}/timeline. Zeros
+	// select obs defaults (512 traces x 160 spans).
+	TimelineTraces        int
+	TimelineSpansPerTrace int
+	// DrainGrace holds readiness at 503 for this long at the start of
+	// Stop before any teardown begins, giving load balancers time to
+	// drain in-flight work away while /verdicts and the rest of the
+	// surface still answer. Zero skips the hold.
+	DrainGrace time.Duration
 	// DebugAddr, when non-empty, serves net/http/pprof under
 	// /debug/pprof/ on its own listener — heap and CPU profiles of
 	// the live daemon, deliberately separate from the public HTTP
@@ -94,13 +131,22 @@ type Daemon struct {
 	cfg     Config
 	st      *store.Store
 	auditor *audit.Auditor
-	logf    func(string, ...any)
+	log     *slog.Logger
+	logRing *obs.LogRing
 
-	met    *metrics
-	obs    *obs.Observer
-	tracer *obs.Tracer
-	vlog   *verdictLog
-	wake   chan struct{}
+	met      *metrics
+	obs      *obs.Observer
+	tracer   *obs.Tracer
+	spanLog  *obs.SpanLog
+	timeline *obs.TimelineIndex
+	vlog     *verdictLog
+	wake     chan struct{}
+
+	// Readiness state: firstSweep flips once the initial spool sweep
+	// completes, draining flips at the top of Stop — together they
+	// drive GET /readyz.
+	firstSweep atomic.Bool
+	draining   atomic.Bool
 
 	// traceSeq numbers the per-sweep trace files; only the watch
 	// goroutine (and Stop, after it exits) touches it.
@@ -141,9 +187,6 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.VerdictRetention <= 0 {
 		cfg.VerdictRetention = 4096
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
-	}
 	st, err := store.Create(cfg.Dir)
 	if err != nil {
 		return nil, err
@@ -152,29 +195,84 @@ func New(cfg Config) (*Daemon, error) {
 		cfg:       cfg,
 		st:        st,
 		auditor:   cfg.Auditor,
-		logf:      cfg.Logf,
 		met:       newMetrics(),
 		vlog:      newVerdictLog(cfg.VerdictRetention),
 		wake:      make(chan struct{}, 1),
 		watchDone: make(chan struct{}),
 	}
+	d.logRing = obs.NewLogRing(cfg.LogRingSize)
+	d.log = buildLogger(cfg, d.logRing)
 	d.registerFuncMetrics()
 	if cfg.TraceDir != "" {
-		if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
-			return nil, fmt.Errorf("daemon: creating trace dir: %w", err)
-		}
 		d.tracer = obs.NewTracer()
+		d.spanLog, err = obs.OpenSpanLog(cfg.TraceDir, obs.SpanLogOptions{
+			MaxBytes: cfg.TraceRotateBytes,
+			MaxFiles: cfg.TraceRotateFiles,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("daemon: opening span log: %w", err)
+		}
 	}
 	// The observer is always on for a daemon: stage metrics are part
-	// of /metrics, and the tracer half is nil unless TraceDir asked
-	// for span export.
+	// of /metrics and the timeline index backs /traces/{id}/timeline;
+	// the tracer half is nil unless TraceDir asked for span export.
+	d.timeline = obs.NewTimelineIndex(cfg.TimelineTraces, cfg.TimelineSpansPerTrace)
 	d.obs = obs.NewObserver(d.tracer, d.met.stages)
+	d.obs.SetTimeline(d.timeline)
+	d.obs.SetSample(cfg.TraceSample)
 	d.st.SetObserver(d.obs)
 	if n := st.ReclaimStale(); n > 0 {
-		d.logf("tdrauditd: reclaimed %d trace(s) claimed by a previous run", n)
+		d.log.Info("reclaimed traces claimed by a previous run", "count", n)
 	}
 	return d, nil
 }
+
+// buildLogger assembles the daemon's logger: the caller's Logger, or
+// the legacy Logf shim, or a stderr text handler — in every case
+// wrapped for span correlation and teed into the /logz ring, with a
+// per-daemon "daemon" attr so two daemons in one process never
+// interleave anonymously.
+func buildLogger(cfg Config, ring *obs.LogRing) *slog.Logger {
+	var base slog.Handler
+	switch {
+	case cfg.Logger != nil:
+		base = cfg.Logger.Handler()
+	case cfg.Logf != nil:
+		base = &logfHandler{fn: cfg.Logf}
+	default:
+		base = obs.NewLogHandler(os.Stderr, obs.LogOptions{})
+	}
+	return slog.New(obs.WrapHandler(base, ring)).With("daemon", filepath.Base(cfg.Dir))
+}
+
+// logfHandler adapts the deprecated printf-style Config.Logf to
+// slog, rendering records as the "msg key=value" lines the old sink
+// expects.
+type logfHandler struct {
+	fn    func(string, ...any)
+	attrs []slog.Attr
+}
+
+func (h *logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
+	line := r.Message
+	for _, a := range h.attrs {
+		line += " " + a.Key + "=" + a.Value.String()
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		line += " " + a.Key + "=" + a.Value.String()
+		return true
+	})
+	h.fn("%s", line)
+	return nil
+}
+
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &logfHandler{fn: h.fn, attrs: append(append([]slog.Attr(nil), h.attrs...), attrs...)}
+}
+
+func (h *logfHandler) WithGroup(string) slog.Handler { return h }
 
 // Store exposes the daemon's spool store (tests, embedding callers).
 func (d *Daemon) Store() *store.Store { return d.st }
@@ -217,12 +315,15 @@ func (d *Daemon) Start() error {
 		opts := d.cfg.Ingest
 		opts.OnDone = d.notify
 		opts.Obs = d.obs
+		if opts.Log == nil {
+			opts.Log = d.log.With("component", "ingest")
+		}
 		srv, err := ingest.ListenOpts(d.cfg.IngestAddr, d.st, opts)
 		if err != nil {
 			return err
 		}
 		d.ing = srv
-		d.logf("tdrauditd: ingest listening on %s", srv.Addr())
+		d.log.Info("ingest listening", "addr", srv.Addr().String())
 	}
 	if d.cfg.HTTPAddr != "" {
 		ln, err := net.Listen("tcp", d.cfg.HTTPAddr)
@@ -235,7 +336,7 @@ func (d *Daemon) Start() error {
 		d.httpLn = ln
 		d.httpSrv = &http.Server{Handler: d.httpHandler()}
 		go d.httpSrv.Serve(ln)
-		d.logf("tdrauditd: http listening on %s", ln.Addr())
+		d.log.Info("http listening", "addr", ln.Addr().String())
 	}
 	if d.cfg.DebugAddr != "" {
 		ln, err := net.Listen("tcp", d.cfg.DebugAddr)
@@ -251,7 +352,7 @@ func (d *Daemon) Start() error {
 		d.debugLn = ln
 		d.debugSrv = &http.Server{Handler: debugHandler()}
 		go d.debugSrv.Serve(ln)
-		d.logf("tdrauditd: pprof listening on %s/debug/pprof/", ln.Addr())
+		d.log.Info("pprof listening", "addr", ln.Addr().String()+"/debug/pprof/")
 	}
 	d.auditCtx, d.cancelAudit = context.WithCancel(context.Background())
 	go d.watch(d.auditCtx)
@@ -278,6 +379,14 @@ func (d *Daemon) Run(ctx context.Context) error {
 // after shutdown has fully completed.
 func (d *Daemon) Stop() error {
 	d.stopOnce.Do(func() {
+		// Flip readiness first and hold for the drain grace: load
+		// balancers see /readyz go 503 while the rest of the surface
+		// (verdict followers included) still answers.
+		d.draining.Store(true)
+		if d.cfg.DrainGrace > 0 {
+			d.log.Info("draining", "grace", d.cfg.DrainGrace.String())
+			time.Sleep(d.cfg.DrainGrace)
+		}
 		var errs []error
 		if d.ing != nil {
 			if err := d.ing.Close(); err != nil {
@@ -292,6 +401,9 @@ func (d *Daemon) Stop() error {
 		// still get exported; the watcher is gone, so this is the only
 		// flusher left.
 		d.flushTrace()
+		if err := d.spanLog.Close(); err != nil {
+			errs = append(errs, err)
+		}
 		d.vlog.close()
 		if d.httpSrv != nil {
 			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -333,6 +445,10 @@ func (d *Daemon) watch(ctx context.Context) {
 	defer ticker.Stop()
 	for {
 		d.sweep(ctx)
+		// The first sweep completing — even over an empty spool — is
+		// the readiness gate: from here the daemon has reconciled
+		// whatever the spool already held.
+		d.firstSweep.Store(true)
 		select {
 		case <-ctx.Done():
 			return
@@ -370,7 +486,7 @@ func (d *Daemon) sweep(ctx context.Context) {
 	err := d.st.Flush()
 	claimSpan.End()
 	if err != nil {
-		d.logf("tdrauditd: persisting claims: %v", err)
+		d.log.ErrorContext(ctx, "persisting claims failed", "err", err)
 	}
 
 	// Quarantine containers that cannot be read at all, so one corrupt
@@ -378,7 +494,7 @@ func (d *Daemon) sweep(ctx context.Context) {
 	good := claimed[:0]
 	for _, e := range claimed {
 		if _, err := d.st.LoadIPDs(e.File); err != nil {
-			d.logf("tdrauditd: skipping corrupt container %s (%s/%s): %v", e.File, e.Shard, e.ID, err)
+			d.log.WarnContext(ctx, "skipping corrupt container", "file", e.File, "shard", e.Shard, "id", e.ID, "err", err)
 			d.failTrace(e)
 			continue
 		}
@@ -388,7 +504,7 @@ func (d *Daemon) sweep(ctx context.Context) {
 		d.flushQuietly()
 		return
 	}
-	d.logf("tdrauditd: auditing %d claimed trace(s)", len(good))
+	d.log.InfoContext(ctx, "auditing claimed traces", "count", len(good))
 
 	// Verdicts name (shard, job ID); map them back to container files
 	// for the manifest's audit state.
@@ -405,7 +521,7 @@ func (d *Daemon) sweep(ctx context.Context) {
 		// A plan that cannot resolve (unknown program, uncalibrated
 		// machine pair, unreadable training material) fails every
 		// trace it covered: terminal, logged, never retried in a loop.
-		d.logf("tdrauditd: planning failed, marking %d trace(s) failed: %v", len(good), err)
+		d.log.ErrorContext(ctx, "planning failed, marking traces failed", "count", len(good), "err", err)
 		d.met.planFailure()
 		for _, e := range good {
 			d.failTrace(e)
@@ -420,7 +536,7 @@ func (d *Daemon) sweep(ctx context.Context) {
 			if errors.Is(err, audit.ErrCanceled) {
 				canceled = true
 			} else {
-				d.logf("tdrauditd: audit run: %v", err)
+				d.log.ErrorContext(ctx, "audit run failed", "err", err)
 			}
 			break
 		}
@@ -428,12 +544,12 @@ func (d *Daemon) sweep(ctx context.Context) {
 		d.met.observe(v, time.Since(claimedAt))
 		if file, ok := files[v.Shard+"\x00"+v.JobID]; ok {
 			if err := d.st.SetAuditState(file, store.AuditAudited); err != nil {
-				d.logf("tdrauditd: recording verdict for %s: %v", v.JobID, err)
+				d.log.ErrorContext(ctx, "recording verdict failed", "id", v.JobID, "err", err)
 			}
 		}
 	}
 	if canceled {
-		d.logf("tdrauditd: audit canceled mid-plan; verdict prefix recorded, unfinished claims will be reclaimed")
+		d.log.InfoContext(ctx, "audit canceled mid-plan; verdict prefix recorded, unfinished claims will be reclaimed")
 	}
 	d.flushQuietly()
 }
@@ -454,25 +570,17 @@ func (d *Daemon) flushTrace() {
 	name := filepath.Join(d.cfg.TraceDir, fmt.Sprintf("sweep-%04d.trace.json", d.traceSeq))
 	f, err := os.Create(name)
 	if err != nil {
-		d.logf("tdrauditd: writing trace file: %v", err)
+		d.log.Error("writing trace file failed", "err", err)
 	} else {
 		if err := obs.WriteChromeTrace(f, spans); err != nil {
-			d.logf("tdrauditd: writing trace file %s: %v", name, err)
+			d.log.Error("writing trace file failed", "file", name, "err", err)
 		}
 		if err := f.Close(); err != nil {
-			d.logf("tdrauditd: closing trace file %s: %v", name, err)
+			d.log.Error("closing trace file failed", "file", name, "err", err)
 		}
 	}
-	nd, err := os.OpenFile(filepath.Join(d.cfg.TraceDir, "spans.ndjson"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		d.logf("tdrauditd: appending span log: %v", err)
-		return
-	}
-	if err := obs.WriteNDJSON(nd, spans); err != nil {
-		d.logf("tdrauditd: appending span log: %v", err)
-	}
-	if err := nd.Close(); err != nil {
-		d.logf("tdrauditd: closing span log: %v", err)
+	if err := d.spanLog.Append(spans); err != nil {
+		d.log.Error("appending span log failed", "err", err)
 	}
 }
 
@@ -480,7 +588,7 @@ func (d *Daemon) flushTrace() {
 func (d *Daemon) failTrace(e store.Entry) {
 	d.met.corrupt()
 	if err := d.st.SetAuditState(e.File, store.AuditFailed); err != nil {
-		d.logf("tdrauditd: marking %s failed: %v", e.File, err)
+		d.log.Error("marking trace failed errored", "file", e.File, "err", err)
 	}
 }
 
@@ -488,7 +596,7 @@ func (d *Daemon) failTrace(e store.Entry) {
 // failure — the daemon keeps serving on a transient disk error.
 func (d *Daemon) flushQuietly() {
 	if err := d.st.Flush(); err != nil {
-		d.logf("tdrauditd: flushing manifest: %v", err)
+		d.log.Error("flushing manifest failed", "err", err)
 	}
 }
 

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"sanity/internal/ingest"
+	"sanity/internal/obs"
 	"sanity/internal/pipeline"
 )
 
@@ -77,13 +79,141 @@ func (l *verdictLog) snapshot(from int) (vs []pipeline.Verdict, next int, update
 	return vs, from + len(vs), l.updated, l.closed
 }
 
+// find returns the most recent retained verdict for one job ID.
+func (l *verdictLog) find(jobID string) (pipeline.Verdict, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := len(l.verdicts) - 1; i >= 0; i-- {
+		if l.verdicts[i].JobID == jobID {
+			return l.verdicts[i], true
+		}
+	}
+	return pipeline.Verdict{}, false
+}
+
 // httpHandler assembles the daemon's HTTP surface.
 func (d *Daemon) httpHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /verdicts", d.handleVerdicts)
 	mux.HandleFunc("GET /corpora", d.handleCorpora)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
+	mux.HandleFunc("GET /logz", d.handleLogz)
+	mux.HandleFunc("GET /traces/{id}/timeline", d.handleTimeline)
 	return mux
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+// Always 200 — orchestrators restart on failure to answer, not on
+// body content.
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// readiness evaluates the /readyz checks: the spool store is open,
+// the ingest listener is up (when one is configured), the first
+// spool sweep has completed, and the daemon is not draining.
+func (d *Daemon) readiness() (ok bool, checks map[string]bool) {
+	checks = map[string]bool{
+		"store":       d.st != nil,
+		"ingest":      d.cfg.IngestAddr == "" || d.ing != nil,
+		"firstSweep":  d.firstSweep.Load(),
+		"notDraining": !d.draining.Load(),
+	}
+	ok = true
+	for _, c := range checks {
+		ok = ok && c
+	}
+	return ok, checks
+}
+
+// handleReadyz is readiness for load balancers: 200 once the first
+// sweep has reconciled the spool, 503 before that and — critically —
+// 503 again the moment Stop begins draining, while the rest of the
+// surface still answers, so traffic shifts away before the verdict
+// log closes.
+func (d *Daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ok, checks := d.readiness()
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(struct {
+		Ready  bool            `json:"ready"`
+		Checks map[string]bool `json:"checks"`
+	}{ok, checks})
+}
+
+// handleLogz serves the newest entries of the in-memory log ring as
+// NDJSON (JSON per record regardless of the stderr format), oldest
+// first. ?n= bounds the count (default 100).
+func (d *Daemon) handleLogz(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, fmt.Sprintf("bad n=%q", q), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, line := range d.logRing.Last(n) {
+		w.Write(line)
+	}
+}
+
+// traceTimeline is one /traces/{id}/timeline response: manifest
+// identity and audit state, the verdict when still retained, and the
+// assembled span history (ingest PUT, sweep/claim/resolve/select,
+// and the per-stage audit spans), start-ordered.
+type traceTimeline struct {
+	Trace          string            `json:"trace"`
+	Shard          string            `json:"shard,omitempty"`
+	File           string            `json:"file,omitempty"`
+	Role           string            `json:"role,omitempty"`
+	State          string            `json:"state"`
+	Verdict        *pipeline.Verdict `json:"verdict,omitempty"`
+	Spans          []obs.SpanRecord  `json:"spans"`
+	TruncatedSpans int               `json:"truncatedSpans,omitempty"`
+}
+
+// handleTimeline assembles one trace's full life. 404 when the ID is
+// neither in the manifest nor in the span index.
+func (d *Daemon) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	out := traceTimeline{Trace: id, State: "unknown", Spans: []obs.SpanRecord{}}
+	found := false
+	for _, e := range d.st.Entries() {
+		if e.ID == id {
+			out.Shard, out.File, out.Role = e.Shard, e.File, e.Role
+			out.State = stateLabel(e.Audit)
+			found = true
+			break
+		}
+	}
+	if tl, ok := d.timeline.Timeline(id); ok {
+		out.Spans = tl.Spans
+		out.TruncatedSpans = tl.Truncated
+		found = true
+	}
+	if v, ok := d.vlog.find(id); ok {
+		v.Explain = nil
+		out.Verdict = &v
+		found = true
+	}
+	if !found {
+		http.Error(w, fmt.Sprintf("unknown trace %q", id), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		d.log.Error("encoding timeline failed", "id", id, "err", err)
+	}
 }
 
 // handleVerdicts streams the verdict log as NDJSON — one verdict per
@@ -172,6 +302,6 @@ func (d *Daemon) handleCorpora(w http.ResponseWriter, r *http.Request) {
 func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := d.met.reg.WritePrometheus(w); err != nil {
-		d.logf("tdrauditd: rendering /metrics: %v", err)
+		d.log.Error("rendering /metrics failed", "err", err)
 	}
 }

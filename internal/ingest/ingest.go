@@ -40,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"strconv"
 	"strings"
@@ -102,7 +103,23 @@ type Options struct {
 	// session DONE as an instant event. Owned by the embedding
 	// daemon; nil disables.
 	Obs *obs.Observer
+	// Log, when non-nil, receives structured records for the paths an
+	// operator needs to see — rejected containers, quota refusals,
+	// idle-timeout cuts, failed authentication. Nil keeps the server
+	// silent (library embedding, tests).
+	Log *slog.Logger
 }
+
+// logger returns the configured log sink or a discard logger, so the
+// hot path never branches on nil at each call site.
+func (s *Server) logger() *slog.Logger {
+	if s.opts.Log == nil {
+		return discardLogger
+	}
+	return s.opts.Log
+}
+
+var discardLogger = slog.New(slog.DiscardHandler)
 
 // Stats is a snapshot of a server's lifetime counters.
 type Stats struct {
@@ -339,6 +356,7 @@ func errLine(err error) string {
 func (s *Server) bail(conn net.Conn, err error) {
 	if isTimeout(err) {
 		s.timeout64.Add(1)
+		s.logger().Warn("ingest session idle timeout", "remote", conn.RemoteAddr().String(), "timeout", s.opts.IdleTimeout.String())
 		fmt.Fprintf(conn, timeoutPrefix+"no progress for %s\n", s.opts.IdleTimeout)
 	}
 }
@@ -374,6 +392,7 @@ func (s *Server) handle(raw net.Conn) {
 	usedTraces := 0
 	refuseQuota := func(br *bufio.Reader, n int64, format string, args ...any) {
 		s.quota64.Add(1)
+		s.logger().Warn("ingest quota refused", "remote", conn.RemoteAddr().String(), "reason", fmt.Sprintf(format, args...))
 		fmt.Fprintf(conn, quotaPrefix+format+"\n", args...)
 		io.CopyN(io.Discard, br, n)
 	}
@@ -404,6 +423,7 @@ func (s *Server) handle(raw net.Conn) {
 				fmt.Fprint(conn, "OK authenticated\n")
 				continue
 			}
+			s.logger().Warn("ingest auth rejected", "remote", conn.RemoteAddr().String())
 			fmt.Fprint(conn, "ERR invalid auth token\n")
 			return
 		}
@@ -464,6 +484,7 @@ func (s *Server) handle(raw net.Conn) {
 			if perr != nil {
 				sp.Attr("rejected", "true")
 				sp.End()
+				s.logger().Warn("ingest container rejected", "remote", conn.RemoteAddr().String(), "err", perr)
 				fmt.Fprint(conn, errLine(perr))
 				continue
 			}

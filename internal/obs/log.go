@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// LogOptions configures NewLogHandler.
+type LogOptions struct {
+	// Format selects the rendering: "text" (default) or "json".
+	Format string
+	// Level is the minimum level emitted (nil means slog.LevelInfo).
+	Level slog.Leveler
+	// Ring, when non-nil, additionally captures every emitted record
+	// as one JSON line — the buffer behind GET /logz.
+	Ring *LogRing
+}
+
+// ParseLogLevel maps the -log-level flag vocabulary (debug, info,
+// warn, error) onto slog levels.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogHandler builds the library's correlated slog handler: records
+// render to w as text or JSON, and every record emitted under a
+// context carrying an instrumented span (StartSpan) is stamped with
+// trace (the span tree's root ID), span, and stage attrs — the keys
+// that join log lines to span exports and /traces/{id}/timeline.
+func NewLogHandler(w io.Writer, opts LogOptions) slog.Handler {
+	ho := &slog.HandlerOptions{Level: opts.Level}
+	var inner slog.Handler
+	if strings.EqualFold(opts.Format, "json") {
+		inner = slog.NewJSONHandler(w, ho)
+	} else {
+		inner = slog.NewTextHandler(w, ho)
+	}
+	return WrapHandler(inner, opts.Ring)
+}
+
+// WrapHandler layers span correlation (and an optional LogRing tee)
+// over any slog.Handler — the hook the daemon uses to correlate a
+// caller-supplied logger without dictating its rendering. Wrapping an
+// already-correlated handler (one built by NewLogHandler or a prior
+// WrapHandler) does not stamp twice: the existing correlation layer
+// is reused and only the ring tee is added.
+func WrapHandler(h slog.Handler, ring *LogRing) slog.Handler {
+	var ringHandler slog.Handler
+	if ring != nil {
+		ringHandler = slog.NewJSONHandler(ring, &slog.HandlerOptions{Level: slog.LevelDebug})
+	}
+	if lh, ok := h.(*logHandler); ok {
+		nh := &logHandler{inner: lh.inner, ring: lh.ring}
+		if ringHandler != nil {
+			nh.ring = ringHandler
+		}
+		return nh
+	}
+	return &logHandler{inner: h, ring: ringHandler}
+}
+
+// logHandler stamps span correlation attrs and tees records into the
+// ring. The ring sees exactly the records the inner handler accepts
+// (Enabled delegates to inner).
+type logHandler struct {
+	inner slog.Handler
+	ring  slog.Handler
+}
+
+func (h *logHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.inner.Enabled(ctx, lvl)
+}
+
+func (h *logHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if s := SpanFromContext(ctx); s.ID() != 0 {
+		rec = rec.Clone()
+		rec.AddAttrs(
+			slog.Uint64("trace", s.RootID()),
+			slog.Uint64("span", s.ID()),
+			slog.String("stage", s.Stage()),
+		)
+	}
+	if h.ring != nil {
+		_ = h.ring.Handle(ctx, rec)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := &logHandler{inner: h.inner.WithAttrs(attrs)}
+	if h.ring != nil {
+		nh.ring = h.ring.WithAttrs(attrs)
+	}
+	return nh
+}
+
+func (h *logHandler) WithGroup(name string) slog.Handler {
+	nh := &logHandler{inner: h.inner.WithGroup(name)}
+	if h.ring != nil {
+		nh.ring = h.ring.WithGroup(name)
+	}
+	return nh
+}
+
+// LogRing is a bounded in-memory buffer of rendered log lines, newest
+// last — the storage behind GET /logz?n=. It implements io.Writer on
+// the contract the stdlib slog handlers honor: one Write call per
+// record.
+type LogRing struct {
+	mu      sync.Mutex
+	lines   [][]byte
+	next    int
+	count   int
+	dropped uint64
+}
+
+// DefaultLogRingLines is the capacity NewLogRing applies when given a
+// non-positive size.
+const DefaultLogRingLines = 1024
+
+// NewLogRing returns a ring holding the last n rendered records
+// (n <= 0 means DefaultLogRingLines).
+func NewLogRing(n int) *LogRing {
+	if n <= 0 {
+		n = DefaultLogRingLines
+	}
+	return &LogRing{lines: make([][]byte, n)}
+}
+
+// Write stores one rendered record, evicting the oldest when full.
+func (r *LogRing) Write(p []byte) (int, error) {
+	line := make([]byte, len(p))
+	copy(line, p)
+	r.mu.Lock()
+	if r.count == len(r.lines) {
+		r.dropped++
+	} else {
+		r.count++
+	}
+	r.lines[r.next] = line
+	r.next = (r.next + 1) % len(r.lines)
+	r.mu.Unlock()
+	return len(p), nil
+}
+
+// Last returns up to n of the most recent records, oldest first
+// (n <= 0 returns everything retained).
+func (r *LogRing) Last(n int) [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > r.count {
+		n = r.count
+	}
+	out := make([][]byte, 0, n)
+	start := r.next - n
+	if start < 0 {
+		start += len(r.lines)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.lines[(start+i)%len(r.lines)])
+	}
+	return out
+}
+
+// Len is the number of records currently retained.
+func (r *LogRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Dropped counts records evicted since the ring filled.
+func (r *LogRing) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

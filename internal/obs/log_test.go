@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestLogHandlerCorrelation: records emitted under an instrumented
+// context carry trace/span/stage; records outside any span do not.
+func TestLogHandlerCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewLogHandler(&buf, LogOptions{Format: "json"}))
+	o := NewObserver(NewTracer(), nil)
+
+	ctx, span := StartSpan(o.Context(context.Background()), StageReplay)
+	logger.InfoContext(ctx, "inside", "k", "v")
+	span.End()
+	logger.Info("outside")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 records, got %d:\n%s", len(lines), buf.String())
+	}
+	var in struct {
+		Msg   string `json:"msg"`
+		K     string `json:"k"`
+		Trace uint64 `json:"trace"`
+		Span  uint64 `json:"span"`
+		Stage string `json:"stage"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &in); err != nil {
+		t.Fatal(err)
+	}
+	if in.Msg != "inside" || in.K != "v" {
+		t.Fatalf("record mangled: %+v", in)
+	}
+	if in.Trace != span.RootID() || in.Span != span.ID() || in.Stage != StageReplay {
+		t.Fatalf("correlation attrs wrong: %+v (span id=%d root=%d)", in, span.ID(), span.RootID())
+	}
+	if strings.Contains(lines[1], `"trace"`) || strings.Contains(lines[1], `"stage"`) {
+		t.Fatalf("uninstrumented record carries correlation attrs: %s", lines[1])
+	}
+}
+
+// TestLogHandlerFormatsAndLevels: text vs json rendering, and the
+// level floor suppressing records.
+func TestLogHandlerFormatsAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	text := slog.New(NewLogHandler(&buf, LogOptions{}))
+	text.Info("hello", "n", 7)
+	if !strings.Contains(buf.String(), "msg=hello") || !strings.Contains(buf.String(), "n=7") {
+		t.Fatalf("text rendering wrong: %s", buf.String())
+	}
+
+	buf.Reset()
+	warn := slog.New(NewLogHandler(&buf, LogOptions{Format: "json", Level: slog.LevelWarn}))
+	warn.Info("quiet")
+	warn.Warn("loud")
+	if strings.Contains(buf.String(), "quiet") || !strings.Contains(buf.String(), "loud") {
+		t.Fatalf("level floor not honored: %s", buf.String())
+	}
+
+	if _, err := ParseLogLevel("warn"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Fatal("ParseLogLevel accepted garbage")
+	}
+}
+
+// TestLogHandlerRingTee: the ring captures JSON copies of emitted
+// records regardless of the primary format, With-attrs included.
+func TestLogHandlerRingTee(t *testing.T) {
+	ring := NewLogRing(8)
+	var buf bytes.Buffer
+	logger := slog.New(NewLogHandler(&buf, LogOptions{Ring: ring})).With("daemon", "d1")
+	logger.Info("hello")
+
+	lines := ring.Last(0)
+	if len(lines) != 1 {
+		t.Fatalf("ring has %d records, want 1", len(lines))
+	}
+	var rec struct {
+		Msg    string `json:"msg"`
+		Daemon string `json:"daemon"`
+	}
+	if err := json.Unmarshal(lines[0], &rec); err != nil {
+		t.Fatalf("ring line is not JSON: %s", lines[0])
+	}
+	if rec.Msg != "hello" || rec.Daemon != "d1" {
+		t.Fatalf("ring record wrong: %+v", rec)
+	}
+}
+
+// TestLogRingBounds: the ring retains exactly its capacity, oldest
+// evicted first, with eviction accounting.
+func TestLogRingBounds(t *testing.T) {
+	ring := NewLogRing(4)
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(ring, "line-%d\n", i)
+	}
+	if ring.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ring.Len())
+	}
+	if ring.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", ring.Dropped())
+	}
+	last := ring.Last(0)
+	for i, want := range []string{"line-6", "line-7", "line-8", "line-9"} {
+		if got := strings.TrimSpace(string(last[i])); got != want {
+			t.Fatalf("Last(0)[%d] = %q, want %q", i, got, want)
+		}
+	}
+	if got := ring.Last(2); len(got) != 2 || strings.TrimSpace(string(got[1])) != "line-9" {
+		t.Fatalf("Last(2) wrong: %q", got)
+	}
+}
+
+// TestWrapHandlerIdempotent: re-wrapping an already-correlated
+// handler (the daemon wrapping a caller-supplied NewLogHandler
+// logger) must not stamp trace/span/stage twice.
+func TestWrapHandlerIdempotent(t *testing.T) {
+	ring := NewLogRing(8)
+	var buf bytes.Buffer
+	base := NewLogHandler(&buf, LogOptions{Format: "json"})
+	logger := slog.New(WrapHandler(base, ring))
+	o := NewObserver(NewTracer(), nil)
+
+	ctx, span := StartSpan(o.Context(context.Background()), StageReplay)
+	logger.InfoContext(ctx, "once")
+	span.End()
+
+	line := strings.TrimSpace(buf.String())
+	if got := strings.Count(line, `"trace"`); got != 1 {
+		t.Fatalf("stderr record stamped %d times: %s", got, line)
+	}
+	rl := ring.Last(0)
+	if len(rl) != 1 {
+		t.Fatalf("ring has %d records, want 1", len(rl))
+	}
+	if got := strings.Count(string(rl[0]), `"trace"`); got != 1 {
+		t.Fatalf("ring record stamped %d times: %s", got, rl[0])
+	}
+}

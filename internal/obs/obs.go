@@ -26,22 +26,64 @@ package obs
 import (
 	"context"
 	runtimemetrics "runtime/metrics"
+	"sync/atomic"
 	"time"
 )
 
-// Observer bundles the two sinks instrumentation writes to: a Tracer
-// collecting span records and StageMetrics feeding the shared
-// registry's per-stage histograms. Either may be nil; a nil *Observer
+// Observer bundles the sinks instrumentation writes to: a Tracer
+// collecting span records, StageMetrics feeding the shared registry's
+// per-stage histograms, and an optional TimelineIndex assembling
+// per-trace span histories. Any sink may be nil; a nil *Observer
 // disables everything.
 type Observer struct {
-	tracer *Tracer
-	stages *StageMetrics
+	tracer   *Tracer
+	stages   *StageMetrics
+	timeline *TimelineIndex
+
+	// ids allocates span identity. It lives on the observer (not the
+	// tracer) so spans keep linkable IDs when only the timeline sink is
+	// on; roots counts span trees for sampling.
+	ids   atomic.Uint64
+	roots atomic.Uint64
+	// sampleN records 1 in sampleN span trees into the tracer (<=1
+	// records everything). Stage metrics and the timeline always see
+	// every span — sampling only thins the raw export.
+	sampleN int64
 }
 
 // NewObserver builds an observer over a tracer and/or stage metrics
 // (either may be nil).
 func NewObserver(tracer *Tracer, stages *StageMetrics) *Observer {
 	return &Observer{tracer: tracer, stages: stages}
+}
+
+// SetTimeline attaches a per-trace span index as a third sink. Call
+// before the observer is shared across goroutines.
+func (o *Observer) SetTimeline(ix *TimelineIndex) {
+	if o == nil {
+		return
+	}
+	o.timeline = ix
+}
+
+// Timeline exposes the observer's timeline index, nil when none is
+// attached.
+func (o *Observer) Timeline() *TimelineIndex {
+	if o == nil {
+		return nil
+	}
+	return o.timeline
+}
+
+// SetSample makes the tracer record 1 in n span trees (the whole tree
+// is kept or dropped together, so sampled traces stay complete).
+// n <= 1 records everything. Call before the observer is shared
+// across goroutines.
+func (o *Observer) SetSample(n int) {
+	if o == nil {
+		return
+	}
+	o.sampleN = int64(n)
 }
 
 // Tracer exposes the observer's tracer, nil when tracing is off.
@@ -89,12 +131,17 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if o == nil {
 		return ctx, nil
 	}
-	var parent, root uint64
-	if p, _ := ctx.Value(spanKey).(*Span); p != nil {
-		parent, root = p.id, p.root
-	}
-	s := o.newSpan(name, parent, root)
+	p, _ := ctx.Value(spanKey).(*Span)
+	s := o.newSpan(name, p)
 	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SpanFromContext recovers the innermost span opened by StartSpan,
+// nil when the context carries none — the correlation hook the slog
+// LogHandler uses to stamp records with trace/span/stage.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
 }
 
 // StartRoot opens a parentless span outside any context chain — the
@@ -104,36 +151,56 @@ func (o *Observer) StartRoot(name string) *Span {
 	if o == nil {
 		return nil
 	}
-	return o.newSpan(name, 0, 0)
+	return o.newSpan(name, nil)
 }
 
 // Event records an instant event (a point in time, no duration) —
-// e.g. an ingest session's DONE. Nil-safe; events only reach the
-// tracer, never the stage histograms.
-func (o *Observer) Event(name string) {
-	if o == nil || o.tracer == nil {
+// e.g. an ingest session's DONE. Nil-safe; events reach the tracer
+// and the timeline (when an attr names a trace), never the stage
+// histograms.
+func (o *Observer) Event(name string, attrs ...Attr) {
+	if o == nil || (o.tracer == nil && o.timeline == nil) {
 		return
 	}
-	o.tracer.record(SpanRecord{
-		ID:      o.tracer.nextID(),
+	r := SpanRecord{
+		ID:      o.ids.Add(1),
 		Name:    name,
 		Start:   time.Now(),
 		Instant: true,
-	})
+		Attrs:   attrs,
+	}
+	if o.tracer != nil {
+		o.tracer.record(r)
+	}
+	if o.timeline != nil {
+		o.timeline.record(r)
+	}
 }
 
-func (o *Observer) newSpan(name string, parent, root uint64) *Span {
+func (o *Observer) newSpan(name string, p *Span) *Span {
 	s := &Span{o: o, name: name}
-	if o.tracer != nil {
-		s.id = o.tracer.nextID()
+	if o.tracer != nil || o.timeline != nil {
+		s.id = o.ids.Add(1)
 	}
-	if root == 0 {
-		root = s.id
+	if p != nil {
+		s.parent, s.root, s.sampled = p.id, p.root, p.sampled
+	} else {
+		s.root = s.id
+		s.sampled = o.sampleRoot()
 	}
-	s.parent, s.root = parent, root
 	s.allocStart = heapAllocBytes()
 	s.start = time.Now()
 	return s
+}
+
+// sampleRoot decides whether a new span tree is exported to the
+// tracer. Children inherit the root's decision so a sampled trace is
+// always complete.
+func (o *Observer) sampleRoot() bool {
+	if o.sampleN <= 1 {
+		return true
+	}
+	return o.roots.Add(1)%uint64(o.sampleN) == 1
 }
 
 // Span is one timed region of the audit funnel. All methods are
@@ -144,6 +211,7 @@ type Span struct {
 	id         uint64
 	parent     uint64
 	root       uint64
+	sampled    bool
 	name       string
 	start      time.Time
 	allocStart uint64
@@ -156,6 +224,33 @@ func (s *Span) Attr(key, value string) {
 		return
 	}
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// ID is the span's identity, 0 on a nil span or when neither tracing
+// nor the timeline is on.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// RootID names the span tree (the trace) this span belongs to, 0 on a
+// nil span.
+func (s *Span) RootID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.root
+}
+
+// Stage is the funnel-stage name the span was opened with, "" on a
+// nil span.
+func (s *Span) Stage() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
 }
 
 // End closes the span: wall time and the heap-allocation delta since
@@ -173,17 +268,24 @@ func (s *Span) End() {
 	if s.o.stages != nil {
 		s.o.stages.Observe(s.name, dur, alloc)
 	}
-	if s.o.tracer != nil {
-		s.o.tracer.record(SpanRecord{
-			ID:     s.id,
-			Parent: s.parent,
-			Root:   s.root,
-			Name:   s.name,
-			Start:  s.start,
-			Dur:    dur,
-			Alloc:  alloc,
-			Attrs:  s.attrs,
-		})
+	if s.o.tracer == nil && s.o.timeline == nil {
+		return
+	}
+	r := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Root:   s.root,
+		Name:   s.name,
+		Start:  s.start,
+		Dur:    dur,
+		Alloc:  alloc,
+		Attrs:  s.attrs,
+	}
+	if s.o.tracer != nil && s.sampled {
+		s.o.tracer.record(r)
+	}
+	if s.o.timeline != nil {
+		s.o.timeline.record(r)
 	}
 }
 

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanLogOptions bounds a SpanLog's disk footprint.
+type SpanLogOptions struct {
+	// MaxBytes rotates the active file once it reaches this size
+	// (<= 0 means DefaultSpanLogMaxBytes).
+	MaxBytes int64
+	// MaxFiles keeps at most this many rotated files (<= 0 means
+	// DefaultSpanLogMaxFiles). The active file is not counted.
+	MaxFiles int
+	// MaxAge, when positive, additionally prunes rotated files older
+	// than this.
+	MaxAge time.Duration
+}
+
+// Defaults for SpanLogOptions zero values.
+const (
+	DefaultSpanLogMaxBytes = 64 << 20
+	DefaultSpanLogMaxFiles = 8
+)
+
+// SpanLogName is the active NDJSON file a SpanLog appends to; rotated
+// generations are renamed to spans-NNNNNN.ndjson.
+const SpanLogName = "spans.ndjson"
+
+// SpanLog is a crash-safe, size/age-rotated NDJSON span sink: appends
+// batch into a single write syscall, rotation fsyncs the finished
+// file before renaming it (a rotated file is always whole lines), and
+// opening repairs a torn final line left by a crash mid-append, so no
+// reader ever sees a partial record.
+type SpanLog struct {
+	dir  string
+	opts SpanLogOptions
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+	seq  int
+	buf  bytes.Buffer
+}
+
+// OpenSpanLog opens (creating dir if needed) the span log in dir. An
+// existing active file is repaired — a trailing partial line from a
+// crash is truncated away — and appended to.
+func OpenSpanLog(dir string, opts SpanLogOptions) (*SpanLog, error) {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultSpanLogMaxBytes
+	}
+	if opts.MaxFiles <= 0 {
+		opts.MaxFiles = DefaultSpanLogMaxFiles
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &SpanLog{dir: dir, opts: opts, seq: nextSpanLogSeq(dir)}
+	if err := l.openActive(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func nextSpanLogSeq(dir string) int {
+	matches, _ := filepath.Glob(filepath.Join(dir, "spans-*.ndjson"))
+	max := 0
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), "spans-%d.ndjson", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return max + 1
+}
+
+// openActive opens the active file for appending, truncating any torn
+// final line first.
+func (l *SpanLog) openActive() error {
+	path := filepath.Join(l.dir, SpanLogName)
+	size, err := repairNDJSON(path)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f, l.size = f, size
+	return nil
+}
+
+// repairNDJSON truncates path after its last newline (a crash can
+// leave at most one torn trailing line) and returns the resulting
+// size. A missing file is size 0.
+func repairNDJSON(path string) (int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var off, lastNL int64
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			break
+		}
+		off++
+		if b == '\n' {
+			lastNL = off
+		}
+	}
+	if lastNL != off {
+		if err := f.Truncate(lastNL); err != nil {
+			return 0, err
+		}
+	}
+	return lastNL, nil
+}
+
+// Append writes spans as NDJSON lines in one write syscall. Rotation
+// happens on both sides of the write: before, when the batch would
+// push a non-empty active file past the size cap, and after, when a
+// single oversized batch into an empty file leaves the active file
+// over the cap anyway — so the active file never sits above MaxBytes
+// between appends.
+func (l *SpanLog) Append(spans []SpanRecord) error {
+	if l == nil || len(spans) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf.Reset()
+	enc := json.NewEncoder(&l.buf)
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	if l.size > 0 && l.size+int64(l.buf.Len()) > l.opts.MaxBytes {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	n, err := l.f.Write(l.buf.Bytes())
+	l.size += int64(n)
+	if err != nil {
+		return err
+	}
+	if l.size > l.opts.MaxBytes {
+		return l.rotate()
+	}
+	return nil
+}
+
+// rotate fsyncs and closes the active file, renames it to the next
+// spans-NNNNNN.ndjson generation, prunes old generations, and opens a
+// fresh active file. The fsync-before-rename order guarantees a
+// rotated file's content is durable under the name readers find it
+// at.
+func (l *SpanLog) rotate() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	rotated := filepath.Join(l.dir, fmt.Sprintf("spans-%06d.ndjson", l.seq))
+	if err := os.Rename(filepath.Join(l.dir, SpanLogName), rotated); err != nil {
+		return err
+	}
+	l.seq++
+	l.prune()
+	return l.openActive()
+}
+
+// prune applies the MaxFiles / MaxAge retention to rotated files.
+func (l *SpanLog) prune() {
+	matches, _ := filepath.Glob(filepath.Join(l.dir, "spans-*.ndjson"))
+	sort.Strings(matches)
+	for len(matches) > l.opts.MaxFiles {
+		os.Remove(matches[0])
+		matches = matches[1:]
+	}
+	if l.opts.MaxAge > 0 {
+		cutoff := time.Now().Add(-l.opts.MaxAge)
+		for _, m := range matches {
+			if fi, err := os.Stat(m); err == nil && fi.ModTime().Before(cutoff) {
+				os.Remove(m)
+			}
+		}
+	}
+}
+
+// Size is the active file's current size in bytes.
+func (l *SpanLog) Size() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close syncs and closes the active file.
+func (l *SpanLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	l.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

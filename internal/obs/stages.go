@@ -22,6 +22,15 @@ const (
 	StageStoreDecode = "store.decode"
 )
 
+// Stages lists every canonical stage in funnel order — the row order
+// reports and delta tables print, and the vocabulary CI checks
+// rendered tables against.
+var Stages = []string{
+	StageIngest, StageSweep, StageClaim, StageResolve, StageSelect,
+	StageTrace, StageLoad, StageStat, StageTDR, StageRestore,
+	StageReplay, StageCompare, StageVerdict, StageStoreDecode,
+}
+
 // DefLatencyBuckets spans sub-millisecond stage work (compare,
 // verdict assembly) up to multi-second full replays.
 var DefLatencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}

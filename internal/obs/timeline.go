@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// traceKeyAttrs are the span attrs that name the trace a span belongs
+// to: "job" on the pipeline's per-trace audit span, "id" on the
+// ingest PUT span.
+var traceKeyAttrs = []string{"job", "id"}
+
+func traceKey(attrs []Attr) string {
+	for _, want := range traceKeyAttrs {
+		for _, a := range attrs {
+			if a.Key == want && a.Value != "" {
+				return a.Value
+			}
+		}
+	}
+	return ""
+}
+
+// Timeline is one trace's assembled span history: every span recorded
+// under the trace's ingest and audit trees, plus the sweep-scoped
+// spans (sweep, claim, resolve, select) of the sweeps that processed
+// it, sorted by start time.
+type Timeline struct {
+	Trace     string       `json:"trace"`
+	Spans     []SpanRecord `json:"spans"`
+	Truncated int          `json:"truncated,omitempty"`
+}
+
+// TimelineIndex is a bounded per-trace span index — the storage
+// behind GET /traces/{id}/timeline. Spans buffer per tree until the
+// tree's root closes; the completed tree is then filed under every
+// trace key ("job"/"id" attrs) it carries, with tree-scoped spans
+// that name no trace (a sweep and its claim/resolve/select children)
+// shared across every trace in the tree. Both the finished index and
+// the in-flight buffer are bounded; the oldest entry is evicted
+// first.
+type TimelineIndex struct {
+	mu           sync.Mutex
+	maxTraces    int
+	maxSpans     int
+	maxPending   int
+	traces       map[string]*Timeline
+	order        []string
+	pending      map[uint64][]SpanRecord
+	pendingOrder []uint64
+	pendingSpans int
+	evicted      uint64
+}
+
+// Defaults for NewTimelineIndex when given non-positive bounds.
+const (
+	DefaultTimelineTraces       = 512
+	DefaultTimelineSpansPer     = 160
+	defaultTimelinePendingSpans = 8192
+)
+
+// NewTimelineIndex builds an index retaining the last maxTraces
+// traces with at most maxSpansPerTrace spans each (non-positive
+// arguments take the defaults).
+func NewTimelineIndex(maxTraces, maxSpansPerTrace int) *TimelineIndex {
+	if maxTraces <= 0 {
+		maxTraces = DefaultTimelineTraces
+	}
+	if maxSpansPerTrace <= 0 {
+		maxSpansPerTrace = DefaultTimelineSpansPer
+	}
+	return &TimelineIndex{
+		maxTraces:  maxTraces,
+		maxSpans:   maxSpansPerTrace,
+		maxPending: defaultTimelinePendingSpans,
+		traces:     make(map[string]*Timeline),
+		pending:    make(map[uint64][]SpanRecord),
+	}
+}
+
+// Timeline returns a copy of one trace's assembled history. ok is
+// false when the index holds nothing for the ID (never seen, or
+// evicted).
+func (ix *TimelineIndex) Timeline(id string) (Timeline, bool) {
+	if ix == nil {
+		return Timeline{}, false
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	tl, ok := ix.traces[id]
+	if !ok {
+		return Timeline{}, false
+	}
+	out := Timeline{Trace: tl.Trace, Truncated: tl.Truncated}
+	out.Spans = make([]SpanRecord, len(tl.Spans))
+	copy(out.Spans, tl.Spans)
+	sort.Slice(out.Spans, func(i, j int) bool { return out.Spans[i].Start.Before(out.Spans[j].Start) })
+	return out, true
+}
+
+// Traces returns the IDs currently indexed, oldest first.
+func (ix *TimelineIndex) Traces() []string {
+	if ix == nil {
+		return nil
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	out := make([]string, len(ix.order))
+	copy(out, ix.order)
+	return out
+}
+
+// Evicted counts traces dropped to honor the index bound.
+func (ix *TimelineIndex) Evicted() uint64 {
+	if ix == nil {
+		return 0
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.evicted
+}
+
+// record is the Observer-side sink. Instants carrying a trace key
+// file immediately; spans buffer under their tree root until the root
+// closes (children always End before their parent's record arrives).
+func (ix *TimelineIndex) record(r SpanRecord) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if r.Instant {
+		if key := traceKey(r.Attrs); key != "" {
+			ix.file(key, r)
+		}
+		return
+	}
+	if r.Root == 0 {
+		return
+	}
+	if r.ID != r.Root {
+		if _, ok := ix.pending[r.Root]; !ok {
+			ix.pendingOrder = append(ix.pendingOrder, r.Root)
+		}
+		ix.pending[r.Root] = append(ix.pending[r.Root], r)
+		ix.pendingSpans++
+		// A tree whose root never closes (crash mid-sweep, runaway
+		// instrumentation) must not grow without bound: drop whole
+		// oldest trees until back under the cap.
+		for ix.pendingSpans > ix.maxPending && len(ix.pendingOrder) > 0 {
+			oldest := ix.pendingOrder[0]
+			ix.pendingOrder = ix.pendingOrder[1:]
+			ix.pendingSpans -= len(ix.pending[oldest])
+			delete(ix.pending, oldest)
+		}
+		return
+	}
+	// Root closed: assemble and file the completed tree.
+	spans := append(ix.pending[r.Root], r)
+	if _, ok := ix.pending[r.Root]; ok {
+		ix.pendingSpans -= len(ix.pending[r.Root])
+		delete(ix.pending, r.Root)
+		for i, id := range ix.pendingOrder {
+			if id == r.Root {
+				ix.pendingOrder = append(ix.pendingOrder[:i], ix.pendingOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	ix.fileTree(spans)
+}
+
+// fileTree distributes a completed span tree across the traces it
+// touched: each span files under its nearest self-or-ancestor span
+// that names a trace, and spans under no such ancestor (the sweep
+// frame) are shared with every trace in the tree.
+func (ix *TimelineIndex) fileTree(spans []SpanRecord) {
+	parent := make(map[uint64]uint64, len(spans))
+	key := make(map[uint64]string, len(spans))
+	for _, s := range spans {
+		parent[s.ID] = s.Parent
+		key[s.ID] = traceKey(s.Attrs)
+	}
+	// keyFor resolves a span's owning trace by walking ancestors;
+	// memoized into key so each edge is walked once.
+	var keyFor func(id uint64, depth int) string
+	keyFor = func(id uint64, depth int) string {
+		if id == 0 || depth > len(spans) {
+			return ""
+		}
+		if k, ok := key[id]; ok && k != "" {
+			return k
+		}
+		k := keyFor(parent[id], depth+1)
+		if k != "" {
+			key[id] = k
+		}
+		return k
+	}
+	var shared []SpanRecord
+	perKey := make(map[string][]SpanRecord)
+	for _, s := range spans {
+		if k := keyFor(s.ID, 0); k != "" {
+			perKey[k] = append(perKey[k], s)
+		} else {
+			shared = append(shared, s)
+		}
+	}
+	if len(perKey) == 0 {
+		return
+	}
+	for k, ss := range perKey {
+		ix.file(k, shared...)
+		ix.file(k, ss...)
+	}
+}
+
+// file appends spans to one trace's timeline, honoring the per-trace
+// span bound and evicting the oldest trace when the index is full.
+func (ix *TimelineIndex) file(id string, spans ...SpanRecord) {
+	tl, ok := ix.traces[id]
+	if !ok {
+		for len(ix.order) >= ix.maxTraces {
+			oldest := ix.order[0]
+			ix.order = ix.order[1:]
+			delete(ix.traces, oldest)
+			ix.evicted++
+		}
+		tl = &Timeline{Trace: id}
+		ix.traces[id] = tl
+		ix.order = append(ix.order, id)
+	}
+	for _, s := range spans {
+		if len(tl.Spans) >= ix.maxSpans {
+			tl.Truncated++
+			continue
+		}
+		tl.Spans = append(tl.Spans, s)
+	}
+}

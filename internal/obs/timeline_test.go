@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestTimelineIndexFilesTrees mirrors the daemon's span shape — an
+// ingest root keyed by "id", then a sweep tree whose per-trace audit
+// subtrees are keyed by "job" with sweep-scoped claim/resolve spans
+// shared — and asserts each trace's timeline assembles its full life.
+func TestTimelineIndexFilesTrees(t *testing.T) {
+	ix := NewTimelineIndex(8, 32)
+	o := NewObserver(nil, nil)
+	o.SetTimeline(ix)
+	ctx := o.Context(context.Background())
+
+	// Ingest: one root span per pushed trace.
+	for _, id := range []string{"t1", "t2"} {
+		sp := o.StartRoot(StageIngest)
+		sp.Attr("id", id)
+		sp.Attr("shard", "s0")
+		sp.End()
+	}
+	o.Event("ingest.done", Attr{Key: "id", Value: "t1"})
+
+	// One sweep auditing both traces.
+	sctx, sweep := StartSpan(ctx, StageSweep)
+	_, claim := StartSpan(sctx, StageClaim)
+	claim.End()
+	_, resolve := StartSpan(sctx, StageResolve)
+	resolve.End()
+	for _, id := range []string{"t1", "t2"} {
+		tctx, tr := StartSpan(sctx, StageTrace)
+		tr.Attr("job", id)
+		_, stat := StartSpan(tctx, StageStat)
+		stat.End()
+		_, verdict := StartSpan(tctx, StageVerdict)
+		verdict.End()
+		tr.End()
+	}
+	sweep.End()
+
+	for _, id := range []string{"t1", "t2"} {
+		tl, ok := ix.Timeline(id)
+		if !ok {
+			t.Fatalf("no timeline for %s", id)
+		}
+		stages := make(map[string]int)
+		for _, s := range tl.Spans {
+			stages[s.Name]++
+		}
+		want := map[string]int{
+			StageIngest: 1, StageSweep: 1, StageClaim: 1, StageResolve: 1,
+			StageTrace: 1, StageStat: 1, StageVerdict: 1,
+		}
+		if id == "t1" {
+			want["ingest.done"] = 1
+		}
+		for name, n := range want {
+			if stages[name] != n {
+				t.Errorf("%s timeline has %d %q spans, want %d (%v)", id, stages[name], name, n, stages)
+			}
+		}
+		// Sorted by start: ingest first, the trace's verdict before
+		// the sweep close is irrelevant — just check ordering holds.
+		for i := 1; i < len(tl.Spans); i++ {
+			if tl.Spans[i].Start.Before(tl.Spans[i-1].Start) {
+				t.Fatalf("%s timeline not start-ordered", id)
+			}
+		}
+	}
+	if _, ok := ix.Timeline("unknown"); ok {
+		t.Fatal("Timeline returned ok for an unknown trace")
+	}
+}
+
+// TestTimelineIndexBounds: trace-count eviction (oldest first) and
+// the per-trace span cap.
+func TestTimelineIndexBounds(t *testing.T) {
+	ix := NewTimelineIndex(3, 4)
+	o := NewObserver(nil, nil)
+	o.SetTimeline(ix)
+	ctx := o.Context(context.Background())
+
+	for i := 0; i < 5; i++ {
+		_, tr := StartSpan(ctx, StageTrace)
+		tr.Attr("job", fmt.Sprintf("t%d", i))
+		tr.End()
+	}
+	if got := len(ix.Traces()); got != 3 {
+		t.Fatalf("index holds %d traces, want 3: %v", got, ix.Traces())
+	}
+	if _, ok := ix.Timeline("t0"); ok {
+		t.Fatal("oldest trace not evicted")
+	}
+	if _, ok := ix.Timeline("t4"); !ok {
+		t.Fatal("newest trace missing")
+	}
+	if ix.Evicted() != 2 {
+		t.Fatalf("Evicted = %d, want 2", ix.Evicted())
+	}
+
+	// Span cap: a tree with more spans than the per-trace bound
+	// truncates instead of growing.
+	tctx, tr := StartSpan(ctx, StageTrace)
+	tr.Attr("job", "big")
+	for i := 0; i < 10; i++ {
+		_, c := StartSpan(tctx, StageReplay)
+		c.End()
+	}
+	tr.End()
+	tl, ok := ix.Timeline("big")
+	if !ok {
+		t.Fatal("no timeline for big")
+	}
+	if len(tl.Spans) != 4 || tl.Truncated != 7 {
+		t.Fatalf("span cap not honored: %d spans, %d truncated (want 4, 7)", len(tl.Spans), tl.Truncated)
+	}
+}
+
+// TestTimelineIndexPendingBound: a tree whose root never closes
+// cannot grow the in-flight buffer without bound.
+func TestTimelineIndexPendingBound(t *testing.T) {
+	ix := NewTimelineIndex(4, 8)
+	ix.maxPending = 16
+	o := NewObserver(nil, nil)
+	o.SetTimeline(ix)
+	ctx := o.Context(context.Background())
+
+	sctx, _ := StartSpan(ctx, StageSweep) // root never ends
+	for i := 0; i < 100; i++ {
+		_, c := StartSpan(sctx, StageReplay)
+		c.End()
+	}
+	ix.mu.Lock()
+	pending := ix.pendingSpans
+	ix.mu.Unlock()
+	if pending > 16 {
+		t.Fatalf("pending buffer grew to %d spans, cap 16", pending)
+	}
+}
+
+// TestObserverSampling: with SetSample(n) the tracer keeps 1 in n
+// whole trees while the timeline still sees every span.
+func TestObserverSampling(t *testing.T) {
+	tr := NewTracer()
+	ix := NewTimelineIndex(64, 16)
+	o := NewObserver(tr, nil)
+	o.SetTimeline(ix)
+	o.SetSample(4)
+	ctx := o.Context(context.Background())
+
+	for i := 0; i < 16; i++ {
+		tctx, root := StartSpan(ctx, StageTrace)
+		root.Attr("job", fmt.Sprintf("t%d", i))
+		_, c := StartSpan(tctx, StageStat)
+		c.End()
+		root.End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 8 { // 4 of 16 trees, 2 spans each
+		t.Fatalf("tracer kept %d spans, want 8 (1-in-4 trees of 2 spans)", len(spans))
+	}
+	// Sampled trees are complete: every kept span's root has both
+	// members present.
+	byRoot := make(map[uint64]int)
+	for _, s := range spans {
+		byRoot[s.Root]++
+	}
+	for root, n := range byRoot {
+		if n != 2 {
+			t.Fatalf("sampled tree %d has %d spans, want 2 (tree torn by sampling)", root, n)
+		}
+	}
+	if got := len(ix.Traces()); got != 16 {
+		t.Fatalf("timeline saw %d traces, want all 16 despite sampling", got)
+	}
+}

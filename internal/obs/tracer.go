@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -32,18 +31,15 @@ type SpanRecord struct {
 }
 
 // Tracer collects finished spans. Record-side cost is one mutex'd
-// append; span identity comes from an atomic counter so concurrent
-// workers never contend on ID allocation.
+// append; span identity comes from the Observer's atomic counter so
+// concurrent workers never contend on ID allocation.
 type Tracer struct {
-	ids   atomic.Uint64
 	mu    sync.Mutex
 	spans []SpanRecord
 }
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer { return &Tracer{} }
-
-func (t *Tracer) nextID() uint64 { return t.ids.Add(1) }
 
 func (t *Tracer) record(r SpanRecord) {
 	t.mu.Lock()

@@ -35,6 +35,7 @@ package sanity
 import (
 	"context"
 	"io"
+	"log/slog"
 
 	"sanity/internal/asm"
 	"sanity/internal/audit"
@@ -489,6 +490,82 @@ func WriteChromeTrace(w io.Writer, spans []SpanRecord) error { return obs.WriteC
 
 // WriteTraceNDJSON writes spans as NDJSON, one SpanRecord per line.
 func WriteTraceNDJSON(w io.Writer, spans []SpanRecord) error { return obs.WriteNDJSON(w, spans) }
+
+// AuditStages is the canonical audit-funnel stage list, outermost
+// first — the stage vocabulary spans, logs, and funnel reports share.
+var AuditStages = obs.Stages
+
+// LogOptions configures NewLogHandler: output format ("text" or
+// "json"), minimum level, and an optional LogRing tee.
+type LogOptions = obs.LogOptions
+
+// LogRing is a bounded in-memory buffer of rendered JSON log records
+// (the buffer behind the daemon's GET /logz).
+type LogRing = obs.LogRing
+
+// SpanLog is a crash-safe NDJSON span sink with size-based rotation
+// (fsync before rename) and bounded retention.
+type SpanLog = obs.SpanLog
+
+// SpanLogOptions bounds a SpanLog: rotate size, generations kept,
+// optional age cap.
+type SpanLogOptions = obs.SpanLogOptions
+
+// TimelineIndex is a bounded per-trace span index: completed span
+// trees are filed under each trace they touched, queryable by ID.
+type TimelineIndex = obs.TimelineIndex
+
+// FunnelReport decomposes a span set by audit stage: counts, p50/p99
+// wall time, allocated bytes, critical-path share.
+type FunnelReport = obs.FunnelReport
+
+// StageSummary is one stage's count/wall/alloc totals (the per-stage
+// decomposition BENCH_*.json reports carry).
+type StageSummary = obs.StageSummary
+
+// StageDelta compares one stage's means between two funnel reports.
+type StageDelta = obs.StageDelta
+
+// NewLogHandler returns a correlated slog handler: records logged
+// under an instrumented context carry trace/span/stage attributes.
+func NewLogHandler(w io.Writer, opts LogOptions) slog.Handler { return obs.NewLogHandler(w, opts) }
+
+// NewLogRing returns a bounded log-record ring (n <= 0 picks the
+// default capacity).
+func NewLogRing(n int) *LogRing { return obs.NewLogRing(n) }
+
+// ParseLogLevel maps "debug", "info", "warn", "error" onto slog
+// levels.
+func ParseLogLevel(s string) (slog.Level, error) { return obs.ParseLogLevel(s) }
+
+// SpanFromContext returns the innermost span the instrumented funnel
+// opened on ctx, or nil.
+func SpanFromContext(ctx context.Context) *obs.Span { return obs.SpanFromContext(ctx) }
+
+// OpenSpanLog opens (or resumes) a rotating span log in dir.
+func OpenSpanLog(dir string, opts SpanLogOptions) (*SpanLog, error) { return obs.OpenSpanLog(dir, opts) }
+
+// NewTimelineIndex returns a bounded per-trace span index keeping at
+// most maxTraces timelines of maxSpans spans each (<= 0 picks
+// defaults).
+func NewTimelineIndex(maxTraces, maxSpans int) *TimelineIndex {
+	return obs.NewTimelineIndex(maxTraces, maxSpans)
+}
+
+// ReadSpanFiles loads persisted span records from one spans.ndjson
+// file or a trace dir (rotated generations oldest-first, then the
+// active file), tolerating a torn final line.
+func ReadSpanFiles(path string) ([]SpanRecord, error) { return obs.ReadSpanFiles(path) }
+
+// BuildFunnelReport decomposes span records into the per-stage audit
+// funnel.
+func BuildFunnelReport(spans []SpanRecord) *FunnelReport { return obs.BuildFunnelReport(spans) }
+
+// DiffStageSummaries compares per-stage means between a baseline and
+// a current decomposition, flagging regressions past tol.
+func DiffStageSummaries(base, cur map[string]StageSummary, tol float64) []StageDelta {
+	return obs.DiffStageSummaries(base, cur, tol)
+}
 
 // ---- Typed audit failures ----
 //
