@@ -481,6 +481,16 @@ func BenchmarkAudit_WindowedReference(b *testing.B) {
 	benchAudit(b, pipeline.Config{WindowIPDs: 8, WindowViaFullReplay: true})
 }
 
+// BenchmarkAudit_ParallelWindows adds segment-level parallelism on
+// top of windowing: each trace's audited window is replayed as
+// checkpoint-bounded segments on up to 4 goroutines, merged with a
+// verified one-output overlap at every boundary. Verdicts are
+// identical to BenchmarkAudit_WindowedReplay's; the gain scales with
+// free cores (GOMAXPROCS), so compare the two at -cpu > 1.
+func BenchmarkAudit_ParallelWindows(b *testing.B) {
+	benchAudit(b, pipeline.Config{WindowIPDs: 8, SegmentWorkers: 4})
+}
+
 // Shard setup: cold (first-seen shard identity — the memo cache is
 // emptied each iteration) vs memoized (registry singleton, cache
 // hit). Jobless batches, so an iteration is exactly the setup a batch

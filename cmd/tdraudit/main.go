@@ -116,6 +116,7 @@ func interruptible() (context.Context, context.CancelFunc) {
 // auditFlags are the auditor knobs shared by every auditing mode.
 type auditFlags struct {
 	workers, batch, queue *int
+	segWorkers            *int
 	threshold             *float64
 	stream, jsonOut       *bool
 	compare               *bool
@@ -126,7 +127,9 @@ type auditFlags struct {
 
 func addAuditFlags(fs *flag.FlagSet) *auditFlags {
 	return &auditFlags{
-		workers:   fs.Int("workers", 0, "audit workers (0 = GOMAXPROCS)"),
+		workers: fs.Int("workers", 0, "audit workers (0 = GOMAXPROCS)"),
+		segWorkers: fs.Int("segment-workers", 0, "goroutines per trace for checkpoint-parallel replay "+
+			"(0 or 1 = sequential; verdicts are identical either way, only latency changes)"),
 		batch:     fs.Int("batch", 8, "traces per scheduling chunk"),
 		queue:     fs.Int("queue", 0, "bounded queue depth in chunks (0 = 2x workers)"),
 		threshold: fs.Float64("threshold", 0.05, "TDR suspicion threshold (max relative IPD deviation)"),
@@ -179,6 +182,7 @@ func (a *auditFlags) options() ([]audit.Option, error) {
 	opts := []audit.Option{
 		audit.WithRegistry(fixtures.KnownGood),
 		audit.WithWorkers(*a.workers),
+		audit.WithSegmentWorkers(*a.segWorkers),
 		audit.WithBatchSize(*a.batch),
 		audit.WithQueueDepth(*a.queue),
 		audit.WithThresholds(*a.threshold, 0),

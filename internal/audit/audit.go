@@ -49,6 +49,7 @@ type Progress struct {
 // immutable and safe for concurrent use.
 type Auditor struct {
 	workers    int
+	segWorkers int
 	batchSize  int
 	queueDepth int
 	tdrLimit   float64
@@ -69,6 +70,15 @@ type Option func(*Auditor)
 // WithWorkers sets the audit worker-pool size. Zero or negative
 // selects GOMAXPROCS.
 func WithWorkers(n int) Option { return func(a *Auditor) { a.workers = n } }
+
+// WithSegmentWorkers sets how many goroutines each trace's replay may
+// spread its checkpoint-bounded segments across
+// (pipeline.Config.SegmentWorkers). The merged replay is
+// verdict-identical to the sequential one; the knob only trades cores
+// for per-trace latency. Zero or one keeps replay sequential. Segment
+// workers multiply with WithWorkers — raise one, not both, unless the
+// fleet has cores to spare.
+func WithSegmentWorkers(n int) Option { return func(a *Auditor) { a.segWorkers = n } }
 
 // WithBatchSize sets how many same-shard jobs are dispatched as one
 // scheduling chunk. Zero selects the pipeline default.
@@ -162,12 +172,13 @@ func (a *Auditor) Workers() int { return pipeline.New(a.pipelineConfig()).Worker
 // is applied by Plan.
 func (a *Auditor) pipelineConfig() pipeline.Config {
 	cfg := pipeline.Config{
-		Workers:       a.workers,
-		BatchSize:     a.batchSize,
-		QueueDepth:    a.queueDepth,
-		TDRThreshold:  a.tdrLimit,
-		StatThreshold: a.statLimit,
-		Explain:       a.explain,
+		Workers:        a.workers,
+		SegmentWorkers: a.segWorkers,
+		BatchSize:      a.batchSize,
+		QueueDepth:     a.queueDepth,
+		TDRThreshold:   a.tdrLimit,
+		StatThreshold:  a.statLimit,
+		Explain:        a.explain,
 	}
 	if a.window.Mode != ModeFull {
 		cfg.WindowIPDs = a.window.IPDs

@@ -42,8 +42,18 @@ type Derived struct {
 	// the per-shard platform memo buys on repeated-shard corpora.
 	// Informational only: at CI scale the delta drowns in scheduler
 	// noise, so Check gates the memo on its (deterministic)
-	// allocation saving instead.
+	// allocation saving instead. The hit/miss counters
+	// (pipeline.ShardMemoStats) prove the sharing that this ratio —
+	// ~1.05x, dominated by per-batch statistical training — cannot.
 	MemoSpeedup float64 `json:"memoSpeedup"`
+	// ParallelSpeedup is windowed-audit ns/op over segment-parallel
+	// windowed-audit ns/op — what spreading each replay's
+	// checkpoint-bounded segments across goroutines buys on top of
+	// windowing. It depends on free cores: ~1x at GOMAXPROCS 1 (the
+	// CI shape), above it elsewhere — so the absolute gate only
+	// demands it never costs, and the baseline comparison applies
+	// only between runs at the same GOMAXPROCS.
+	ParallelSpeedup float64 `json:"parallelSpeedup"`
 }
 
 // SchemaVersion is the report format this harness writes. Version 2
@@ -75,6 +85,7 @@ type Report struct {
 const (
 	BenchAuditFull     = "audit_full"
 	BenchAuditWindowed = "audit_windowed"
+	BenchAuditParallel = "audit_parallel"
 	BenchShardCold     = "shard_cold"
 	BenchShardMemoized = "shard_memoized"
 )
@@ -88,6 +99,12 @@ const (
 	// Tolerance is the allowed relative regression against a baseline
 	// (ratios may degrade and allocations may grow by this fraction).
 	Tolerance = 0.25
+	// MinParallelSpeedup is the absolute floor on the segment-parallel
+	// ratio: parallelism may buy nothing on a saturated machine
+	// (GOMAXPROCS 1 leaves it ~1x), but it must never cost more than
+	// the tolerance — above that, the merge/fallback machinery is
+	// overhead, not a latency trade.
+	MinParallelSpeedup = 1 - Tolerance
 )
 
 // NewReport stamps an empty report with the environment.
@@ -110,6 +127,10 @@ func (r *Report) Finalize() {
 	win, okW := r.Benchmarks[BenchAuditWindowed]
 	if okF && okW && win.NsPerOp > 0 {
 		r.Derived.WindowedSpeedup = full.NsPerOp / win.NsPerOp
+	}
+	par, okP := r.Benchmarks[BenchAuditParallel]
+	if okW && okP && par.NsPerOp > 0 {
+		r.Derived.ParallelSpeedup = win.NsPerOp / par.NsPerOp
 	}
 	cold, okC := r.Benchmarks[BenchShardCold]
 	memo, okM := r.Benchmarks[BenchShardMemoized]
@@ -163,6 +184,24 @@ func Check(baseline, current *Report) []string {
 			"windowed-replay speedup %.2fx below the required %.2fx floor",
 			current.Derived.WindowedSpeedup, MinWindowedSpeedup))
 	}
+	if current.Derived.ParallelSpeedup > 0 &&
+		current.Derived.ParallelSpeedup < MinParallelSpeedup {
+		violations = append(violations, fmt.Sprintf(
+			"segment-parallel replay costs instead of trading: %.2fx vs the windowed audit (floor %.2fx)",
+			current.Derived.ParallelSpeedup, MinParallelSpeedup))
+	}
+	// The windowed audit replays less, so it must never allocate more
+	// than the full audit of the same corpus. It used to — the load
+	// path re-read the container per window and paid a fresh buffer
+	// per frame — and this absolute gate keeps that inversion from
+	// coming back.
+	full, okF := current.Benchmarks[BenchAuditFull]
+	win, okW := current.Benchmarks[BenchAuditWindowed]
+	if okF && okW && win.BytesPerOp > full.BytesPerOp {
+		violations = append(violations, fmt.Sprintf(
+			"windowed audit allocates more than the full audit: %d B/op vs %d B/op",
+			win.BytesPerOp, full.BytesPerOp))
+	}
 	cold, okC := current.Benchmarks[BenchShardCold]
 	memo, okM := current.Benchmarks[BenchShardMemoized]
 	if okC && okM && memo.AllocsPerOp >= cold.AllocsPerOp {
@@ -180,6 +219,16 @@ func Check(baseline, current *Report) []string {
 			"windowed-replay speedup regressed: %.2fx vs baseline %.2fx (>%0.f%% loss)",
 			current.Derived.WindowedSpeedup, base, Tolerance*100))
 	}
+	// The parallel ratio depends on free cores, so it only gates runs
+	// at the baseline's GOMAXPROCS.
+	if base := baseline.Derived.ParallelSpeedup; base > 0 &&
+		baseline.GoMaxProcs == current.GoMaxProcs &&
+		current.Derived.ParallelSpeedup > 0 &&
+		current.Derived.ParallelSpeedup < base*floor {
+		violations = append(violations, fmt.Sprintf(
+			"segment-parallel speedup regressed: %.2fx vs baseline %.2fx (>%0.f%% loss)",
+			current.Derived.ParallelSpeedup, base, Tolerance*100))
+	}
 	// Allocations are machine-independent but scale with the corpus,
 	// so they only gate runs at the same scale as the baseline.
 	if baseline.Short == current.Short {
@@ -195,6 +244,22 @@ func Check(baseline, current *Report) []string {
 					name, cur.AllocsPerOp, base.AllocsPerOp, Tolerance*100))
 			}
 		}
+		// The load stage's allocated bytes are the zero-alloc path's
+		// guarded gain: pooled frame/payload buffers cut them severalfold,
+		// and unlike wall time they are near-deterministic at Workers 1,
+		// so a growth past tolerance means someone un-pooled the path.
+		for _, name := range []string{BenchAuditFull, BenchAuditWindowed} {
+			base, okB := baseline.Stages[name][obs.StageLoad]
+			cur, okC := current.Stages[name][obs.StageLoad]
+			if !okB || !okC || base.TotalAllocBytes <= 0 {
+				continue
+			}
+			if cur.TotalAllocBytes > base.TotalAllocBytes*ceil {
+				violations = append(violations, fmt.Sprintf(
+					"%s load-stage allocations regressed: %.0f B vs baseline %.0f B (>%0.f%% growth)",
+					name, cur.TotalAllocBytes, base.TotalAllocBytes, Tolerance*100))
+			}
+		}
 	}
 	return violations
 }
@@ -203,7 +268,7 @@ func Check(baseline, current *Report) []string {
 func (r *Report) Format() string {
 	out := fmt.Sprintf("bench report %s (%s/%s, GOMAXPROCS %d, short=%v)\n",
 		r.Date, r.GoOS, r.GoArch, r.GoMaxProcs, r.Short)
-	for _, name := range []string{BenchAuditFull, BenchAuditWindowed, BenchShardCold, BenchShardMemoized} {
+	for _, name := range []string{BenchAuditFull, BenchAuditWindowed, BenchAuditParallel, BenchShardCold, BenchShardMemoized} {
 		m, ok := r.Benchmarks[name]
 		if !ok {
 			continue
@@ -211,9 +276,9 @@ func (r *Report) Format() string {
 		out += fmt.Sprintf("  %-16s %12.0f ns/op  %8d allocs/op  %10d B/op  (n=%d)\n",
 			name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.N)
 	}
-	out += fmt.Sprintf("  windowed-replay speedup: %.2fx   shard-memo speedup: %.2fx\n",
-		r.Derived.WindowedSpeedup, r.Derived.MemoSpeedup)
-	for _, name := range []string{BenchAuditFull, BenchAuditWindowed} {
+	out += fmt.Sprintf("  windowed-replay speedup: %.2fx   segment-parallel speedup: %.2fx   shard-memo speedup: %.2fx\n",
+		r.Derived.WindowedSpeedup, r.Derived.ParallelSpeedup, r.Derived.MemoSpeedup)
+	for _, name := range []string{BenchAuditFull, BenchAuditWindowed, BenchAuditParallel} {
 		stages, ok := r.Stages[name]
 		if !ok || len(stages) == 0 {
 			continue
@@ -244,7 +309,7 @@ func FormatStageDelta(baseline, current *Report) string {
 		return "per-stage delta: baseline has no stage breakdown (schema 1); regenerate it with tdrbench bench -out to enable\n"
 	}
 	var out string
-	for _, name := range []string{BenchAuditFull, BenchAuditWindowed} {
+	for _, name := range []string{BenchAuditFull, BenchAuditWindowed, BenchAuditParallel} {
 		base, cur := baseline.Stages[name], current.Stages[name]
 		if len(base) == 0 || len(cur) == 0 {
 			continue

@@ -66,6 +66,78 @@ func TestCheckAgainstBaseline(t *testing.T) {
 	}
 }
 
+func TestCheckEnforcesParallelFloor(t *testing.T) {
+	r := report(3.0, 10, true, 1000)
+	// Parallelism buying nothing (1x) is fine — GOMAXPROCS 1 CI.
+	r.Benchmarks[BenchAuditParallel] = Measurement{N: 10, NsPerOp: 100e6}
+	r.Finalize()
+	if v := Check(nil, r); len(v) != 0 {
+		t.Fatalf("1x parallel ratio flagged: %v", v)
+	}
+	// Parallelism costing beyond tolerance is not.
+	r.Benchmarks[BenchAuditParallel] = Measurement{N: 10, NsPerOp: 150e6}
+	r.Finalize()
+	v := Check(nil, r)
+	if len(v) != 1 || !strings.Contains(v[0], "segment-parallel") {
+		t.Fatalf("0.67x parallel ratio not flagged: %v", v)
+	}
+	// Regression vs baseline gates only at matching GOMAXPROCS.
+	base := report(3.0, 10, true, 1000)
+	base.Benchmarks[BenchAuditParallel] = Measurement{N: 10, NsPerOp: 33e6} // 3x
+	base.Finalize()
+	cur := report(3.0, 10, true, 1000)
+	cur.Benchmarks[BenchAuditParallel] = Measurement{N: 10, NsPerOp: 100e6} // 1x
+	cur.Finalize()
+	v = Check(base, cur)
+	if len(v) != 1 || !strings.Contains(v[0], "segment-parallel speedup regressed") {
+		t.Fatalf("parallel regression at matching GOMAXPROCS not flagged: %v", v)
+	}
+	base.GoMaxProcs = cur.GoMaxProcs + 7
+	if v := Check(base, cur); len(v) != 0 {
+		t.Fatalf("cross-GOMAXPROCS parallel comparison happened: %v", v)
+	}
+}
+
+func TestCheckWindowedAllocatesMoreThanFull(t *testing.T) {
+	r := report(3.0, 10, true, 1000)
+	full, win := r.Benchmarks[BenchAuditFull], r.Benchmarks[BenchAuditWindowed]
+	full.BytesPerOp, win.BytesPerOp = 45 << 20, 46 << 20
+	r.Benchmarks[BenchAuditFull], r.Benchmarks[BenchAuditWindowed] = full, win
+	v := Check(nil, r)
+	if len(v) != 1 || !strings.Contains(v[0], "windowed audit allocates more") {
+		t.Fatalf("windowed>full alloc inversion not flagged: %v", v)
+	}
+	win.BytesPerOp = full.BytesPerOp
+	r.Benchmarks[BenchAuditWindowed] = win
+	if v := Check(nil, r); len(v) != 0 {
+		t.Fatalf("equal B/op flagged: %v", v)
+	}
+}
+
+func TestCheckLoadStageAllocGate(t *testing.T) {
+	withLoad := func(bytes float64) *Report {
+		r := report(3.0, 10, true, 1000)
+		r.Stages = map[string]map[string]obs.StageSummary{
+			BenchAuditFull: {obs.StageLoad: {Count: 10, TotalSeconds: 0.1, TotalAllocBytes: bytes}},
+		}
+		return r
+	}
+	base := withLoad(10 << 20)
+	if v := Check(base, withLoad(11 << 20)); len(v) != 0 {
+		t.Fatalf("in-tolerance load-stage growth flagged: %v", v)
+	}
+	v := Check(base, withLoad(20 << 20))
+	if len(v) != 1 || !strings.Contains(v[0], "load-stage") {
+		t.Fatalf("2x load-stage alloc growth not flagged: %v", v)
+	}
+	// Cross-scale runs never compare stage allocations.
+	cur := withLoad(20 << 20)
+	cur.Short = false
+	if v := Check(base, cur); len(v) != 0 {
+		t.Fatalf("cross-scale load-stage comparison happened: %v", v)
+	}
+}
+
 func TestReportRoundTrip(t *testing.T) {
 	r := report(3.5, 12, true, 1234)
 	path := filepath.Join(t.TempDir(), r.DefaultFileName())

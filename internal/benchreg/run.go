@@ -95,6 +95,12 @@ func Run(short bool, seed uint64) (*Report, error) {
 	}
 	measure(BenchAuditFull, audit(pipeline.Config{}))
 	measure(BenchAuditWindowed, audit(pipeline.Config{WindowIPDs: scale.Window}))
+	// Segment-parallel windowed audit: the same windows, each replay
+	// spread across its checkpoint-bounded segments. Its gain scales
+	// with free cores (≈1x at GOMAXPROCS 1); the derived ratio is
+	// gated only against costing, and against same-GOMAXPROCS
+	// baselines.
+	measure(BenchAuditParallel, audit(pipeline.Config{WindowIPDs: scale.Window, SegmentWorkers: 4}))
 
 	// Shard setup cost, isolated: batches with shards but no jobs, so
 	// an iteration measures exactly what a batch pays before its first
@@ -161,6 +167,13 @@ func Run(short bool, seed uint64) (*Report, error) {
 		return nil, err
 	}
 	if err := stagePass(BenchAuditWindowed, pipeline.Config{WindowIPDs: scale.Window}); err != nil {
+		return nil, err
+	}
+	// The parallel pass runs segments concurrently even at Workers 1,
+	// so its per-stage alloc numbers are upper bounds (overlapping
+	// process-wide deltas) — informational, and never part of the
+	// load-stage gate, which reads the sequential passes above.
+	if err := stagePass(BenchAuditParallel, pipeline.Config{WindowIPDs: scale.Window, SegmentWorkers: 4}); err != nil {
 		return nil, err
 	}
 

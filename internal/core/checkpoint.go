@@ -91,8 +91,12 @@ func encodeRing(buf *bytes.Buffer, st ringbuf.RingState) {
 	}
 }
 
-func decodeRing(r *bytes.Reader) (ringbuf.RingState, error) {
-	var st ringbuf.RingState
+// skipRing structurally validates an encoded ring state without
+// materializing it — the restore path decodes the play-side rings
+// only to check the blob's shape (the cursors are re-derived from the
+// record prefix; see resumeAt), so allocating slot slices for them
+// was pure churn in the windowed hot loop.
+func skipRing(r *bytes.Reader) error {
 	var b [8]byte
 	get := func() (int64, error) {
 		if _, err := io.ReadFull(r, b[:]); err != nil {
@@ -100,40 +104,37 @@ func decodeRing(r *bytes.Reader) (ringbuf.RingState, error) {
 		}
 		return int64(binary.LittleEndian.Uint64(b[:])), nil
 	}
-	vals := make([]int64, 4)
-	for i := range vals {
-		v, err := get()
-		if err != nil {
-			return st, fmt.Errorf("core: checkpoint ring header: %w", err)
+	for i := 0; i < 3; i++ { // head, tail, count
+		if _, err := get(); err != nil {
+			return fmt.Errorf("core: checkpoint ring header: %w", err)
 		}
-		vals[i] = v
 	}
-	st.Head, st.Tail, st.Count = int(vals[0]), int(vals[1]), int(vals[2])
-	n := vals[3]
+	n, err := get()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint ring header: %w", err)
+	}
 	if n < 0 || n > ringSlotCap {
-		return st, fmt.Errorf("core: checkpoint ring of %d slots", n)
+		return fmt.Errorf("core: checkpoint ring of %d slots", n)
 	}
-	st.Slots = make([][]int64, n)
 	for i := int64(0); i < n; i++ {
 		ln, err := get()
 		if err != nil {
-			return st, fmt.Errorf("core: checkpoint ring slot %d: %w", i, err)
+			return fmt.Errorf("core: checkpoint ring slot %d: %w", i, err)
 		}
 		if ln < 0 {
 			continue
 		}
 		if ln > ringSlotCap {
-			return st, fmt.Errorf("core: checkpoint ring slot of %d words", ln)
+			return fmt.Errorf("core: checkpoint ring slot of %d words", ln)
 		}
-		slot := make([]int64, ln)
-		for j := range slot {
-			if slot[j], err = get(); err != nil {
-				return st, fmt.Errorf("core: checkpoint ring slot %d word %d: %w", i, j, err)
-			}
+		if int64(r.Len()) < 8*ln {
+			return fmt.Errorf("core: checkpoint ring slot %d words: %w", i, io.ErrUnexpectedEOF)
 		}
-		st.Slots[i] = slot
+		if _, err := r.Seek(8*ln, io.SeekCurrent); err != nil {
+			return fmt.Errorf("core: checkpoint ring slot %d words: %w", i, err)
+		}
 	}
-	return st, nil
+	return nil
 }
 
 // ReplayTDRWindow reproduces only the IPD window [fromIPD, toIPD) of
@@ -228,10 +229,10 @@ func (e *engine) resumeAt(full *replaylog.Log, win *replaylog.LogWindow) error {
 	// is the ring *cursors*, which determine the virtual addresses
 	// the TC's buffer traffic is charged at; they are re-derived from
 	// the record prefix below, matching the full replay's exactly.
-	if _, err := decodeRing(r); err != nil {
+	if err := skipRing(r); err != nil {
 		return err
 	}
-	if _, err := decodeRing(r); err != nil {
+	if err := skipRing(r); err != nil {
 		return err
 	}
 	if err := e.vm.RestoreState(r); err != nil {

@@ -1,0 +1,185 @@
+// Parallel windowed replay. A checkpointed log makes one long trace
+// resumable at every quiescence boundary, which turns replay — the
+// audit's dominant cost — into an embarrassingly parallel problem:
+// partition the audited IPD range at checkpoint boundaries, replay
+// each segment concurrently on its own pooled platform, and stitch
+// the per-segment output streams back together. Per-trace replay
+// latency becomes per-segment latency.
+//
+// Why the stitched result is bit-identical to a sequential replay of
+// the same range: at a quiescence boundary the platform's timing
+// state is a pure function of (machine spec, noise profile,
+// epochSeed(cfg.Seed, boundary)) — see the package comment in
+// checkpoint.go — and the functional state is the recorded snapshot.
+// A segment resumed at boundary b therefore starts from exactly the
+// state a sequential replay has when it crosses b, so the outputs it
+// emits are the same bytes at the same virtual times.
+//
+// One guarantee needs care: a sequential windowed replay restores
+// only the FIRST checkpoint at or before the window and re-derives
+// every later boundary by replaying across it, whereas the parallel
+// path restores interior checkpoints too. A corrupted (or tampered)
+// interior checkpoint could thus make the parallel path diverge where
+// the sequential path would not. Each interior boundary output is
+// replayed by BOTH adjacent segments — the last output of segment j
+// is the first output of segment j+1 — and the merge verifies that
+// overlap byte for byte. Any mismatch, or any segment failure,
+// abandons the parallel attempt and falls back to the sequential
+// windowed replay, so a hostile checkpoint table can slow an audit
+// down but can never change its verdict.
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+
+	"sanity/internal/obs"
+	"sanity/internal/replaylog"
+	"sanity/internal/svm"
+)
+
+// ReplayTDRParallel reproduces the IPD window [fromIPD, toIPD) of an
+// execution like ReplayTDRWindow, but replays the checkpoint-bounded
+// segments of the range concurrently on up to workers goroutines. The
+// returned execution is bit-identical to ReplayTDRWindow's over the
+// same range (the differential property the tests pin): same outputs
+// with their absolute sequence numbers, and the same end-of-range
+// totals. Events, Stdout and the hardware report are not merged —
+// they are per-engine instrumentation that no comparison reads.
+//
+// workers <= 1, a checkpoint-free log, or a range with no interior
+// boundary all degrade to the sequential windowed replay.
+func ReplayTDRParallel(prog *svm.Program, log *replaylog.Log, cfg Config, fromIPD, toIPD, workers int) (*Execution, error) {
+	return ReplayTDRParallelCtx(context.Background(), prog, log, cfg, fromIPD, toIPD, workers)
+}
+
+// ReplayTDRParallelCtx is ReplayTDRParallel with context-carried
+// cancellation and observability: each segment's replay is recorded
+// as a "segment" span (wrapping its "restore" and "replay" children),
+// and a canceled context stops launching segments and returns the
+// context's error once in-flight segments drain.
+func ReplayTDRParallelCtx(ctx context.Context, prog *svm.Program, log *replaylog.Log, cfg Config, fromIPD, toIPD, workers int) (*Execution, error) {
+	if log.Program != prog.Name {
+		return nil, fmt.Errorf("core: log was recorded for program %q, not %q", log.Program, prog.Name)
+	}
+	if fromIPD < 0 || toIPD < fromIPD {
+		return nil, fmt.Errorf("core: invalid IPD window [%d, %d)", fromIPD, toIPD)
+	}
+	if fromIPD == toIPD {
+		return &Execution{Mode: ModeReplayTDR}, nil
+	}
+	cuts := segmentCuts(log, fromIPD, toIPD)
+	if workers <= 1 || len(cuts) == 0 {
+		return ReplayTDRWindowCtx(ctx, prog, log, cfg, fromIPD, toIPD)
+	}
+
+	// Segment j replays [starts[j], ends[j]); adjacent segments share
+	// the boundary output (the last output of one is the first of the
+	// next), which the merge verifies.
+	starts := append([]int{fromIPD}, cuts...)
+	ends := append(append([]int(nil), cuts...), toIPD)
+	segs := make([]*Execution, len(starts))
+	errs := make([]error, len(starts))
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if workers > len(starts) {
+		workers = len(starts)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for j := range starts {
+		if cctx.Err() != nil {
+			errs[j] = cctx.Err()
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			segCtx, sp := obs.StartSpan(cctx, obs.StageSegment)
+			segs[j], errs[j] = ReplayTDRWindowCtx(segCtx, prog, log, cfg, starts[j], ends[j])
+			sp.End()
+			if errs[j] != nil {
+				// First failure stops further launches; in-flight
+				// segments run to completion (the engine does not
+				// poll the context mid-replay).
+				cancel()
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	merged, err := mergeSegments(segs, errs, cuts)
+	if err != nil {
+		// A failed or inconsistent segment — most likely a corrupted
+		// interior checkpoint that the sequential path would never
+		// have restored. Fall back so the verdict matches what a
+		// sequential audit of the same trace produces.
+		return ReplayTDRWindowCtx(ctx, prog, log, cfg, fromIPD, toIPD)
+	}
+	return merged, nil
+}
+
+// segmentCuts returns the interior cut points of [fromIPD, toIPD):
+// every checkpoint boundary strictly inside the range. A replay
+// segment starting at a cut restores that exact checkpoint.
+func segmentCuts(log *replaylog.Log, fromIPD, toIPD int) []int {
+	var cuts []int
+	for i := range log.Checkpoints {
+		b := log.Checkpoints[i].Outputs
+		if b > int64(fromIPD) && b < int64(toIPD) {
+			cuts = append(cuts, int(b))
+		}
+	}
+	return cuts
+}
+
+// mergeSegments stitches per-segment executions into one, verifying
+// the one-output overlap at every interior boundary. The merged
+// totals (TotalPs, Instructions, ExitCode) are the last segment's —
+// it halts at the same output the sequential replay halts at, from
+// the same boundary state, so its totals are the sequential ones.
+func mergeSegments(segs []*Execution, errs []error, cuts []int) (*Execution, error) {
+	for j, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: segment %d: %w", j, err)
+		}
+		if segs[j] == nil {
+			return nil, fmt.Errorf("core: segment %d produced no execution", j)
+		}
+	}
+	merged := &Execution{Mode: ModeReplayTDR}
+	outs := 0
+	for _, s := range segs {
+		outs += len(s.Outputs)
+	}
+	merged.Outputs = make([]OutputEvent, 0, outs)
+	merged.Outputs = append(merged.Outputs, segs[0].Outputs...)
+	for j := 1; j < len(segs); j++ {
+		cur := segs[j].Outputs
+		if len(merged.Outputs) == 0 || len(cur) == 0 {
+			return nil, fmt.Errorf("core: segment %d has no boundary output to verify", j)
+		}
+		prev := merged.Outputs[len(merged.Outputs)-1]
+		first := cur[0]
+		if prev.Seq != cuts[j-1] || first.Seq != cuts[j-1] ||
+			prev.Instr != first.Instr || prev.TimePs != first.TimePs ||
+			!bytes.Equal(prev.Payload, first.Payload) {
+			return nil, fmt.Errorf("core: segments disagree on boundary output %d (checkpoint corrupt?)", cuts[j-1])
+		}
+		merged.Outputs = append(merged.Outputs, cur[1:]...)
+	}
+	last := segs[len(segs)-1]
+	merged.TotalPs = last.TotalPs
+	merged.Instructions = last.Instructions
+	merged.ExitCode = last.ExitCode
+	merged.HWReport = last.HWReport
+	return merged, nil
+}

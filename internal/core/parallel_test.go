@@ -1,0 +1,234 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"sanity/internal/asm"
+	"sanity/internal/replaylog"
+	"sanity/internal/svm"
+)
+
+func echoProg() *svm.Program { return asm.MustAssemble("echo", echoSrc) }
+
+// playCheckpointed records a checkpointed trace for the parallel
+// differential tests: 24 packets, a boundary every 4 outputs.
+func playCheckpointed(t *testing.T, seed uint64, hook DelayHook) (*Execution, *replaylog.Log) {
+	t.Helper()
+	prog := asm.MustAssemble("echo", echoSrc)
+	playCfg := testConfig(seed)
+	playCfg.CheckpointEveryOutputs = 4
+	playCfg.Hook = hook
+	play, log, err := Play(prog, manyInputs(24, seed^0xF00D), playCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Checkpoints) < 3 {
+		t.Fatalf("expected several checkpoints, got %d", len(log.Checkpoints))
+	}
+	return play, log
+}
+
+// sameExecution asserts byte-identity of everything a comparison can
+// observe: the output stream (absolute sequence numbers, instruction
+// counts, virtual times, payloads) and the end-of-range totals.
+func sameExecution(t *testing.T, label string, want, got *Execution) {
+	t.Helper()
+	if len(want.Outputs) != len(got.Outputs) {
+		t.Fatalf("%s: %d outputs, want %d", label, len(got.Outputs), len(want.Outputs))
+	}
+	for i := range want.Outputs {
+		if !reflect.DeepEqual(want.Outputs[i], got.Outputs[i]) {
+			t.Fatalf("%s: output %d differs:\n want %+v\n  got %+v", label, i, want.Outputs[i], got.Outputs[i])
+		}
+	}
+	if want.TotalPs != got.TotalPs || want.Instructions != got.Instructions || want.ExitCode != got.ExitCode {
+		t.Fatalf("%s: totals differ: (%d ps, %d instr, exit %d) vs (%d ps, %d instr, exit %d)",
+			label, got.TotalPs, got.Instructions, got.ExitCode,
+			want.TotalPs, want.Instructions, want.ExitCode)
+	}
+}
+
+// TestParallelReplayBitIdenticalToSequential is the tentpole
+// differential property: for every window shape and every worker
+// count, the merged parallel replay is byte-identical to the
+// sequential windowed replay of the same range, and the timing
+// comparison it feeds is byte-identical to one cut out of a
+// sequential full replay.
+func TestParallelReplayBitIdenticalToSequential(t *testing.T) {
+	hooks := map[string]DelayHook{
+		"benign": nil,
+		"covert": func(ctx DelayCtx) int64 {
+			if ctx.PacketIndex%2 == 1 {
+				return 40_000_000
+			}
+			return 0
+		},
+	}
+	for name, hook := range hooks {
+		t.Run(name, func(t *testing.T) {
+			play, log := playCheckpointed(t, 77, hook)
+			replayCfg := testConfig(9001)
+			full, err := ReplayTDR(echoProg(), log, replayCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nIPDs := len(play.OutputIPDs())
+			for _, w := range windowsUnderTest(nIPDs, 4) {
+				seq, err := ReplayTDRWindow(echoProg(), log, replayCfg, w[0], w[1])
+				if err != nil {
+					t.Fatalf("window %v: sequential windowed replay: %v", w, err)
+				}
+				want, err := CompareWindow(play, full, w[0], w[1], Calibration{})
+				if err != nil {
+					t.Fatalf("window %v: full-side compare: %v", w, err)
+				}
+				for _, workers := range []int{1, 2, 3, 8} {
+					par, err := ReplayTDRParallel(echoProg(), log, replayCfg, w[0], w[1], workers)
+					if err != nil {
+						t.Fatalf("window %v workers %d: %v", w, workers, err)
+					}
+					sameExecution(t, "window/workers", seq, par)
+					got, err := CompareWindow(play, par, w[0], w[1], Calibration{})
+					if err != nil {
+						t.Fatalf("window %v workers %d: compare: %v", w, workers, err)
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Errorf("window %v workers %d: comparison diverged from full replay", w, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelReplayLegacyLog: a log recorded without checkpoints
+// degrades to the sequential full-replay fallback at any worker
+// count — byte-identical outputs, no error.
+func TestParallelReplayLegacyLog(t *testing.T) {
+	p := echoProg()
+	playCfg := testConfig(11) // no CheckpointEveryOutputs
+	play, log, err := Play(p, manyInputs(12, 0xB0B), playCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Checkpoints) != 0 {
+		t.Fatal("legacy log unexpectedly has checkpoints")
+	}
+	n := len(play.OutputIPDs())
+	seq, err := ReplayTDRWindow(p, log, testConfig(12), 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ReplayTDRParallel(p, log, testConfig(12), 0, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameExecution(t, "legacy", seq, par)
+}
+
+// TestParallelReplayAdversarialCheckpoints: tampering with an
+// interior checkpoint — which only the parallel path restores — must
+// never change the result relative to the sequential windowed replay.
+// Every tamper either trips the boundary-overlap verification or
+// fails the segment restore; both fall back to the sequential path.
+func TestParallelReplayAdversarialCheckpoints(t *testing.T) {
+	_, log := playCheckpointed(t, 31, nil)
+	replayCfg := testConfig(33)
+	p := echoProg()
+	n := int(log.Checkpoints[len(log.Checkpoints)-1].Outputs) + 2
+	from, to := 1, n // interior checkpoints exist strictly inside
+
+	seq, err := ReplayTDRWindow(p, log, replayCfg, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tampers := map[string]func(c *replaylog.Checkpoint){
+		"state-flip":     func(c *replaylog.Checkpoint) { c.State[len(c.State)/2] ^= 0xA5 },
+		"state-truncate": func(c *replaylog.Checkpoint) { c.State = c.State[:len(c.State)/3] },
+		"state-version":  func(c *replaylog.Checkpoint) { c.State[0] = 99 },
+		"play-cycles":    func(c *replaylog.Checkpoint) { c.PlayCycles += 12345 },
+		"instr":          func(c *replaylog.Checkpoint) { c.Instr += 7 },
+	}
+	for name, tamper := range tampers {
+		t.Run(name, func(t *testing.T) {
+			// Deep-copy the log so each subtest tampers independently.
+			mut := &replaylog.Log{
+				Program: log.Program, Machine: log.Machine, Profile: log.Profile,
+				Records: log.Records,
+			}
+			mut.Checkpoints = make([]replaylog.Checkpoint, len(log.Checkpoints))
+			copy(mut.Checkpoints, log.Checkpoints)
+			for i := range mut.Checkpoints {
+				mut.Checkpoints[i].State = append([]byte(nil), log.Checkpoints[i].State...)
+			}
+			// Tamper an interior checkpoint: strictly inside (from, to),
+			// never the one a sequential windowed replay would restore.
+			idx := -1
+			for i := range mut.Checkpoints {
+				if b := mut.Checkpoints[i].Outputs; b > int64(from) && b < int64(to) {
+					idx = i
+				}
+			}
+			if idx < 0 {
+				t.Fatal("no interior checkpoint to tamper")
+			}
+			tamper(&mut.Checkpoints[idx])
+			par, err := ReplayTDRParallel(p, mut, replayCfg, from, to, 4)
+			if err != nil {
+				t.Fatalf("tampered interior checkpoint produced an error instead of a fallback: %v", err)
+			}
+			sameExecution(t, name, seq, par)
+		})
+	}
+}
+
+// TestParallelReplayCancellation: a canceled context surfaces as the
+// context's error and leaves no replay goroutines behind.
+func TestParallelReplayCancellation(t *testing.T) {
+	_, log := playCheckpointed(t, 41, nil)
+	replayCfg := testConfig(42)
+	p := echoProg()
+	n := int(log.Checkpoints[len(log.Checkpoints)-1].Outputs) + 2
+
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the first segment launches
+	if _, err := ReplayTDRParallelCtx(ctx, p, log, replayCfg, 0, n, 4); err != context.Canceled {
+		t.Fatalf("pre-canceled context: got %v, want context.Canceled", err)
+	}
+
+	// Cancel while segments are in flight: the call must still return
+	// (in-flight segments drain; unstarted ones are skipped) with the
+	// context's error.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := ReplayTDRParallelCtx(ctx2, p, log, replayCfg, 0, n, 2)
+		done <- err
+	}()
+	cancel2()
+	select {
+	case err := <-done:
+		if err != nil && err != context.Canceled {
+			t.Fatalf("mid-flight cancel: unexpected error %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("parallel replay did not return after cancellation")
+	}
+
+	// Goroutine-leak accounting: give the pool a moment to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

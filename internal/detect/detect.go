@@ -27,6 +27,36 @@ type Trace struct {
 	IPDs []int64
 	Log  *replaylog.Log
 	Play *core.Execution
+
+	// releasers return pooled decode buffers (exec payloads, IPD
+	// slabs) registered by whoever materialized the trace; see
+	// Release.
+	releasers []func()
+}
+
+// OnRelease registers a hook to run when the trace's owner releases
+// it. The store's trace reader uses this to tie pooled decode
+// buffers to the trace's lifetime.
+func (t *Trace) OnRelease(fn func()) {
+	t.releasers = append(t.releasers, fn)
+}
+
+// Release returns the trace's pooled decode buffers (its replay log's
+// packet payloads and checkpoint states, plus anything registered via
+// OnRelease) to the shared pools. Only the owner that loaded the
+// trace may call it, exactly once, after the last read of the trace's
+// log, play execution, and IPDs; afterwards the trace contents are
+// invalid. Safe on a nil trace and on traces built without pooled
+// buffers, for which it is a no-op.
+func (t *Trace) Release() {
+	if t == nil {
+		return
+	}
+	t.Log.Release()
+	for _, fn := range t.releasers {
+		fn()
+	}
+	t.releasers = nil
 }
 
 // Detector scores traces for covert-channel likelihood.
@@ -340,6 +370,35 @@ func (d *TDR) ScoreDetailWindowCtx(ctx context.Context, tr *Trace, from, to int)
 	replay, err := core.ReplayTDRWindowCtx(ctx, d.Prog, tr.Log, d.Cfg, from, to)
 	if err != nil {
 		return nil, fmt.Errorf("detect: windowed replay failed: %w", err)
+	}
+	_, sp := obs.StartSpan(ctx, obs.StageCompare)
+	cmp, err := core.CompareWindow(tr.Play, replay, from, to, d.Calib)
+	sp.End()
+	return cmp, err
+}
+
+// ScoreDetailParallel is ScoreDetailWindow with the replay's
+// checkpoint-bounded segments run concurrently on up to workers
+// goroutines (core.ReplayTDRParallel). The comparison is
+// bit-identical to ScoreDetailWindow's for the same window — segment
+// parallelism, like windowing, changes the cost of an audit, never
+// its outcome. workers is per-call rather than detector state so one
+// memoized detector can serve callers with different parallelism
+// budgets.
+func (d *TDR) ScoreDetailParallel(tr *Trace, from, to, workers int) (*core.TimingComparison, error) {
+	return d.ScoreDetailParallelCtx(context.Background(), tr, from, to, workers)
+}
+
+// ScoreDetailParallelCtx is ScoreDetailParallel with context-carried
+// cancellation and observability ("segment" spans wrapping each
+// segment's "restore"/"replay").
+func (d *TDR) ScoreDetailParallelCtx(ctx context.Context, tr *Trace, from, to, workers int) (*core.TimingComparison, error) {
+	if tr.Log == nil || tr.Play == nil {
+		return nil, fmt.Errorf("detect: TDR detector needs the machine's log and observed execution")
+	}
+	replay, err := core.ReplayTDRParallelCtx(ctx, d.Prog, tr.Log, d.Cfg, from, to, workers)
+	if err != nil {
+		return nil, fmt.Errorf("detect: parallel windowed replay failed: %w", err)
 	}
 	_, sp := obs.StartSpan(ctx, obs.StageCompare)
 	cmp, err := core.CompareWindow(tr.Play, replay, from, to, d.Calib)

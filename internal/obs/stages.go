@@ -15,6 +15,7 @@ const (
 	StageLoad        = "load"
 	StageStat        = "stat"
 	StageTDR         = "tdr"
+	StageSegment     = "segment"
 	StageRestore     = "restore"
 	StageReplay      = "replay"
 	StageCompare     = "compare"
@@ -27,8 +28,8 @@ const (
 // rendered tables against.
 var Stages = []string{
 	StageIngest, StageSweep, StageClaim, StageResolve, StageSelect,
-	StageTrace, StageLoad, StageStat, StageTDR, StageRestore,
-	StageReplay, StageCompare, StageVerdict, StageStoreDecode,
+	StageTrace, StageLoad, StageStat, StageTDR, StageSegment,
+	StageRestore, StageReplay, StageCompare, StageVerdict, StageStoreDecode,
 }
 
 // DefLatencyBuckets spans sub-millisecond stage work (compare,

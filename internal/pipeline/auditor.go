@@ -60,6 +60,7 @@ type auditor struct {
 	tdrLimit   float64
 	statsLimit float64
 	tdrWindow  int  // >0: audit only the trailing window of IPDs
+	segWorkers int  // >1: replay checkpoint segments concurrently
 	refWindow  bool // windowed scoring via full replay (differential tests)
 	explain    bool // attach the evidence trail to each verdict
 }
@@ -90,6 +91,7 @@ func newAuditor(s *Shard, cfg Config) (*auditor, error) {
 		tdrLimit:   cfg.TDRThreshold + s.TDRSlack,
 		statsLimit: cfg.StatThreshold,
 		tdrWindow:  cfg.WindowIPDs,
+		segWorkers: cfg.SegmentWorkers,
 		refWindow:  cfg.WindowViaFullReplay,
 		explain:    cfg.Explain,
 	}
@@ -151,6 +153,13 @@ func (a *auditor) audit(ctx context.Context, job Job, index int) Verdict {
 			return v
 		}
 		tr = loaded
+		// A trace the auditor loaded is the auditor's to release: its
+		// log payloads and checkpoint states may live on pooled buffers
+		// (store.ReadTrace / replaylog.Decode), and the verdict keeps
+		// only scores and the comparison summary, never the raw trace.
+		// Caller-provided job.Trace stays untouched — its lifetime is
+		// the caller's.
+		defer tr.Release()
 	}
 	var errs []string
 	_, statSpan := obs.StartSpan(ctx, obs.StageStat)
@@ -168,14 +177,25 @@ func (a *auditor) audit(ctx context.Context, job Job, index int) Verdict {
 		tctx, tdrSpan := obs.StartSpan(ctx, obs.StageTDR)
 		var cmp *core.TimingComparison
 		var err error
-		if windowed {
-			if a.refWindow {
-				cmp, err = a.tdr.ScoreDetailWindowFullCtx(tctx, tr, from, to)
-			} else {
-				cmp, err = a.tdr.ScoreDetailWindowCtx(tctx, tr, from, to)
-			}
+		switch {
+		case windowed && a.refWindow:
+			cmp, err = a.tdr.ScoreDetailWindowFullCtx(tctx, tr, from, to)
 			v.TDRWindowed = true
-		} else {
+		case windowed && a.segWorkers > 1:
+			cmp, err = a.tdr.ScoreDetailParallelCtx(tctx, tr, from, to, a.segWorkers)
+			v.TDRWindowed = true
+		case windowed:
+			cmp, err = a.tdr.ScoreDetailWindowCtx(tctx, tr, from, to)
+			v.TDRWindowed = true
+		case a.segWorkers > 1:
+			// A full audit is the whole-range window. The replayed
+			// timings and therefore the decisive quantities
+			// (OutputsMatch, MaxRelIPDDev) are bit-identical to
+			// ScoreDetailCtx's; only the summary's TotalRelDev differs
+			// (window span vs total execution time), which decides
+			// nothing.
+			cmp, err = a.tdr.ScoreDetailParallelCtx(tctx, tr, 0, len(tr.IPDs), a.segWorkers)
+		default:
 			cmp, err = a.tdr.ScoreDetailCtx(tctx, tr)
 		}
 		tdrSpan.End()

@@ -41,6 +41,20 @@ type Config struct {
 	// Zero audits the whole trace.
 	WindowIPDs int
 
+	// SegmentWorkers, when greater than one, replays each audited
+	// window's checkpoint-bounded segments concurrently on up to that
+	// many goroutines (core.ReplayTDRParallel) instead of replaying the
+	// window front to back. The merged result is bit-identical to the
+	// sequential windowed replay — a verified one-output overlap at
+	// every interior boundary, with a sequential fallback on any
+	// disagreement — so the knob trades cores for per-trace latency
+	// without ever changing a verdict. It applies to full-trace audits
+	// too (the whole IPD range is one window). Zero or one keeps replay
+	// sequential. These goroutines multiply with Workers; a pipeline
+	// saturating its cores on trace-level parallelism gains nothing
+	// from segment-level parallelism on top.
+	SegmentWorkers int
+
 	// WindowViaFullReplay switches the windowed path to its reference
 	// semantics: a full replay from virtual time zero, scored over the
 	// same window. It exists for diagnostics and for the differential

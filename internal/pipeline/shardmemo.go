@@ -53,7 +53,25 @@ type shardMemo struct {
 var (
 	shardMemos    sync.Map // memoKey -> *shardMemo
 	shardMemoSize atomic.Int64
+
+	// Hit/miss accounting, process-lifetime. A hit reuses previously
+	// built shard state; a miss pays the build — including the
+	// unshared fallbacks (uncomparable config, cache full), which cost
+	// the same as a cold build and should read as one. The benchmark
+	// gap between the memoized and cold shard paths is small (~1.05x:
+	// per-batch statistical training dominates the amortized setup),
+	// so these counters exist to prove sharing happens at all — the
+	// speedup alone sits within noise of proving nothing.
+	shardMemoHits   atomic.Int64
+	shardMemoMisses atomic.Int64
 )
+
+// ShardMemoStats reports how many shard-auditor builds were served
+// from the per-shard memo (hits) versus built from scratch (misses).
+// Scrape-time metrics read it; tests assert sharing across batches.
+func ShardMemoStats() (hits, misses int64) {
+	return shardMemoHits.Load(), shardMemoMisses.Load()
+}
 
 // shardMemoCap bounds the cache. Real deployments audit a handful of
 // registry binaries, so the cap exists only to keep a pathological
@@ -122,6 +140,7 @@ func buildTDR(s *Shard) (*detect.TDR, error) {
 // not keyable or the cache is full.
 func tdrForShard(s *Shard) (*detect.TDR, error) {
 	if !memoizable(s) {
+		shardMemoMisses.Add(1)
 		return detect.NewCalibratedTDR(s.Prog, s.Cfg, s.TDRCalib), nil
 	}
 	key := memoKey{
@@ -141,12 +160,19 @@ func tdrForShard(s *Shard) (*detect.TDR, error) {
 	v, ok := shardMemos.Load(key)
 	if !ok {
 		if shardMemoSize.Load() >= shardMemoCap {
+			shardMemoMisses.Add(1)
 			return buildTDR(s)
 		}
 		var loaded bool
 		if v, loaded = shardMemos.LoadOrStore(key, &shardMemo{}); !loaded {
 			shardMemoSize.Add(1)
 		}
+		ok = loaded
+	}
+	if ok {
+		shardMemoHits.Add(1)
+	} else {
+		shardMemoMisses.Add(1)
 	}
 	m := v.(*shardMemo)
 	m.once.Do(func() {

@@ -13,6 +13,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
+
+	"sanity/internal/bufpool"
 )
 
 // Kind tags one log record.
@@ -83,11 +86,39 @@ type Log struct {
 	// without checkpointing — the decoder's fallback for old corpora —
 	// in which case only full replay is possible.
 	Checkpoints []Checkpoint
+
+	// arena backs Payload/State slices of a Decode-produced log;
+	// Release returns them to the shared pools. Nil for logs built by
+	// AppendPacket/AppendValue, whose Release is a no-op.
+	arena *bufpool.Arena
 }
 
 // New creates an empty log with the given identity.
 func New(program, machine, profile string) *Log {
 	return &Log{Program: program, Machine: machine, Profile: profile}
+}
+
+// Release returns the pooled buffers backing a Decode-produced log's
+// packet payloads and checkpoint states to the shared pools. After
+// Release the log's Payload/State slices — and any LogWindow.Suffix
+// derived from it, which aliases the same records — are invalid. The
+// owner who obtained the log from Decode (directly or via
+// store.LoadTrace) calls Release exactly once, after the last read;
+// everyone else must treat the log as borrowed. Safe on a nil log or
+// a log that was never pooled.
+func (l *Log) Release() {
+	if l == nil || l.arena == nil {
+		return
+	}
+	for i := range l.Records {
+		l.Records[i].Payload = nil
+	}
+	for i := range l.Checkpoints {
+		l.Checkpoints[i].State = nil
+	}
+	a := l.arena
+	l.arena = nil
+	a.Release()
 }
 
 // Equal reports whether two logs carry the same identity and the same
@@ -281,10 +312,24 @@ func (l *Log) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Decode reads a log in the binary format produced by Encode.
+// brPool recycles the decoder's bufio.Reader: Decode runs once per
+// audited trace (and once more per LoadIPDs fallback), and the 4KB
+// reader buffer is pure churn otherwise.
+var brPool = sync.Pool{New: func() any { return bufio.NewReader(nil) }}
+
+// Decode reads a log in the binary format produced by Encode. Packet
+// payloads and checkpoint states in the returned log are backed by
+// pooled buffers; the caller that owns the log should call Release
+// when finished with it (see Log.Release for the aliasing rules).
 func Decode(r io.Reader) (*Log, error) {
-	br := bufio.NewReader(r)
-	got := make([]byte, len(magic))
+	br := brPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	defer func() {
+		br.Reset(nil)
+		brPool.Put(br)
+	}()
+	var magicBuf [8]byte // len(magic) == len(magicV2) == 8
+	got := magicBuf[:]
 	if _, err := io.ReadFull(br, got); err != nil {
 		return nil, fmt.Errorf("replaylog: reading magic: %w", err)
 	}
@@ -312,7 +357,15 @@ func Decode(r io.Reader) (*Log, error) {
 		}
 		return string(b), nil
 	}
-	l := &Log{}
+	l := &Log{arena: &bufpool.Arena{}}
+	decoded := false
+	defer func() {
+		// Any error path returns the partially-filled pooled buffers
+		// immediately instead of waiting for GC.
+		if !decoded {
+			l.Release()
+		}
+	}()
 	var err error
 	if l.Program, err = readStr(); err != nil {
 		return nil, fmt.Errorf("replaylog: program name: %w", err)
@@ -366,7 +419,7 @@ func Decode(r io.Reader) (*Log, error) {
 			if n > 1<<24 {
 				return nil, fmt.Errorf("replaylog: record %d payload too large (%d)", i, n)
 			}
-			rec.Payload = make([]byte, n)
+			rec.Payload = l.arena.Alloc(int(n))
 			if _, err := io.ReadFull(br, rec.Payload); err != nil {
 				return nil, err
 			}
@@ -389,6 +442,7 @@ func Decode(r io.Reader) (*Log, error) {
 		}
 		return nil, fmt.Errorf("replaylog: trailing garbage after record %d", count)
 	}
+	decoded = true
 	return l, nil
 }
 
@@ -435,7 +489,7 @@ func decodeCheckpoints(br *bufio.Reader, l *Log) error {
 		if stateLen < 0 || stateLen > maxCheckpointState {
 			return fmt.Errorf("replaylog: checkpoint %d state of %d bytes", i, stateLen)
 		}
-		c.State = make([]byte, stateLen)
+		c.State = l.arena.Alloc(int(stateLen))
 		if _, err := io.ReadFull(br, c.State); err != nil {
 			return fmt.Errorf("replaylog: checkpoint %d state: %w", i, err)
 		}

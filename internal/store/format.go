@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"sanity/internal/bufpool"
 )
 
 // FrameType tags one container frame.
@@ -195,6 +197,14 @@ type Reader struct {
 	pending *frame
 	cursec  *sectionReader
 	done    bool
+	// scratch backs every frame payload this Reader yields. At most
+	// one frame is live at a time — a section's current chunk (cur) or
+	// the lookahead frame that ended it (pending), never both — and
+	// sectionReader.Read hands bytes out by copy, so reusing one
+	// buffer is safe and removes the per-frame make([]byte, n) that
+	// used to dominate the load stage (every skipped section still
+	// paid it in full).
+	scratch bufpool.Scratch
 }
 
 type frame struct {
@@ -233,7 +243,7 @@ func (r *Reader) readFrame() (*frame, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("store: frame of %d bytes exceeds the %d limit", n, MaxFrame)
 	}
-	payload := make([]byte, n)
+	payload := r.scratch.Grow(int(n))
 	if _, err := io.ReadFull(r.r, payload); err != nil {
 		return nil, fmt.Errorf("store: reading %q frame payload: %w", byte(t), err)
 	}

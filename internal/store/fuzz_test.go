@@ -1,0 +1,108 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sanity/internal/fixtures"
+	"sanity/internal/store"
+)
+
+// FuzzReadTrace throws hostile containers at the full trace decode
+// path. The seed corpus covers both container versions, checkpoint
+// sections (the SANLOG2 'L' payload), chunked multi-frame sections,
+// and the oversized-metadata rejection path, so the fuzzer starts
+// from every boundary the reader defends. Properties: never panic,
+// errors stay wrapped, the typed ErrMetaTooLarge is the only way an
+// oversized metadata section resolves, and a successfully decoded
+// trace can be released and decoded again identically (the pooled
+// buffers never leak state between decodes).
+func FuzzReadTrace(f *testing.F) {
+	addContainer := func(meta store.Meta, seed uint64, checkpointed bool) []byte {
+		log := fixtures.RoundTripLog(seed)
+		if checkpointed {
+			log = fixtures.RoundTripLogCheckpointed(seed)
+		}
+		tr := fullTrace()
+		tr.Log = log
+		var buf bytes.Buffer
+		if err := store.WriteTrace(&buf, meta, tr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		return buf.Bytes()
+	}
+	meta := testMeta()
+	addContainer(meta, 1, false)
+	full := addContainer(meta, 2, true)
+	f.Add(full[:len(full)/2])
+	f.Add(full[:len(full)-3])
+
+	// The oversized-metadata rejection path: a metadata section chunked
+	// across enough valid frames to pass MaxFrame.
+	var big bytes.Buffer
+	w, err := store.NewWriter(&big)
+	if err != nil {
+		f.Fatal(err)
+	}
+	huge := fmt.Sprintf(`{"id":"x","shard":"s","role":"test","label":"unknown","channel":%q}`,
+		strings.Repeat("a", store.MaxFrame+1))
+	if _, err := w.Section(store.FrameMeta).Write([]byte(huge)); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(big.Bytes())
+	f.Add([]byte("TDRTRACE\x01"))
+	f.Add([]byte("TDRTRACE\x02"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, tr, err := store.ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			msg := err.Error()
+			if !strings.HasPrefix(msg, "store:") && !strings.HasPrefix(msg, "replaylog:") && !isIOError(err) {
+				t.Fatalf("unwrapped error: %v", err)
+			}
+			if strings.Contains(msg, "metadata section too large") && !errors.Is(err, store.ErrMetaTooLarge) {
+				t.Fatalf("oversized metadata not typed: %v", err)
+			}
+			return
+		}
+		// A decodable container must decode identically after the first
+		// trace's pooled buffers are recycled.
+		var logCopy []byte
+		if tr.Log != nil {
+			var lb bytes.Buffer
+			if err := tr.Log.Encode(&lb); err != nil {
+				t.Fatalf("re-encode of decoded log: %v", err)
+			}
+			logCopy = lb.Bytes()
+		}
+		tr.Release()
+		_, tr2, err := store.ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("second decode failed after release: %v", err)
+		}
+		defer tr2.Release()
+		if tr2.Log != nil {
+			var lb bytes.Buffer
+			if err := tr2.Log.Encode(&lb); err != nil {
+				t.Fatalf("re-encode of second decode: %v", err)
+			}
+			if !bytes.Equal(logCopy, lb.Bytes()) {
+				t.Fatal("pooled-buffer reuse changed a decoded log")
+			}
+		}
+	})
+}
+
+// isIOError reports low-level readers' unwrapped io errors
+// (io.ErrUnexpectedEOF from ReadFull) that surface through decode.
+func isIOError(err error) bool {
+	msg := err.Error()
+	return strings.Contains(msg, "EOF") || strings.Contains(msg, "unexpected")
+}

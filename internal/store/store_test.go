@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -668,4 +669,99 @@ func TestSidecarAtomicUnderConcurrentReads(t *testing.T) {
 	if readerErr != nil {
 		t.Fatal(readerErr)
 	}
+}
+
+// TestOversizedMetadataRejected builds a container whose metadata
+// section spans enough chunked frames to exceed MaxFrame — every
+// frame individually valid — and demands the typed ErrMetaTooLarge
+// from every reader entry point, instead of a truncated blob reaching
+// the JSON decoder.
+func TestOversizedMetadataRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := store.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := fmt.Sprintf(`{"id":"x","shard":"s","role":"test","label":"unknown","channel":%q}`,
+		strings.Repeat("a", store.MaxFrame+1))
+	if _, err := w.Section(store.FrameMeta).Write([]byte(huge)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	if _, _, err := store.ReadTrace(bytes.NewReader(raw)); !errors.Is(err, store.ErrMetaTooLarge) {
+		t.Fatalf("ReadTrace: got %v, want ErrMetaTooLarge", err)
+	}
+	if _, err := store.ReadMeta(bytes.NewReader(raw)); !errors.Is(err, store.ErrMetaTooLarge) {
+		t.Fatalf("ReadMeta: got %v, want ErrMetaTooLarge", err)
+	}
+	if _, _, err := store.ReadIPDs(bytes.NewReader(raw)); !errors.Is(err, store.ErrMetaTooLarge) {
+		t.Fatalf("ReadIPDs: got %v, want ErrMetaTooLarge", err)
+	}
+
+	// One byte under the limit is fine: the limit gates size, and the
+	// JSON beneath it still decodes.
+	var ok bytes.Buffer
+	w2, err := store.NewWriter(&ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legal := fmt.Sprintf(`{"id":"x","shard":"s","role":"test","label":"unknown","channel":%q}`,
+		strings.Repeat("a", store.MaxFrame-256))
+	if _, err := w2.Section(store.FrameMeta).Write([]byte(legal)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.ReadMeta(bytes.NewReader(ok.Bytes())); err != nil {
+		t.Fatalf("metadata just under the limit rejected: %v", err)
+	}
+}
+
+// TestTraceReleaseAndPoolReuse loads the same container twice,
+// releases the first trace's pooled buffers, and demands the second
+// decode — now running over recycled pool blocks — reproduce the
+// exact payload bytes. Also checks Release is safe to call on traces
+// without pooled sections.
+func TestTraceReleaseAndPoolReuse(t *testing.T) {
+	src := fullTrace()
+	raw := encode(t, testMeta(), src)
+
+	_, tr1, err := store.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copy what we will compare before releasing.
+	wantPayloads := make([][]byte, len(tr1.Log.Records))
+	for i, r := range tr1.Log.Records {
+		wantPayloads[i] = append([]byte(nil), r.Payload...)
+	}
+	tr1.Release()
+	for _, r := range tr1.Log.Records {
+		if r.Payload != nil {
+			t.Fatal("Release left a payload alias behind")
+		}
+	}
+
+	_, tr2, err := store.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Release()
+	for i, r := range tr2.Log.Records {
+		if !bytes.Equal(r.Payload, wantPayloads[i]) {
+			t.Fatalf("record %d payload corrupted after pool reuse", i)
+		}
+	}
+	if !tr2.Log.Equal(src.Log) {
+		t.Fatal("second decode over recycled buffers differs from source")
+	}
+
+	var none *detect.Trace
+	none.Release() // nil trace: no-op
+	(&detect.Trace{IPDs: []int64{1, 2}}).Release()
 }

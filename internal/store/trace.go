@@ -4,14 +4,25 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 
+	"sanity/internal/bufpool"
 	"sanity/internal/core"
 	"sanity/internal/detect"
 	"sanity/internal/replaylog"
 )
+
+// ErrMetaTooLarge reports a metadata section larger than MaxFrame —
+// an admission-control limit, not a framing one: the section arrives
+// chunked in valid frames, but no legitimate writer produces a
+// megabyte of trace metadata, so an oversized section is treated as
+// corruption (or an allocation bomb) and rejected as a whole rather
+// than truncated into something the JSON decoder might accept.
+// Callers match it with errors.Is.
+var ErrMetaTooLarge = errors.New("store: metadata section too large")
 
 // Trace roles within a corpus.
 const (
@@ -207,8 +218,10 @@ func encodeExec(w io.Writer, e *core.Execution) error {
 	return bw.Flush()
 }
 
-// decodeExec reads the execution section back.
-func decodeExec(r io.Reader) (*core.Execution, error) {
+// decodeExec reads the execution section back. Output payloads are
+// carved from arena when one is given; the caller ties the arena's
+// release to the execution's lifetime.
+func decodeExec(r io.Reader, arena *bufpool.Arena) (*core.Execution, error) {
 	br := bufio.NewReader(r)
 	var buf [8]byte
 	get := func() (int64, error) {
@@ -229,6 +242,11 @@ func decodeExec(r io.Reader) (*core.Execution, error) {
 		return nil, fmt.Errorf("store: implausible output count %d", n)
 	}
 	e := &core.Execution{Mode: core.Mode(mode)}
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	e.Outputs = make([]core.OutputEvent, 0, capHint)
 	for i := int64(0); i < n; i++ {
 		var o core.OutputEvent
 		var vals [4]int64
@@ -244,7 +262,7 @@ func decodeExec(r io.Reader) (*core.Execution, error) {
 		if plen < 0 || plen > execCap {
 			return nil, fmt.Errorf("store: output %d payload of %d bytes", i, plen)
 		}
-		o.Payload = make([]byte, plen)
+		o.Payload = arena.Alloc(int(plen))
 		if _, err := io.ReadFull(br, o.Payload); err != nil {
 			return nil, fmt.Errorf("store: execution output %d payload: %w", i, err)
 		}
@@ -280,7 +298,7 @@ func readMetaSection(fr *Reader) (Meta, error) {
 		return meta, err
 	}
 	if len(mj) > MaxFrame {
-		return meta, fmt.Errorf("store: metadata section exceeds %d bytes", MaxFrame)
+		return meta, fmt.Errorf("%w: exceeds %d bytes", ErrMetaTooLarge, MaxFrame)
 	}
 	if err := json.Unmarshal(mj, &meta); err != nil {
 		return meta, fmt.Errorf("store: decoding metadata: %w", err)
@@ -295,7 +313,11 @@ func readMetaSection(fr *Reader) (Meta, error) {
 func readIPDSection(sec io.Reader, want int) ([]int64, error) {
 	br := bufio.NewReader(sec)
 	var buf [8]byte
-	var out []int64
+	capHint := want + 1
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	out := make([]int64, 0, capHint)
 	for {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			if err == io.EOF {
@@ -327,6 +349,13 @@ func ReadTrace(r io.Reader) (Meta, *detect.Trace, error) {
 		return Meta{}, nil, err
 	}
 	tr := &detect.Trace{}
+	// Error paths hand the partially-decoded trace's pooled buffers
+	// back immediately; a successful return transfers ownership (and
+	// the Release obligation) to the caller.
+	fail := func(err error) (Meta, *detect.Trace, error) {
+		tr.Release()
+		return meta, nil, err
+	}
 	prev := FrameMeta
 	order := map[FrameType]int{FrameMeta: 0, FrameIPD: 1, FrameLog: 2, FrameExec: 3}
 	for {
@@ -335,35 +364,37 @@ func ReadTrace(r io.Reader) (Meta, *detect.Trace, error) {
 			break
 		}
 		if err != nil {
-			return meta, nil, err
+			return fail(err)
 		}
 		if order[t] <= order[prev] {
-			return meta, nil, fmt.Errorf("store: section %q out of order after %q", byte(t), byte(prev))
+			return fail(fmt.Errorf("store: section %q out of order after %q", byte(t), byte(prev)))
 		}
 		prev = t
 		switch t {
 		case FrameIPD:
 			if tr.IPDs, err = readIPDSection(sec, meta.IPDs); err != nil {
-				return meta, nil, err
+				return fail(err)
 			}
 		case FrameLog:
 			if tr.Log, err = replaylog.Decode(sec); err != nil {
-				return meta, nil, fmt.Errorf("store: decoding log: %w", err)
+				return fail(fmt.Errorf("store: decoding log: %w", err))
 			}
 			if len(tr.Log.Records) != meta.Records {
-				return meta, nil, fmt.Errorf("store: log holds %d records, metadata says %d", len(tr.Log.Records), meta.Records)
+				return fail(fmt.Errorf("store: log holds %d records, metadata says %d", len(tr.Log.Records), meta.Records))
 			}
 		case FrameExec:
-			if tr.Play, err = decodeExec(sec); err != nil {
-				return meta, nil, err
+			execArena := &bufpool.Arena{}
+			tr.OnRelease(execArena.Release)
+			if tr.Play, err = decodeExec(sec, execArena); err != nil {
+				return fail(err)
 			}
 		}
 	}
 	if meta.IPDs > 0 && tr.IPDs == nil {
-		return meta, nil, fmt.Errorf("store: metadata promises %d IPDs but the section is missing", meta.IPDs)
+		return fail(fmt.Errorf("store: metadata promises %d IPDs but the section is missing", meta.IPDs))
 	}
 	if meta.Records > 0 && tr.Log == nil {
-		return meta, nil, fmt.Errorf("store: metadata promises %d log records but the section is missing", meta.Records)
+		return fail(fmt.Errorf("store: metadata promises %d log records but the section is missing", meta.Records))
 	}
 	return meta, tr, nil
 }

@@ -298,6 +298,12 @@ func NewAuditor(opts ...AuditorOption) (*Auditor, error) {
 // WithWorkers sets the audit worker-pool size (0 = GOMAXPROCS).
 func WithWorkers(n int) AuditorOption { return audit.WithWorkers(n) }
 
+// WithSegmentWorkers lets each trace's replay run its
+// checkpoint-bounded segments on up to n goroutines; the merged
+// result is verdict-identical to sequential replay (0 or 1 =
+// sequential).
+func WithSegmentWorkers(n int) AuditorOption { return audit.WithSegmentWorkers(n) }
+
 // WithBatchSize sets the per-chunk job count of the scheduler.
 func WithBatchSize(n int) AuditorOption { return audit.WithBatchSize(n) }
 
@@ -543,7 +549,9 @@ func ParseLogLevel(s string) (slog.Level, error) { return obs.ParseLogLevel(s) }
 func SpanFromContext(ctx context.Context) *obs.Span { return obs.SpanFromContext(ctx) }
 
 // OpenSpanLog opens (or resumes) a rotating span log in dir.
-func OpenSpanLog(dir string, opts SpanLogOptions) (*SpanLog, error) { return obs.OpenSpanLog(dir, opts) }
+func OpenSpanLog(dir string, opts SpanLogOptions) (*SpanLog, error) {
+	return obs.OpenSpanLog(dir, opts)
+}
 
 // NewTimelineIndex returns a bounded per-trace span index keeping at
 // most maxTraces timelines of maxSpans spans each (<= 0 picks
