@@ -22,6 +22,8 @@
 //	                                           # trace's audited range
 //	tdraudit audit-dir -dir spool -trace out.json  # span tree for chrome://tracing
 //	tdraudit audit-dir -dir spool -json -explain   # verdicts with evidence trails
+//	tdraudit triage -dir spool                 # suspicion census, claim order
+//	tdraudit triage -dir spool -backfill       # score pre-triage corpora in place
 //
 // Cross-machine audits (the paper's §5.2 cloud-verification setting:
 // the corpus was recorded on a machine type the auditor does not own):
@@ -39,6 +41,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -52,6 +55,7 @@ import (
 	"sanity/internal/obs"
 	"sanity/internal/pipeline"
 	"sanity/internal/store"
+	"sanity/internal/triage"
 )
 
 // logger carries every diagnostic and progress line; stdout stays
@@ -90,6 +94,9 @@ func main() {
 			return
 		case "calibrate":
 			calibrateMain(os.Args[2:])
+			return
+		case "triage":
+			triageMain(os.Args[2:])
 			return
 		case "obs":
 			obsMain(os.Args[2:])
@@ -616,6 +623,99 @@ func writeTraceFile(path string, tracer *obs.Tracer) error {
 	}
 	logger.Info("wrote trace", "spans", len(spans), "path", path)
 	return nil
+}
+
+// triageMain is the offline triage census: it reads a corpus, lists
+// every test trace's suspicion score in descending order (the order a
+// triage-enabled daemon would claim them in), and — with -backfill —
+// first scores any trace recorded before triage existed, persisting
+// the scores to the manifest and sidecars.
+//
+//	tdraudit triage -dir corpus
+//	tdraudit triage -dir corpus -backfill
+//	tdraudit triage -dir corpus -json
+func triageMain(args []string) {
+	fs := flag.NewFlagSet("tdraudit triage", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus directory to census (required)")
+	backfill := fs.Bool("backfill", false, "score unscored test traces through the detector ensemble and persist the scores")
+	jsonOut := fs.Bool("json", false, "emit the census as JSON lines")
+	applyLog := addLogFlags(fs)
+	fs.Parse(args)
+	applyLog()
+	if *dir == "" {
+		fatal(fmt.Errorf("triage: -dir is required"))
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if *backfill {
+		n, err := st.ScorePending(triage.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		if err := st.Flush(); err != nil {
+			fatal(err)
+		}
+		logger.Info("backfilled triage scores", "scored", n)
+	}
+
+	type row struct {
+		ID        string             `json:"id"`
+		Shard     string             `json:"shard"`
+		Audit     string             `json:"audit"`
+		Scored    bool               `json:"scored"`
+		Suspicion float64            `json:"suspicion"`
+		Band      string             `json:"band"`
+		Detectors map[string]float64 `json:"detectors,omitempty"`
+	}
+	var rows []row
+	unscored := 0
+	for _, e := range st.Entries() {
+		if e.Role != store.RoleTest {
+			continue
+		}
+		r := row{
+			ID:        e.ID,
+			Shard:     e.Shard,
+			Audit:     e.Audit,
+			Scored:    e.Triage != nil,
+			Suspicion: e.Suspicion(),
+			Band:      triage.Band(e.Suspicion()),
+		}
+		if r.Audit == store.AuditPending {
+			r.Audit = "pending"
+		}
+		if e.Triage != nil {
+			r.Detectors = e.Triage.PerDetector
+		} else {
+			unscored++
+		}
+		rows = append(rows, r)
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Suspicion > rows[j].Suspicion })
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range rows {
+			if err := enc.Encode(r); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	for _, r := range rows {
+		scored := " "
+		if !r.Scored {
+			scored = "?"
+		}
+		fmt.Printf("%s %-16s %-7s %.4f  %-8s %s\n", scored, r.ID, r.Band, r.Suspicion, r.Audit, r.Shard)
+	}
+	fmt.Printf("%d test traces, %d unscored", len(rows), unscored)
+	if unscored > 0 && !*backfill {
+		fmt.Print(" (run with -backfill to score them)")
+	}
+	fmt.Println()
 }
 
 func printVerdict(v pipeline.Verdict) {

@@ -16,6 +16,7 @@
 //
 //	GET /verdicts                 NDJSON verdict log (add ?follow=1 to tail)
 //	GET /corpora                  spool status: traces by audit state
+//	GET /triage                   triage census: suspicion scores, bands, claim order
 //	GET /metrics                  Prometheus text format
 //	GET /healthz                  liveness (always 200 while serving)
 //	GET /readyz                   readiness (503 before first sweep / while draining)
@@ -66,6 +67,10 @@ func main() {
 	threshold := fs.Float64("threshold", 0.05, "TDR suspicion threshold (max relative IPD deviation)")
 	window := fs.String("window", "full", "replay-window policy: 'full', an IPD count N, or 'auto[:N]'")
 	poll := fs.Duration("poll", 2*time.Second, "spool sweep interval between ingest notifications")
+	triageOn := fs.Bool("triage", true, "score traces at ingest and claim pending audits in descending-suspicion order")
+	claimBatch := fs.Int("claim-batch", 0, "traces claimed per sweep, highest suspicion first (0 = all pending)")
+	agingBoost := fs.Float64("aging-boost", 0, "suspicion added per sweep a pending trace waits unclaimed (0 = default 0.05, negative disables aging)")
+	triageSeed := fs.Bool("triage-seed", false, "let auto-window planning start from each trace's triage-flagged window (seeded verdict streams may differ bit-for-bit from unseeded ones)")
 	traceDir := fs.String("trace-dir", "", "write per-sweep Chrome trace_event JSON and spans.ndjson here ('' disables tracing)")
 	traceMaxBytes := fs.Int64("trace-max-bytes", obs.DefaultSpanLogMaxBytes, "rotate spans.ndjson when the active file exceeds this size")
 	traceKeep := fs.Int("trace-keep", obs.DefaultSpanLogMaxFiles, "rotated spans.ndjson generations to keep")
@@ -90,14 +95,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	auditor, err := audit.New(
+	auditorOpts := []audit.Option{
 		audit.WithRegistry(fixtures.KnownGood),
 		audit.WithWorkers(*workers),
 		audit.WithSegmentWorkers(*segWorkers),
 		audit.WithThresholds(*threshold, 0),
 		audit.WithWindow(w),
 		audit.WithExplain(),
-	)
+	}
+	if *triageSeed {
+		auditorOpts = append(auditorOpts, audit.WithWindowSeed())
+	}
+	auditor, err := audit.New(auditorOpts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,6 +123,9 @@ func main() {
 			IdleTimeout:      *idle,
 		},
 		Poll:             *poll,
+		DisableTriage:    !*triageOn,
+		ClaimBatch:       *claimBatch,
+		AgingBoost:       *agingBoost,
 		TraceDir:         *traceDir,
 		TraceRotateBytes: *traceMaxBytes,
 		TraceRotateFiles: *traceKeep,

@@ -57,7 +57,7 @@ func main() {
 		return
 	}
 	var (
-		which = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig6|fig7|log|fig8|noise|ablate|throughput|crossmachine|replaywindow")
+		which = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig6|fig7|log|fig8|noise|ablate|throughput|crossmachine|triage|replaywindow")
 		full  = flag.Bool("full", false, "use paper-scale experiment sizes (slow)")
 		seed  = flag.Uint64("seed", 42, "base noise seed")
 	)
@@ -149,6 +149,13 @@ func main() {
 			return "", err
 		}
 		return experiments.FormatCrossMachine(r), nil
+	})
+	run("triage", func() (string, error) {
+		r, err := experiments.TriageROC(sizes, *seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatTriageROC(r), nil
 	})
 	run("replaywindow", func() (string, error) {
 		r, err := experiments.ReplayWindow(sizes, *seed)

@@ -62,6 +62,7 @@ type Auditor struct {
 	progress   func(Progress)
 	storeDir   string
 	explain    bool
+	seedWindow bool
 }
 
 // Option configures an Auditor.
@@ -142,6 +143,21 @@ func WithStore(dir string) Option { return func(a *Auditor) { a.storeDir = dir }
 // encoding are unaffected — explain is additive evidence, not a
 // different audit.
 func WithExplain() Option { return func(a *Auditor) { a.explain = true } }
+
+// WithWindowSeed lets auto-window planning start from each job's
+// triage hint (pipeline.Job.TriageHint — the window the ingest-time
+// detector ensemble flagged): the hinted region is scored first and,
+// when it is decisive on its own, the per-trace sliding scan is
+// skipped entirely. Jobs without a hint, or whose hint does not
+// clear the decisive threshold, fall back to the full scan, so
+// seeding never weakens the selection — it only short-circuits it.
+//
+// Off by default: a decisive seed can narrow a trace to a different
+// (equally decisive) window than the full scan's arg-max would pick,
+// so seeded verdict streams are not guaranteed byte-identical to
+// un-seeded ones. Turn it on when plan latency matters more than
+// bit-for-bit parity with un-triaged audits.
+func WithWindowSeed() Option { return func(a *Auditor) { a.seedWindow = true } }
 
 // New builds an Auditor from its options.
 func New(opts ...Option) (*Auditor, error) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"math"
 
 	"sanity/internal/obs"
 	"sanity/internal/pipeline"
@@ -26,6 +27,10 @@ type PlanInfo struct {
 	// Narrowed counts the jobs whose audit the prefilter narrowed to
 	// a flagged window (auto mode only).
 	Narrowed int
+	// Seeded counts the narrowed jobs whose window came from a
+	// decisive triage hint, skipping the full sliding scan
+	// (WithWindowSeed only).
+	Seeded int
 	// AuditIPDs and TotalIPDs compare the planned TDR coverage
 	// against whole-trace audits, over the jobs whose delays the
 	// planner has seen (auto mode loads every job's IPDs; the other
@@ -131,19 +136,39 @@ func (p *Plan) selectWindows(ctx context.Context) error {
 			job.Explain = ex
 		}
 		if sel := selectors[job.Shard]; sel != nil {
-			scan := sel.Scan(ipds)
-			if ex != nil {
-				ex.Windows = scan
-			}
-			if w, bestZ, ok := pickWindow(scan); ok {
-				job.Window = &w
-				p.info.Narrowed++
-				if ex != nil {
-					ex.SelectedZ = signedZ(scan, w, bestZ)
-					ex.WindowReason = fmt.Sprintf("CCE prefilter: window [%d,%d) sits |z|=%.2f from the benign baseline (threshold %.1f)", w.From, w.To, bestZ, decisiveZ)
+			seeded := false
+			// Seeded fast path: when the trace carries a triage hint and
+			// the hinted region is decisive on its own, take it and skip
+			// the sliding scan. An indecisive hint falls through to the
+			// full scan, so seeding never audits wider than scanning.
+			if p.auditor.seedWindow && job.TriageHint != nil {
+				if ws, ok := sel.SeedZ(ipds, *job.TriageHint); ok && math.Abs(ws.Z) >= decisiveZ {
+					w := pipeline.IPDWindow{From: ws.From, To: ws.To}
+					job.Window = &w
+					p.info.Narrowed++
+					p.info.Seeded++
+					seeded = true
+					if ex != nil {
+						ex.SelectedZ = ws.Z
+						ex.WindowReason = fmt.Sprintf("triage seed: window [%d,%d) sits |z|=%.2f from the benign baseline (threshold %.1f); sliding scan skipped", w.From, w.To, math.Abs(ws.Z), decisiveZ)
+					}
 				}
-			} else if ex != nil {
-				ex.WindowReason = fmt.Sprintf("no window's CCE cleared |z| >= %.1f; audited whole", decisiveZ)
+			}
+			if !seeded {
+				scan := sel.Scan(ipds)
+				if ex != nil {
+					ex.Windows = scan
+				}
+				if w, bestZ, ok := pickWindow(scan); ok {
+					job.Window = &w
+					p.info.Narrowed++
+					if ex != nil {
+						ex.SelectedZ = signedZ(scan, w, bestZ)
+						ex.WindowReason = fmt.Sprintf("CCE prefilter: window [%d,%d) sits |z|=%.2f from the benign baseline (threshold %.1f)", w.From, w.To, bestZ, decisiveZ)
+					}
+				} else if ex != nil {
+					ex.WindowReason = fmt.Sprintf("no window's CCE cleared |z| >= %.1f; audited whole", decisiveZ)
+				}
 			}
 		} else if ex != nil {
 			ex.WindowReason = "shard has no learnable benign baseline; audited whole"

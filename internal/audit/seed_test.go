@@ -1,0 +1,145 @@
+package audit_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"sanity/internal/audit"
+	"sanity/internal/fixtures"
+	"sanity/internal/pipeline"
+	"sanity/internal/store"
+	"sanity/internal/triage"
+)
+
+// seedHint builds a triage-hint window literal.
+func seedHint(from, to int) pipeline.IPDWindow {
+	return pipeline.IPDWindow{From: from, To: to}
+}
+
+// seededCorpus exports a triage-scored corpus: a triage-enabled store
+// scores every test trace on Put, so the manifest entries carry the
+// ensemble's flagged windows and BatchFromStore turns those into job
+// TriageHints.
+func seededCorpus(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "corpus")
+	set, err := fixtures.SyntheticSet(fixtures.SetSizes{Training: 6, Benign: 3, Covert: 2, Packets: 256}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense channels only: the seeded fast path needs hints on traces
+	// whose windows are decisively anomalous.
+	kept := set.Traces[:0]
+	for _, lt := range set.Traces {
+		if lt.Channel == "" || lt.Channel == "ipctc" {
+			kept = append(kept, lt)
+		}
+	}
+	set.Traces = kept
+	st, err := store.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.EnableTriage(triage.Options{})
+	if err := fixtures.ExportSet(st, set, fixtures.NFSShardMeta(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestWindowSeedShortCircuitsScan: under WithWindowSeed, a decisive
+// triage hint replaces the per-trace sliding scan; without the
+// option the same corpus plans with zero seeded windows. Either way
+// the narrowed set covers the covert traces.
+func TestWindowSeedShortCircuitsScan(t *testing.T) {
+	dir := seededCorpus(t)
+
+	plain, err := audit.New(
+		audit.WithRegistry(fixtures.KnownGood),
+		audit.WithWindow(audit.WindowAuto(0)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := audit.New(
+		audit.WithRegistry(fixtures.KnownGood),
+		audit.WithWindow(audit.WindowAuto(0)),
+		audit.WithWindowSeed(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pPlain, err := plain.Plan(context.Background(), audit.Dir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pPlain.Info().Seeded; got != 0 {
+		t.Fatalf("plan without WithWindowSeed seeded %d windows", got)
+	}
+	pSeeded, err := seeded.Plan(context.Background(), audit.Dir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := pSeeded.Info()
+	// Both IPCTC traces carry decisive hints from ingest scoring; the
+	// seeded plan must take the fast path for them.
+	if info.Seeded < 2 {
+		t.Fatalf("seeded plan took the fast path for %d jobs, want >= 2 (info %+v)", info.Seeded, info)
+	}
+	if info.Seeded > info.Narrowed {
+		t.Fatalf("seeded %d > narrowed %d", info.Seeded, info.Narrowed)
+	}
+	// Seeding short-circuits selection; it must not weaken it. Every
+	// covert trace still gets a suspicious verdict from either plan.
+	for _, p := range []*audit.Plan{pPlain, pSeeded} {
+		res, err := p.RunAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Verdicts {
+			if v.Label.String() == "covert" && !v.Suspicious {
+				t.Fatalf("covert trace %q escaped a suspicious verdict (seeded=%v)", v.JobID, p == pSeeded)
+			}
+		}
+	}
+}
+
+// TestWindowSeedIgnoresIndecisiveHint: a hint on a benign-looking
+// trace must not narrow it — the fast path only fires when the
+// hinted window clears the same decisive threshold the full scan
+// uses, so seeding can never audit less than scanning would.
+func TestWindowSeedIgnoresIndecisiveHint(t *testing.T) {
+	const packets = 256
+	training := fixtures.SyntheticTraining(6, packets, 42)
+	sel, err := audit.NewSelector(training, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign := fixtures.SyntheticIPDs(packets, 4242)
+	ws, ok := sel.SeedZ(benign, seedHint(16, 48))
+	if !ok {
+		t.Fatal("SeedZ refused a trace longer than one window")
+	}
+	if ws.Z >= 3 || ws.Z <= -3 {
+		t.Fatalf("benign hinted window scored decisive z=%.2f — the fixture assumption broke", ws.Z)
+	}
+	// Snapping stays on the selector's grid and in bounds, even for
+	// hints past the end of the trace.
+	for _, from := range []int{-100, 0, 5, packets - 1, packets + 500} {
+		ws, ok := sel.SeedZ(benign, seedHint(from, from+32))
+		if !ok {
+			t.Fatalf("SeedZ(%d) refused", from)
+		}
+		if ws.From < 0 || ws.To > len(benign) || ws.To-ws.From != 32 {
+			t.Fatalf("SeedZ(%d) produced out-of-bounds window [%d,%d)", from, ws.From, ws.To)
+		}
+		if ws.From%16 != 0 {
+			t.Fatalf("SeedZ(%d) left the scan grid: from=%d", from, ws.From)
+		}
+	}
+}

@@ -182,6 +182,25 @@ func (s *Selector) Scan(ipds []int64) []pipeline.WindowScore {
 	return out
 }
 
+// SeedZ scores the scan-grid window nearest the hinted IPD range
+// against the benign baseline — the O(window) fast path a triage hint
+// buys, versus Scan's O(trace) sweep. The hint is snapped to the
+// selector's own grid (triage and the planner may disagree on window
+// geometry), so a decisive seed always names a window the full scan
+// could itself have produced. ok is false when the trace is too short
+// to narrow at all.
+func (s *Selector) SeedZ(ipds []int64, hint pipeline.IPDWindow) (ws pipeline.WindowScore, ok bool) {
+	if len(ipds) <= s.size {
+		return pipeline.WindowScore{}, false
+	}
+	last := (len(ipds) - s.size) / s.step
+	i := (hint.From + s.step/2) / s.step
+	i = max(0, min(i, last))
+	from := i * s.step
+	v := stats.CCE(s.symbols(ipds[from:from+s.size]), selectQ, selectMaxM)
+	return pipeline.WindowScore{From: from, To: from + s.size, Z: (v - s.mu) / s.sd}, true
+}
+
 // pickWindow applies Select's decision rule to a scan: the window
 // with the largest |z|, earliest on ties (strict >), and only when
 // that |z| clears decisiveZ.

@@ -54,6 +54,16 @@ type Derived struct {
 	// demands it never costs, and the baseline comparison applies
 	// only between runs at the same GOMAXPROCS.
 	ParallelSpeedup float64 `json:"parallelSpeedup"`
+	// TriageOverhead is the relative ingest cost the streaming triage
+	// ensemble adds at admission: triaged-ingest allocated bytes/op
+	// over plain-ingest bytes/op, minus one. Like the memoization
+	// gate, it is deliberately allocation-based, not time-based: the
+	// scoring cost (~µs per trace) sits far under one run's GC and
+	// scheduler noise (~ms on a corpus-sized op), but the bytes it
+	// allocates are deterministic. Triage rides the upload's existing
+	// decode pass, so its promise is "roughly free next to the I/O" —
+	// the gate holds it under MaxTriageOverhead.
+	TriageOverhead float64 `json:"triageOverhead"`
 }
 
 // SchemaVersion is the report format this harness writes. Version 2
@@ -88,6 +98,8 @@ const (
 	BenchAuditParallel = "audit_parallel"
 	BenchShardCold     = "shard_cold"
 	BenchShardMemoized = "shard_memoized"
+	BenchIngestPlain   = "ingest_plain"
+	BenchIngestTriaged = "ingest_triaged"
 )
 
 // Gate thresholds.
@@ -105,6 +117,12 @@ const (
 	// the tolerance — above that, the merge/fallback machinery is
 	// overhead, not a latency trade.
 	MinParallelSpeedup = 1 - Tolerance
+	// MaxTriageOverhead caps what the streaming triage ensemble may
+	// add to ingest, in allocated bytes per admitted corpus: scoring
+	// shares the admission pass's decoded IPDs, so a triaged upload
+	// must stay within 10% of a plain one or the "cheap first stage"
+	// premise of the funnel is broken.
+	MaxTriageOverhead = 0.10
 )
 
 // NewReport stamps an empty report with the environment.
@@ -136,6 +154,11 @@ func (r *Report) Finalize() {
 	memo, okM := r.Benchmarks[BenchShardMemoized]
 	if okC && okM && memo.NsPerOp > 0 {
 		r.Derived.MemoSpeedup = cold.NsPerOp / memo.NsPerOp
+	}
+	plain, okI := r.Benchmarks[BenchIngestPlain]
+	triaged, okT := r.Benchmarks[BenchIngestTriaged]
+	if okI && okT && plain.BytesPerOp > 0 {
+		r.Derived.TriageOverhead = float64(triaged.BytesPerOp)/float64(plain.BytesPerOp) - 1
 	}
 }
 
@@ -201,6 +224,16 @@ func Check(baseline, current *Report) []string {
 		violations = append(violations, fmt.Sprintf(
 			"windowed audit allocates more than the full audit: %d B/op vs %d B/op",
 			win.BytesPerOp, full.BytesPerOp))
+	}
+	// The triage ensemble must stay a rounding error next to ingest
+	// I/O; past the cap, scoring-at-admission is costing the upload
+	// path what it was supposed to save the audit queue.
+	_, okI := current.Benchmarks[BenchIngestPlain]
+	_, okT := current.Benchmarks[BenchIngestTriaged]
+	if okI && okT && current.Derived.TriageOverhead > MaxTriageOverhead {
+		violations = append(violations, fmt.Sprintf(
+			"triage ingest overhead %.1f%% exceeds the %.0f%% cap",
+			current.Derived.TriageOverhead*100, MaxTriageOverhead*100))
 	}
 	cold, okC := current.Benchmarks[BenchShardCold]
 	memo, okM := current.Benchmarks[BenchShardMemoized]
@@ -268,7 +301,7 @@ func Check(baseline, current *Report) []string {
 func (r *Report) Format() string {
 	out := fmt.Sprintf("bench report %s (%s/%s, GOMAXPROCS %d, short=%v)\n",
 		r.Date, r.GoOS, r.GoArch, r.GoMaxProcs, r.Short)
-	for _, name := range []string{BenchAuditFull, BenchAuditWindowed, BenchAuditParallel, BenchShardCold, BenchShardMemoized} {
+	for _, name := range []string{BenchAuditFull, BenchAuditWindowed, BenchAuditParallel, BenchShardCold, BenchShardMemoized, BenchIngestPlain, BenchIngestTriaged} {
 		m, ok := r.Benchmarks[name]
 		if !ok {
 			continue
@@ -278,6 +311,9 @@ func (r *Report) Format() string {
 	}
 	out += fmt.Sprintf("  windowed-replay speedup: %.2fx   segment-parallel speedup: %.2fx   shard-memo speedup: %.2fx\n",
 		r.Derived.WindowedSpeedup, r.Derived.ParallelSpeedup, r.Derived.MemoSpeedup)
+	if _, ok := r.Benchmarks[BenchIngestTriaged]; ok {
+		out += fmt.Sprintf("  triage ingest overhead: %+.1f%% alloc\n", r.Derived.TriageOverhead*100)
+	}
 	for _, name := range []string{BenchAuditFull, BenchAuditWindowed, BenchAuditParallel} {
 		stages, ok := r.Stages[name]
 		if !ok || len(stages) == 0 {

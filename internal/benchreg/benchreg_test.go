@@ -203,3 +203,28 @@ func TestFormatStageDelta(t *testing.T) {
 		t.Fatalf("benchmark absent from both reports still rendered:\n%s", got)
 	}
 }
+
+func TestCheckEnforcesTriageOverheadCap(t *testing.T) {
+	// The overhead ratio is allocation-based (scoring cost is
+	// deterministic in bytes, noise-bound in time), so the synthetic
+	// reports vary BytesPerOp and keep ns/op equal.
+	withIngest := func(overhead float64) *Report {
+		r := report(3.0, 10, true, 1000)
+		r.Benchmarks[BenchIngestPlain] = Measurement{N: 20, NsPerOp: 10e6, AllocsPerOp: 100, BytesPerOp: 1 << 20}
+		r.Benchmarks[BenchIngestTriaged] = Measurement{N: 20, NsPerOp: 10e6, AllocsPerOp: 120, BytesPerOp: int64((1 << 20) * (1 + overhead))}
+		r.Finalize()
+		return r
+	}
+	if v := Check(nil, withIngest(0.05)); len(v) != 0 {
+		t.Fatalf("5%% triage overhead flagged: %v", v)
+	}
+	v := Check(nil, withIngest(0.30))
+	if len(v) != 1 || !strings.Contains(v[0], "triage") {
+		t.Fatalf("30%% triage overhead not flagged: %v", v)
+	}
+	// Reports without the ingest pair (older harness versions) must
+	// not trip the cap.
+	if v := Check(nil, report(3.0, 10, true, 1000)); len(v) != 0 {
+		t.Fatalf("ingest-less report flagged: %v", v)
+	}
+}

@@ -1,6 +1,7 @@
 package benchreg
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"sanity/internal/pipeline"
 	"sanity/internal/store"
 	"sanity/internal/svm"
+	"sanity/internal/triage"
 )
 
 // Scale is the corpus shape a harness run measures against.
@@ -177,6 +179,110 @@ func Run(short bool, seed uint64) (*Report, error) {
 		return nil, err
 	}
 
+	// Ingest admission cost, plain vs triaged: the same pre-encoded
+	// containers stream through PutContainer into a fresh store each
+	// iteration (setup outside the timer), once with scoring off and
+	// once with the streaming ensemble on. The corpus is the recorded
+	// checkpointed set — log-bearing containers, the shape uploads
+	// actually have, where admission pays for the whole container but
+	// triage only ever touches the IPD section. The pair isolates
+	// exactly what ingest-time suspicion scoring adds to the upload
+	// hot path; the derived TriageOverhead allocation ratio is what
+	// the gate caps. Measured last: churning corpus-sized admissions
+	// through the buffer pools would otherwise perturb the
+	// near-deterministic load-stage numbers the instrumented passes
+	// above just recorded.
+	ingestShardMeta := fixtures.NFSShardMeta(seed + 777)
+	ingestShardMeta.Key = ingestShard
+	ingestRaws, err := ingestCorpus(set)
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: encoding ingest corpus: %w", err)
+	}
+	ingestErr := error(nil)
+	ingest := func(triaged bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir, st, err := ingestStore(triaged, ingestShardMeta)
+				if err == nil {
+					b.StartTimer()
+					err = ingestAll(st, ingestRaws)
+					b.StopTimer()
+				}
+				if dir != "" {
+					os.RemoveAll(dir)
+				}
+				if err != nil && ingestErr == nil {
+					ingestErr = err
+				}
+				b.StartTimer()
+			}
+		}
+	}
+	measure(BenchIngestPlain, ingest(false))
+	measure(BenchIngestTriaged, ingest(true))
+	if ingestErr != nil {
+		return nil, fmt.Errorf("benchreg: ingest failed during measurement: %w", ingestErr)
+	}
+
 	report.Finalize()
 	return report, nil
+}
+
+// ingestShard keys the ingest benchmark's corpus, separate from the
+// audited shard so the two measurements never share manifest state.
+const ingestShard = "ingest-bench"
+
+// ingestCorpus pre-encodes the set's labeled test traces — log,
+// execution, IPDs, the full container — so encoding cost never lands
+// inside the timed region.
+func ingestCorpus(set *fixtures.Set) ([][]byte, error) {
+	raws := make([][]byte, 0, len(set.Traces))
+	for _, lt := range set.Traces {
+		meta := store.Meta{
+			ID:      lt.ID,
+			Shard:   ingestShard,
+			Role:    store.RoleTest,
+			Label:   lt.Label.String(),
+			Channel: lt.Channel,
+		}
+		var buf bytes.Buffer
+		if err := store.WriteTrace(&buf, meta, lt.Trace); err != nil {
+			return nil, err
+		}
+		raws = append(raws, buf.Bytes())
+	}
+	return raws, nil
+}
+
+// ingestStore builds a fresh throwaway store ready to admit the
+// ingest corpus, with the triage ensemble on or off.
+func ingestStore(triaged bool, sh store.ShardMeta) (dir string, st *store.Store, err error) {
+	dir, err = os.MkdirTemp("", "tdrbench-ingest-*")
+	if err != nil {
+		return "", nil, err
+	}
+	st, err = store.Create(dir)
+	if err == nil {
+		err = st.AddShard(sh)
+	}
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	if triaged {
+		st.EnableTriage(triage.Options{})
+	}
+	return dir, st, nil
+}
+
+// ingestAll streams every pre-encoded container through admission.
+func ingestAll(st *store.Store, raws [][]byte) error {
+	for _, raw := range raws {
+		if _, err := st.PutContainer(bytes.NewReader(raw)); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -39,6 +39,7 @@ import (
 	"sanity/internal/obs"
 	"sanity/internal/pipeline"
 	"sanity/internal/store"
+	"sanity/internal/triage"
 )
 
 // Config wires a Daemon.
@@ -59,8 +60,33 @@ type Config struct {
 	// Empty runs no HTTP server.
 	HTTPAddr string
 	// Ingest tunes the embedded ingest server (secret, quotas, idle
-	// timeout). Its OnDone is owned by the daemon and must be nil.
+	// timeout). Its OnDone and OnTrace are owned by the daemon and
+	// must be nil.
 	Ingest ingest.Options
+	// DisableTriage turns off ingest-time triage. With triage on (the
+	// default) every admitted test trace is scored by the streaming
+	// detector ensemble while it uploads, the score persists in the
+	// manifest and sidecar, legacy unscored pending traces are
+	// backfilled at startup, and sweeps claim pending traces in
+	// descending-suspicion order. Disabled restores pure
+	// arrival-order (FIFO) claiming and writes no scores.
+	DisableTriage bool
+	// Triage tunes the detector ensemble (window geometry, CCE
+	// parameters). Zero values select the triage package defaults,
+	// which match the audit planner's window geometry.
+	Triage triage.Options
+	// ClaimBatch caps how many pending traces one sweep claims,
+	// highest priority first. Zero claims everything pending — the
+	// default, under which aging never fires because no sweep leaves
+	// a backlog behind.
+	ClaimBatch int
+	// AgingBoost is added to a pending trace's claim priority for
+	// every sweep it has already waited unclaimed, so when ClaimBatch
+	// leaves a backlog a benign-looking trace still drifts to the
+	// front instead of starving behind a steady covert stream. Zero
+	// selects 0.05 (twenty sweeps outweigh any suspicion gap);
+	// negative disables aging.
+	AgingBoost float64
 	// Poll is how often the watcher sweeps the spool for pending
 	// traces even without an ingest completion notification (a corpus
 	// admitted mid-session, a previous daemon's reclaimed claims).
@@ -162,6 +188,11 @@ type Daemon struct {
 	cancelAudit context.CancelFunc
 	watchDone   chan struct{}
 
+	// waits counts, per pending trace file, how many sweeps have
+	// claimed past it — the aging input to claim priority. Only the
+	// watch goroutine touches it.
+	waits map[string]int
+
 	started  bool
 	stopOnce sync.Once
 	stopErr  error
@@ -181,15 +212,24 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Ingest.OnDone != nil {
 		return nil, fmt.Errorf("daemon: Config.Ingest.OnDone is owned by the daemon")
 	}
+	if cfg.Ingest.OnTrace != nil {
+		return nil, fmt.Errorf("daemon: Config.Ingest.OnTrace is owned by the daemon")
+	}
 	if cfg.Poll <= 0 {
 		cfg.Poll = 2 * time.Second
 	}
 	if cfg.VerdictRetention <= 0 {
 		cfg.VerdictRetention = 4096
 	}
+	if cfg.AgingBoost == 0 {
+		cfg.AgingBoost = 0.05
+	}
 	st, err := store.Create(cfg.Dir)
 	if err != nil {
 		return nil, err
+	}
+	if !cfg.DisableTriage {
+		st.EnableTriage(cfg.Triage)
 	}
 	d := &Daemon{
 		cfg:       cfg,
@@ -199,6 +239,7 @@ func New(cfg Config) (*Daemon, error) {
 		vlog:      newVerdictLog(cfg.VerdictRetention),
 		wake:      make(chan struct{}, 1),
 		watchDone: make(chan struct{}),
+		waits:     make(map[string]int),
 	}
 	d.logRing = obs.NewLogRing(cfg.LogRingSize)
 	d.log = buildLogger(cfg, d.logRing)
@@ -223,6 +264,17 @@ func New(cfg Config) (*Daemon, error) {
 	d.st.SetObserver(d.obs)
 	if n := st.ReclaimStale(); n > 0 {
 		d.log.Info("reclaimed traces claimed by a previous run", "count", n)
+	}
+	// Backfill triage scores over whatever legacy pending corpus the
+	// spool already holds, so the very first sweep's claim order is
+	// already suspicion-driven. Traces it cannot score stay neutral.
+	if !cfg.DisableTriage {
+		if n, err := st.ScorePending(cfg.Triage); err != nil {
+			d.log.Warn("triage backfill failed", "err", err)
+		} else if n > 0 {
+			d.log.Info("triage-scored legacy pending traces", "count", n)
+			d.flushQuietly()
+		}
 	}
 	return d, nil
 }
@@ -314,6 +366,7 @@ func (d *Daemon) Start() error {
 	if d.cfg.IngestAddr != "" {
 		opts := d.cfg.Ingest
 		opts.OnDone = d.notify
+		opts.OnTrace = d.observeTriage
 		opts.Obs = d.obs
 		if opts.Log == nil {
 			opts.Log = d.log.With("component", "ingest")
@@ -427,6 +480,43 @@ func (d *Daemon) Stop() error {
 	return d.stopErr
 }
 
+// observeTriage records one ingest-time triage score in the metrics.
+// It runs on ingest handler goroutines; the metrics are atomic.
+func (d *Daemon) observeTriage(_ store.Meta, sc *triage.Score) {
+	if sc == nil {
+		return
+	}
+	d.met.triageScored.Inc()
+	d.met.triageSuspicion.Observe(sc.Suspicion)
+}
+
+// claimPriority orders a sweep's claims: the trace's persisted
+// suspicion plus an aging boost per sweep it has already waited, so
+// the most suspicious traces go first but nothing starves behind a
+// steady covert stream when ClaimBatch leaves a backlog.
+func (d *Daemon) claimPriority(e store.Entry) float64 {
+	p := e.Suspicion()
+	if d.cfg.AgingBoost > 0 {
+		p += d.cfg.AgingBoost * float64(d.waits[e.File])
+	}
+	return p
+}
+
+// ageBacklog charges one waited sweep to every pending trace the
+// claim pass left behind, forgets the claimed ones, and reports how
+// many are still waiting. Only the watch goroutine calls it, so the
+// waits map needs no lock.
+func (d *Daemon) ageBacklog(claimed []store.Entry) int {
+	for _, e := range claimed {
+		delete(d.waits, e.File)
+	}
+	backlog := d.st.PendingTest()
+	for _, e := range backlog {
+		d.waits[e.File]++
+	}
+	return len(backlog)
+}
+
 // notify wakes the watcher without blocking the ingest handler that
 // delivered the completion.
 func (d *Daemon) notify() {
@@ -467,7 +557,12 @@ func (d *Daemon) sweep(ctx context.Context) {
 	if ctx.Err() != nil {
 		return
 	}
-	claimed := d.st.ClaimPending()
+	claimed := d.st.ClaimPendingLimit(d.cfg.ClaimBatch, d.claimPriority)
+	if d.ageBacklog(claimed) > 0 && len(claimed) > 0 {
+		// ClaimBatch left a backlog: wake the watcher again as soon as
+		// this sweep finishes instead of waiting out the poll interval.
+		d.notify()
+	}
 	if len(claimed) == 0 {
 		return
 	}

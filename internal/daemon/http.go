@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 
 	"sanity/internal/ingest"
 	"sanity/internal/obs"
 	"sanity/internal/pipeline"
+	"sanity/internal/store"
+	"sanity/internal/triage"
 )
 
 // verdictLog is the daemon's in-memory verdict history plus a
@@ -96,6 +99,7 @@ func (d *Daemon) httpHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /verdicts", d.handleVerdicts)
 	mux.HandleFunc("GET /corpora", d.handleCorpora)
+	mux.HandleFunc("GET /triage", d.handleTriage)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
 	mux.HandleFunc("GET /readyz", d.handleReadyz)
@@ -175,6 +179,7 @@ type traceTimeline struct {
 	File           string            `json:"file,omitempty"`
 	Role           string            `json:"role,omitempty"`
 	State          string            `json:"state"`
+	Triage         *triage.Score     `json:"triage,omitempty"`
 	Verdict        *pipeline.Verdict `json:"verdict,omitempty"`
 	Spans          []obs.SpanRecord  `json:"spans"`
 	TruncatedSpans int               `json:"truncatedSpans,omitempty"`
@@ -190,6 +195,7 @@ func (d *Daemon) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		if e.ID == id {
 			out.Shard, out.File, out.Role = e.Shard, e.File, e.Role
 			out.State = stateLabel(e.Audit)
+			out.Triage = e.Triage
 			found = true
 			break
 		}
@@ -292,6 +298,70 @@ func (d *Daemon) handleCorpora(w http.ResponseWriter, r *http.Request) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		http.Error(w, fmt.Sprintf("encoding status: %v", err), http.StatusInternalServerError)
+	}
+}
+
+// triageTrace is one test trace's row in the /triage census.
+type triageTrace struct {
+	ID        string  `json:"id"`
+	Shard     string  `json:"shard"`
+	State     string  `json:"state"`
+	Scored    bool    `json:"scored"`
+	Suspicion float64 `json:"suspicion"`
+	Band      string  `json:"band"`
+}
+
+// triageStatus is the /triage response: the funnel's knobs, a census
+// of the scored population, and every test trace in claim-priority
+// order (descending suspicion, manifest order on ties — the order an
+// idle daemon would audit them in, ignoring aging).
+type triageStatus struct {
+	Enabled    bool           `json:"enabled"`
+	ClaimBatch int            `json:"claimBatch"`
+	AgingBoost float64        `json:"agingBoost"`
+	Scored     int            `json:"scored"`
+	Unscored   int            `json:"unscored"`
+	Bands      map[string]int `json:"bands"`
+	Traces     []triageTrace  `json:"traces"`
+}
+
+// handleTriage reports the triage census as JSON.
+func (d *Daemon) handleTriage(w http.ResponseWriter, r *http.Request) {
+	out := triageStatus{
+		Enabled:    !d.cfg.DisableTriage,
+		ClaimBatch: d.cfg.ClaimBatch,
+		AgingBoost: d.cfg.AgingBoost,
+		Bands:      map[string]int{"low": 0, "neutral": 0, "high": 0},
+		Traces:     []triageTrace{},
+	}
+	for _, e := range d.st.Entries() {
+		if e.Role != store.RoleTest {
+			continue
+		}
+		s := e.Suspicion()
+		if e.Triage != nil {
+			out.Scored++
+		} else {
+			out.Unscored++
+		}
+		out.Bands[triage.Band(s)]++
+		out.Traces = append(out.Traces, triageTrace{
+			ID:        e.ID,
+			Shard:     e.Shard,
+			State:     stateLabel(e.Audit),
+			Scored:    e.Triage != nil,
+			Suspicion: s,
+			Band:      triage.Band(s),
+		})
+	}
+	sort.SliceStable(out.Traces, func(a, b int) bool {
+		return out.Traces[a].Suspicion > out.Traces[b].Suspicion
+	})
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		http.Error(w, fmt.Sprintf("encoding triage status: %v", err), http.StatusInternalServerError)
 	}
 }
 

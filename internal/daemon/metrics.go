@@ -7,11 +7,17 @@ import (
 	"sanity/internal/obs"
 	"sanity/internal/pipeline"
 	"sanity/internal/store"
+	"sanity/internal/triage"
 )
 
 // latencyBuckets spans claim-to-verdict wall times from fast windowed
 // audits to multi-minute full-replay sweeps.
 var latencyBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// suspicionBuckets decile-buckets the [0,1] ensemble suspicion, so a
+// scrape shows the shape of the scored population around the neutral
+// 0.5 midpoint.
+var suspicionBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 
 // metrics is the daemon's lifetime instrumentation over the shared
 // obs registry: the daemon-level counters, the claim-to-verdict
@@ -28,6 +34,9 @@ type metrics struct {
 	corruptC *obs.Counter
 	planFail *obs.Counter
 	latency  *obs.Histogram
+
+	triageScored    *obs.Counter
+	triageSuspicion *obs.Histogram
 }
 
 func newMetrics() *metrics {
@@ -40,6 +49,10 @@ func newMetrics() *metrics {
 		corruptC: reg.Counter("tdrauditd_traces_corrupt_total", "Claimed traces failed before auditing (unreadable container)."),
 		planFail: reg.Counter("tdrauditd_plan_failures_total", "Sweeps whose audit plan could not be built."),
 		latency:  reg.Histogram("tdrauditd_audit_latency_seconds", "Claim-to-verdict latency.", latencyBuckets),
+		triageScored: reg.Counter("sanity_triage_scored_total",
+			"Test traces scored by the ingest triage ensemble."),
+		triageSuspicion: reg.Histogram("sanity_triage_suspicion",
+			"Ensemble suspicion of triage-scored traces.", suspicionBuckets),
 	}
 	// Pre-create every outcome so a scrape always shows all three
 	// series, zeros included.
@@ -98,6 +111,19 @@ func (d *Daemon) registerFuncMetrics() {
 		}
 		return out
 	})
+	triageBands := []string{"low", "neutral", "high"}
+	reg.Func("sanity_triage_backlog", "Pending test traces awaiting claim, by suspicion band.",
+		"gauge", []string{"band"}, func() []obs.Sample {
+			counts := make(map[string]int, len(triageBands))
+			for _, e := range d.st.PendingTest() {
+				counts[triage.Band(e.Suspicion())]++
+			}
+			out := make([]obs.Sample, 0, len(triageBands))
+			for _, b := range triageBands {
+				out = append(out, obs.Sample{LabelValues: []string{b}, Value: float64(counts[b])})
+			}
+			return out
+		})
 	ingCounter := func(name, help string, get func(ingest.Stats) uint64) {
 		reg.CounterFunc(name, help, func() float64 {
 			if d.ing == nil {

@@ -68,6 +68,12 @@ type Sizes struct {
 	CrossPackets    int   // packets per trace
 	CrossTrainSweep []int // calibration-training sizes to sweep
 
+	// Triage ROC experiment (ingest-time suspicion scoring).
+	TriageTraces        int     // traces per class (benign, and per channel)
+	TriagePackets       int     // IPDs per trace
+	TriageNeedlePeriods []int64 // needle bit periods to sweep (packets per bit)
+	TriageMatchFP       float64 // FP budget the TP comparison is read at
+
 	// Windowed-replay experiment.
 	ReplayWindowTraces   int   // labeled test traces
 	ReplayWindowPackets  int   // packets per trace
@@ -100,6 +106,11 @@ func DefaultSizes() Sizes {
 		CrossPackets:    60,
 		CrossTrainSweep: []int{2, 4},
 
+		TriageTraces:        32,
+		TriagePackets:       256,
+		TriageNeedlePeriods: []int64{8, 16, 32, 64},
+		TriageMatchFP:       0.2,
+
 		ReplayWindowTraces:   24,
 		ReplayWindowPackets:  96,
 		ReplayWindowEvery:    16,
@@ -130,6 +141,11 @@ func FullSizes() Sizes {
 		CrossTraces:     48,
 		CrossPackets:    120,
 		CrossTrainSweep: []int{1, 2, 4, 8},
+
+		TriageTraces:        64,
+		TriagePackets:       512,
+		TriageNeedlePeriods: []int64{8, 16, 32, 64, 100},
+		TriageMatchFP:       0.1,
 
 		ReplayWindowTraces:   64,
 		ReplayWindowPackets:  400,

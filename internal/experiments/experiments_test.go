@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -353,4 +354,46 @@ func TestReplayWindowSpeedsUpWithoutDisagreement(t *testing.T) {
 	if FormatReplayWindow(res) == "" {
 		t.Fatal("empty rendering")
 	}
+}
+
+// TestTriageEnsembleBeatsSingles is the triage funnel's acceptance
+// gate: pooled over every covert channel — the ranking job the
+// daemon's priority queue actually does — the ensemble suspicion must
+// reach at least every single detector's true-positive rate at the
+// experiment's matched false-positive budget, and the ensemble must
+// be decisive on IPCTC, the channel the funnel exists to fast-path.
+func TestTriageEnsembleBeatsSingles(t *testing.T) {
+	sizes := DefaultSizes() // scoring is cheap; full trace counts keep the ROC stable
+	res, err := TriageROC(sizes, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, ok := res.Cell("all", TriageEnsemble)
+	if !ok {
+		t.Fatal("no pooled ensemble cell")
+	}
+	for _, scorer := range res.Scorers() {
+		if scorer == TriageEnsemble {
+			continue
+		}
+		single, _ := res.Cell("all", scorer)
+		if single.TPAtFP > ens.TPAtFP {
+			t.Errorf("pooled at FP<=%.2f: detector %s TP %.3f beats ensemble TP %.3f",
+				res.MatchedFP, scorer, single.TPAtFP, ens.TPAtFP)
+		}
+	}
+	ipctc, ok := res.Cell("ipctc", TriageEnsemble)
+	if !ok {
+		t.Fatal("no ipctc ensemble cell")
+	}
+	if ipctc.AUC < 0.99 || ipctc.TPAtFP < 0.99 {
+		t.Errorf("ipctc ensemble AUC %.3f TP %.3f, want ~1.0 on the funnel's headline channel", ipctc.AUC, ipctc.TPAtFP)
+	}
+	// The needle sweep must be present: one row per configured period.
+	for _, p := range sizes.TriageNeedlePeriods {
+		if _, ok := res.Cell(fmt.Sprintf("needle/p%d", p), TriageEnsemble); !ok {
+			t.Errorf("missing needle/p%d row", p)
+		}
+	}
+	t.Log("\n" + FormatTriageROC(res))
 }

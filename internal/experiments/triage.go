@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sanity/internal/covert"
+	"sanity/internal/fixtures"
+	"sanity/internal/stats"
+	"sanity/internal/triage"
+)
+
+// TriageEnsemble names the combined suspicion score in TriageCell,
+// alongside the individual detector names from Score.PerDetector.
+const TriageEnsemble = "ensemble"
+
+// TriageCell is one (channel, scorer) entry of the triage ROC
+// experiment: how well one score — the ensemble suspicion or a single
+// detector's raw score — separates that channel's traces from benign
+// traffic.
+type TriageCell struct {
+	Channel string
+	Scorer  string
+	AUC     float64
+	// TPAtFP is the best true-positive rate reachable while the
+	// false-positive rate stays at or under the experiment's matched
+	// FP budget — the operating point a triage funnel actually runs
+	// at, where AUC alone can hide a useless low-FP region.
+	TPAtFP float64
+	Curve  []stats.ROCPoint
+}
+
+// TriageResult is the triage ROC experiment's outcome: per-channel
+// cells for the ensemble and every detector (including the needle at
+// each swept period), plus the same comparison pooled over all covert
+// traces — the ranking job the daemon's priority queue actually does.
+type TriageResult struct {
+	MatchedFP float64
+	Cells     []TriageCell
+}
+
+// Cell finds one entry ("all" pools every covert channel).
+func (r *TriageResult) Cell(channel, scorer string) (TriageCell, bool) {
+	for _, c := range r.Cells {
+		if c.Channel == channel && c.Scorer == scorer {
+			return c, true
+		}
+	}
+	return TriageCell{}, false
+}
+
+// Scorers lists the scorer names present, ensemble first.
+func (r *TriageResult) Scorers() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range r.Cells {
+		if !seen[c.Scorer] {
+			seen[c.Scorer] = true
+			out = append(out, c.Scorer)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i] == TriageEnsemble {
+			return true
+		}
+		if out[j] == TriageEnsemble {
+			return false
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// TriageROC evaluates the ingest-time triage ensemble the way Figure 8
+// evaluates the offline detectors: benign and covert traces are
+// scored with triage.ScoreIPDs — the exact scorer the store runs at
+// ingest — and each score's ROC is swept per channel and pooled. The
+// dense channels run at their default configuration; the needle runs
+// once per swept period, so the result shows the rate at which the
+// cheap streaming detectors start to see a low-rate channel.
+func TriageROC(sizes Sizes, baseSeed uint64) (*TriageResult, error) {
+	channels, err := triageChannels(sizes, baseSeed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Benign scores are shared by every channel's comparison.
+	neg := map[string][]float64{}
+	for i := 0; i < sizes.TriageTraces; i++ {
+		sc := triage.ScoreIPDs(fixtures.SyntheticIPDs(sizes.TriagePackets, baseSeed+uint64(i)*31), triage.Options{})
+		neg[TriageEnsemble] = append(neg[TriageEnsemble], sc.Suspicion)
+		for d, v := range sc.PerDetector {
+			neg[d] = append(neg[d], v)
+		}
+	}
+
+	res := &TriageResult{MatchedFP: sizes.TriageMatchFP}
+	pooled := map[string][]float64{}
+	for ci, nc := range channels {
+		pos := map[string][]float64{}
+		for i := 0; i < sizes.TriageTraces; i++ {
+			seed := baseSeed + 50_000 + uint64(ci)*10_000 + uint64(i)*41
+			sc := triage.ScoreIPDs(fixtures.SyntheticCovertIPDs(nc.ch, sizes.TriagePackets, seed), triage.Options{})
+			pos[TriageEnsemble] = append(pos[TriageEnsemble], sc.Suspicion)
+			for d, v := range sc.PerDetector {
+				pos[d] = append(pos[d], v)
+			}
+		}
+		for scorer, p := range pos {
+			curve := stats.ROC(p, neg[scorer])
+			res.Cells = append(res.Cells, TriageCell{
+				Channel: nc.name,
+				Scorer:  scorer,
+				AUC:     stats.AUC(p, neg[scorer]),
+				TPAtFP:  tpAtFP(curve, sizes.TriageMatchFP),
+				Curve:   curve,
+			})
+			pooled[scorer] = append(pooled[scorer], p...)
+		}
+	}
+	for scorer, p := range pooled {
+		curve := stats.ROC(p, neg[scorer])
+		res.Cells = append(res.Cells, TriageCell{
+			Channel: "all",
+			Scorer:  scorer,
+			AUC:     stats.AUC(p, neg[scorer]),
+			TPAtFP:  tpAtFP(curve, sizes.TriageMatchFP),
+			Curve:   curve,
+		})
+	}
+	return res, nil
+}
+
+// namedChannel pairs a covert channel with the experiment's row name
+// (the needle appears once per swept period).
+type namedChannel struct {
+	name string
+	ch   covert.Channel
+}
+
+// triageChannels builds the experiment's channel population: the
+// dense channels at their default configuration plus one needle per
+// swept period.
+func triageChannels(sizes Sizes, baseSeed uint64) ([]namedChannel, error) {
+	pooled := fixtures.SyntheticIPDs(4*sizes.TriagePackets, baseSeed+7)
+	base, err := covert.All(pooled, baseSeed+99)
+	if err != nil {
+		return nil, err
+	}
+	var out []namedChannel
+	for _, ch := range base {
+		if _, ok := ch.(*covert.Needle); ok {
+			continue
+		}
+		out = append(out, namedChannel{ch.Name(), ch})
+	}
+	for _, period := range sizes.TriageNeedlePeriods {
+		n := covert.NewNeedle()
+		n.Period = period
+		out = append(out, namedChannel{fmt.Sprintf("needle/p%d", period), n})
+	}
+	return out, nil
+}
+
+// tpAtFP reads the operating point off a ROC curve: the best TPR
+// whose FPR stays within budget.
+func tpAtFP(curve []stats.ROCPoint, fp float64) float64 {
+	best := 0.0
+	for _, p := range curve {
+		if p.FPR <= fp && p.TPR > best {
+			best = p.TPR
+		}
+	}
+	return best
+}
+
+// FormatTriageROC renders the AUC and matched-FP TP matrix, scorers
+// across, channels down, the pooled row last.
+func FormatTriageROC(r *TriageResult) string {
+	scorers := r.Scorers()
+	var channels []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if c.Channel != "all" && !seen[c.Channel] {
+			seen[c.Channel] = true
+			channels = append(channels, c.Channel)
+		}
+	}
+	channels = append(channels, "all")
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Triage ROC: ingest-time suspicion, AUC (TP at FP<=%.2f) per channel and scorer\n", r.MatchedFP)
+	fmt.Fprintf(&sb, "  %-12s", "channel")
+	for _, s := range scorers {
+		fmt.Fprintf(&sb, "  %-14s", s)
+	}
+	sb.WriteByte('\n')
+	for _, ch := range channels {
+		fmt.Fprintf(&sb, "  %-12s", ch)
+		for _, s := range scorers {
+			if cell, ok := r.Cell(ch, s); ok {
+				fmt.Fprintf(&sb, "  %.3f (%.2f)  ", cell.AUC, cell.TPAtFP)
+			} else {
+				sb.WriteString("       -       ")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

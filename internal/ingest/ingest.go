@@ -50,6 +50,7 @@ import (
 
 	"sanity/internal/obs"
 	"sanity/internal/store"
+	"sanity/internal/triage"
 )
 
 // Banner is the protocol greeting either side must send first.
@@ -98,6 +99,13 @@ type Options struct {
 	// watching daemon audits on. It runs synchronously on the handler
 	// goroutine and must be cheap and non-blocking.
 	OnDone func()
+	// OnTrace, when non-nil, is called after each accepted container
+	// with its admitted metadata and triage score (nil when the store
+	// has triage disabled or the trace is not scoreable — training
+	// corpora). Like OnDone it runs synchronously on the handler
+	// goroutine and must be cheap and non-blocking; uploads from many
+	// connections may invoke it concurrently.
+	OnTrace func(store.Meta, *triage.Score)
 	// Obs, when non-nil, records each accepted container as an
 	// "ingest" span (with the admitted trace's ID and shard) and each
 	// session DONE as an instant event. Owned by the embedding
@@ -473,7 +481,7 @@ func (s *Server) handle(raw net.Conn) {
 			}
 			lr := io.LimitReader(br, n)
 			sp := s.opts.Obs.StartRoot(obs.StageIngest)
-			meta, perr := s.st.PutContainer(lr)
+			meta, sc, perr := s.st.PutContainerScored(lr)
 			// Always drain the declared payload so a rejected container
 			// does not desynchronize the command stream.
 			if _, err := io.Copy(io.Discard, lr); err != nil {
@@ -490,7 +498,13 @@ func (s *Server) handle(raw net.Conn) {
 			}
 			sp.Attr("id", meta.ID)
 			sp.Attr("shard", meta.Shard)
+			if sc != nil {
+				sp.Attr("suspicion", strconv.FormatFloat(sc.Suspicion, 'g', 6, 64))
+			}
 			sp.End()
+			if s.opts.OnTrace != nil {
+				s.opts.OnTrace(meta, sc)
+			}
 			fmt.Fprintf(conn, "OK %s\n", oneline(meta.ID))
 		case "DONE":
 			if err := s.st.Flush(); err != nil {

@@ -7,6 +7,7 @@ import "time"
 // histograms agree on vocabulary.
 const (
 	StageIngest      = "ingest"
+	StageTriage      = "triage"
 	StageSweep       = "sweep"
 	StageClaim       = "claim"
 	StageResolve     = "resolve"
@@ -27,7 +28,7 @@ const (
 // reports and delta tables print, and the vocabulary CI checks
 // rendered tables against.
 var Stages = []string{
-	StageIngest, StageSweep, StageClaim, StageResolve, StageSelect,
+	StageIngest, StageTriage, StageSweep, StageClaim, StageResolve, StageSelect,
 	StageTrace, StageLoad, StageStat, StageTDR, StageSegment,
 	StageRestore, StageReplay, StageCompare, StageVerdict, StageStoreDecode,
 }

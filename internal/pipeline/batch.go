@@ -76,6 +76,13 @@ type Job struct {
 	// cheap statistical prefilter flagged. Nil selects the pipeline's
 	// trailing default window.
 	Window *IPDWindow
+	// TriageHint is the IPD range the ingest-time triage ensemble
+	// flagged as most suspicious, when the trace carries a persisted
+	// score with one. It is advisory: the audit planner's seeded
+	// window selection (audit.WithWindowSeed) checks the hinted
+	// region first and skips its full scan when the hint proves
+	// decisive. Nil (or planners without seeding) changes nothing.
+	TriageHint *IPDWindow
 	// Explain, when the pipeline runs with Config.Explain, seeds the
 	// verdict's evidence trail — the audit planner stores the window
 	// scan that chose (or declined) this job's window here. Ignored

@@ -12,6 +12,7 @@ import (
 
 	"sanity/internal/detect"
 	"sanity/internal/obs"
+	"sanity/internal/triage"
 )
 
 // ManifestName is the directory-level index file.
@@ -63,6 +64,22 @@ type Entry struct {
 	// written before audit state existed round-trip unchanged.
 	Audit string `json:"audit,omitempty"`
 	Meta
+	// Triage is the ingest-time suspicion score (schema-versioned by
+	// triage.SchemaVersion). Nil for traces stored before triage
+	// existed or with scoring disabled — they read as Neutral via
+	// Suspicion(), and the omitempty keeps pre-triage manifests and
+	// sidecars byte-identical on rewrite.
+	Triage *triage.Score `json:"triage,omitempty"`
+}
+
+// Suspicion is the entry's triage suspicion, defaulting unscored
+// (legacy) entries to the neutral score — the daemon's claim-priority
+// key.
+func (e *Entry) Suspicion() float64 {
+	if e.Triage == nil {
+		return triage.NeutralSuspicion
+	}
+	return e.Triage.Suspicion
 }
 
 // Manifest indexes a corpus directory.
@@ -83,12 +100,36 @@ type Store struct {
 	// concurrent use; nil-safe throughout.
 	obs *obs.Observer
 
+	// triage, when non-nil, enables ingest-time scoring: every test
+	// trace admitted through Put/PutContainer runs the streaming
+	// detector ensemble and carries the result in its manifest entry
+	// and sidecar. Set with EnableTriage before concurrent use.
+	triage *triage.Options
+
 	mu       sync.Mutex
 	manifest Manifest
 	// pending marks reserved entries whose container is still being
 	// written; snapshots (Entries, Flush, TrainingIPDs) exclude them so
 	// a concurrent Flush can never persist an entry without a file.
 	pending map[string]struct{}
+}
+
+// EnableTriage turns on ingest-time suspicion scoring with the given
+// detector options. Call before concurrent use of the store (the
+// embedding daemon does, right after Create).
+func (s *Store) EnableTriage(o triage.Options) { s.triage = &o }
+
+// scoreIPDs runs the streaming detector ensemble over an admitted
+// trace's IPDs, timed as the triage funnel stage. Nil when scoring is
+// disabled.
+func (s *Store) scoreIPDs(ipds []int64) *triage.Score {
+	if s.triage == nil {
+		return nil
+	}
+	t := s.obs.Stage(obs.StageTriage)
+	defer t.End()
+	sc := triage.ScoreIPDs(ipds, *s.triage)
+	return &sc
 }
 
 // SetObserver attaches an observability sink: container decodes are
@@ -198,15 +239,30 @@ func (s *Store) admittedLocked() []Entry {
 
 // ClaimPending atomically transitions every fully admitted, pending
 // test trace to AuditClaimed and returns the claimed entries (with
-// their new state) in manifest order. A trace is claimed exactly once:
-// a second call — or a second daemon sharing this Store — gets only
-// traces admitted since. Training traces are never claimed; they are
-// baseline material, not audit subjects. The claim lives in the
-// in-memory manifest until Flush persists it.
-func (s *Store) ClaimPending() []Entry {
+// their new state) in descending suspicion order — the persisted
+// triage scores decide who is audited first, manifest order breaks
+// ties, and unscored legacy traces sort at the neutral midpoint. The
+// order survives restarts: it is computed from the manifest, so a
+// fresh daemon over an old spool resumes highest-suspicion-first.
+// A trace is claimed exactly once: a second call — or a second daemon
+// sharing this Store — gets only traces admitted since. Training
+// traces are never claimed; they are baseline material, not audit
+// subjects. The claim lives in the in-memory manifest until Flush
+// persists it.
+func (s *Store) ClaimPending() []Entry { return s.ClaimPendingLimit(0, nil) }
+
+// ClaimPendingLimit is ClaimPending with a per-call cap and an
+// optional priority override. limit <= 0 claims everything pending;
+// otherwise only the top `limit` entries are claimed and the rest
+// stay pending for a later sweep — the knob that makes daemon-side
+// aging meaningful. prio, when non-nil, replaces the persisted
+// suspicion as the sort key (the daemon feeds an aged priority
+// through it); ties keep manifest order either way.
+func (s *Store) ClaimPendingLimit(limit int, prio func(Entry) float64) []Entry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []Entry
+	var idx []int
+	var keys []float64
 	for i := range s.manifest.Traces {
 		e := &s.manifest.Traces[i]
 		if _, busy := s.pending[e.File]; busy {
@@ -215,8 +271,43 @@ func (s *Store) ClaimPending() []Entry {
 		if e.Role != RoleTest || e.Audit != AuditPending {
 			continue
 		}
+		k := e.Suspicion()
+		if prio != nil {
+			k = prio(*e)
+		}
+		idx = append(idx, i)
+		keys = append(keys, k)
+	}
+	// idx starts in manifest order; a stable sort on strictly-greater
+	// keys preserves it across ties.
+	order := make([]int, len(idx))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] > keys[order[b]] })
+	if limit > 0 && len(order) > limit {
+		order = order[:limit]
+	}
+	var out []Entry
+	for _, o := range order {
+		e := &s.manifest.Traces[idx[o]]
 		e.Audit = AuditClaimed
 		out = append(out, *e)
+	}
+	return out
+}
+
+// PendingTest snapshots the fully admitted test traces still awaiting
+// a claim, in manifest order — the daemon's aging bookkeeping and the
+// /triage census read it.
+func (s *Store) PendingTest() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Entry
+	for _, e := range s.admittedLocked() {
+		if e.Role == RoleTest && e.Audit == AuditPending {
+			out = append(out, e)
+		}
 	}
 	return out
 }
@@ -248,6 +339,53 @@ func (s *Store) SetAuditState(file, state string) error {
 		return fmt.Errorf("store: no trace with container %q", file)
 	}
 	return s.writeSidecar(snapshot)
+}
+
+// SetTriageScore records a trace's triage score by its
+// manifest-relative container path and rewrites the sidecar so the
+// on-disk twin agrees — the persistence half of ScorePending.
+func (s *Store) SetTriageScore(file string, sc *triage.Score) error {
+	s.mu.Lock()
+	var snapshot Entry
+	found := false
+	for i := range s.manifest.Traces {
+		if s.manifest.Traces[i].File == file {
+			s.manifest.Traces[i].Triage = sc
+			snapshot = s.manifest.Traces[i]
+			found = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	if !found {
+		return fmt.Errorf("store: no trace with container %q", file)
+	}
+	return s.writeSidecar(snapshot)
+}
+
+// ScorePending runs the triage ensemble over every admitted test
+// trace that has no persisted score — the backfill for corpora
+// recorded before triage existed — and persists each score to the
+// manifest entry and sidecar. Already-scored traces are untouched (no
+// sidecar churn). Returns how many traces were scored; the caller
+// flushes the manifest.
+func (s *Store) ScorePending(o triage.Options) (int, error) {
+	n := 0
+	for _, e := range s.Entries() {
+		if e.Role != RoleTest || e.Triage != nil {
+			continue
+		}
+		ipds, err := s.LoadIPDs(e.File)
+		if err != nil {
+			return n, fmt.Errorf("store: scoring %s: %w", e.ID, err)
+		}
+		sc := triage.ScoreIPDs(ipds, o)
+		if err := s.SetTriageScore(e.File, &sc); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
 }
 
 // ReclaimStale demotes every claimed trace back to pending and
@@ -304,7 +442,7 @@ func fileName(m Meta) string {
 // file-name collision ("a/b" vs "a_b" both map to "a_b"), or an
 // unregistered shard is rejected before it could overwrite an already
 // admitted trace's container.
-func (s *Store) reserve(full Meta) (Entry, error) {
+func (s *Store) reserve(full Meta, sc *triage.Score) (Entry, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var shard *ShardMeta
@@ -328,7 +466,7 @@ func (s *Store) reserve(full Meta) (Entry, error) {
 			return Entry{}, fmt.Errorf("store: trace %q claims %s %q but shard %q is %q", full.ID, c.field, c.got, full.Shard, c.want)
 		}
 	}
-	e := Entry{File: filepath.Join(tracesDir, fileName(full)), Meta: full}
+	e := Entry{File: filepath.Join(tracesDir, fileName(full)), Meta: full, Triage: sc}
 	for _, have := range s.manifest.Traces {
 		if have.Shard == full.Shard && have.Role == full.Role && have.ID == full.ID {
 			return Entry{}, fmt.Errorf("store: trace %s/%s/%s already stored", full.Shard, full.Role, full.ID)
@@ -389,11 +527,13 @@ func (s *Store) atomicWrite(dest string, write func(io.Writer) error) error {
 }
 
 // sidecarDoc is the sidecar's JSON shape: the trace metadata plus the
-// entry's audit state (omitted while pending, so sidecars written
-// before audit state existed are byte-identical to today's).
+// entry's audit state and triage score (each omitted when absent, so
+// sidecars written before either existed are byte-identical to
+// today's).
 type sidecarDoc struct {
 	Meta
-	Audit string `json:"audit,omitempty"`
+	Audit  string        `json:"audit,omitempty"`
+	Triage *triage.Score `json:"triage,omitempty"`
 }
 
 // writeSidecar writes an entry's human-readable JSON twin. It goes
@@ -402,7 +542,7 @@ type sidecarDoc struct {
 // reading it at that moment; a direct os.WriteFile would let such a
 // reader observe a truncated document.
 func (s *Store) writeSidecar(e Entry) error {
-	side, err := json.MarshalIndent(sidecarDoc{Meta: e.Meta, Audit: e.Audit}, "", "  ")
+	side, err := json.MarshalIndent(sidecarDoc{Meta: e.Meta, Audit: e.Audit, Triage: e.Triage}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -454,6 +594,16 @@ func checkedMeta(meta Meta, tr *detect.Trace) (Meta, error) {
 	return full, full.validate()
 }
 
+// triageFor scores a trace at admission when scoring is enabled and
+// the trace is an audit subject; training traces are baseline
+// material and stay unscored.
+func (s *Store) triageFor(full Meta, tr *detect.Trace) *triage.Score {
+	if full.Role != RoleTest {
+		return nil
+	}
+	return s.scoreIPDs(tr.IPDs)
+}
+
 // put completes the metadata, reserves the slot, and writes the
 // container, rolling the reservation back on failure.
 func (s *Store) put(meta Meta, tr *detect.Trace) (Meta, error) {
@@ -464,7 +614,7 @@ func (s *Store) put(meta Meta, tr *detect.Trace) (Meta, error) {
 	if err != nil {
 		return full, err
 	}
-	e, err := s.reserve(full)
+	e, err := s.reserve(full, s.triageFor(full, tr))
 	if err != nil {
 		return full, err
 	}
@@ -494,9 +644,21 @@ func (s *Store) Put(meta Meta, tr *detect.Trace) error {
 // re-encode — so the admitted container is byte-identical to the
 // upload.
 func (s *Store) PutContainer(r io.Reader) (Meta, error) {
+	meta, _, err := s.PutContainerScored(r)
+	return meta, err
+}
+
+// PutContainerScored is PutContainer returning the ingest-time triage
+// score alongside the metadata — nil when scoring is disabled, the
+// trace is training material, or it was too short to assess (the
+// Neutral case still returns a score so the caller can report it).
+// The detector ensemble runs between the validate and admit steps, so
+// a rejected upload is never scored and an admitted one always
+// carries its score in the manifest and sidecar from the first write.
+func (s *Store) PutContainerScored(r io.Reader) (Meta, *triage.Score, error) {
 	f, err := os.CreateTemp(s.dir, ".spool-*")
 	if err != nil {
-		return Meta{}, fmt.Errorf("store: spooling: %w", err)
+		return Meta{}, nil, fmt.Errorf("store: spooling: %w", err)
 	}
 	tmp := f.Name()
 	defer os.Remove(tmp)
@@ -505,23 +667,24 @@ func (s *Store) PutContainer(r io.Reader) (Meta, error) {
 		err = fmt.Errorf("store: spooling: %w", cerr)
 	}
 	if err != nil {
-		return meta, err
+		return meta, nil, err
 	}
 	full, err := checkedMeta(meta, tr)
 	if err != nil {
-		return full, err
+		return full, nil, err
 	}
-	e, err := s.reserve(full)
+	sc := s.triageFor(full, tr)
+	e, err := s.reserve(full, sc)
 	if err != nil {
-		return full, err
+		return full, nil, err
 	}
 	if err := s.admitSpooled(tmp, e); err != nil {
 		s.unreserve(e)
-		return full, err
+		return full, nil, err
 	}
 	s.commit(e)
 	s.noteTrace(tr)
-	return full, nil
+	return full, sc, nil
 }
 
 // OpenTrace opens a container by its manifest-relative path.

@@ -1,0 +1,362 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"sanity/internal/detect"
+	"sanity/internal/fixtures"
+	"sanity/internal/store"
+	"sanity/internal/triage"
+)
+
+// triageStore builds a store with scoring enabled and the default
+// test shard registered.
+func triageStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Create(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.EnableTriage(triage.Options{})
+	if err := st.AddShard(store.ShardMeta{Key: testMeta().Shard, Program: "nfsd", Machine: "optiplex9020", Profile: "sanity"}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// ipdOnlyMeta names an IPD-only synthetic trace (no log, so no
+// program/machine cross-checks to satisfy).
+func ipdOnlyMeta(id, role, label string) store.Meta {
+	return store.Meta{ID: id, Shard: testMeta().Shard, Role: role, Label: label}
+}
+
+func TestTriageScoredOnIngest(t *testing.T) {
+	st := triageStore(t)
+	tr := &detect.Trace{IPDs: fixtures.SyntheticIPDs(128, 3)}
+	raw := encode(t, ipdOnlyMeta("scored-0", store.RoleTest, store.LabelBenign), tr)
+	meta, sc, err := st.PutContainerScored(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("PutContainerScored: %v", err)
+	}
+	if sc == nil {
+		t.Fatal("test trace admitted without a score")
+	}
+	if sc.Schema != triage.SchemaVersion || len(sc.PerDetector) == 0 {
+		t.Fatalf("degenerate score: %+v", sc)
+	}
+	// The score is in the manifest entry...
+	var entry store.Entry
+	for _, e := range st.Entries() {
+		if e.ID == meta.ID {
+			entry = e
+		}
+	}
+	if entry.Triage == nil || entry.Triage.Suspicion != sc.Suspicion {
+		t.Fatalf("manifest entry score %+v, want %+v", entry.Triage, sc)
+	}
+	// ...and in the sidecar from the first write.
+	side, err := os.ReadFile(filepath.Join(st.Dir(), entry.File+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(side), `"suspicion"`) {
+		t.Fatalf("sidecar has no triage score: %s", side)
+	}
+	// Training traces are never scored.
+	trainRaw := encode(t, ipdOnlyMeta("train-0", store.RoleTraining, store.LabelBenign), tr)
+	_, trainSc, err := st.PutContainerScored(bytes.NewReader(trainRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainSc != nil {
+		t.Fatalf("training trace scored: %+v", trainSc)
+	}
+	// A trace too short for a single window still admits, with the
+	// neutral score.
+	shortRaw := encode(t, ipdOnlyMeta("short-0", store.RoleTest, store.LabelBenign),
+		&detect.Trace{IPDs: []int64{5, 6, 7}})
+	_, shortSc, err := st.PutContainerScored(bytes.NewReader(shortRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shortSc == nil || shortSc.Suspicion != triage.NeutralSuspicion {
+		t.Fatalf("short trace score %+v, want neutral", shortSc)
+	}
+}
+
+// TestClaimPendingHonorsPersistedScores is the restart regression for
+// the priority queue: a fresh daemon over an old spool must resume
+// highest-suspicion-first from the persisted scores, not in manifest
+// (arrival) order, with unscored legacy traces slotting in at the
+// neutral midpoint and ties keeping manifest order.
+func TestClaimPendingHonorsPersistedScores(t *testing.T) {
+	st := triageStore(t)
+	put := func(id string) store.Entry {
+		t.Helper()
+		raw := encode(t, ipdOnlyMeta(id, store.RoleTest, store.LabelUnknown),
+			&detect.Trace{IPDs: fixtures.SyntheticIPDs(64, 9)})
+		if _, err := st.PutContainer(bytes.NewReader(raw)); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range st.Entries() {
+			if e.ID == id {
+				return e
+			}
+		}
+		t.Fatalf("entry %s not found", id)
+		return store.Entry{}
+	}
+	score := func(e store.Entry, suspicion float64) {
+		t.Helper()
+		sc := triage.Neutral()
+		sc.Suspicion = suspicion
+		if err := st.SetTriageScore(e.File, &sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	low := put("arrival-0-low")
+	score(low, 0.12)
+	high := put("arrival-1-high")
+	score(high, 0.91)
+	legacy := put("arrival-2-legacy")
+	if err := st.SetTriageScore(legacy.File, nil); err != nil { // wipe: pre-triage corpus shape
+		t.Fatal(err)
+	}
+	mid := put("arrival-3-mid")
+	score(mid, 0.64)
+	tieA := put("arrival-4-tie")
+	score(tieA, 0.64)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a brand-new Store over the flushed manifest.
+	re, err := store.Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed := re.ClaimPending()
+	var ids []string
+	for _, e := range claimed {
+		ids = append(ids, e.ID)
+	}
+	want := []string{"arrival-1-high", "arrival-3-mid", "arrival-4-tie", "arrival-2-legacy", "arrival-0-low"}
+	if fmt.Sprint(ids) != fmt.Sprint(want) {
+		t.Fatalf("claim order %v, want %v", ids, want)
+	}
+	for _, e := range claimed {
+		if e.Audit != store.AuditClaimed {
+			t.Fatalf("claimed entry %s in state %q", e.ID, e.Audit)
+		}
+	}
+	// Second claim: nothing left.
+	if again := re.ClaimPending(); len(again) != 0 {
+		t.Fatalf("double claim: %v", again)
+	}
+}
+
+func TestClaimPendingLimitAndPriorityOverride(t *testing.T) {
+	st := triageStore(t)
+	for i := 0; i < 4; i++ {
+		raw := encode(t, ipdOnlyMeta(fmt.Sprintf("t-%d", i), store.RoleTest, store.LabelUnknown),
+			&detect.Trace{IPDs: []int64{5, 6, 7}})
+		if _, err := st.PutContainer(bytes.NewReader(raw)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Priority override inverts the order; the limit caps the batch.
+	boost := map[string]float64{"t-0": 0.1, "t-1": 0.9, "t-2": 0.5, "t-3": 0.7}
+	claimed := st.ClaimPendingLimit(2, func(e store.Entry) float64 { return boost[e.ID] })
+	if len(claimed) != 2 || claimed[0].ID != "t-1" || claimed[1].ID != "t-3" {
+		t.Fatalf("limited claim wrong: %+v", claimed)
+	}
+	if got := len(st.PendingTest()); got != 2 {
+		t.Fatalf("%d still pending, want 2", got)
+	}
+	rest := st.ClaimPending()
+	if len(rest) != 2 {
+		t.Fatalf("second claim got %d", len(rest))
+	}
+}
+
+// TestPreTriageCorpusCompat is the schema-bump backward-compatibility
+// contract: a corpus written before triage existed (no triage fields
+// anywhere) must decode with neutral-score defaults, and neither
+// opening it nor re-flushing may rewrite its manifest or sidecars —
+// no churn, byte for byte.
+func TestPreTriageCorpusCompat(t *testing.T) {
+	// Record the corpus with scoring disabled: by construction this is
+	// the pre-triage on-disk shape (omitempty drops the new fields).
+	st, err := store.Create(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddShard(store.ShardMeta{Key: testMeta().Shard, Program: "nfsd", Machine: "optiplex9020", Profile: "sanity"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(ipdOnlyMeta("old-0", store.RoleTest, store.LabelBenign),
+		&detect.Trace{IPDs: fixtures.SyntheticIPDs(64, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	manifestPath := filepath.Join(st.Dir(), store.ManifestName)
+	before, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(before), "triage") {
+		t.Fatalf("un-triaged manifest mentions triage: %s", before)
+	}
+	entry := st.Entries()[0]
+	sideBefore, err := os.ReadFile(filepath.Join(st.Dir(), entry.File+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := store.Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := re.Entries()[0]
+	if e.Triage != nil {
+		t.Fatalf("legacy entry decoded a phantom score: %+v", e.Triage)
+	}
+	if got := e.Suspicion(); got != triage.NeutralSuspicion {
+		t.Fatalf("legacy suspicion %v, want neutral %v", got, triage.NeutralSuspicion)
+	}
+	// Re-flush and an audit-state round trip: still no churn beyond
+	// the audit field that predates triage.
+	if err := re.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("manifest churned on reopen+flush:\n--- before\n%s\n--- after\n%s", before, after)
+	}
+	sideAfter, err := os.ReadFile(filepath.Join(re.Dir(), e.File+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sideBefore, sideAfter) {
+		t.Fatalf("sidecar churned:\n--- before\n%s\n--- after\n%s", sideBefore, sideAfter)
+	}
+
+	// Backfill: ScorePending scores exactly the unscored test traces,
+	// and a second pass is a no-op.
+	n, err := re.ScorePending(triage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("backfilled %d traces, want 1", n)
+	}
+	if got := re.Entries()[0].Triage; got == nil || got.Schema != triage.SchemaVersion {
+		t.Fatalf("backfill did not persist: %+v", got)
+	}
+	if n, err = re.ScorePending(triage.Options{}); err != nil || n != 0 {
+		t.Fatalf("second backfill pass scored %d (%v), want 0", n, err)
+	}
+}
+
+// TestConcurrentScoredIngest hammers PutContainerScored from many
+// goroutines with scoring enabled — the race detector proves the
+// scorer state is per-upload and the manifest/claim machinery stays
+// consistent under concurrent ingest connections.
+func TestConcurrentScoredIngest(t *testing.T) {
+	st := triageStore(t)
+	const workers, each = 8, 6
+	raws := make([][]byte, workers*each)
+	for i := range raws {
+		raws[i] = encode(t, ipdOnlyMeta(fmt.Sprintf("c-%d", i), store.RoleTest, store.LabelUnknown),
+			&detect.Trace{IPDs: fixtures.SyntheticIPDs(96, uint64(i))})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(raws))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				_, sc, err := st.PutContainerScored(bytes.NewReader(raws[w*each+j]))
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if sc == nil {
+					errs <- fmt.Errorf("worker %d trace %d: no score", w, j)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := len(st.Entries()); got != workers*each {
+		t.Fatalf("%d entries, want %d", got, workers*each)
+	}
+	for _, e := range st.Entries() {
+		if e.Triage == nil {
+			t.Fatalf("entry %s admitted unscored", e.ID)
+		}
+	}
+}
+
+// FuzzScoreSidecar throws hostile bytes at the sidecar/manifest-entry
+// decode path that now carries the triage score. Properties: never
+// panic, and any successfully decoded entry re-encodes and re-decodes
+// to the same score (round-trip stability), with Suspicion() always
+// usable.
+func FuzzScoreSidecar(f *testing.F) {
+	seed := func(e store.Entry) {
+		b, err := json.Marshal(e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	sc := triage.ScoreIPDs(fixtures.SyntheticIPDs(64, 1), triage.Options{})
+	seed(store.Entry{File: "traces/a.trace", Meta: ipdOnlyMeta("a", store.RoleTest, store.LabelBenign)})
+	seed(store.Entry{File: "traces/b.trace", Audit: store.AuditAudited,
+		Meta: ipdOnlyMeta("b", store.RoleTest, store.LabelCovert), Triage: &sc})
+	neutral := triage.Neutral()
+	seed(store.Entry{File: "traces/c.trace", Meta: ipdOnlyMeta("c", store.RoleTraining, store.LabelBenign), Triage: &neutral})
+	f.Add([]byte(`{"file":"x","triage":{"schema":9,"suspicion":1e308,"topWindow":[-4,2]}}`))
+	f.Add([]byte(`{"triage":{"perDetector":{"cce":null}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e store.Entry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return
+		}
+		_ = e.Suspicion()
+		b, err := json.Marshal(e)
+		if err != nil {
+			// Hostile numerics (NaN can't arrive via JSON, but huge
+			// floats can) must still re-encode; anything else is a bug.
+			t.Fatalf("re-encode of decoded entry failed: %v", err)
+		}
+		var back store.Entry
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("re-decode failed: %v\n%s", err, b)
+		}
+		if (back.Triage == nil) != (e.Triage == nil) {
+			t.Fatalf("score presence not stable: %+v vs %+v", e.Triage, back.Triage)
+		}
+		if e.Triage != nil && back.Triage.Suspicion != e.Triage.Suspicion {
+			t.Fatalf("suspicion drifted: %v vs %v", e.Triage.Suspicion, back.Triage.Suspicion)
+		}
+	})
+}

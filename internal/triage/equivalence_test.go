@@ -1,0 +1,135 @@
+package triage_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sanity/internal/covert"
+	"sanity/internal/fixtures"
+	"sanity/internal/stats"
+	"sanity/internal/triage"
+)
+
+// ipdSources builds the IPD corpora the equivalence property runs
+// over: benign synthetic traffic, every covert fixture channel, and
+// adversarial uniform-random sequences.
+func ipdSources(t *testing.T, n int) map[string][]int64 {
+	t.Helper()
+	out := map[string][]int64{
+		"benign-a": fixtures.SyntheticIPDs(n, 11),
+		"benign-b": fixtures.SyntheticIPDs(n, 12),
+	}
+	channels, err := covert.All(fixtures.SyntheticIPDs(512, 99), 7)
+	if err != nil {
+		t.Fatalf("covert.All: %v", err)
+	}
+	for _, ch := range channels {
+		out["covert-"+ch.Name()] = fixtures.SyntheticCovertIPDs(ch, n, 21)
+	}
+	rng := rand.New(rand.NewSource(4242))
+	raw := make([]int64, n)
+	for i := range raw {
+		raw[i] = rng.Int63n(50_000_000_000) // up to 50ms in ps
+	}
+	out["uniform-random"] = raw
+	return out
+}
+
+// TestStreamingCCEMatchesBatch pins the streaming detector byte-equal
+// to the batch reference: for every source and window geometry, the
+// per-window values the streaming CCEDetector emits must be identical
+// — same windows, same float64 bits — to stats.SlidingCCE over the
+// same symbol sequence under the detector's own cuts.
+func TestStreamingCCEMatchesBatch(t *testing.T) {
+	const q, maxM = 5, 6
+	geometries := []struct{ window, step int }{
+		{32, 16}, {32, 32}, {16, 4}, {48, 7}, {64, 16},
+	}
+	for name, ipds := range ipdSources(t, 220) {
+		for _, g := range geometries {
+			det := triage.NewCCEDetector(q, maxM, g.window, g.step)
+			det.KeepWindows()
+			for _, v := range ipds {
+				det.Feed(v)
+			}
+			cuts := det.Cuts()
+			if len(ipds) < g.window {
+				if cuts != nil || len(det.WindowValues()) != 0 {
+					t.Fatalf("%s w=%d s=%d: short trace produced windows", name, g.window, g.step)
+				}
+				continue
+			}
+			symbols := make([]int, len(ipds))
+			for i, v := range ipds {
+				symbols[i] = stats.BinIndex(cuts, float64(v))
+			}
+			want := stats.SlidingCCE(symbols, q, maxM, g.window, g.step)
+			got := det.WindowValues()
+			if len(got) != len(want) {
+				t.Fatalf("%s w=%d s=%d: %d streaming windows, batch %d",
+					name, g.window, g.step, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s w=%d s=%d window %d: streaming %v != batch %v",
+						name, g.window, g.step, i, got[i], want[i])
+				}
+			}
+			// The flagged window must be the (earliest) minimum-CCE one.
+			bestI := 0
+			for i, v := range want {
+				if v < want[bestI] {
+					bestI = i
+				}
+			}
+			r := det.Result()
+			if !r.Valid {
+				t.Fatalf("%s: no result despite %d windows", name, len(want))
+			}
+			if wantFrom := bestI * g.step; r.TopWindow != [2]int{wantFrom, wantFrom + g.window} {
+				t.Fatalf("%s w=%d s=%d: top window %v, want [%d,%d)",
+					name, g.window, g.step, r.TopWindow, wantFrom, wantFrom+g.window)
+			}
+		}
+	}
+}
+
+// TestStreamingCCEMatchesBatchRandomGeometry is the property sweep:
+// random lengths and geometries, seeded, all byte-equal.
+func TestStreamingCCEMatchesBatchRandomGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.Intn(400)
+		window := 4 + rng.Intn(60)
+		step := 1 + rng.Intn(window)
+		ipds := make([]int64, n)
+		for i := range ipds {
+			ipds[i] = 1 + rng.Int63n(40_000_000_000)
+		}
+		det := triage.NewCCEDetector(5, 6, window, step)
+		det.KeepWindows()
+		for _, v := range ipds {
+			det.Feed(v)
+		}
+		if n < window {
+			if len(det.WindowValues()) != 0 {
+				t.Fatalf("trial %d: short trace produced windows", trial)
+			}
+			continue
+		}
+		symbols := make([]int, n)
+		for i, v := range ipds {
+			symbols[i] = stats.BinIndex(det.Cuts(), float64(v))
+		}
+		want := stats.SlidingCCE(symbols, 5, 6, window, step)
+		got := det.WindowValues()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d w=%d s=%d): %d windows, want %d", trial, n, window, step, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d window %d: %v != %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

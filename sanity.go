@@ -50,6 +50,7 @@ import (
 	"sanity/internal/pipeline"
 	"sanity/internal/replaylog"
 	"sanity/internal/svm"
+	"sanity/internal/triage"
 )
 
 // Program is a loaded SVM program.
@@ -332,6 +333,14 @@ func WithProgress(fn func(AuditProgress)) AuditorOption { return audit.WithProgr
 // Plan(ctx, nil).
 func WithStore(dir string) AuditorOption { return audit.WithStore(dir) }
 
+// WithWindowSeed lets auto-window planning short-circuit its sliding
+// scan when a trace's persisted triage score flags a window that is
+// decisive on its own. Off by default: a decisive seed may narrow to
+// a different (equally decisive) window than the full scan, so
+// seeded verdict streams are not guaranteed byte-identical to
+// un-seeded ones.
+func WithWindowSeed() AuditorOption { return audit.WithWindowSeed() }
+
 // WithExplain attaches an evidence trail to every verdict: the
 // selected replay window and why it was chosen, the CCE z-score per
 // scanned window, and a summary of the TDR deviation that decided the
@@ -429,6 +438,54 @@ func NewAuditDaemon(cfg DaemonConfig) (*AuditDaemon, error) {
 // progress (the ingest idle timeout); the typed detail is
 // ingest.IdleTimeoutError.
 var ErrIngestIdleTimeout = ingest.ErrIdleTimeout
+
+// ---- Ingest triage ----
+//
+// Triage is the audit funnel's cheap first stage: a streaming
+// detector ensemble (sliding-window corrected conditional entropy, a
+// regularity/oscillation test, a frequency-domain scan) scores each
+// trace's inter-packet delays while it uploads, with bounded memory
+// and no trace buffering. The score persists in the store's manifest
+// and sidecars, and a triage-enabled daemon claims pending traces in
+// descending-suspicion order — TDR replay, the expensive last stage,
+// is spent on the most suspicious traces first. Triage ranks; it
+// never decides: verdicts still come from the full audit pipeline,
+// and a triaged funnel's verdicts are byte-identical to an
+// un-triaged one's, ordering aside.
+//
+//	score := sanity.ScoreTraceIPDs(ipds, sanity.TriageOptions{})
+//	fmt.Println(score.Suspicion, sanity.TriageBand(score.Suspicion))
+
+// TriageScore is one trace's persisted triage result: the ensemble
+// suspicion in [0,1], each detector's own score, and the flagged
+// window.
+type TriageScore = triage.Score
+
+// TriageOptions tunes the triage detector ensemble (window geometry,
+// CCE parameters); the zero value selects defaults matched to the
+// audit planner's window size.
+type TriageOptions = triage.Options
+
+// TriageScorer streams one trace's IPDs through the detector
+// ensemble; see NewTriageScorer.
+type TriageScorer = triage.Scorer
+
+// NeutralSuspicion is the suspicion assumed for traces that were
+// never triaged — legacy corpora, disabled scoring, traces too short
+// to assess.
+const NeutralSuspicion = triage.NeutralSuspicion
+
+// NewTriageScorer builds the streaming detector ensemble for one
+// trace; Feed it IPDs in arrival order and Finish it for the Score.
+func NewTriageScorer(o TriageOptions) *TriageScorer { return triage.NewScorer(o) }
+
+// ScoreTraceIPDs scores a complete IPD slice through the triage
+// ensemble in one call.
+func ScoreTraceIPDs(ipds []int64, o TriageOptions) TriageScore { return triage.ScoreIPDs(ipds, o) }
+
+// TriageBand buckets a suspicion score into "low", "neutral", or
+// "high" — the census and metrics vocabulary.
+func TriageBand(suspicion float64) string { return triage.Band(suspicion) }
 
 // ---- Observability ----
 //
